@@ -1,0 +1,98 @@
+//! The basic cost identities of paper §2.1.
+//!
+//! With `E` the fraction of a segment that is empty (dead pages) when it is cleaned:
+//!
+//! * writing one segment's worth of new data requires `1/E` segment reads for cleaning,
+//!   `(1 − E)/E` segment writes to relocate live pages, plus the write of the new
+//!   segment itself — a total I/O cost of `Cost_seg = 2/E` (Equation 1);
+//! * the write amplification is the relocation term alone, `W_amp = (1 − E)/E`
+//!   (Equation 2);
+//! * `R = E/(1 − F)` measures how much better a cleaning policy does than the average
+//!   slack `1 − F` would suggest.
+
+/// Total I/O cost of writing one segment of new data, `2/E` (paper Equation 1).
+///
+/// Returns `+∞` when `E <= 0` (a full segment can never be cleaned profitably).
+pub fn cost_per_segment(emptiness: f64) -> f64 {
+    if emptiness <= 0.0 {
+        f64::INFINITY
+    } else {
+        2.0 / emptiness
+    }
+}
+
+/// Write amplification `(1 − E)/E` (paper Equation 2).
+pub fn write_amplification(emptiness: f64) -> f64 {
+    if emptiness <= 0.0 {
+        f64::INFINITY
+    } else {
+        (1.0 - emptiness) / emptiness
+    }
+}
+
+/// Emptiness achieved relative to the available slack space, `R = E/(1 − F)`.
+pub fn emptiness_ratio(emptiness: f64, fill_factor: f64) -> f64 {
+    let slack = 1.0 - fill_factor;
+    if slack <= 0.0 {
+        f64::INFINITY
+    } else {
+        emptiness / slack
+    }
+}
+
+/// Inverse of [`write_amplification`]: the emptiness that corresponds to a given write
+/// amplification, `E = 1/(1 + W)`.
+pub fn emptiness_from_write_amplification(wamp: f64) -> f64 {
+    1.0 / (1.0 + wamp)
+}
+
+/// Inverse of [`cost_per_segment`]: `E = 2/Cost`.
+pub fn emptiness_from_cost(cost: f64) -> f64 {
+    if cost <= 0.0 {
+        1.0
+    } else {
+        (2.0 / cost).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_and_write_amplification_match_the_paper_example() {
+        // Paper §2.1: with F = 0.8, E >= 0.2, so IO/seg <= 10.
+        assert!((cost_per_segment(0.2) - 10.0).abs() < 1e-12);
+        assert!((write_amplification(0.2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_emptiness_yields_infinite_cost() {
+        assert!(cost_per_segment(0.0).is_infinite());
+        assert!(write_amplification(0.0).is_infinite());
+        assert!(emptiness_ratio(0.5, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn wamp_is_cost_over_two_minus_one() {
+        for e in [0.1, 0.25, 0.5, 0.9] {
+            let lhs = write_amplification(e);
+            let rhs = cost_per_segment(e) / 2.0 - 1.0;
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverses_round_trip() {
+        for e in [0.05, 0.2, 0.5, 0.95] {
+            assert!((emptiness_from_write_amplification(write_amplification(e)) - e).abs() < 1e-12);
+            assert!((emptiness_from_cost(cost_per_segment(e)) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn emptiness_ratio_is_linear_in_emptiness() {
+        assert!((emptiness_ratio(0.4, 0.8) - 2.0).abs() < 1e-12);
+        assert!((emptiness_ratio(0.2, 0.8) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark: B+-tree insert and lookup throughput over the in-memory
+//! page store (the substrate used to generate the TPC-C traces of Figure 6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lss_btree::{BTree, BufferPool, MemPageStore};
+
+fn key(i: u64) -> Vec<u8> {
+    format!("bench-key-{i:012}").into_bytes()
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(10);
+    let batch = 10_000u64;
+    group.throughput(Throughput::Elements(batch));
+
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let pool = BufferPool::new(MemPageStore::new(4096), 1024);
+            let mut tree = BTree::open(pool).unwrap();
+            for i in 0..batch {
+                let k = (i.wrapping_mul(2654435761)) % batch;
+                tree.insert(&key(k), b"value-payload-of-a-realistic-size-123456").unwrap();
+            }
+            black_box(tree.len())
+        })
+    });
+
+    group.bench_function("get_10k", |b| {
+        let pool = BufferPool::new(MemPageStore::new(4096), 1024);
+        let mut tree = BTree::open(pool).unwrap();
+        for i in 0..batch {
+            tree.insert(&key(i), b"value-payload-of-a-realistic-size-123456").unwrap();
+        }
+        b.iter(|| {
+            let mut found = 0u64;
+            for i in 0..batch {
+                if tree.get(&key((i * 7919) % batch)).unwrap().is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark: victim-selection throughput of each cleaning policy over a
+//! large candidate set (the per-cleaning-cycle cost paid by the store and the simulator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lss_core::policy::{PolicyContext, PolicyKind, SegmentStats};
+use lss_core::types::SegmentId;
+
+fn make_segments(n: usize) -> Vec<SegmentStats> {
+    (0..n)
+        .map(|i| {
+            let capacity = 512 * 4096u64;
+            let free = (i as u64 * 7919) % capacity;
+            SegmentStats {
+                id: SegmentId(i as u32),
+                capacity_bytes: capacity,
+                free_bytes: free,
+                live_pages: 512 - (free / 4096),
+                up2: (i as u64 * 37) % 1_000_000,
+                sealed_at: (i as u64 * 53) % 1_000_000,
+                seal_seq: i as u64,
+                log_id: (i % 8) as u16,
+                exact_upf: Some(1.0 + (i % 100) as f64 / 10.0),
+            }
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let segments = make_segments(50_000);
+    let mut group = c.benchmark_group("policy_select_victims_50k_segments");
+    group.sample_size(20);
+    for kind in [
+        PolicyKind::Age,
+        PolicyKind::Greedy,
+        PolicyKind::CostBenefit,
+        PolicyKind::MultiLog,
+        PolicyKind::Mdc,
+        PolicyKind::MdcOpt,
+    ] {
+        group.bench_function(kind.paper_name(), |b| {
+            let mut policy = kind.build();
+            b.iter(|| {
+                let ctx = PolicyContext { unow: 2_000_000, segments: &segments };
+                black_box(policy.select_victims(&ctx, 64))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

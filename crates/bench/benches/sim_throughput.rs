@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: end-to-end simulator throughput (user page writes per
+//! second, including sort-buffer handling and cleaning) for greedy and MDC.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lss_core::policy::PolicyKind;
+use lss_sim::{SimConfig, Simulator};
+use lss_workload::ZipfianWorkload;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_writes");
+    group.sample_size(10);
+    let writes_per_iter = 200_000u64;
+    group.throughput(Throughput::Elements(writes_per_iter));
+    for kind in [PolicyKind::Greedy, PolicyKind::Mdc, PolicyKind::MdcOpt] {
+        group.bench_function(kind.paper_name(), |b| {
+            let config = SimConfig {
+                pages_per_segment: 256,
+                num_segments: 512,
+                fill_factor: 0.8,
+                policy: kind,
+                ..SimConfig::paper_default(kind)
+            };
+            let mut workload = ZipfianWorkload::new(config.logical_pages(), 0.99, 42);
+            let mut sim = Simulator::new(config, &workload);
+            b.iter(|| {
+                sim.run_writes(&mut workload, writes_per_iter);
+                black_box(sim.stats().gc_pages_written)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmark: real-store put/get throughput on the in-memory device,
+//! including segment sealing and cleaning (greedy vs MDC).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lss_core::policy::PolicyKind;
+use lss_core::{LogStore, StoreConfig};
+
+fn store_config(policy: PolicyKind) -> StoreConfig {
+    let mut c = StoreConfig::paper_default().with_policy(policy);
+    c.segment_bytes = 256 * 1024; // 256 KiB segments keep the benchmark's memory modest
+    c.num_segments = 256;
+    c.sort_buffer_segments = 4;
+    c
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logstore_put_4k_pages");
+    group.sample_size(10);
+    let batch = 10_000u64;
+    group.throughput(Throughput::Elements(batch));
+    for policy in [PolicyKind::Greedy, PolicyKind::Mdc] {
+        group.bench_function(policy.paper_name(), |b| {
+            let config = store_config(policy);
+            let pages = config.logical_pages_for_fill_factor(0.7) as u64;
+            let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+            let payload = vec![0xA5u8; config.page_bytes];
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..batch {
+                    let page = (i.wrapping_mul(6364136223846793005) >> 11) % pages;
+                    store.put(page, &payload).unwrap();
+                    i += 1;
+                }
+                black_box(store.stats().gc_pages_written)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logstore_get_4k_pages");
+    group.sample_size(10);
+    let batch = 10_000u64;
+    group.throughput(Throughput::Elements(batch));
+    group.bench_function("MDC", |b| {
+        let config = store_config(PolicyKind::Mdc);
+        let pages = config.logical_pages_for_fill_factor(0.5) as u64;
+        let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+        let payload = vec![0x5Au8; config.page_bytes];
+        for p in 0..pages {
+            store.put(p, &payload).unwrap();
+        }
+        store.flush().unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut sum = 0usize;
+            for _ in 0..batch {
+                let page = (i.wrapping_mul(2862933555777941757) >> 9) % pages;
+                sum += store.get(page).unwrap().map(|b| b.len()).unwrap_or(0);
+                i += 1;
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get);
+criterion_main!(benches);

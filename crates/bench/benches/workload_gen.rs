@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: page-id sampling throughput of the workload generators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lss_workload::{HotColdWorkload, PageWorkload, UniformWorkload, ZipfianWorkload};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_next_page");
+    group.sample_size(20);
+    let n = 100_000u64;
+    let samples = 100_000u64;
+    group.throughput(Throughput::Elements(samples));
+
+    group.bench_function("uniform", |b| {
+        let mut w = UniformWorkload::new(n, 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..samples {
+                acc = acc.wrapping_add(w.next_page());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hotcold-80-20", |b| {
+        let mut w = HotColdWorkload::new(n, 0.2, 0.8, 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..samples {
+                acc = acc.wrapping_add(w.next_page());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("zipfian-0.99", |b| {
+        let mut w = ZipfianWorkload::new(n, 0.99, 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..samples {
+                acc = acc.wrapping_add(w.next_page());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 4** of the paper: the impact of the sort-buffer size (in
+//! segments) on MDC's write amplification under the 80-20 Zipfian distribution
+//! (θ = 0.99) at fill factor 0.8. The paper finds 16 segments already near-optimal.
+
+use lss_bench::{print_results, run_point, ExperimentPoint, Scale};
+use lss_core::policy::PolicyKind;
+use lss_workload::ZipfianWorkload;
+
+fn main() {
+    let scale = Scale::from_args();
+    let fill = 0.8;
+    let buffer_sizes: [usize; 7] = [0, 1, 4, 16, 64, 256, 1024];
+
+    let mut results = Vec::new();
+    for &buf in &buffer_sizes {
+        let point = ExperimentPoint::new(PolicyKind::Mdc, fill).with_sort_buffer(buf);
+        let mut r = run_point(&point, scale, |pages| {
+            Box::new(ZipfianWorkload::new(pages, 0.99, 42))
+        });
+        r.policy = format!("MDC buffer={buf}");
+        results.push(r);
+    }
+    print_results(
+        "Figure 4: cleaning impact of the sort-buffer size (80-20 Zipfian, F = 0.8, MDC)",
+        &results,
+    );
+}

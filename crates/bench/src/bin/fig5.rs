@@ -1,0 +1,67 @@
+//! Regenerates **Figure 5** of the paper: write amplification vs fill factor
+//! (0.5 … 0.95) for all seven cleaning algorithms under
+//! (a) a uniform distribution, (b) the 80-20 Zipfian (θ = 0.99), and
+//! (c) the 90-10 Zipfian (θ = 1.35).
+//!
+//! Usage: `fig5 [uniform|zipf99|zipf135|all] [--quick|--full]` (default: all).
+
+use lss_bench::{print_results, run_point, ExperimentPoint, Scale};
+use lss_core::policy::PolicyKind;
+use lss_sim::SimResult;
+use lss_workload::{PageWorkload, UniformWorkload, ZipfianWorkload};
+
+#[derive(Clone, Copy)]
+enum Dist {
+    Uniform,
+    Zipf099,
+    Zipf135,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Zipf099 => "zipfian-0.99 (80-20)",
+            Dist::Zipf135 => "zipfian-1.35 (90-10)",
+        }
+    }
+
+    fn workload(self, pages: u64) -> Box<dyn PageWorkload> {
+        match self {
+            Dist::Uniform => Box::new(UniformWorkload::new(pages, 42)),
+            Dist::Zipf099 => Box::new(ZipfianWorkload::new(pages, 0.99, 42)),
+            Dist::Zipf135 => Box::new(ZipfianWorkload::new(pages, 1.35, 42)),
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.iter().skip(1).find(|a| !a.starts_with("--")).map(String::as_str);
+    let dists: Vec<Dist> = match which {
+        Some("uniform") => vec![Dist::Uniform],
+        Some("zipf99") => vec![Dist::Zipf099],
+        Some("zipf135") => vec![Dist::Zipf135],
+        _ => vec![Dist::Uniform, Dist::Zipf099, Dist::Zipf135],
+    };
+    let fills: Vec<f64> = match scale {
+        Scale::Quick => vec![0.5, 0.7, 0.8, 0.9],
+        _ => vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95],
+    };
+
+    for dist in dists {
+        let mut results: Vec<SimResult> = Vec::new();
+        for &fill in &fills {
+            for policy in PolicyKind::PAPER_FIGURE5 {
+                let point = ExperimentPoint::new(policy, fill);
+                let r = run_point(&point, scale, |pages| dist.workload(pages));
+                results.push(r);
+            }
+        }
+        print_results(
+            &format!("Figure 5: write amplification vs fill factor — {}", dist.name()),
+            &results,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table 1** of the paper: fill factor `F` vs the segment emptiness `E`
+//! reached under age-based cleaning of a uniformly updated store, the resulting cost
+//! `2/E`, the ratio `R = E/(1−F)`, the write amplification `(1−E)/E` — and the `MDC-opt`
+//! column obtained by simulation, which the paper uses to show that analysis and
+//! simulation agree to two significant digits (§8.1).
+
+use lss_analysis::table1::{table1_row, PAPER_TABLE1_FILL_FACTORS};
+use lss_bench::{run_point, ExperimentPoint, Scale};
+use lss_core::policy::PolicyKind;
+use lss_workload::UniformWorkload;
+
+fn main() {
+    let scale = Scale::from_args();
+    // The simulation column is the slow part; restrict it to the fill factors the paper
+    // discusses most (all of them under --full).
+    let simulate: Vec<f64> = match scale {
+        Scale::Full => PAPER_TABLE1_FILL_FACTORS.to_vec(),
+        _ => vec![0.95, 0.90, 0.85, 0.80, 0.70, 0.60, 0.50],
+    };
+
+    println!("Table 1: fill factor vs segment emptiness when cleaned (uniform distribution)");
+    println!(
+        "{:>6} {:>6} {:>9} {:>11} {:>8} {:>7} {:>8}",
+        "F", "1-F", "E(anal.)", "MDC-opt(sim)", "Cost", "R", "Wamp"
+    );
+    for &f in PAPER_TABLE1_FILL_FACTORS.iter() {
+        let row = table1_row(f);
+        let sim_e = if simulate.contains(&f) {
+            let point = ExperimentPoint::new(PolicyKind::MdcOpt, f);
+            let result = run_point(&point, scale, |pages| Box::new(UniformWorkload::new(pages, 42)));
+            format!("{:.3}", result.mean_emptiness_at_clean)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>6.3} {:>6.3} {:>9.3} {:>11} {:>8.2} {:>7.2} {:>8.3}",
+            row.fill_factor, row.slack, row.emptiness, sim_e, row.cost, row.r, row.write_amplification
+        );
+    }
+    println!("\n(analysis: fixpoint E = 1 - e^(-E/F); simulation: MDC-opt, geometry per --quick/--full)");
+}

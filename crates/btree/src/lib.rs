@@ -1,0 +1,37 @@
+//! # lss-btree — a page-based B+-tree storage engine substrate
+//!
+//! The paper's Figure 6 experiment replays *"I/O traces collected from running the TPC-C
+//! benchmark on a B+-tree-based storage engine"* through the cleaning simulator. This
+//! crate is that storage engine, built from scratch so the whole experiment can be
+//! regenerated:
+//!
+//! * [`page_store`] — where pages live: in memory, in an [`lss_core::LogStore`], or
+//!   wrapped by a tracer that records the page-write I/O stream;
+//! * [`buffer_pool`] — a CLOCK buffer cache, so only evictions and flushes reach storage
+//!   (this is what gives the trace its skew and its shifting hot/cold pattern);
+//! * [`node`] / [`tree`] — the B+-tree itself: byte-string keys and values, node splits,
+//!   range scans via leaf links.
+//!
+//! It doubles as an example application of the log-structured store: see
+//! `examples/btree_on_lss.rs` at the workspace root.
+//!
+//! ```
+//! use lss_btree::{BTree, BufferPool, MemPageStore};
+//!
+//! let pool = BufferPool::new(MemPageStore::new(4096), 256);
+//! let mut tree = BTree::open(pool).unwrap();
+//! tree.insert(b"hello", b"world").unwrap();
+//! assert_eq!(tree.get(b"hello").unwrap().unwrap(), b"world");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer_pool;
+pub mod node;
+pub mod page_store;
+pub mod tree;
+
+pub use buffer_pool::{BufferPool, BufferPoolStats};
+pub use page_store::{LssPageStore, MemPageStore, PageStore, TracingPageStore};
+pub use tree::BTree;

@@ -1,0 +1,271 @@
+//! On-page encoding of B+-tree nodes.
+//!
+//! Every node occupies exactly one fixed-size page:
+//!
+//! ```text
+//! leaf:     [ 1u8 | nkeys u16 | next_leaf u64 | (klen u16, vlen u16, key, value)* ]
+//! internal: [ 2u8 | nkeys u16 | child0 u64   | (klen u16, key, child u64)*        ]
+//! meta:     [ 3u8 | root u64  | next_page u64 ]
+//! ```
+//!
+//! Keys and values are arbitrary byte strings. An internal node with `nkeys` separator
+//! keys has `nkeys + 1` children; separator `keys[i]` is the smallest key reachable via
+//! `children[i + 1]`.
+
+use lss_core::error::{Error, Result};
+
+/// Node type tags.
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+const TAG_META: u8 = 3;
+
+/// A decoded B+-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A leaf node holding key/value pairs in sorted order plus a right-sibling link.
+    Leaf {
+        /// Page id of the next leaf (0 = none).
+        next: u64,
+        /// Sorted `(key, value)` entries.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// An internal node with separator keys and child page ids.
+    Internal {
+        /// Sorted separator keys (`len = children.len() - 1`).
+        keys: Vec<Vec<u8>>,
+        /// Child page ids.
+        children: Vec<u64>,
+    },
+}
+
+/// The tree's metadata page (always page 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaPage {
+    /// Page id of the root node.
+    pub root: u64,
+    /// Next page id to allocate.
+    pub next_page_id: u64,
+}
+
+fn corrupt(detail: &str) -> Error {
+    Error::CorruptSegment { segment: lss_core::SegmentId(u32::MAX), detail: format!("btree node: {detail}") }
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { next: 0, entries: Vec::new() }
+    }
+
+    /// True if this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of bytes the encoded node occupies (must stay ≤ the page size).
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                1 + 2 + 8 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => {
+                1 + 2 + 8 + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    /// Encode into a page image of exactly `page_size` bytes.
+    pub fn encode(&self, page_size: usize) -> Result<Vec<u8>> {
+        let mut buf = Vec::with_capacity(page_size);
+        match self {
+            Node::Leaf { next, entries } => {
+                buf.push(TAG_LEAF);
+                buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&next.to_le_bytes());
+                for (k, v) in entries {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(k);
+                    buf.extend_from_slice(v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(corrupt("internal node child/key count mismatch"));
+                }
+                buf.push(TAG_INTERNAL);
+                buf.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&children[0].to_le_bytes());
+                for (i, k) in keys.iter().enumerate() {
+                    buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf.extend_from_slice(k);
+                    buf.extend_from_slice(&children[i + 1].to_le_bytes());
+                }
+            }
+        }
+        if buf.len() > page_size {
+            return Err(corrupt(&format!(
+                "node needs {} bytes but the page holds {page_size}",
+                buf.len()
+            )));
+        }
+        buf.resize(page_size, 0);
+        Ok(buf)
+    }
+
+    /// Decode a node from a page image.
+    pub fn decode(data: &[u8]) -> Result<Node> {
+        if data.is_empty() {
+            return Err(corrupt("empty page"));
+        }
+        let mut pos = 1usize;
+        let read_u16 = |data: &[u8], pos: &mut usize| -> Result<u16> {
+            if *pos + 2 > data.len() {
+                return Err(corrupt("truncated u16"));
+            }
+            let v = u16::from_le_bytes(data[*pos..*pos + 2].try_into().unwrap());
+            *pos += 2;
+            Ok(v)
+        };
+        let read_u64 = |data: &[u8], pos: &mut usize| -> Result<u64> {
+            if *pos + 8 > data.len() {
+                return Err(corrupt("truncated u64"));
+            }
+            let v = u64::from_le_bytes(data[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            Ok(v)
+        };
+        let read_bytes = |data: &[u8], pos: &mut usize, len: usize| -> Result<Vec<u8>> {
+            if *pos + len > data.len() {
+                return Err(corrupt("truncated byte string"));
+            }
+            let v = data[*pos..*pos + len].to_vec();
+            *pos += len;
+            Ok(v)
+        };
+        match data[0] {
+            TAG_LEAF => {
+                let nkeys = read_u16(data, &mut pos)? as usize;
+                let next = read_u64(data, &mut pos)?;
+                let mut entries = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let klen = read_u16(data, &mut pos)? as usize;
+                    let vlen = read_u16(data, &mut pos)? as usize;
+                    let k = read_bytes(data, &mut pos, klen)?;
+                    let v = read_bytes(data, &mut pos, vlen)?;
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf { next, entries })
+            }
+            TAG_INTERNAL => {
+                let nkeys = read_u16(data, &mut pos)? as usize;
+                let mut children = Vec::with_capacity(nkeys + 1);
+                children.push(read_u64(data, &mut pos)?);
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let klen = read_u16(data, &mut pos)? as usize;
+                    keys.push(read_bytes(data, &mut pos, klen)?);
+                    children.push(read_u64(data, &mut pos)?);
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            other => Err(corrupt(&format!("unknown node tag {other}"))),
+        }
+    }
+}
+
+impl MetaPage {
+    /// Encode the meta page.
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(page_size);
+        buf.push(TAG_META);
+        buf.extend_from_slice(&self.root.to_le_bytes());
+        buf.extend_from_slice(&self.next_page_id.to_le_bytes());
+        buf.resize(page_size, 0);
+        buf
+    }
+
+    /// Decode the meta page.
+    pub fn decode(data: &[u8]) -> Result<MetaPage> {
+        if data.len() < 17 || data[0] != TAG_META {
+            return Err(corrupt("not a meta page"));
+        }
+        Ok(MetaPage {
+            root: u64::from_le_bytes(data[1..9].try_into().unwrap()),
+            next_page_id: u64::from_le_bytes(data[9..17].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = Node::Leaf {
+            next: 42,
+            entries: vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (b"beta".to_vec(), b"two".to_vec()),
+            ],
+        };
+        let encoded = node.encode(256).unwrap();
+        assert_eq!(encoded.len(), 256);
+        assert_eq!(Node::decode(&encoded).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = Node::Internal {
+            keys: vec![b"m".to_vec(), b"t".to_vec()],
+            children: vec![10, 20, 30],
+        };
+        let encoded = node.encode(128).unwrap();
+        assert_eq!(Node::decode(&encoded).unwrap(), node);
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let m = MetaPage { root: 7, next_page_id: 99 };
+        let enc = m.encode(64);
+        assert_eq!(MetaPage::decode(&enc).unwrap(), m);
+        assert!(MetaPage::decode(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn oversized_node_is_rejected() {
+        let node = Node::Leaf {
+            next: 0,
+            entries: vec![(vec![1u8; 100], vec![2u8; 100])],
+        };
+        assert!(node.encode(64).is_err());
+        assert!(node.encode(256).is_ok());
+    }
+
+    #[test]
+    fn mismatched_internal_node_is_rejected() {
+        let node = Node::Internal { keys: vec![b"k".to_vec()], children: vec![1] };
+        assert!(node.encode(128).is_err());
+    }
+
+    #[test]
+    fn garbage_pages_are_rejected() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[9u8; 32]).is_err());
+        // Truncated leaf: claims one entry but has no payload.
+        let mut buf = vec![TAG_LEAF];
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        assert!(Node::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn encoded_size_matches_actual_encoding_for_leaves() {
+        let node = Node::Leaf {
+            next: 1,
+            entries: vec![(b"key".to_vec(), b"value".to_vec()), (b"k2".to_vec(), b"v2".to_vec())],
+        };
+        let exact: usize = 1 + 2 + 8 + (4 + 3 + 5) + (4 + 2 + 2);
+        assert_eq!(node.encoded_size(), exact);
+    }
+}

@@ -1,0 +1,212 @@
+//! Page stores: where the B+-tree's fixed-size pages live.
+//!
+//! The tree only needs `read_page` / `write_page`. Three implementations are provided:
+//!
+//! * [`MemPageStore`] — a hash map; used when collecting TPC-C page-write traces (the
+//!   trace is about *which* pages are written, not where they land).
+//! * [`LssPageStore`] — pages stored in an [`lss_core::LogStore`], demonstrating the
+//!   B+-tree running directly on the log-structured store.
+//! * [`TracingPageStore`] — a wrapper recording every page write into an
+//!   [`lss_workload::WriteTrace`]; placed *below* the buffer pool it captures the I/O
+//!   stream an actual storage device would see, which is exactly what the paper replays
+//!   for Figure 6.
+
+use lss_core::{LogStore, Result};
+use lss_workload::WriteTrace;
+use std::collections::HashMap;
+
+/// Storage abstraction for fixed-size B+-tree pages.
+pub trait PageStore {
+    /// Size of every page in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Read a page; `None` if it was never written.
+    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>>;
+
+    /// Write (or overwrite) a page. `data` must be exactly `page_size` bytes.
+    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()>;
+
+    /// Flush any buffering to the underlying medium.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory page store backed by a hash map.
+#[derive(Debug)]
+pub struct MemPageStore {
+    page_size: usize,
+    pages: HashMap<u64, Vec<u8>>,
+    writes: u64,
+}
+
+impl MemPageStore {
+    /// Create a store for pages of `page_size` bytes.
+    pub fn new(page_size: usize) -> Self {
+        Self { page_size, pages: HashMap::new(), writes: 0 }
+    }
+
+    /// Number of distinct pages stored.
+    pub fn distinct_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of page writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.pages.get(&id).cloned())
+    }
+
+    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), self.page_size, "page {id} has the wrong size");
+        self.pages.insert(id, data.to_vec());
+        self.writes += 1;
+        Ok(())
+    }
+}
+
+/// Pages stored in a log-structured store ([`lss_core::LogStore`]).
+#[derive(Debug)]
+pub struct LssPageStore {
+    store: LogStore,
+    page_size: usize,
+}
+
+impl LssPageStore {
+    /// Wrap a `LogStore`; `page_size` should match the store's configured nominal page
+    /// size for best packing but any size up to the segment payload limit works.
+    pub fn new(store: LogStore, page_size: usize) -> Self {
+        Self { store, page_size }
+    }
+
+    /// Access the underlying log store (e.g. for statistics or checkpointing).
+    pub fn inner(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Consume the wrapper and return the underlying log store.
+    pub fn into_inner(self) -> LogStore {
+        self.store
+    }
+}
+
+impl PageStore for LssPageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.store.get(id)?.map(|b| b.to_vec()))
+    }
+
+    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        self.store.put(id, data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.store.flush()
+    }
+}
+
+/// Records every page write that reaches the wrapped store.
+#[derive(Debug)]
+pub struct TracingPageStore<S: PageStore> {
+    inner: S,
+    trace: WriteTrace,
+}
+
+impl<S: PageStore> TracingPageStore<S> {
+    /// Wrap a store.
+    pub fn new(inner: S) -> Self {
+        Self { inner, trace: WriteTrace::new() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &WriteTrace {
+        &self.trace
+    }
+
+    /// Consume the wrapper, returning the trace and the inner store.
+    pub fn into_parts(self) -> (WriteTrace, S) {
+        (self.trace, self.inner)
+    }
+}
+
+impl<S: PageStore> PageStore for TracingPageStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+        self.inner.read_page(id)
+    }
+
+    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+        self.trace.record(id);
+        self.inner.write_page(id, data)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::{StoreConfig, policy::PolicyKind};
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let mut s = MemPageStore::new(128);
+        assert!(s.read_page(1).unwrap().is_none());
+        s.write_page(1, &[7u8; 128]).unwrap();
+        assert_eq!(s.read_page(1).unwrap().unwrap(), vec![7u8; 128]);
+        assert_eq!(s.distinct_pages(), 1);
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn mem_store_rejects_wrong_size() {
+        let mut s = MemPageStore::new(128);
+        s.write_page(1, &[0u8; 64]).unwrap();
+    }
+
+    #[test]
+    fn lss_store_roundtrip() {
+        let store = LogStore::open_in_memory(
+            StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc),
+        )
+        .unwrap();
+        let mut ps = LssPageStore::new(store, 256);
+        assert_eq!(ps.page_size(), 256);
+        ps.write_page(5, &[3u8; 256]).unwrap();
+        ps.sync().unwrap();
+        assert_eq!(ps.read_page(5).unwrap().unwrap(), vec![3u8; 256]);
+        assert!(ps.read_page(6).unwrap().is_none());
+        assert!(ps.inner().stats().user_pages_written >= 1);
+    }
+
+    #[test]
+    fn tracing_store_records_writes_only() {
+        let mut s = TracingPageStore::new(MemPageStore::new(64));
+        s.write_page(10, &[0u8; 64]).unwrap();
+        s.write_page(11, &[0u8; 64]).unwrap();
+        s.write_page(10, &[1u8; 64]).unwrap();
+        let _ = s.read_page(10).unwrap();
+        assert_eq!(s.trace().writes, vec![10, 11, 10]);
+        let (trace, inner) = s.into_parts();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(inner.distinct_pages(), 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! The B+-tree itself: ordered byte-string keys and values over fixed-size pages served
+//! by a [`BufferPool`].
+//!
+//! Features: point lookups, inserts/updates with recursive node splits, deletes (without
+//! rebalancing — pages may become underfull, which is harmless for the workloads here and
+//! documented in DESIGN.md), and ordered range scans via leaf sibling links.
+
+use crate::buffer_pool::BufferPool;
+use crate::node::{MetaPage, Node};
+use crate::page_store::PageStore;
+use lss_core::error::{Error, Result};
+
+/// Page id of the metadata page.
+const META_PAGE: u64 = 0;
+
+/// An ordered key/value B+-tree over a page store.
+#[derive(Debug)]
+pub struct BTree<S: PageStore> {
+    pool: BufferPool<S>,
+    page_size: usize,
+    meta: MetaPage,
+    /// Number of live keys (maintained incrementally; informational).
+    len: u64,
+}
+
+impl<S: PageStore> BTree<S> {
+    /// Open (or initialise) a tree on a buffer pool. If the store already contains a
+    /// tree (its meta page decodes), it is reused.
+    pub fn open(mut pool: BufferPool<S>) -> Result<Self> {
+        let page_size = pool.page_size();
+        if page_size < 64 {
+            return Err(Error::InvalidConfig(format!("page size {page_size} too small for a B+-tree")));
+        }
+        let meta = match pool.read(META_PAGE)? {
+            Some(bytes) => MetaPage::decode(&bytes)?,
+            None => {
+                // Fresh store: page 1 becomes an empty root leaf.
+                let meta = MetaPage { root: 1, next_page_id: 2 };
+                let root = Node::empty_leaf().encode(page_size)?;
+                pool.write(1, root)?;
+                pool.write(META_PAGE, meta.encode(page_size))?;
+                meta
+            }
+        };
+        let mut tree = Self { pool, page_size, meta, len: 0 };
+        tree.len = tree.count_keys()?;
+        Ok(tree)
+    }
+
+    /// Largest key+value payload the tree accepts (a quarter page, so that any two
+    /// entries always fit after a split).
+    pub fn max_entry_size(&self) -> usize {
+        self.page_size / 4
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buffer-pool statistics (hit ratio, evictions).
+    pub fn pool_stats(&self) -> crate::buffer_pool::BufferPoolStats {
+        self.pool.stats()
+    }
+
+    /// The underlying page store (without flushing; dirty pages may still be cached).
+    pub fn store(&self) -> &S {
+        self.pool.store()
+    }
+
+    /// Insert or overwrite a key.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() + value.len() > self.max_entry_size() {
+            return Err(Error::PageTooLarge {
+                page: 0,
+                size: key.len() + value.len(),
+                max: self.max_entry_size(),
+            });
+        }
+        let root = self.meta.root;
+        let (inserted_new, split) = self.insert_rec(root, key, value)?;
+        if inserted_new {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            // The root split: create a new internal root.
+            let new_root_id = self.allocate_page();
+            let new_root = Node::Internal { keys: vec![sep], children: vec![root, right] };
+            self.write_node(new_root_id, &new_root)?;
+            self.meta.root = new_root_id;
+            self.write_meta()?;
+        }
+        Ok(())
+    }
+
+    /// Look up a key.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.meta.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    page = children[child_index(&keys, key)];
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Delete a key. Returns true if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let mut page = self.meta.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    page = children[child_index(&keys, key)];
+                }
+                Node::Leaf { next, mut entries } => {
+                    let before = entries.len();
+                    entries.retain(|(k, _)| k.as_slice() != key);
+                    let removed = entries.len() < before;
+                    if removed {
+                        self.write_node(page, &Node::Leaf { next, entries })?;
+                        self.len -= 1;
+                    }
+                    return Ok(removed);
+                }
+            }
+        }
+    }
+
+    /// Ordered scan of all `(key, value)` pairs with `start <= key < end`.
+    pub fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        // Descend to the leaf that would contain `start`.
+        let mut page = self.meta.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    page = children[child_index(&keys, start)];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // Walk the leaf chain.
+        loop {
+            let Node::Leaf { next, entries } = self.read_node(page)? else {
+                return Err(Error::InvalidConfig("leaf chain reached an internal node".into()));
+            };
+            for (k, v) in entries {
+                if k.as_slice() >= end {
+                    return Ok(out);
+                }
+                if k.as_slice() >= start {
+                    out.push((k, v));
+                }
+            }
+            if next == 0 {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Flush all dirty pages (and the meta page) to the underlying store.
+    pub fn flush(&mut self) -> Result<()> {
+        self.write_meta()?;
+        self.pool.flush_all()
+    }
+
+    /// Flush and return the underlying page store.
+    pub fn into_store(mut self) -> Result<S> {
+        self.flush()?;
+        self.pool.into_store()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn allocate_page(&mut self) -> u64 {
+        let id = self.meta.next_page_id;
+        self.meta.next_page_id += 1;
+        id
+    }
+
+    fn read_node(&mut self, page: u64) -> Result<Node> {
+        let bytes = self.pool.read(page)?.ok_or_else(|| {
+            Error::InvalidConfig(format!("btree references missing page {page}"))
+        })?;
+        Node::decode(&bytes)
+    }
+
+    fn write_node(&mut self, page: u64, node: &Node) -> Result<()> {
+        self.pool.write(page, node.encode(self.page_size)?)
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        self.pool.write(META_PAGE, self.meta.encode(self.page_size))
+    }
+
+    /// Recursive insert. Returns (inserted_new_key, optional split (separator, right page)).
+    fn insert_rec(
+        &mut self,
+        page: u64,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(bool, Option<(Vec<u8>, u64)>)> {
+        match self.read_node(page)? {
+            Node::Leaf { next, mut entries } => {
+                let inserted_new = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        entries[i].1 = value.to_vec();
+                        false
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        true
+                    }
+                };
+                let node = Node::Leaf { next, entries };
+                if node.encoded_size() <= self.page_size {
+                    self.write_node(page, &node)?;
+                    return Ok((inserted_new, None));
+                }
+                // Split the leaf: move the upper half to a new page.
+                let Node::Leaf { next, entries } = node else { unreachable!() };
+                let split_at = split_point(&entries, self.page_size);
+                let right_entries = entries[split_at..].to_vec();
+                let left_entries = entries[..split_at].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right_page = self.allocate_page();
+                self.write_node(right_page, &Node::Leaf { next, entries: right_entries })?;
+                self.write_node(page, &Node::Leaf { next: right_page, entries: left_entries })?;
+                self.write_meta()?;
+                Ok((inserted_new, Some((sep, right_page))))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = child_index(&keys, key);
+                let (inserted_new, split) = self.insert_rec(children[idx], key, value)?;
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    let node = Node::Internal { keys, children };
+                    if node.encoded_size() <= self.page_size {
+                        self.write_node(page, &node)?;
+                        return Ok((inserted_new, None));
+                    }
+                    // Split the internal node: the middle key moves up.
+                    let Node::Internal { keys, children } = node else { unreachable!() };
+                    let mid = keys.len() / 2;
+                    let up_key = keys[mid].clone();
+                    let right_keys = keys[mid + 1..].to_vec();
+                    let right_children = children[mid + 1..].to_vec();
+                    let left_keys = keys[..mid].to_vec();
+                    let left_children = children[..mid + 1].to_vec();
+                    let right_page = self.allocate_page();
+                    self.write_node(
+                        right_page,
+                        &Node::Internal { keys: right_keys, children: right_children },
+                    )?;
+                    self.write_node(
+                        page,
+                        &Node::Internal { keys: left_keys, children: left_children },
+                    )?;
+                    self.write_meta()?;
+                    return Ok((inserted_new, Some((up_key, right_page))));
+                }
+                Ok((inserted_new, None))
+            }
+        }
+    }
+
+    fn count_keys(&mut self) -> Result<u64> {
+        // Walk the leftmost spine to the first leaf, then the leaf chain.
+        let mut page = self.meta.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { children, .. } => page = children[0],
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut count = 0u64;
+        loop {
+            let Node::Leaf { next, entries } = self.read_node(page)? else {
+                return Err(Error::InvalidConfig("leaf chain reached an internal node".into()));
+            };
+            count += entries.len() as u64;
+            if next == 0 {
+                return Ok(count);
+            }
+            page = next;
+        }
+    }
+}
+
+/// Index of the child to descend into for `key` given the separator keys.
+fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
+    match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+        Ok(i) => i + 1, // equal to separator => right subtree (separator is its smallest key)
+        Err(i) => i,
+    }
+}
+
+/// Where to split a leaf's entries so both halves fit comfortably: the first index where
+/// the accumulated encoded size exceeds half the page.
+fn split_point(entries: &[(Vec<u8>, Vec<u8>)], page_size: usize) -> usize {
+    let mut acc = 11usize; // leaf header
+    for (i, (k, v)) in entries.iter().enumerate() {
+        acc += 4 + k.len() + v.len();
+        if acc > page_size / 2 && i + 1 < entries.len() {
+            return (i + 1).max(1);
+        }
+    }
+    (entries.len() / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page_store::{LssPageStore, MemPageStore};
+    use lss_core::{policy::PolicyKind, LogStore, StoreConfig};
+    use std::collections::BTreeMap;
+
+    const PAGE: usize = 256;
+
+    fn new_tree() -> BTree<MemPageStore> {
+        BTree::open(BufferPool::new(MemPageStore::new(PAGE), 64)).unwrap()
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = new_tree();
+        assert!(t.is_empty());
+        t.insert(b"b", b"2").unwrap();
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"c", b"3").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(b"a").unwrap().unwrap(), b"1");
+        assert_eq!(t.get(b"b").unwrap().unwrap(), b"2");
+        assert!(t.get(b"zzz").unwrap().is_none());
+        assert!(t.delete(b"b").unwrap());
+        assert!(!t.delete(b"b").unwrap());
+        assert!(t.get(b"b").unwrap().is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut t = new_tree();
+        t.insert(b"k", b"v1").unwrap();
+        t.insert(b"k", b"v2-longer").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"k").unwrap().unwrap(), b"v2-longer");
+    }
+
+    #[test]
+    fn many_inserts_force_multi_level_splits_and_stay_sorted() {
+        let mut t = new_tree();
+        let n = 5_000u32;
+        // Insert in a scrambled order (a fixed odd multiplier coprime with n makes this a
+        // permutation) to exercise splits at arbitrary positions.
+        for i in 0..n {
+            let k = ((i as u64 * 2654435761) % n as u64) as u32;
+            t.insert(&key(k), format!("value-{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len() as u32, n);
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                t.get(&key(i)).unwrap().unwrap(),
+                format!("value-{i}").as_bytes(),
+                "key {i} lost"
+            );
+        }
+        // The full range scan returns every key in sorted order.
+        let all = t.range(b"key-", b"key-99999999~").unwrap();
+        assert_eq!(all.len() as u32, n);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan not sorted");
+    }
+
+    #[test]
+    fn range_scan_is_half_open_and_ordered() {
+        let mut t = new_tree();
+        for i in 0..100u32 {
+            t.insert(&key(i), b"x").unwrap();
+        }
+        let out = t.range(&key(10), &key(20)).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].0, key(10));
+        assert_eq!(out[9].0, key(19));
+    }
+
+    #[test]
+    fn matches_a_model_under_random_operations() {
+        let mut t = new_tree();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..3_000 {
+            let k = key((next() % 300) as u32);
+            match next() % 3 {
+                0 | 1 => {
+                    let v = format!("v{}", next() % 1000).into_bytes();
+                    t.insert(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                _ => {
+                    let expected = model.remove(&k).is_some();
+                    assert_eq!(t.delete(&k).unwrap(), expected);
+                }
+            }
+        }
+        assert_eq!(t.len() as usize, model.len());
+        for (k, v) in &model {
+            assert_eq!(t.get(k).unwrap().as_deref(), Some(v.as_slice()));
+        }
+        // Range over everything matches the model's order.
+        let scanned = t.range(b"", b"~~~~~~~~~~~~~~~~").unwrap();
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut t = new_tree();
+        let err = t.insert(b"k", &vec![0u8; PAGE]).unwrap_err();
+        assert!(matches!(err, Error::PageTooLarge { .. }));
+    }
+
+    #[test]
+    fn persists_across_reopen_on_a_log_structured_store() {
+        let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
+        let store = LogStore::open_in_memory(config.clone()).unwrap();
+        let pool = BufferPool::new(LssPageStore::new(store, config.page_bytes), 32);
+        let mut tree = BTree::open(pool).unwrap();
+        for i in 0..500u32 {
+            tree.insert(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        let lss = tree.into_store().unwrap().into_inner();
+
+        // Simulate a restart: recover the log store from its device and reopen the tree.
+        let device = lss.into_device();
+        let recovered = LogStore::recover_with_device(config.clone(), device).unwrap();
+        let pool = BufferPool::new(LssPageStore::new(recovered, config.page_bytes), 32);
+        let mut tree2 = BTree::open(pool).unwrap();
+        assert_eq!(tree2.len(), 500);
+        for i in (0..500u32).step_by(37) {
+            assert_eq!(tree2.get(&key(i)).unwrap().unwrap(), format!("value-{i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Store configuration: geometry, cleaning parameters, and the frequency-separation
+//! options that the paper's breakdown analysis (Figure 3) toggles.
+
+use crate::error::{Error, Result};
+use crate::policy::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// How the per-segment `up2` (penultimate update time) estimate is maintained.
+///
+/// The paper describes two readings (see DESIGN.md §4); both are provided so the choice
+/// can be ablated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Up2Mode {
+    /// The segment's `up2` is fixed when the segment is sealed, to the mean of the `up2`
+    /// estimates carried by the pages written into it (literal reading of paper §5.2.2).
+    CarryForwardOnly,
+    /// In addition to the carry-forward initialisation, the segment tracks its own last
+    /// two update times: every overwrite of a live page in the segment advances
+    /// `up2 ← up1`, `up1 ← unow` (literal reading of paper §4.3). This is the default.
+    #[default]
+    OnOverwrite,
+}
+
+/// Which write streams are separated (sorted/grouped) by update frequency before being
+/// packed into segments. Corresponds to the MDC ablation variants of paper §6.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeparationConfig {
+    /// Sort user writes in the sort buffer by their frequency estimate (`MDC` vs
+    /// `MDC-no-sep-user`).
+    pub separate_user_writes: bool,
+    /// Sort GC relocations by their frequency estimate (`MDC-no-sep-user` vs
+    /// `MDC-no-sep-user-GC`).
+    pub separate_gc_writes: bool,
+}
+
+impl Default for SeparationConfig {
+    fn default() -> Self {
+        Self { separate_user_writes: true, separate_gc_writes: true }
+    }
+}
+
+impl SeparationConfig {
+    /// Full separation (the default MDC configuration).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// `MDC-no-sep-user`: GC writes are still grouped by frequency but user writes are
+    /// packed in arrival order.
+    pub fn no_user_separation() -> Self {
+        Self { separate_user_writes: false, separate_gc_writes: true }
+    }
+
+    /// `MDC-no-sep-user-GC`: neither stream is grouped; only victim selection differs
+    /// from greedy.
+    pub fn none() -> Self {
+        Self { separate_user_writes: false, separate_gc_writes: false }
+    }
+}
+
+/// Parameters controlling when cleaning runs and how much it does per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleaningConfig {
+    /// Cleaning is triggered when the number of free segments falls below this value
+    /// (paper §6.1.1 uses 32).
+    pub trigger_free_segments: usize,
+    /// Number of in-use segments cleaned per cleaning cycle (paper §6.1.1 uses 64;
+    /// multi-log uses 1). Policies may override via
+    /// [`crate::policy::CleaningPolicy::preferred_batch`].
+    pub segments_per_cycle: usize,
+    /// Number of free segments that must always remain available as the destination of
+    /// GC relocations; allocation for user data never dips into this reserve.
+    pub reserved_free_segments: usize,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> Self {
+        Self { trigger_free_segments: 32, segments_per_cycle: 64, reserved_free_segments: 4 }
+    }
+}
+
+/// Configuration of a [`crate::LogStore`] (and, with the same meaning, of the simulator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Byte size of a segment, the unit of space reclamation (paper default: 2 MiB).
+    pub segment_bytes: usize,
+    /// Number of physical segments on the device.
+    pub num_segments: usize,
+    /// Nominal page size in bytes (paper default: 4 KiB). The store accepts variable-size
+    /// payloads up to the segment payload capacity; this value sizes internal buffers and
+    /// is the unit used by fill-factor helpers.
+    pub page_bytes: usize,
+    /// Cleaning policy to use.
+    pub policy: PolicyKind,
+    /// Cleaning trigger/batch parameters.
+    pub cleaning: CleaningConfig,
+    /// Which write streams are grouped by update frequency (paper §5.3 / Figure 3).
+    pub separation: SeparationConfig,
+    /// Size of the user-write sort buffer, in segments (paper Figure 4; 16 is the knee).
+    /// A value of 0 disables buffering: each user write goes straight to the open segment.
+    pub sort_buffer_segments: usize,
+    /// How the per-segment `up2` estimate is maintained.
+    pub up2_mode: Up2Mode,
+    /// If true, a second write to a page that is still sitting in the (unflushed) sort
+    /// buffer overwrites it in place instead of appending a new copy. Real systems do
+    /// this; the paper's simulator does not (every user write is a page write), so the
+    /// simulator runs with this disabled.
+    pub absorb_updates_in_buffer: bool,
+    /// Verify segment checksums on every read (cheap for the header/entry table; the
+    /// payload itself is not checksummed per-read).
+    pub verify_checksums_on_read: bool,
+}
+
+impl StoreConfig {
+    /// The paper's simulation geometry: 4 KiB pages, 2 MiB segments (512 pages each).
+    /// `num_segments` is left at a laptop-friendly default and should be adjusted with
+    /// [`StoreConfig::with_num_segments`] or [`StoreConfig::with_capacity_bytes`].
+    pub fn paper_default() -> Self {
+        Self {
+            segment_bytes: 2 * 1024 * 1024,
+            num_segments: 1024,
+            page_bytes: 4096,
+            policy: PolicyKind::Mdc,
+            cleaning: CleaningConfig::default(),
+            separation: SeparationConfig::default(),
+            sort_buffer_segments: 16,
+            up2_mode: Up2Mode::default(),
+            absorb_updates_in_buffer: true,
+            verify_checksums_on_read: true,
+        }
+    }
+
+    /// A tiny geometry suitable for unit tests and doc examples: 4 KiB segments holding
+    /// 16 × 256-byte pages, 64 segments total.
+    pub fn small_for_tests() -> Self {
+        Self {
+            segment_bytes: 4096,
+            num_segments: 64,
+            page_bytes: 256,
+            policy: PolicyKind::Greedy,
+            cleaning: CleaningConfig {
+                trigger_free_segments: 4,
+                segments_per_cycle: 4,
+                reserved_free_segments: 2,
+            },
+            separation: SeparationConfig::default(),
+            sort_buffer_segments: 2,
+            up2_mode: Up2Mode::default(),
+            absorb_updates_in_buffer: false,
+            verify_checksums_on_read: true,
+        }
+    }
+
+    /// Builder-style: set the cleaning policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set the number of physical segments.
+    pub fn with_num_segments(mut self, n: usize) -> Self {
+        self.num_segments = n;
+        self
+    }
+
+    /// Builder-style: size the device to hold roughly `bytes` of raw capacity.
+    pub fn with_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.num_segments = ((bytes as usize) / self.segment_bytes).max(1);
+        self
+    }
+
+    /// Builder-style: set the sort-buffer size in segments.
+    pub fn with_sort_buffer_segments(mut self, n: usize) -> Self {
+        self.sort_buffer_segments = n;
+        self
+    }
+
+    /// Builder-style: set the separation configuration.
+    pub fn with_separation(mut self, sep: SeparationConfig) -> Self {
+        self.separation = sep;
+        self
+    }
+
+    /// Builder-style: set the `up2` maintenance mode.
+    pub fn with_up2_mode(mut self, mode: Up2Mode) -> Self {
+        self.up2_mode = mode;
+        self
+    }
+
+    /// Number of fixed-size pages that fit into one segment payload area.
+    ///
+    /// This is the `S` of the paper (512 with the default 4 KiB pages / 2 MiB segments).
+    /// It accounts for the per-segment header/entry overhead of the on-device layout.
+    pub fn pages_per_segment(&self) -> usize {
+        let payload = crate::layout::payload_capacity(self.segment_bytes, self.page_bytes);
+        payload / self.page_bytes
+    }
+
+    /// Total number of fixed-size page frames the device provides.
+    pub fn physical_pages(&self) -> usize {
+        self.pages_per_segment() * self.num_segments
+    }
+
+    /// Number of distinct logical pages that corresponds to a given fill factor `F`
+    /// (the fraction of physical space occupied by current page versions).
+    pub fn logical_pages_for_fill_factor(&self, fill_factor: f64) -> usize {
+        assert!(
+            fill_factor > 0.0 && fill_factor < 1.0,
+            "fill factor must be in (0, 1), got {fill_factor}"
+        );
+        ((self.physical_pages() as f64) * fill_factor).floor() as usize
+    }
+
+    /// Validate the configuration, returning a descriptive error if it cannot work.
+    pub fn validate(&self) -> Result<()> {
+        if self.segment_bytes == 0 || self.page_bytes == 0 {
+            return Err(Error::InvalidConfig("segment and page sizes must be non-zero".into()));
+        }
+        if self.page_bytes > crate::layout::payload_capacity(self.segment_bytes, self.page_bytes) {
+            return Err(Error::InvalidConfig(format!(
+                "page size {} does not fit in a segment of {} bytes after layout overhead",
+                self.page_bytes, self.segment_bytes
+            )));
+        }
+        if self.num_segments < 4 {
+            return Err(Error::InvalidConfig(format!(
+                "at least 4 segments are required, got {}",
+                self.num_segments
+            )));
+        }
+        if self.cleaning.reserved_free_segments + 1 >= self.num_segments {
+            return Err(Error::InvalidConfig(
+                "reserved_free_segments must be much smaller than num_segments".into(),
+            ));
+        }
+        if self.cleaning.trigger_free_segments <= self.cleaning.reserved_free_segments {
+            return Err(Error::InvalidConfig(
+                "trigger_free_segments must exceed reserved_free_segments".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_512_pages_per_segment_before_overhead() {
+        let c = StoreConfig::paper_default();
+        // Layout overhead costs a few page slots; the remaining capacity must still be
+        // close to the nominal 512 pages of the paper.
+        let pps = c.pages_per_segment();
+        assert!(pps >= 500 && pps <= 512, "pages per segment = {pps}");
+    }
+
+    #[test]
+    fn small_config_validates() {
+        StoreConfig::small_for_tests().validate().unwrap();
+        StoreConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = StoreConfig::small_for_tests();
+        c.num_segments = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.page_bytes = c.segment_bytes * 2;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.cleaning.trigger_free_segments = c.cleaning.reserved_free_segments;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fill_factor_helper_scales_with_f() {
+        let c = StoreConfig::small_for_tests();
+        let p50 = c.logical_pages_for_fill_factor(0.5);
+        let p80 = c.logical_pages_for_fill_factor(0.8);
+        assert!(p80 > p50);
+        assert!(p80 <= c.physical_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "fill factor")]
+    fn fill_factor_of_one_panics() {
+        StoreConfig::small_for_tests().logical_pages_for_fill_factor(1.0);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = StoreConfig::paper_default()
+            .with_policy(PolicyKind::Greedy)
+            .with_num_segments(128)
+            .with_sort_buffer_segments(4)
+            .with_separation(SeparationConfig::none())
+            .with_up2_mode(Up2Mode::CarryForwardOnly);
+        assert_eq!(c.policy, PolicyKind::Greedy);
+        assert_eq!(c.num_segments, 128);
+        assert_eq!(c.sort_buffer_segments, 4);
+        assert!(!c.separation.separate_user_writes);
+        assert_eq!(c.up2_mode, Up2Mode::CarryForwardOnly);
+    }
+
+    #[test]
+    fn capacity_builder_rounds_down_to_segments() {
+        let c = StoreConfig::paper_default().with_capacity_bytes(10 * 1024 * 1024);
+        assert_eq!(c.num_segments, 5); // 10 MiB / 2 MiB
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = StoreConfig::paper_default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: StoreConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,481 @@
+//! Segment devices: where segment images physically live.
+//!
+//! The store talks to storage exclusively in whole segments (one large write per sealed
+//! segment — the defining property of a log-structured store) plus small ranged reads for
+//! serving individual pages. Two implementations are provided:
+//!
+//! * [`MemDevice`] — segments held in memory; used by tests, the examples, and anywhere a
+//!   volatile store is acceptable.
+//! * [`FileDevice`] — a single preallocated file, one segment per slot; positional I/O.
+//!
+//! Implement [`SegmentDevice`] to plug in anything else (an SSD partition, an object
+//! store, a simulated flash device with erase counters, ...).
+
+use crate::error::{Error, Result};
+use crate::types::SegmentId;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+/// Physical geometry of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceGeometry {
+    /// Size of each segment slot in bytes.
+    pub segment_bytes: usize,
+    /// Number of segment slots.
+    pub num_segments: usize,
+}
+
+impl DeviceGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.segment_bytes as u64 * self.num_segments as u64
+    }
+}
+
+/// Abstraction over the storage medium holding segment images.
+pub trait SegmentDevice: Send {
+    /// The device geometry.
+    fn geometry(&self) -> DeviceGeometry;
+
+    /// Read one whole segment image.
+    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>>;
+
+    /// Read `len` bytes starting at `offset` within a segment.
+    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>>;
+
+    /// Write one whole segment image (must be exactly `segment_bytes` long).
+    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()>;
+
+    /// Erase a segment (mark its slot blank). Optional: the default clears nothing, since
+    /// a later `write_segment` will overwrite the slot anyway; `MemDevice` drops the
+    /// allocation to return memory.
+    fn erase_segment(&mut self, _seg: SegmentId) -> Result<()> {
+        Ok(())
+    }
+
+    /// Flush any buffered writes to stable storage.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Number of segment writes performed (used by tests and the stats report).
+    fn segment_writes(&self) -> u64;
+}
+
+fn check_bounds(geom: DeviceGeometry, seg: SegmentId, offset: u32, len: u32) -> Result<()> {
+    if seg.index() >= geom.num_segments {
+        return Err(Error::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("segment {seg} out of range (device has {})", geom.num_segments),
+        )));
+    }
+    if offset as usize + len as usize > geom.segment_bytes {
+        return Err(Error::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("range [{offset}, +{len}) exceeds segment size {}", geom.segment_bytes),
+        )));
+    }
+    Ok(())
+}
+
+/// In-memory device: each segment slot is lazily allocated on first write.
+#[derive(Debug)]
+pub struct MemDevice {
+    geometry: DeviceGeometry,
+    slots: Vec<Option<Box<[u8]>>>,
+    writes: u64,
+}
+
+impl MemDevice {
+    /// Create a blank in-memory device.
+    pub fn new(segment_bytes: usize, num_segments: usize) -> Self {
+        Self {
+            geometry: DeviceGeometry { segment_bytes, num_segments },
+            slots: (0..num_segments).map(|_| None).collect(),
+            writes: 0,
+        }
+    }
+
+    /// Bytes currently allocated (for tests asserting erase releases memory).
+    pub fn allocated_bytes(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count() * self.geometry.segment_bytes
+    }
+}
+
+impl SegmentDevice for MemDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.geometry
+    }
+
+    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+        check_bounds(self.geometry, seg, 0, 0)?;
+        Ok(match &self.slots[seg.index()] {
+            Some(data) => data.to_vec(),
+            None => vec![0u8; self.geometry.segment_bytes],
+        })
+    }
+
+    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        check_bounds(self.geometry, seg, offset, len)?;
+        Ok(match &self.slots[seg.index()] {
+            Some(data) => data[offset as usize..(offset + len) as usize].to_vec(),
+            None => vec![0u8; len as usize],
+        })
+    }
+
+    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        check_bounds(self.geometry, seg, 0, 0)?;
+        if image.len() != self.geometry.segment_bytes {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "segment image is {} bytes, expected {}",
+                    image.len(),
+                    self.geometry.segment_bytes
+                ),
+            )));
+        }
+        self.slots[seg.index()] = Some(image.to_vec().into_boxed_slice());
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn erase_segment(&mut self, seg: SegmentId) -> Result<()> {
+        check_bounds(self.geometry, seg, 0, 0)?;
+        self.slots[seg.index()] = None;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn segment_writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// File-backed device: one preallocated file, segment `i` at byte offset
+/// `i * segment_bytes`.
+#[derive(Debug)]
+pub struct FileDevice {
+    geometry: DeviceGeometry,
+    file: File,
+    writes: u64,
+}
+
+impl FileDevice {
+    /// Create (or truncate) a device file of the given geometry.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        segment_bytes: usize,
+        num_segments: usize,
+    ) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let geometry = DeviceGeometry { segment_bytes, num_segments };
+        file.set_len(geometry.capacity_bytes())?;
+        Ok(Self { geometry, file, writes: 0 })
+    }
+
+    /// Open an existing device file, validating that its size matches the geometry.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        segment_bytes: usize,
+        num_segments: usize,
+    ) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let geometry = DeviceGeometry { segment_bytes, num_segments };
+        let len = file.metadata()?.len();
+        if len != geometry.capacity_bytes() {
+            return Err(Error::GeometryMismatch {
+                expected: format!("{} bytes", geometry.capacity_bytes()),
+                actual: format!("{len} bytes"),
+            });
+        }
+        Ok(Self { geometry, file, writes: 0 })
+    }
+
+    fn offset_of(&self, seg: SegmentId, offset: u32) -> u64 {
+        seg.index() as u64 * self.geometry.segment_bytes as u64 + offset as u64
+    }
+
+    #[cfg(unix)]
+    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, pos)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(pos))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn write_at(&mut self, pos: u64, buf: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, pos)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&mut self, pos: u64, buf: &[u8]) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        self.file.seek(SeekFrom::Start(pos))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+}
+
+impl SegmentDevice for FileDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.geometry
+    }
+
+    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+        check_bounds(self.geometry, seg, 0, 0)?;
+        let mut buf = vec![0u8; self.geometry.segment_bytes];
+        let pos = self.offset_of(seg, 0);
+        self.read_at(pos, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        check_bounds(self.geometry, seg, offset, len)?;
+        let mut buf = vec![0u8; len as usize];
+        let pos = self.offset_of(seg, offset);
+        self.read_at(pos, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        check_bounds(self.geometry, seg, 0, 0)?;
+        if image.len() != self.geometry.segment_bytes {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "segment image is {} bytes, expected {}",
+                    image.len(),
+                    self.geometry.segment_bytes
+                ),
+            )));
+        }
+        let pos = self.offset_of(seg, 0);
+        self.write_at(pos, image)?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn segment_writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// A fault-injecting wrapper around any device, used to test that I/O failures surface
+/// as errors instead of corrupting state (failure-injection tests live in the store and
+/// in `tests/` at the workspace root).
+#[derive(Debug)]
+pub struct FlakyDevice<D: SegmentDevice> {
+    inner: D,
+    /// Segment writes remaining before the next injected failure (`None` = never fail).
+    fail_after_writes: Option<u64>,
+}
+
+impl<D: SegmentDevice> FlakyDevice<D> {
+    /// Wrap a device; the `fail_after_writes`-th subsequent segment write (0-based) and
+    /// every write after it will fail with an I/O error until the budget is reset.
+    pub fn new(inner: D, fail_after_writes: Option<u64>) -> Self {
+        Self { inner, fail_after_writes }
+    }
+
+    /// Change the failure budget (e.g. heal the device mid-test).
+    pub fn set_fail_after_writes(&mut self, budget: Option<u64>) {
+        self.fail_after_writes = budget;
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: SegmentDevice> SegmentDevice for FlakyDevice<D> {
+    fn geometry(&self) -> DeviceGeometry {
+        self.inner.geometry()
+    }
+
+    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+        self.inner.read_segment(seg)
+    }
+
+    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        self.inner.read_range(seg, offset, len)
+    }
+
+    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        if let Some(budget) = self.fail_after_writes.as_mut() {
+            if *budget == 0 {
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected write failure on segment {seg}"
+                ))));
+            }
+            *budget -= 1;
+        }
+        self.inner.write_segment(seg, image)
+    }
+
+    fn erase_segment(&mut self, seg: SegmentId) -> Result<()> {
+        self.inner.erase_segment(seg)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn segment_writes(&self) -> u64 {
+        self.inner.segment_writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lss-device-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mem_device_roundtrip() {
+        let mut dev = MemDevice::new(1024, 4);
+        assert_eq!(dev.geometry().capacity_bytes(), 4096);
+        let image = vec![7u8; 1024];
+        dev.write_segment(SegmentId(2), &image).unwrap();
+        assert_eq!(dev.read_segment(SegmentId(2)).unwrap(), image);
+        assert_eq!(dev.read_range(SegmentId(2), 10, 4).unwrap(), vec![7u8; 4]);
+        assert_eq!(dev.segment_writes(), 1);
+    }
+
+    #[test]
+    fn mem_device_unwritten_segments_read_as_zero() {
+        let mut dev = MemDevice::new(512, 2);
+        assert_eq!(dev.read_segment(SegmentId(0)).unwrap(), vec![0u8; 512]);
+        assert_eq!(dev.read_range(SegmentId(1), 100, 8).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn mem_device_bounds_checks() {
+        let mut dev = MemDevice::new(512, 2);
+        assert!(dev.read_segment(SegmentId(5)).is_err());
+        assert!(dev.read_range(SegmentId(0), 500, 100).is_err());
+        assert!(dev.write_segment(SegmentId(0), &[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn mem_device_erase_releases_memory() {
+        let mut dev = MemDevice::new(1024, 4);
+        dev.write_segment(SegmentId(0), &vec![1u8; 1024]).unwrap();
+        assert_eq!(dev.allocated_bytes(), 1024);
+        dev.erase_segment(SegmentId(0)).unwrap();
+        assert_eq!(dev.allocated_bytes(), 0);
+        assert_eq!(dev.read_segment(SegmentId(0)).unwrap(), vec![0u8; 1024]);
+    }
+
+    #[test]
+    fn file_device_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let mut dev = FileDevice::create(&path, 1024, 8).unwrap();
+            let image: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+            dev.write_segment(SegmentId(3), &image).unwrap();
+            dev.sync().unwrap();
+            assert_eq!(dev.read_segment(SegmentId(3)).unwrap(), image);
+            assert_eq!(dev.read_range(SegmentId(3), 5, 3).unwrap(), image[5..8].to_vec());
+        }
+        {
+            let mut dev = FileDevice::open(&path, 1024, 8).unwrap();
+            let seg = dev.read_segment(SegmentId(3)).unwrap();
+            assert_eq!(seg[5..8], [5, 6, 7]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_geometry_mismatch_detected() {
+        let path = temp_path("geom");
+        {
+            FileDevice::create(&path, 1024, 8).unwrap();
+        }
+        let err = FileDevice::open(&path, 2048, 8).unwrap_err();
+        assert!(matches!(err, Error::GeometryMismatch { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_bounds_checks() {
+        let path = temp_path("bounds");
+        let mut dev = FileDevice::create(&path, 512, 2).unwrap();
+        assert!(dev.read_segment(SegmentId(9)).is_err());
+        assert!(dev.write_segment(SegmentId(0), &[1u8; 13]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flaky_device_injects_failures_after_budget() {
+        let mut dev = FlakyDevice::new(MemDevice::new(256, 4), Some(2));
+        let image = vec![1u8; 256];
+        dev.write_segment(SegmentId(0), &image).unwrap();
+        dev.write_segment(SegmentId(1), &image).unwrap();
+        let err = dev.write_segment(SegmentId(2), &image).unwrap_err();
+        assert!(err.to_string().contains("injected write failure"));
+        // Reads keep working, and healing the device restores writes.
+        assert_eq!(dev.read_segment(SegmentId(0)).unwrap(), image);
+        dev.set_fail_after_writes(None);
+        dev.write_segment(SegmentId(2), &image).unwrap();
+        assert_eq!(dev.inner().segment_writes(), 3);
+    }
+
+    #[test]
+    fn store_surfaces_injected_write_failures_without_losing_durable_data() {
+        use crate::policy::PolicyKind;
+        use crate::store::LogStore;
+        use crate::StoreConfig;
+        let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Greedy);
+        // Allow a handful of successful segment writes, then fail everything.
+        let device = FlakyDevice::new(
+            MemDevice::new(config.segment_bytes, config.num_segments),
+            Some(4),
+        );
+        let mut store = LogStore::open_with_device(config.clone(), Box::new(device)).unwrap();
+        let payload = vec![7u8; config.page_bytes];
+        let mut first_error = None;
+        for i in 0..(config.physical_pages() as u64) {
+            if let Err(e) = store.put(i, &payload).and_then(|()| {
+                if i % 64 == 63 { store.flush() } else { Ok(()) }
+            }) {
+                first_error = Some((i, e));
+                break;
+            }
+        }
+        let (failed_at, err) = first_error.expect("the injected fault must eventually surface");
+        assert!(matches!(err, Error::Io(_)), "unexpected error kind: {err}");
+        // Pages flushed before the fault are still readable.
+        let durable = failed_at.saturating_sub(failed_at % 64);
+        for i in (0..durable).step_by(17) {
+            assert!(store.get(i).unwrap().is_some(), "durable page {i} lost after I/O fault");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by every fallible operation of the crate.
+
+use crate::types::{PageId, SegmentId};
+use std::fmt;
+use std::io;
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the log-structured store.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying device or file I/O failure.
+    Io(io::Error),
+    /// A page payload exceeds the usable capacity of a single segment.
+    PageTooLarge {
+        /// The offending page.
+        page: PageId,
+        /// Payload size in bytes.
+        size: usize,
+        /// Maximum payload the configuration allows.
+        max: usize,
+    },
+    /// The store ran out of free segments and cleaning could not reclaim enough space.
+    ///
+    /// This happens when the logical data written exceeds what the configured
+    /// over-provisioning can absorb (fill factor too close to 1.0).
+    OutOfSpace {
+        /// Number of free segments remaining.
+        free_segments: usize,
+        /// Number the operation needed.
+        needed: usize,
+    },
+    /// A segment image on the device failed validation (bad magic, checksum, or bounds).
+    CorruptSegment {
+        /// The segment that failed validation.
+        segment: SegmentId,
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
+    /// The checkpoint file could not be parsed.
+    CorruptCheckpoint(String),
+    /// Configuration rejected at store-open time.
+    InvalidConfig(String),
+    /// The store was opened against a device whose geometry does not match the config.
+    GeometryMismatch {
+        /// What the configuration expects.
+        expected: String,
+        /// What the device reports.
+        actual: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::PageTooLarge { page, size, max } => {
+                write!(f, "page {page} is {size} bytes which exceeds the segment payload capacity of {max} bytes")
+            }
+            Error::OutOfSpace { free_segments, needed } => write!(
+                f,
+                "out of space: {free_segments} free segments remain but {needed} are needed; \
+                 reduce the logical data size or increase over-provisioning"
+            ),
+            Error::CorruptSegment { segment, detail } => {
+                write!(f, "corrupt segment {segment}: {detail}")
+            }
+            Error::CorruptCheckpoint(detail) => write!(f, "corrupt checkpoint: {detail}"),
+            Error::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
+            Error::GeometryMismatch { expected, actual } => {
+                write!(f, "device geometry mismatch: expected {expected}, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::PageTooLarge { page: 3, size: 10_000, max: 4096 };
+        let msg = e.to_string();
+        assert!(msg.contains("page 3"));
+        assert!(msg.contains("10000"));
+
+        let e = Error::OutOfSpace { free_segments: 1, needed: 4 };
+        assert!(e.to_string().contains("out of space"));
+
+        let e = Error::CorruptSegment { segment: SegmentId(5), detail: "bad magic".into() };
+        assert!(e.to_string().contains("seg#5"));
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_exposes_source() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

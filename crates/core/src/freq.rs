@@ -1,0 +1,221 @@
+//! Update-frequency estimation (paper §4.3 and §5.2.2).
+//!
+//! The MDC policy needs, for every segment, an estimate of how frequently its pages are
+//! updated. Keeping exact per-page statistics would be expensive, so the paper uses a
+//! cheap "age"-based estimate: the time `up2` of the *penultimate* update, measured on an
+//! update-count clock `unow`. The update frequency of a segment is then estimated as
+//! `Upf ≈ 2 / (unow − up2)` — two updates over the observed interval.
+//!
+//! `up2` values are carried forward across writes:
+//!
+//! * **User re-write of an existing page** — the page inherits the `up2` of the segment
+//!   that held its previous version, and we assume the (untracked) last update `up1` was
+//!   midway between `up2` and now: `new_up2 = old_up2 + ½·(unow − old_up2)`.
+//! * **First write of a page** — there is no history, and most pages are cold, so the
+//!   page is assigned the *coldest* (smallest) `up2` seen in the batch of new writes it
+//!   belongs to.
+//! * **GC relocation** — the page keeps the `up2` of its victim segment unchanged.
+//! * **Sealing a segment** — the segment's `up2` becomes the mean of the `up2` values of
+//!   the pages written into it.
+
+use crate::config::Up2Mode;
+use crate::types::UpdateTick;
+
+/// Carry-forward rule for a user re-write of an existing page (paper §5.2.2,
+/// "Non-first Write").
+///
+/// `old_up2` is the `up2` of the segment holding the page's previous version.
+#[inline]
+pub fn carry_forward_rewrite(old_up2: UpdateTick, unow: UpdateTick) -> UpdateTick {
+    debug_assert!(old_up2 <= unow, "up2 {old_up2} is in the future of unow {unow}");
+    old_up2 + (unow - old_up2) / 2
+}
+
+/// Carry-forward rule for a GC relocation: the page keeps its victim segment's `up2`.
+#[inline]
+pub fn carry_forward_gc(victim_up2: UpdateTick) -> UpdateTick {
+    victim_up2
+}
+
+/// `up2` assigned to pages written for the first time: the coldest (oldest) `up2` in the
+/// batch being processed, falling back to 0 (maximally cold) when the batch contains no
+/// pages with history (paper §5.2.2, "First Write").
+#[inline]
+pub fn first_write_up2(coldest_in_batch: Option<UpdateTick>) -> UpdateTick {
+    coldest_in_batch.unwrap_or(0)
+}
+
+/// The estimated per-segment update frequency `Upf ≈ 2 / (unow − up2)` (paper §4.3).
+///
+/// The interval is clamped to at least one tick so a segment updated this very tick does
+/// not produce an infinite frequency.
+#[inline]
+pub fn estimated_upf(up2: UpdateTick, unow: UpdateTick) -> f64 {
+    let interval = unow.saturating_sub(up2).max(1);
+    2.0 / interval as f64
+}
+
+/// Per-segment update-recency tracker.
+///
+/// Depending on [`Up2Mode`], the tracker either freezes the carry-forward estimate set at
+/// seal time, or additionally observes every overwrite of a live page in the segment and
+/// keeps the true last-two update times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFreq {
+    mode: Up2Mode,
+    /// Last observed update to the segment (only meaningful in `OnOverwrite` mode).
+    up1: UpdateTick,
+    /// Penultimate update estimate — the value the MDC formula consumes.
+    up2: UpdateTick,
+}
+
+impl SegmentFreq {
+    /// Create the tracker for a freshly sealed segment whose carried estimate is
+    /// `initial_up2` (the mean of the `up2` values of the pages placed in the segment).
+    pub fn new(mode: Up2Mode, initial_up2: UpdateTick, sealed_at: UpdateTick) -> Self {
+        // Before the segment has received any updates of its own, treat the carried
+        // estimate as the penultimate update and the midpoint between it and seal time as
+        // the (assumed) last update. This mirrors the paper's midpoint assumption.
+        let up1 = initial_up2 + (sealed_at.saturating_sub(initial_up2)) / 2;
+        Self { mode, up1, up2: initial_up2 }
+    }
+
+    /// Record that one of the segment's live pages was just overwritten at `unow`.
+    ///
+    /// In `CarryForwardOnly` mode this is a no-op (the estimate stays frozen).
+    #[inline]
+    pub fn on_overwrite(&mut self, unow: UpdateTick) {
+        if self.mode == Up2Mode::OnOverwrite {
+            self.up2 = self.up1;
+            self.up1 = unow;
+        }
+    }
+
+    /// The current `up2` estimate consumed by cleaning policies.
+    #[inline]
+    pub fn up2(&self) -> UpdateTick {
+        self.up2
+    }
+
+    /// The estimated update frequency of the segment at time `unow`.
+    #[inline]
+    pub fn upf(&self, unow: UpdateTick) -> f64 {
+        estimated_upf(self.up2, unow)
+    }
+}
+
+/// Running mean used to compute a sealed segment's initial `up2` from the pages written
+/// into it without collecting them in a vector first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Up2Average {
+    sum: u128,
+    count: u64,
+}
+
+impl Up2Average {
+    /// Create an empty average.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one page's carried `up2`.
+    #[inline]
+    pub fn add(&mut self, up2: UpdateTick) {
+        self.sum += up2 as u128;
+        self.count += 1;
+    }
+
+    /// The mean, or `default` if no pages were added.
+    #[inline]
+    pub fn mean_or(&self, default: UpdateTick) -> UpdateTick {
+        if self.count == 0 {
+            default
+        } else {
+            (self.sum / self.count as u128) as UpdateTick
+        }
+    }
+
+    /// Number of samples added.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_carry_forward_moves_halfway_to_now() {
+        assert_eq!(carry_forward_rewrite(100, 200), 150);
+        assert_eq!(carry_forward_rewrite(0, 1000), 500);
+        // Repeated rewrites converge toward "now", i.e. the page looks hotter and hotter.
+        let mut up2 = 0;
+        for now in [100u64, 200, 300, 400] {
+            up2 = carry_forward_rewrite(up2, now);
+        }
+        assert!(up2 > 300, "after several recent rewrites the page should look hot, up2={up2}");
+    }
+
+    #[test]
+    fn rewrite_carry_forward_is_idempotent_at_now() {
+        assert_eq!(carry_forward_rewrite(500, 500), 500);
+    }
+
+    #[test]
+    fn gc_carry_forward_keeps_value() {
+        assert_eq!(carry_forward_gc(1234), 1234);
+    }
+
+    #[test]
+    fn first_write_defaults_to_cold() {
+        assert_eq!(first_write_up2(None), 0);
+        assert_eq!(first_write_up2(Some(77)), 77);
+    }
+
+    #[test]
+    fn estimated_upf_clamps_zero_interval() {
+        assert_eq!(estimated_upf(100, 100), 2.0);
+        assert!((estimated_upf(0, 1000) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_segments_have_larger_upf() {
+        let hot = estimated_upf(990, 1000);
+        let cold = estimated_upf(10, 1000);
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn on_overwrite_mode_advances_estimates() {
+        let mut f = SegmentFreq::new(Up2Mode::OnOverwrite, 100, 200);
+        assert_eq!(f.up2(), 100);
+        f.on_overwrite(300);
+        // up2 becomes the assumed midpoint (150), up1 becomes 300.
+        assert_eq!(f.up2(), 150);
+        f.on_overwrite(310);
+        assert_eq!(f.up2(), 300);
+        f.on_overwrite(320);
+        assert_eq!(f.up2(), 310);
+    }
+
+    #[test]
+    fn carry_forward_only_mode_freezes_estimate() {
+        let mut f = SegmentFreq::new(Up2Mode::CarryForwardOnly, 100, 200);
+        f.on_overwrite(900);
+        f.on_overwrite(950);
+        assert_eq!(f.up2(), 100);
+    }
+
+    #[test]
+    fn up2_average_mean() {
+        let mut avg = Up2Average::new();
+        assert_eq!(avg.mean_or(42), 42);
+        avg.add(10);
+        avg.add(20);
+        avg.add(30);
+        assert_eq!(avg.count(), 3);
+        assert_eq!(avg.mean_or(42), 20);
+    }
+}

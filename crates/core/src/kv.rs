@@ -1,0 +1,259 @@
+//! A small ordered key-value layer on top of [`crate::LogStore`].
+//!
+//! This is a convenience facade used by the examples (and a demonstration that the page
+//! store's API is sufficient to build higher-level abstractions on): keys are arbitrary
+//! byte strings, values are stored one-per-page, and an in-memory ordered index maps keys
+//! to page ids. The index itself is persisted into a reserved page-id range on
+//! [`KvStore::flush`], so a cleanly flushed store can be reopened.
+//!
+//! For a full storage-engine substrate (fixed-size pages, buffer pool, B+-tree), see the
+//! `lss-btree` crate in this workspace.
+
+use crate::error::{Error, Result};
+use crate::store::LogStore;
+use crate::types::PageId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Page ids at and above this value are reserved for the KV layer's own metadata.
+const META_BASE: PageId = 1 << 62;
+/// Page id of the index root chunk.
+const INDEX_ROOT: PageId = META_BASE;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct IndexChunk {
+    /// Total number of chunks the index was split into.
+    chunks: u32,
+    /// Key/page-id pairs in this chunk.
+    entries: Vec<(Vec<u8>, PageId)>,
+    /// Next page id to allocate for user values.
+    next_page: PageId,
+}
+
+/// An ordered key-value store backed by a [`LogStore`].
+#[derive(Debug)]
+pub struct KvStore {
+    store: LogStore,
+    index: BTreeMap<Vec<u8>, PageId>,
+    next_page: PageId,
+}
+
+impl KvStore {
+    /// Wrap a freshly opened [`LogStore`].
+    pub fn new(store: LogStore) -> Self {
+        Self { store, index: BTreeMap::new(), next_page: 0 }
+    }
+
+    /// Re-open a key-value store whose index was persisted by [`KvStore::flush`].
+    pub fn reopen(mut store: LogStore) -> Result<Self> {
+        let Some(root) = store.get(INDEX_ROOT)? else {
+            // No persisted index: treat as empty.
+            return Ok(Self::new(store));
+        };
+        let root: IndexChunk = serde_json::from_slice(&root)
+            .map_err(|e| Error::CorruptCheckpoint(format!("kv index root: {e}")))?;
+        let mut index = BTreeMap::new();
+        let mut next_page = root.next_page;
+        let chunks = root.chunks;
+        for (k, v) in root.entries {
+            index.insert(k, v);
+        }
+        for c in 1..chunks {
+            let Some(bytes) = store.get(INDEX_ROOT + c as u64)? else {
+                return Err(Error::CorruptCheckpoint(format!("kv index chunk {c} missing")));
+            };
+            let chunk: IndexChunk = serde_json::from_slice(&bytes)
+                .map_err(|e| Error::CorruptCheckpoint(format!("kv index chunk {c}: {e}")))?;
+            next_page = next_page.max(chunk.next_page);
+            for (k, v) in chunk.entries {
+                index.insert(k, v);
+            }
+        }
+        Ok(Self { store, index, next_page })
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let page = match self.index.get(key) {
+            Some(&p) => p,
+            None => {
+                let p = self.next_page;
+                self.next_page += 1;
+                if p >= META_BASE {
+                    return Err(Error::InvalidConfig("key-value store page ids exhausted".into()));
+                }
+                self.index.insert(key.to_vec(), p);
+                p
+            }
+        };
+        self.store.put(page, value)
+    }
+
+    /// Read a key.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        match self.index.get(key) {
+            Some(&page) => self.store.get(page),
+            None => Ok(None),
+        }
+    }
+
+    /// Delete a key. Returns true if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        match self.index.remove(key) {
+            Some(page) => {
+                self.store.delete(page)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Iterate keys in `[start, end)` in order, reading each value.
+    pub fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let keys: Vec<(Vec<u8>, PageId)> = self
+            .index
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, &p)| (k.clone(), p))
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for (k, p) in keys {
+            if let Some(v) = self.store.get(p)? {
+                out.push((k, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Persist the index and flush the underlying store (the durability point).
+    pub fn flush(&mut self) -> Result<()> {
+        // Split the index into chunks that comfortably fit in a page.
+        let max_chunk_bytes = crate::layout::max_single_payload(self.store.config().segment_bytes)
+            .min(self.store.config().page_bytes.max(1024))
+            / 2;
+        let mut chunks: Vec<IndexChunk> = Vec::new();
+        let mut current = IndexChunk { chunks: 0, entries: Vec::new(), next_page: self.next_page };
+        let mut current_bytes = 0usize;
+        for (k, &p) in &self.index {
+            let entry_bytes = k.len() + 24;
+            if current_bytes + entry_bytes > max_chunk_bytes && !current.entries.is_empty() {
+                chunks.push(std::mem::replace(
+                    &mut current,
+                    IndexChunk { chunks: 0, entries: Vec::new(), next_page: self.next_page },
+                ));
+                current_bytes = 0;
+            }
+            current.entries.push((k.clone(), p));
+            current_bytes += entry_bytes;
+        }
+        chunks.push(current);
+        let n = chunks.len() as u32;
+        for (i, mut chunk) in chunks.into_iter().enumerate() {
+            chunk.chunks = n;
+            let bytes = serde_json::to_vec(&chunk)
+                .map_err(|e| Error::CorruptCheckpoint(format!("kv index encode: {e}")))?;
+            self.store.put(INDEX_ROOT + i as u64, &bytes)?;
+        }
+        self.store.flush()
+    }
+
+    /// Access the underlying page store (e.g. for statistics).
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Consume the wrapper and return the underlying page store.
+    pub fn into_inner(self) -> LogStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::StoreConfig;
+
+    fn kv() -> KvStore {
+        let store = LogStore::open_in_memory(
+            StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc),
+        )
+        .unwrap();
+        KvStore::new(store)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = kv();
+        assert!(kv.is_empty());
+        kv.put(b"alpha", b"1").unwrap();
+        kv.put(b"beta", b"2").unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get(b"alpha").unwrap().unwrap().as_ref(), b"1");
+        assert!(kv.get(b"gamma").unwrap().is_none());
+        assert!(kv.delete(b"alpha").unwrap());
+        assert!(!kv.delete(b"alpha").unwrap());
+        assert!(kv.get(b"alpha").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrite_updates_value_not_key_count() {
+        let mut kv = kv();
+        kv.put(b"k", b"v1").unwrap();
+        kv.put(b"k", b"v2").unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"k").unwrap().unwrap().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_half_open() {
+        let mut kv = kv();
+        for k in ["a", "b", "c", "d", "e"] {
+            kv.put(k.as_bytes(), k.to_uppercase().as_bytes()).unwrap();
+        }
+        let out = kv.range(b"b", b"e").unwrap();
+        let keys: Vec<&[u8]> = out.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"b".as_slice(), b"c".as_slice(), b"d".as_slice()]);
+        assert_eq!(out[0].1.as_ref(), b"B");
+    }
+
+    #[test]
+    fn flush_and_reopen_preserves_contents() {
+        let mut kv = kv();
+        for i in 0..300u32 {
+            kv.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        kv.delete(b"key-0007").unwrap();
+        kv.flush().unwrap();
+
+        let store = kv.into_inner();
+        let cfg = store.config().clone();
+        let device = store.into_device();
+        let recovered = LogStore::recover_with_device(cfg, device).unwrap();
+        let mut kv2 = KvStore::reopen(recovered).unwrap();
+        assert_eq!(kv2.len(), 299);
+        assert!(kv2.get(b"key-0007").unwrap().is_none());
+        assert_eq!(kv2.get(b"key-0123").unwrap().unwrap().as_ref(), b"value-123");
+        // New writes keep working after reopen.
+        kv2.put(b"key-new", b"fresh").unwrap();
+        assert_eq!(kv2.get(b"key-new").unwrap().unwrap().as_ref(), b"fresh");
+    }
+
+    #[test]
+    fn reopen_of_never_flushed_store_is_empty() {
+        let store = LogStore::open_in_memory(StoreConfig::small_for_tests()).unwrap();
+        let kv = KvStore::reopen(store).unwrap();
+        assert!(kv.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The page table: the dynamic remapping from logical page id to current physical
+//! location that log structuring requires (every write relocates the page).
+
+use crate::types::{PageId, PageLocation};
+use crate::util::FxHashMap;
+
+/// Page table mapping live pages to their current location.
+///
+/// This is the in-memory analogue of an SSD FTL's logical-to-physical map or an LFS's
+/// inode map. It is rebuilt on restart from a checkpoint plus a device scan
+/// ([`crate::recovery`]).
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    map: FxHashMap<PageId, PageLocation>,
+    live_bytes: u64,
+}
+
+impl PageTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes of live page payloads.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Current location of a page.
+    pub fn get(&self, page: PageId) -> Option<PageLocation> {
+        self.map.get(&page).copied()
+    }
+
+    /// Install a new location for a page, returning the previous location if the page
+    /// was already live.
+    pub fn insert(&mut self, page: PageId, loc: PageLocation) -> Option<PageLocation> {
+        self.live_bytes += loc.len as u64;
+        let old = self.map.insert(page, loc);
+        if let Some(o) = old {
+            self.live_bytes -= o.len as u64;
+        }
+        old
+    }
+
+    /// Remove a page (deletion), returning its last location.
+    pub fn remove(&mut self, page: PageId) -> Option<PageLocation> {
+        let old = self.map.remove(&page);
+        if let Some(o) = old {
+            self.live_bytes -= o.len as u64;
+        }
+        old
+    }
+
+    /// True if the page is currently live at exactly this location.
+    ///
+    /// The cleaner uses this to decide whether an entry found in a victim segment is the
+    /// page's current version (it may have been superseded since the segment was sealed).
+    pub fn is_current(&self, page: PageId, loc: &PageLocation) -> bool {
+        self.get(page).is_some_and(|cur| cur == *loc)
+    }
+
+    /// Iterate over all live pages.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, PageLocation)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SegmentId;
+
+    fn loc(seg: u32, offset: u32, len: u32) -> PageLocation {
+        PageLocation { segment: SegmentId(seg), offset, len }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = PageTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, loc(0, 100, 50)), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.live_bytes(), 50);
+        assert_eq!(t.get(1), Some(loc(0, 100, 50)));
+        assert_eq!(t.remove(1), Some(loc(0, 100, 50)));
+        assert_eq!(t.live_bytes(), 0);
+        assert!(t.get(1).is_none());
+        assert!(t.remove(1).is_none());
+    }
+
+    #[test]
+    fn insert_returns_previous_location_and_adjusts_bytes() {
+        let mut t = PageTable::new();
+        t.insert(7, loc(0, 0, 100));
+        let old = t.insert(7, loc(1, 0, 40));
+        assert_eq!(old, Some(loc(0, 0, 100)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.live_bytes(), 40);
+    }
+
+    #[test]
+    fn is_current_distinguishes_stale_copies() {
+        let mut t = PageTable::new();
+        t.insert(9, loc(2, 64, 16));
+        assert!(t.is_current(9, &loc(2, 64, 16)));
+        assert!(!t.is_current(9, &loc(2, 0, 16)));
+        assert!(!t.is_current(9, &loc(3, 64, 16)));
+        assert!(!t.is_current(10, &loc(2, 64, 16)));
+    }
+
+    #[test]
+    fn iter_visits_all_live_pages() {
+        let mut t = PageTable::new();
+        for i in 0..100u64 {
+            t.insert(i, loc(0, i as u32, 8));
+        }
+        let mut pages: Vec<PageId> = t.iter().map(|(p, _)| p).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, (0..100u64).collect::<Vec<_>>());
+    }
+}

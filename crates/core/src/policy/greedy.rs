@@ -1,0 +1,76 @@
+//! Greedy cleaning: always clean the segment with the most reclaimable space
+//! (paper §4.5 / §6.1.3).
+//!
+//! Greedy maximises the space reclaimed *right now*, which is optimal under a uniform
+//! update distribution (where the emptiest segment is also, with high probability, the
+//! oldest). Under skewed updates it is far from optimal: cold segments hover just below
+//! the hottest segments' emptiness and are never cleaned, so they pin space that the hot
+//! data could have used as slack (paper §6.2.1).
+
+use super::{CleaningPolicy, PolicyContext, SegmentId, select_k_smallest_by};
+
+/// The `greedy` policy of the paper's evaluation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyPolicy;
+
+impl GreedyPolicy {
+    /// Create the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl CleaningPolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
+        // Most free space first == smallest (1 - E) first; skip segments with nothing to
+        // reclaim (they would cost a full segment copy and gain zero space).
+        let candidates: Vec<_> =
+            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect();
+        select_k_smallest_by(&candidates, want, |s| -(s.free_bytes as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_segment;
+
+    #[test]
+    fn selects_emptiest_segments_first() {
+        let segs = vec![
+            test_segment(0, 100, 10, 9, 0, 0),
+            test_segment(1, 100, 90, 1, 0, 0),
+            test_segment(2, 100, 50, 5, 0, 0),
+        ];
+        let mut p = GreedyPolicy::new();
+        let ctx = PolicyContext { unow: 100, segments: &segs };
+        assert_eq!(p.select_victims(&ctx, 2), vec![SegmentId(1), SegmentId(2)]);
+    }
+
+    #[test]
+    fn skips_full_segments() {
+        let segs = vec![test_segment(0, 100, 0, 10, 0, 0), test_segment(1, 100, 5, 9, 0, 0)];
+        let mut p = GreedyPolicy::new();
+        let ctx = PolicyContext { unow: 100, segments: &segs };
+        let picked = p.select_victims(&ctx, 5);
+        assert_eq!(picked, vec![SegmentId(1)]);
+    }
+
+    #[test]
+    fn no_separation_key_or_extra_logs() {
+        let p = GreedyPolicy::new();
+        assert_eq!(p.num_logs(), 1);
+        let info = crate::types::PageWriteInfo {
+            page: 1,
+            size: 10,
+            up2: 5,
+            exact_freq: None,
+            origin: crate::types::WriteOrigin::User,
+        };
+        assert!(p.separation_key(&info).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimum Declining Cost (MDC) cleaning — the paper's contribution (§4 and §5).
+//!
+//! ## Victim selection
+//!
+//! From the Maximality Lemma (paper appendix), the total cost of cleaning a set of
+//! segments whose per-page cleaning cost declines over time is minimised by cleaning
+//! *first* the segments whose cost will decline the *least* if we wait — waiting pays off
+//! only where the decline is large. The estimated decline rate of a segment is
+//! (paper §5.1.3):
+//!
+//! ```text
+//! −d(Cost)/du ∝ (1 − E)/E² · Upf · ΔE
+//!             = ((B − A)/A)² · 1 / (C · (unow − up2))        (fixed-size simplification)
+//! ```
+//!
+//! where `B` is the segment byte size, `A` its free bytes (`E = A/B`), `C` its live page
+//! count, `Upf ≈ 2/(unow − up2)` its estimated update frequency and
+//! `ΔE = ((B − A)/C)/B` the emptiness gained by one more update (average live page size
+//! over segment size). MDC cleans the segments with the **smallest** decline value.
+//!
+//! The oracle variant (`MDC-opt`) replaces the estimated `Upf` with the exact sum of the
+//! live pages' update probabilities when the embedding system knows it (the simulator).
+//!
+//! ## Page separation
+//!
+//! When a batch of pages (user or GC stream) is written out, MDC sorts it by the pages'
+//! carried `up2` estimates so pages with similar update frequency share segments
+//! (paper §5.3). `MDC-opt` sorts by the exact update frequency instead. Which streams are
+//! sorted is controlled by [`crate::config::SeparationConfig`], giving the
+//! `MDC-no-sep-user` / `MDC-no-sep-user-GC` ablation variants of Figure 3.
+
+use super::{CleaningPolicy, PolicyContext, SegmentId, SegmentStats, select_k_smallest_by};
+use crate::freq::estimated_upf;
+use crate::types::{PageWriteInfo, UpdateTick};
+
+/// The MDC policy (and its `-opt` oracle variant).
+#[derive(Debug, Clone, Copy)]
+pub struct MdcPolicy {
+    /// Use exact per-page/per-segment update frequencies where available.
+    oracle: bool,
+}
+
+impl MdcPolicy {
+    /// MDC with update frequencies estimated from `up2` carry-forward (the deployable
+    /// configuration).
+    pub fn estimated() -> Self {
+        Self { oracle: false }
+    }
+
+    /// `MDC-opt`: uses exact update frequencies supplied by the embedding system.
+    pub fn oracle() -> Self {
+        Self { oracle: true }
+    }
+
+    /// Whether this instance is the oracle variant.
+    pub fn is_oracle(&self) -> bool {
+        self.oracle
+    }
+
+    /// The estimated cost-decline rate of a segment at time `unow`; MDC cleans the
+    /// segments with the smallest values first.
+    ///
+    /// Special cases:
+    /// * a segment with **no live pages** has decline 0 (cleaning it is free space with no
+    ///   page moves — always do that first);
+    /// * a segment with **no free space** returns `+∞` (cleaning it reclaims nothing, so
+    ///   it is never selected while anything else is available).
+    pub fn decline(&self, seg: &SegmentStats, unow: UpdateTick) -> f64 {
+        if seg.live_pages == 0 || seg.free_bytes >= seg.capacity_bytes {
+            return 0.0;
+        }
+        if seg.free_bytes == 0 {
+            return f64::INFINITY;
+        }
+        let b = seg.capacity_bytes as f64;
+        let a = seg.free_bytes as f64;
+        let c = seg.live_pages as f64;
+        let e = a / b;
+        let delta_e = ((b - a) / c) / b;
+        let upf = if self.oracle {
+            // Exact segment update frequency: sum of the live pages' probabilities,
+            // normalised so the average page has frequency 1. Falls back to the estimate
+            // if the embedding system did not supply it.
+            seg.exact_upf.unwrap_or_else(|| estimated_upf(seg.up2, unow) * c)
+        } else {
+            estimated_upf(seg.up2, unow)
+        };
+        (1.0 - e) / (e * e) * upf * delta_e
+    }
+}
+
+impl CleaningPolicy for MdcPolicy {
+    fn name(&self) -> &'static str {
+        if self.oracle { "MDC-opt" } else { "MDC" }
+    }
+
+    fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
+        let candidates: Vec<_> =
+            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect();
+        let this = *self;
+        select_k_smallest_by(&candidates, want, |s| this.decline(s, ctx.unow))
+    }
+
+    fn separation_key(&self, page: &PageWriteInfo) -> Option<f64> {
+        if self.oracle {
+            // Sort coldest-first by exact frequency, matching the up2 case (smaller up2
+            // == colder), so both variants group pages cold → hot. Pages without a known
+            // frequency are treated as never-updated, i.e. coldest.
+            Some(page.exact_freq.unwrap_or(0.0))
+        } else {
+            Some(page.up2 as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_segment;
+    use crate::types::WriteOrigin;
+
+    fn ctx(segments: &[SegmentStats], unow: UpdateTick) -> PolicyContext<'_> {
+        PolicyContext { unow, segments }
+    }
+
+    #[test]
+    fn empty_segments_are_cleaned_first() {
+        let segs = vec![
+            test_segment(0, 100, 100, 0, 0, 0), // fully empty
+            test_segment(1, 100, 90, 1, 500, 0),
+        ];
+        let mut p = MdcPolicy::estimated();
+        assert_eq!(p.select_victims(&ctx(&segs, 1000), 1), vec![SegmentId(0)]);
+    }
+
+    #[test]
+    fn full_segments_are_never_preferred() {
+        let segs = vec![
+            test_segment(0, 100, 0, 10, 0, 0),  // nothing reclaimable
+            test_segment(1, 100, 10, 9, 500, 0),
+        ];
+        let mut p = MdcPolicy::estimated();
+        assert_eq!(p.select_victims(&ctx(&segs, 1000), 2), vec![SegmentId(1)]);
+    }
+
+    #[test]
+    fn cold_segments_clean_before_equally_empty_hot_segments() {
+        // Two segments with identical emptiness; the hot one (recent up2, so large Upf)
+        // has a larger expected decline and should therefore wait.
+        let cold = test_segment(0, 100, 40, 6, 100, 0);
+        let hot = test_segment(1, 100, 40, 6, 990, 0);
+        let mut p = MdcPolicy::estimated();
+        assert_eq!(p.select_victims(&ctx(&[cold, hot], 1000), 1), vec![SegmentId(0)]);
+    }
+
+    #[test]
+    fn emptier_segments_clean_before_fuller_ones_at_equal_frequency() {
+        let emptier = test_segment(0, 100, 70, 3, 500, 0);
+        let fuller = test_segment(1, 100, 20, 8, 500, 0);
+        let mut p = MdcPolicy::estimated();
+        assert_eq!(p.select_victims(&ctx(&[emptier, fuller], 1000), 1), vec![SegmentId(0)]);
+    }
+
+    #[test]
+    fn decline_matches_transformed_formula() {
+        // Check the implemented (1-E)/E² · Upf · ΔE form equals the transformed
+        // ((B−A)/A)² / (C·(unow−up2)) form up to the constant factor 2 the paper drops
+        // (the segment size B cancels out, as §5.1.3 notes when dropping constants).
+        let seg = test_segment(0, 2_000_000, 500_000, 366, 1_000, 0);
+        let unow = 51_000;
+        let p = MdcPolicy::estimated();
+        let got = p.decline(&seg, unow);
+        let b = 2_000_000f64;
+        let a = 500_000f64;
+        let c = 366f64;
+        let transformed = ((b - a) / a).powi(2) / (c * (unow as f64 - 1_000.0));
+        assert!((got - transformed * 2.0).abs() / got < 1e-9);
+    }
+
+    #[test]
+    fn oracle_uses_exact_upf_when_available() {
+        let mut hot = test_segment(0, 100, 40, 6, 0, 0);
+        hot.exact_upf = Some(60.0); // very hot
+        let mut cold = test_segment(1, 100, 40, 6, 0, 0);
+        cold.exact_upf = Some(0.1);
+        let mut p = MdcPolicy::oracle();
+        // Cold has the smaller decline, so it is cleaned first even though the estimated
+        // up2 values are identical.
+        assert_eq!(p.select_victims(&ctx(&[hot, cold], 1000), 1), vec![SegmentId(1)]);
+        assert!(p.is_oracle());
+    }
+
+    #[test]
+    fn separation_key_orders_cold_to_hot_consistently() {
+        let mk = |up2, freq| PageWriteInfo {
+            page: 0,
+            size: 10,
+            up2,
+            exact_freq: freq,
+            origin: WriteOrigin::User,
+        };
+        let est = MdcPolicy::estimated();
+        assert!(est.separation_key(&mk(10, None)).unwrap() < est.separation_key(&mk(900, None)).unwrap());
+
+        let orc = MdcPolicy::oracle();
+        // Lower exact frequency => smaller key => sorts first (cold end).
+        assert!(
+            orc.separation_key(&mk(0, Some(0.5))).unwrap()
+                < orc.separation_key(&mk(0, Some(5.0))).unwrap()
+        );
+        // Unknown frequency sorts as coldest.
+        assert_eq!(orc.separation_key(&mk(0, None)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(MdcPolicy::estimated().name(), "MDC");
+        assert_eq!(MdcPolicy::oracle().name(), "MDC-opt");
+    }
+}

@@ -1,0 +1,391 @@
+//! In-memory bookkeeping for segments: the quantities the cleaning analysis needs
+//! (`A`, `C`, `up2`, seal sequence) and the free/open/sealed life-cycle.
+
+use crate::config::Up2Mode;
+use crate::freq::SegmentFreq;
+use crate::policy::SegmentStats;
+use crate::types::{SealSeq, SegmentId, UpdateTick};
+
+/// Metadata for a segment that currently contains data (open or sealed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Which segment this is.
+    pub id: SegmentId,
+    /// `B`: payload capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes of live page payloads currently in the segment.
+    pub live_bytes: u64,
+    /// `C`: number of live pages.
+    pub live_pages: u64,
+    /// Update-recency tracker providing `up2`.
+    pub freq: SegmentFreq,
+    /// Seal sequence (0 while still open; assigned at seal time).
+    pub seal_seq: SealSeq,
+    /// Update tick at which the segment was sealed (0 while open).
+    pub sealed_at: UpdateTick,
+    /// Output log the segment belongs to.
+    pub log_id: u16,
+    /// Sum of exact per-page update frequencies of the live pages, when known.
+    pub exact_upf_sum: f64,
+    /// Whether `exact_upf_sum` is meaningful (any exact frequency was ever supplied).
+    pub has_exact_upf: bool,
+}
+
+impl SegmentMeta {
+    /// Create metadata for a newly opened segment.
+    pub fn new_open(id: SegmentId, capacity_bytes: u64, log_id: u16, up2_mode: Up2Mode) -> Self {
+        Self {
+            id,
+            capacity_bytes,
+            live_bytes: 0,
+            live_pages: 0,
+            freq: SegmentFreq::new(up2_mode, 0, 0),
+            seal_seq: 0,
+            sealed_at: 0,
+            log_id,
+            exact_upf_sum: 0.0,
+            has_exact_upf: false,
+        }
+    }
+
+    /// `A`: reclaimable bytes (capacity not occupied by live pages).
+    #[inline]
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.live_bytes)
+    }
+
+    /// `E = A / B`.
+    #[inline]
+    pub fn emptiness(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            0.0
+        } else {
+            self.free_bytes() as f64 / self.capacity_bytes as f64
+        }
+    }
+
+    /// Record that a live page of `size` bytes was added (the segment is being filled).
+    pub fn on_page_added(&mut self, size: u32, exact_freq: Option<f64>) {
+        self.live_bytes += size as u64;
+        self.live_pages += 1;
+        if let Some(f) = exact_freq {
+            self.exact_upf_sum += f;
+            self.has_exact_upf = true;
+        }
+    }
+
+    /// Record that a live page of `size` bytes was superseded (overwritten elsewhere or
+    /// deleted) at update tick `unow`.
+    pub fn on_page_dead(&mut self, size: u32, unow: UpdateTick, exact_freq: Option<f64>) {
+        debug_assert!(self.live_pages > 0, "page death on empty segment {}", self.id);
+        self.live_bytes = self.live_bytes.saturating_sub(size as u64);
+        self.live_pages = self.live_pages.saturating_sub(1);
+        self.freq.on_overwrite(unow);
+        if let Some(f) = exact_freq {
+            self.exact_upf_sum = (self.exact_upf_sum - f).max(0.0);
+        }
+    }
+
+    /// Seal the segment: fix its seal sequence, seal time and carried `up2`.
+    pub fn seal(
+        &mut self,
+        seal_seq: SealSeq,
+        sealed_at: UpdateTick,
+        carried_up2: UpdateTick,
+        up2_mode: Up2Mode,
+    ) {
+        self.seal_seq = seal_seq;
+        self.sealed_at = sealed_at;
+        self.freq = SegmentFreq::new(up2_mode, carried_up2, sealed_at);
+    }
+
+    /// Snapshot for the cleaning policies.
+    pub fn stats(&self) -> SegmentStats {
+        SegmentStats {
+            id: self.id,
+            capacity_bytes: self.capacity_bytes,
+            free_bytes: self.free_bytes(),
+            live_pages: self.live_pages,
+            up2: self.freq.up2(),
+            sealed_at: self.sealed_at,
+            seal_seq: self.seal_seq,
+            log_id: self.log_id,
+            exact_upf: if self.has_exact_upf { Some(self.exact_upf_sum) } else { None },
+        }
+    }
+}
+
+/// Life-cycle state of a physical segment slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentState {
+    /// No live data; available for allocation.
+    Free,
+    /// Currently being filled (its image lives in a [`crate::layout::SegmentBuilder`]).
+    Open(SegmentMeta),
+    /// Written to the device; a candidate for cleaning.
+    Sealed(SegmentMeta),
+}
+
+impl SegmentState {
+    /// The metadata, if the segment currently holds data.
+    pub fn meta(&self) -> Option<&SegmentMeta> {
+        match self {
+            SegmentState::Free => None,
+            SegmentState::Open(m) | SegmentState::Sealed(m) => Some(m),
+        }
+    }
+
+    /// Mutable metadata, if the segment currently holds data.
+    pub fn meta_mut(&mut self) -> Option<&mut SegmentMeta> {
+        match self {
+            SegmentState::Free => None,
+            SegmentState::Open(m) | SegmentState::Sealed(m) => Some(m),
+        }
+    }
+
+    /// True if the segment is free.
+    pub fn is_free(&self) -> bool {
+        matches!(self, SegmentState::Free)
+    }
+
+    /// True if the segment is sealed.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self, SegmentState::Sealed(_))
+    }
+}
+
+/// Table of all physical segments plus the free list and seal-sequence counter.
+#[derive(Debug)]
+pub struct SegmentTable {
+    states: Vec<SegmentState>,
+    free: Vec<SegmentId>,
+    next_seal_seq: SealSeq,
+}
+
+impl SegmentTable {
+    /// Create a table with `num_segments` free segments.
+    pub fn new(num_segments: usize) -> Self {
+        // Keep the free list in descending id order so allocation (pop) hands out
+        // ascending ids — purely cosmetic but makes traces easier to read.
+        let free = (0..num_segments as u32).rev().map(SegmentId).collect();
+        Self {
+            states: vec![SegmentState::Free; num_segments],
+            free,
+            next_seal_seq: 1,
+        }
+    }
+
+    /// Number of physical segments.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the table has no segments (never the case for a valid store).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of free segments.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of sealed segments.
+    pub fn sealed_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_sealed()).count()
+    }
+
+    /// Allocate a free segment, if any, transitioning it to `Open`.
+    pub fn allocate(&mut self, capacity_bytes: u64, log_id: u16, up2_mode: Up2Mode) -> Option<SegmentId> {
+        let id = self.free.pop()?;
+        self.states[id.index()] = SegmentState::Open(SegmentMeta::new_open(id, capacity_bytes, log_id, up2_mode));
+        Some(id)
+    }
+
+    /// Return a segment to the free list (after cleaning or after an aborted open).
+    pub fn release(&mut self, id: SegmentId) {
+        debug_assert!(!self.states[id.index()].is_free(), "double free of {id}");
+        self.states[id.index()] = SegmentState::Free;
+        self.free.push(id);
+    }
+
+    /// Seal an open segment. Returns the assigned seal sequence.
+    pub fn seal(
+        &mut self,
+        id: SegmentId,
+        sealed_at: UpdateTick,
+        carried_up2: UpdateTick,
+        up2_mode: Up2Mode,
+    ) -> SealSeq {
+        let seq = self.next_seal_seq;
+        self.next_seal_seq += 1;
+        let state = &mut self.states[id.index()];
+        match state {
+            SegmentState::Open(meta) => {
+                meta.seal(seq, sealed_at, carried_up2, up2_mode);
+                let meta = meta.clone();
+                *state = SegmentState::Sealed(meta);
+            }
+            other => panic!("seal() on segment {id} in state {other:?}"),
+        }
+        seq
+    }
+
+    /// Install a sealed segment directly (used by recovery).
+    pub fn install_sealed(&mut self, meta: SegmentMeta) {
+        let id = meta.id;
+        self.next_seal_seq = self.next_seal_seq.max(meta.seal_seq + 1);
+        self.states[id.index()] = SegmentState::Sealed(meta);
+        self.free.retain(|&s| s != id);
+    }
+
+    /// The state of a segment.
+    pub fn state(&self, id: SegmentId) -> &SegmentState {
+        &self.states[id.index()]
+    }
+
+    /// Metadata of a segment, if it holds data.
+    pub fn meta(&self, id: SegmentId) -> Option<&SegmentMeta> {
+        self.states[id.index()].meta()
+    }
+
+    /// Mutable metadata of a segment, if it holds data.
+    pub fn meta_mut(&mut self, id: SegmentId) -> Option<&mut SegmentMeta> {
+        self.states[id.index()].meta_mut()
+    }
+
+    /// Snapshots of every sealed segment, for the cleaning policies.
+    pub fn sealed_stats(&self) -> Vec<SegmentStats> {
+        self.states
+            .iter()
+            .filter_map(|s| match s {
+                SegmentState::Sealed(m) => Some(m.stats()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Iterate over metadata of all non-free segments.
+    pub fn iter_meta(&self) -> impl Iterator<Item = &SegmentMeta> {
+        self.states.iter().filter_map(|s| s.meta())
+    }
+
+    /// Next seal sequence that will be assigned (exposed for checkpointing).
+    pub fn next_seal_seq(&self) -> SealSeq {
+        self.next_seal_seq
+    }
+
+    /// Restore the seal-sequence counter (used by recovery/checkpoint load).
+    pub fn set_next_seal_seq(&mut self, seq: SealSeq) {
+        self.next_seal_seq = self.next_seal_seq.max(seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 1000;
+
+    #[test]
+    fn meta_accounting_tracks_live_space() {
+        let mut m = SegmentMeta::new_open(SegmentId(0), CAP, 0, Up2Mode::OnOverwrite);
+        assert_eq!(m.free_bytes(), CAP);
+        m.on_page_added(300, None);
+        m.on_page_added(200, None);
+        assert_eq!(m.live_pages, 2);
+        assert_eq!(m.live_bytes, 500);
+        assert_eq!(m.free_bytes(), 500);
+        assert!((m.emptiness() - 0.5).abs() < 1e-12);
+
+        m.on_page_dead(300, 10, None);
+        assert_eq!(m.live_pages, 1);
+        assert_eq!(m.free_bytes(), 800);
+    }
+
+    #[test]
+    fn meta_tracks_exact_frequencies_when_supplied() {
+        let mut m = SegmentMeta::new_open(SegmentId(0), CAP, 0, Up2Mode::OnOverwrite);
+        m.on_page_added(100, Some(2.0));
+        m.on_page_added(100, Some(3.0));
+        let stats = m.stats();
+        assert_eq!(stats.exact_upf, Some(5.0));
+        m.on_page_dead(100, 5, Some(2.0));
+        assert_eq!(m.stats().exact_upf, Some(3.0));
+    }
+
+    #[test]
+    fn meta_without_exact_frequencies_reports_none() {
+        let mut m = SegmentMeta::new_open(SegmentId(0), CAP, 0, Up2Mode::OnOverwrite);
+        m.on_page_added(100, None);
+        assert_eq!(m.stats().exact_upf, None);
+    }
+
+    #[test]
+    fn seal_assigns_sequence_and_freq() {
+        let mut t = SegmentTable::new(4);
+        let id = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.meta_mut(id).unwrap().on_page_added(100, None);
+        let seq = t.seal(id, 500, 200, Up2Mode::OnOverwrite);
+        assert_eq!(seq, 1);
+        let stats = t.meta(id).unwrap().stats();
+        assert_eq!(stats.seal_seq, 1);
+        assert_eq!(stats.sealed_at, 500);
+        assert_eq!(stats.up2, 200);
+        assert!(t.state(id).is_sealed());
+    }
+
+    #[test]
+    fn allocate_release_cycle_maintains_free_count() {
+        let mut t = SegmentTable::new(3);
+        assert_eq!(t.free_count(), 3);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let b = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.free_count(), 1);
+        t.release(a);
+        assert_eq!(t.free_count(), 2);
+        assert!(t.state(a).is_free());
+        // Exhaust the free list.
+        let _c = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let _d = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        assert!(t.allocate(CAP, 0, Up2Mode::OnOverwrite).is_none());
+    }
+
+    #[test]
+    fn sealed_stats_only_covers_sealed_segments() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let _open = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        let stats = t.sealed_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].id, a);
+        assert_eq!(t.sealed_count(), 1);
+    }
+
+    #[test]
+    fn install_sealed_bumps_seal_seq_and_removes_from_free_list() {
+        let mut t = SegmentTable::new(4);
+        let mut m = SegmentMeta::new_open(SegmentId(2), CAP, 0, Up2Mode::OnOverwrite);
+        m.on_page_added(10, None);
+        m.seal(42, 100, 50, Up2Mode::OnOverwrite);
+        t.install_sealed(m);
+        assert_eq!(t.free_count(), 3);
+        assert!(t.state(SegmentId(2)).is_sealed());
+        assert_eq!(t.next_seal_seq(), 43);
+        // Allocation never hands out the installed segment.
+        for _ in 0..3 {
+            let id = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+            assert_ne!(id, SegmentId(2));
+        }
+    }
+
+    #[test]
+    fn allocation_hands_out_ascending_ids() {
+        let mut t = SegmentTable::new(3);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let b = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        assert!(a.0 < b.0);
+    }
+}

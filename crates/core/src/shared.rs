@@ -1,0 +1,179 @@
+//! A thread-safe handle around [`LogStore`].
+//!
+//! The store itself is deliberately single-writer (`&mut self` everywhere): log
+//! structuring serialises segment allocation and cleaning anyway, so internal fine-grained
+//! locking would buy little. Embedders that want to share one store across threads wrap
+//! it in [`SharedLogStore`], which provides cheap cloneable handles protected by a
+//! `parking_lot` mutex (chosen over `std::sync::Mutex` for its smaller footprint and
+//! poison-free API, per the performance guide this project follows).
+
+use crate::error::Result;
+use crate::stats::StoreStats;
+use crate::store::LogStore;
+use crate::types::PageId;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a [`LogStore`].
+#[derive(Debug, Clone)]
+pub struct SharedLogStore {
+    inner: Arc<Mutex<LogStore>>,
+}
+
+impl SharedLogStore {
+    /// Wrap a store.
+    pub fn new(store: LogStore) -> Self {
+        Self { inner: Arc::new(Mutex::new(store)) }
+    }
+
+    /// Write (or overwrite) a page.
+    pub fn put(&self, page: PageId, data: &[u8]) -> Result<()> {
+        self.inner.lock().put(page, data)
+    }
+
+    /// Read the current version of a page.
+    pub fn get(&self, page: PageId) -> Result<Option<Bytes>> {
+        self.inner.lock().get(page)
+    }
+
+    /// Delete a page.
+    pub fn delete(&self, page: PageId) -> Result<()> {
+        self.inner.lock().delete(page)
+    }
+
+    /// True if the page currently exists.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.inner.lock().contains(page)
+    }
+
+    /// Drain buffers, seal open segments and sync the device (the durability point).
+    pub fn flush(&self) -> Result<()> {
+        self.inner.lock().flush()
+    }
+
+    /// Snapshot of the operational statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats().clone()
+    }
+
+    /// Number of live pages.
+    pub fn live_pages(&self) -> usize {
+        self.inner.lock().live_pages()
+    }
+
+    /// Run a closure with exclusive access to the underlying store (for operations not
+    /// mirrored on the handle, e.g. checkpointing or manual cleaning).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut LogStore) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Unwrap the store if this is the last handle; otherwise returns `self` back.
+    pub fn try_into_inner(self) -> std::result::Result<LogStore, SharedLogStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mutex) => Ok(mutex.into_inner()),
+            Err(arc) => Err(SharedLogStore { inner: arc }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoreConfig;
+    use crate::policy::PolicyKind;
+
+    fn shared() -> SharedLogStore {
+        let mut config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
+        config.num_segments = 128;
+        SharedLogStore::new(LogStore::open_in_memory(config).unwrap())
+    }
+
+    #[test]
+    fn basic_operations_through_the_handle() {
+        let store = shared();
+        store.put(1, b"one").unwrap();
+        store.put(2, b"two").unwrap();
+        assert!(store.contains(1));
+        assert_eq!(store.get(1).unwrap().unwrap().as_ref(), b"one");
+        store.delete(1).unwrap();
+        assert!(!store.contains(1));
+        store.flush().unwrap();
+        assert_eq!(store.live_pages(), 1);
+        assert!(store.stats().user_pages_written >= 3);
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_share_state() {
+        let a = shared();
+        let b = a.clone();
+        a.put(7, b"via-a").unwrap();
+        assert_eq!(b.get(7).unwrap().unwrap().as_ref(), b"via-a");
+        b.put(7, b"via-b").unwrap();
+        assert_eq!(a.get(7).unwrap().unwrap().as_ref(), b"via-b");
+    }
+
+    #[test]
+    fn concurrent_writers_on_disjoint_ranges_preserve_all_data() {
+        let store = shared();
+        let threads = 4u64;
+        let per_thread = 200u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let page = t * 10_000 + i;
+                    let payload = format!("thread-{t}-page-{i}");
+                    store.put(page, payload.as_bytes()).unwrap();
+                    // Overwrite a hot page repeatedly to force some cleaning pressure.
+                    store.put(t * 10_000, format!("hot-{t}-{i}").as_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.live_pages() as u64, threads * per_thread);
+        for t in 0..threads {
+            for i in 1..per_thread {
+                let page = t * 10_000 + i;
+                let got = store.get(page).unwrap().expect("page lost under concurrency");
+                assert_eq!(got.as_ref(), format!("thread-{t}-page-{i}").as_bytes());
+            }
+            let hot = store.get(t * 10_000).unwrap().unwrap();
+            assert_eq!(hot.as_ref(), format!("hot-{t}-{}", per_thread - 1).as_bytes());
+        }
+    }
+
+    #[test]
+    fn with_store_gives_access_to_advanced_operations() {
+        let store = shared();
+        for i in 0..200u64 {
+            store.put(i % 32, &vec![3u8; 200]).unwrap();
+        }
+        let report = store.with_store(|s| s.clean_now()).unwrap();
+        assert!(report.segments_freed() > 0 || report.pages_moved == 0);
+        let json = store.with_store(|s| {
+            s.flush().unwrap();
+            s.checkpoint_json()
+        });
+        assert!(json.unwrap().contains("\"pages\""));
+    }
+
+    #[test]
+    fn try_into_inner_returns_store_when_unique() {
+        let store = shared();
+        store.put(1, b"x").unwrap();
+        let clone = store.clone();
+        // Two handles: unwrap fails and hands the handle back.
+        let store = match store.try_into_inner() {
+            Err(s) => s,
+            Ok(_) => panic!("unwrap should fail while a clone exists"),
+        };
+        drop(clone);
+        let mut inner = store.try_into_inner().expect("last handle unwraps");
+        assert_eq!(inner.get(1).unwrap().unwrap().as_ref(), b"x");
+    }
+}

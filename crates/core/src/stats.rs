@@ -1,0 +1,158 @@
+//! Write-amplification and cleaning statistics.
+//!
+//! Write amplification is the paper's evaluation metric (§6.1.2): the number of cleaning
+//! (GC) page writes per user page write, `W_amp = (1 − E)/E` in the steady-state analysis
+//! of §2.1. A `W_amp` of 0 means all I/O bandwidth serves user writes; a `W_amp` of 1
+//! means half of it is spent on cleaning.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::LogStore`] (or the simulator) during operation.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Pages written by the user (`put` and `delete` operations).
+    pub user_pages_written: u64,
+    /// Bytes of user payload written.
+    pub user_bytes_written: u64,
+    /// Pages relocated by the cleaner.
+    pub gc_pages_written: u64,
+    /// Bytes relocated by the cleaner.
+    pub gc_bytes_written: u64,
+    /// Segments sealed and written to the device.
+    pub segments_sealed: u64,
+    /// Segments read back by the cleaner.
+    pub segments_cleaned: u64,
+    /// Cleaning cycles executed.
+    pub cleaning_cycles: u64,
+    /// Sum of the emptiness `E` of victims at the moment they were cleaned; divide by
+    /// [`segments_cleaned`](StoreStats::segments_cleaned) for the mean the paper's
+    /// Table 1 reports.
+    pub emptiness_sum_at_clean: f64,
+    /// Page reads served (from buffers, open segments or the device).
+    pub pages_read: u64,
+    /// Page reads that had to touch the device.
+    pub device_page_reads: u64,
+    /// User writes absorbed while still sitting in the sort buffer (never reached a
+    /// segment). Zero when buffer absorption is disabled.
+    pub absorbed_in_buffer: u64,
+}
+
+impl StoreStats {
+    /// Write amplification in pages: GC page writes per user page write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_pages_written == 0 {
+            0.0
+        } else {
+            self.gc_pages_written as f64 / self.user_pages_written as f64
+        }
+    }
+
+    /// Write amplification in bytes (differs from the page-based value when payload
+    /// sizes vary).
+    pub fn byte_write_amplification(&self) -> f64 {
+        if self.user_bytes_written == 0 {
+            0.0
+        } else {
+            self.gc_bytes_written as f64 / self.user_bytes_written as f64
+        }
+    }
+
+    /// Mean segment emptiness observed at cleaning time (the paper's `E`).
+    pub fn mean_emptiness_at_clean(&self) -> f64 {
+        if self.segments_cleaned == 0 {
+            0.0
+        } else {
+            self.emptiness_sum_at_clean / self.segments_cleaned as f64
+        }
+    }
+
+    /// The cost-per-segment figure of paper Equation 1, `2 / E`, computed from the
+    /// observed mean emptiness. Returns infinity if nothing has been cleaned.
+    pub fn observed_cost_per_segment(&self) -> f64 {
+        let e = self.mean_emptiness_at_clean();
+        if e <= 0.0 { f64::INFINITY } else { 2.0 / e }
+    }
+
+    /// Merge another set of counters into this one (used when aggregating shards or
+    /// repeated runs).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.user_pages_written += other.user_pages_written;
+        self.user_bytes_written += other.user_bytes_written;
+        self.gc_pages_written += other.gc_pages_written;
+        self.gc_bytes_written += other.gc_bytes_written;
+        self.segments_sealed += other.segments_sealed;
+        self.segments_cleaned += other.segments_cleaned;
+        self.cleaning_cycles += other.cleaning_cycles;
+        self.emptiness_sum_at_clean += other.emptiness_sum_at_clean;
+        self.pages_read += other.pages_read;
+        self.device_page_reads += other.device_page_reads;
+        self.absorbed_in_buffer += other.absorbed_in_buffer;
+    }
+
+    /// Reset all counters to zero (used after a load phase so the measurement phase
+    /// starts clean, as the paper does by writing 100× the store size).
+    pub fn reset(&mut self) {
+        *self = StoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_basic() {
+        let mut s = StoreStats::default();
+        assert_eq!(s.write_amplification(), 0.0);
+        s.user_pages_written = 100;
+        s.gc_pages_written = 50;
+        assert!((s.write_amplification() - 0.5).abs() < 1e-12);
+
+        s.user_bytes_written = 1000;
+        s.gc_bytes_written = 250;
+        assert!((s.byte_write_amplification() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emptiness_and_cost() {
+        let mut s = StoreStats::default();
+        assert_eq!(s.mean_emptiness_at_clean(), 0.0);
+        assert!(s.observed_cost_per_segment().is_infinite());
+        s.segments_cleaned = 4;
+        s.emptiness_sum_at_clean = 2.0; // mean 0.5
+        assert!((s.mean_emptiness_at_clean() - 0.5).abs() < 1e-12);
+        assert!((s.observed_cost_per_segment() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = StoreStats { user_pages_written: 1, gc_pages_written: 2, ..Default::default() };
+        let b = StoreStats {
+            user_pages_written: 10,
+            gc_pages_written: 20,
+            cleaning_cycles: 3,
+            emptiness_sum_at_clean: 1.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.user_pages_written, 11);
+        assert_eq!(a.gc_pages_written, 22);
+        assert_eq!(a.cleaning_cycles, 3);
+        assert!((a.emptiness_sum_at_clean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = StoreStats { user_pages_written: 5, ..Default::default() };
+        s.reset();
+        assert_eq!(s, StoreStats::default());
+    }
+
+    #[test]
+    fn stats_serialize_roundtrip() {
+        let s = StoreStats { user_pages_written: 7, emptiness_sum_at_clean: 0.25, ..Default::default() };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StoreStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

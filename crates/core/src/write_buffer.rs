@@ -1,0 +1,213 @@
+//! The sort buffer for user writes (paper §5.3 and Figure 4).
+//!
+//! Incoming user writes accumulate in the buffer; when it reaches the configured size
+//! (measured in segments' worth of payload) the batch is sorted by the cleaning policy's
+//! separation key — so pages with similar update frequency are packed into the same
+//! output segments — and drained to open segments. A buffer of 0 segments disables
+//! batching entirely; the paper finds 16 segments to be the knee of the curve (Figure 4).
+
+use crate::types::{PageId, PageWriteInfo};
+use crate::util::FxHashMap;
+use bytes::Bytes;
+
+/// A page write waiting in a buffer: its metadata plus (for the real store) its payload.
+/// The simulator passes `data = None` since it only tracks page identities.
+#[derive(Debug, Clone)]
+pub struct PendingPage {
+    /// Metadata describing the write.
+    pub info: PageWriteInfo,
+    /// Payload. `None` marks a tombstone (deletion) or a simulator-only write.
+    pub data: Option<Bytes>,
+}
+
+impl PendingPage {
+    /// True if this pending entry is a deletion.
+    pub fn is_tombstone(&self) -> bool {
+        self.data.is_none() && self.info.size == 0
+    }
+}
+
+/// FIFO buffer of pending page writes with optional in-place absorption of re-writes.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    pending: Vec<Option<PendingPage>>,
+    index: FxHashMap<PageId, usize>,
+    payload_bytes: usize,
+    live_entries: usize,
+    absorb: bool,
+}
+
+impl WriteBuffer {
+    /// Create a buffer. If `absorb` is true, a second write to a page already in the
+    /// buffer replaces the buffered copy instead of adding another entry.
+    pub fn new(absorb: bool) -> Self {
+        Self { absorb, ..Default::default() }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.live_entries
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.live_entries == 0
+    }
+
+    /// Total payload bytes buffered.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Add a pending write. Returns `true` if the write was absorbed into an existing
+    /// buffered entry for the same page (only possible when absorption is enabled).
+    pub fn push(&mut self, page: PendingPage) -> bool {
+        if self.absorb {
+            if let Some(&idx) = self.index.get(&page.info.page) {
+                if let Some(existing) = self.pending[idx].as_mut() {
+                    self.payload_bytes -= existing.info.size as usize;
+                    self.payload_bytes += page.info.size as usize;
+                    *existing = page;
+                    return true;
+                }
+            }
+        }
+        let idx = self.pending.len();
+        self.payload_bytes += page.info.size as usize;
+        self.index.insert(page.info.page, idx);
+        self.pending.push(Some(page));
+        self.live_entries += 1;
+        false
+    }
+
+    /// Most recent buffered state of a page, if any.
+    pub fn get(&self, page: PageId) -> Option<&PendingPage> {
+        // The index tracks the most recent entry for each page even without absorption,
+        // because later pushes overwrite the index slot.
+        self.index.get(&page).and_then(|&idx| self.pending[idx].as_ref())
+    }
+
+    /// Drain all pending writes in arrival order, clearing the buffer.
+    pub fn drain(&mut self) -> Vec<PendingPage> {
+        self.index.clear();
+        self.payload_bytes = 0;
+        self.live_entries = 0;
+        self.pending.drain(..).flatten().collect()
+    }
+}
+
+/// Sort a batch of pending writes by the given separation key, smallest key first.
+///
+/// The sort is stable so pages with equal keys keep their arrival order, which keeps the
+/// result deterministic. Pages for which the policy returns `None` (no separation) are
+/// left in place relative to each other at the end of the batch.
+pub fn sort_by_separation_key<F>(batch: &mut [PendingPage], mut key: F)
+where
+    F: FnMut(&PageWriteInfo) -> Option<f64>,
+{
+    batch.sort_by(|a, b| {
+        let ka = key(&a.info);
+        let kb = key(&b.info);
+        match (ka, kb) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WriteOrigin;
+
+    fn pending(page: PageId, size: u32, up2: u64) -> PendingPage {
+        PendingPage {
+            info: PageWriteInfo { page, size, up2, exact_freq: None, origin: WriteOrigin::User },
+            data: Some(Bytes::from(vec![0u8; size as usize])),
+        }
+    }
+
+    #[test]
+    fn push_and_drain_preserve_arrival_order() {
+        let mut buf = WriteBuffer::new(false);
+        buf.push(pending(3, 10, 0));
+        buf.push(pending(1, 20, 0));
+        buf.push(pending(2, 30, 0));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.payload_bytes(), 60);
+        let batch = buf.drain();
+        assert_eq!(batch.iter().map(|p| p.info.page).collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn without_absorption_rewrites_append() {
+        let mut buf = WriteBuffer::new(false);
+        assert!(!buf.push(pending(1, 10, 0)));
+        assert!(!buf.push(pending(1, 12, 5)));
+        assert_eq!(buf.len(), 2);
+        // get() returns the most recent version.
+        assert_eq!(buf.get(1).unwrap().info.size, 12);
+    }
+
+    #[test]
+    fn with_absorption_rewrites_replace() {
+        let mut buf = WriteBuffer::new(true);
+        assert!(!buf.push(pending(1, 10, 0)));
+        assert!(buf.push(pending(1, 25, 5)));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.payload_bytes(), 25);
+        let batch = buf.drain();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].info.size, 25);
+    }
+
+    #[test]
+    fn get_misses_for_unknown_pages() {
+        let buf = WriteBuffer::new(true);
+        assert!(buf.get(99).is_none());
+    }
+
+    #[test]
+    fn tombstones_are_recognised() {
+        let t = PendingPage {
+            info: PageWriteInfo {
+                page: 5,
+                size: 0,
+                up2: 0,
+                exact_freq: None,
+                origin: WriteOrigin::User,
+            },
+            data: None,
+        };
+        assert!(t.is_tombstone());
+        assert!(!pending(5, 4, 0).is_tombstone());
+    }
+
+    #[test]
+    fn separation_sort_orders_by_key_and_is_stable() {
+        let mut batch = vec![pending(1, 1, 50), pending(2, 1, 10), pending(3, 1, 50), pending(4, 1, 30)];
+        sort_by_separation_key(&mut batch, |info| Some(info.up2 as f64));
+        let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]); // 10, 30, 50, 50 (stable between pages 1 and 3)
+    }
+
+    #[test]
+    fn separation_sort_with_no_key_keeps_order() {
+        let mut batch = vec![pending(9, 1, 50), pending(8, 1, 10)];
+        sort_by_separation_key(&mut batch, |_| None);
+        let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
+        assert_eq!(order, vec![9, 8]);
+    }
+
+    #[test]
+    fn mixed_keys_put_unkeyed_pages_last() {
+        let mut batch = vec![pending(1, 1, 5), pending(2, 1, 1), pending(3, 1, 3)];
+        sort_by_separation_key(&mut batch, |info| if info.page == 1 { None } else { Some(info.up2 as f64) });
+        let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Simulation results: the numbers the paper's tables and figures report, in a form the
+//! bench harness can print and serialise.
+
+use crate::simulator::SimConfig;
+use lss_core::stats::StoreStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one simulation run (one point on one of the paper's figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy name as the paper prints it (e.g. "MDC-opt").
+    pub policy: String,
+    /// Workload name (e.g. "zipfian-0.99", "hotcold-80:20", "tpcc").
+    pub workload: String,
+    /// Fill factor `F` of the run.
+    pub fill_factor: f64,
+    /// Number of user page writes measured (after warm-up).
+    pub measured_writes: u64,
+    /// Write amplification: GC page writes per user page write.
+    pub write_amplification: f64,
+    /// Mean segment emptiness `E` observed at cleaning time.
+    pub mean_emptiness_at_clean: f64,
+    /// Pages per segment used in the run.
+    pub pages_per_segment: usize,
+    /// Physical segments in the simulated store.
+    pub num_segments: usize,
+    /// Full counter set, for deeper analysis.
+    pub stats: StoreStats,
+}
+
+impl SimResult {
+    /// Build a result record from a finished run.
+    pub fn from_run(
+        config: &SimConfig,
+        workload: String,
+        stats: &StoreStats,
+        measured_writes: u64,
+    ) -> Self {
+        Self {
+            policy: config.policy.paper_name().to_string(),
+            workload,
+            fill_factor: config.fill_factor,
+            measured_writes,
+            write_amplification: stats.write_amplification(),
+            mean_emptiness_at_clean: stats.mean_emptiness_at_clean(),
+            pages_per_segment: config.pages_per_segment,
+            num_segments: config.num_segments,
+            stats: stats.clone(),
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<18} {:<16} F={:.2}  Wamp={:.3}  E_clean={:.3}  (writes={}, cleanings={})",
+            self.policy,
+            self.workload,
+            self.fill_factor,
+            self.write_amplification,
+            self.mean_emptiness_at_clean,
+            self.measured_writes,
+            self.stats.cleaning_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::policy::PolicyKind;
+
+    #[test]
+    fn from_run_copies_the_relevant_numbers() {
+        let config = SimConfig::small_for_tests(PolicyKind::Mdc).with_fill_factor(0.8);
+        let stats = StoreStats {
+            user_pages_written: 100,
+            gc_pages_written: 50,
+            segments_cleaned: 4,
+            emptiness_sum_at_clean: 2.0,
+            ..Default::default()
+        };
+        let r = SimResult::from_run(&config, "uniform".into(), &stats, 100);
+        assert_eq!(r.policy, "MDC");
+        assert!((r.write_amplification - 0.5).abs() < 1e-12);
+        assert!((r.mean_emptiness_at_clean - 0.5).abs() < 1e-12);
+        assert!(r.summary().contains("MDC"));
+        assert!(r.summary().contains("F=0.80"));
+    }
+
+    #[test]
+    fn result_roundtrips_through_serde() {
+        let config = SimConfig::small_for_tests(PolicyKind::Greedy);
+        let r = SimResult::from_run(&config, "w".into(), &StoreStats::default(), 0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

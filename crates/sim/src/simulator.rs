@@ -1,0 +1,721 @@
+//! The simulator proper: segment bookkeeping, the write path with its sort buffer, and
+//! the cleaning loop — identical in structure to `lss_core::store::LogStore` but tracking
+//! page identities only, so tens of millions of page writes per second are possible.
+
+use crate::report::SimResult;
+use lss_core::config::{CleaningConfig, SeparationConfig, Up2Mode};
+use lss_core::freq::{carry_forward_gc, carry_forward_rewrite, first_write_up2, Up2Average};
+use lss_core::policy::{CleaningPolicy, PolicyContext, PolicyKind};
+use lss_core::segment::SegmentTable;
+use lss_core::stats::StoreStats;
+use lss_core::types::{PageId, PageWriteInfo, SegmentId, UpdateTick, WriteOrigin};
+use lss_core::util::FxHashMap;
+use lss_workload::PageWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters. Geometry is expressed in pages (the simulator never touches
+/// payload bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Pages per segment (`S`; the paper uses 512 = 2 MiB / 4 KiB).
+    pub pages_per_segment: usize,
+    /// Number of physical segments.
+    pub num_segments: usize,
+    /// Fill factor `F`: fraction of physical page frames occupied by live pages.
+    pub fill_factor: f64,
+    /// Cleaning policy under test.
+    pub policy: PolicyKind,
+    /// Which write streams are grouped by update frequency.
+    pub separation: SeparationConfig,
+    /// User-write sort buffer size in segments (paper Figure 4; 16 by default).
+    pub sort_buffer_segments: usize,
+    /// Cleaning trigger and batch size (paper: trigger 32 free, clean 64 per cycle).
+    pub cleaning: CleaningConfig,
+    /// How per-segment `up2` estimates are maintained.
+    pub up2_mode: Up2Mode,
+    /// Supply exact per-page update frequencies to the policy (required by the `-opt`
+    /// oracle variants; harmless otherwise). `None` = derive from the policy.
+    pub use_exact_frequencies: Option<bool>,
+    /// Seed recorded in results for reproducibility (the workload carries its own RNG).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's simulation parameters with a laptop-friendly store size
+    /// (1024 segments ≈ 2 GiB simulated).
+    pub fn paper_default(policy: PolicyKind) -> Self {
+        Self {
+            pages_per_segment: 512,
+            num_segments: 1024,
+            fill_factor: 0.8,
+            policy,
+            separation: SeparationConfig::default(),
+            sort_buffer_segments: 16,
+            cleaning: CleaningConfig::default(),
+            up2_mode: Up2Mode::default(),
+            use_exact_frequencies: None,
+            seed: 42,
+        }
+    }
+
+    /// A tiny geometry for unit tests (64 segments of 64 pages).
+    pub fn small_for_tests(policy: PolicyKind) -> Self {
+        Self {
+            pages_per_segment: 64,
+            num_segments: 64,
+            fill_factor: 0.8,
+            policy,
+            separation: SeparationConfig::default(),
+            sort_buffer_segments: 4,
+            cleaning: CleaningConfig {
+                trigger_free_segments: 4,
+                segments_per_cycle: 8,
+                reserved_free_segments: 2,
+            },
+            up2_mode: Up2Mode::default(),
+            use_exact_frequencies: None,
+            seed: 7,
+        }
+    }
+
+    /// Builder-style: set the fill factor.
+    pub fn with_fill_factor(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f < 1.0, "fill factor must be in (0, 1)");
+        self.fill_factor = f;
+        self
+    }
+
+    /// Builder-style: set the policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set the separation configuration.
+    pub fn with_separation(mut self, sep: SeparationConfig) -> Self {
+        self.separation = sep;
+        self
+    }
+
+    /// Builder-style: set the sort-buffer size in segments.
+    pub fn with_sort_buffer_segments(mut self, n: usize) -> Self {
+        self.sort_buffer_segments = n;
+        self
+    }
+
+    /// Builder-style: set the number of physical segments.
+    pub fn with_num_segments(mut self, n: usize) -> Self {
+        self.num_segments = n;
+        self
+    }
+
+    /// Total physical page frames.
+    pub fn physical_pages(&self) -> u64 {
+        (self.pages_per_segment * self.num_segments) as u64
+    }
+
+    /// Number of distinct logical pages implied by the fill factor.
+    pub fn logical_pages(&self) -> u64 {
+        (self.physical_pages() as f64 * self.fill_factor).floor() as u64
+    }
+
+    fn exact_frequencies(&self) -> bool {
+        self.use_exact_frequencies.unwrap_or_else(|| self.policy.needs_exact_frequencies())
+    }
+}
+
+const NO_LOCATION: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// The simulator state.
+pub struct Simulator {
+    config: SimConfig,
+    policy: Box<dyn CleaningPolicy>,
+    /// Current location of each logical page: (segment index, slot index).
+    page_loc: Vec<(u32, u32)>,
+    /// Pages appended to each segment, in slot order (includes dead copies).
+    slots: Vec<Vec<PageId>>,
+    /// Shared segment bookkeeping (free list, seal sequences, per-segment A/C/up2).
+    table: SegmentTable,
+    /// Open output segment per (origin, log) stream.
+    open: FxHashMap<(WriteOrigin, u16), OpenStream>,
+    /// Pending user writes awaiting the sort buffer to fill.
+    buffer: Vec<PageWriteInfo>,
+    /// Exact per-page update frequencies, if the policy wants them.
+    exact_freq: Option<Vec<f64>>,
+    unow: UpdateTick,
+    stats: StoreStats,
+    cleaning: bool,
+}
+
+struct OpenStream {
+    id: SegmentId,
+    up2_avg: Up2Average,
+}
+
+impl Simulator {
+    /// Create a simulator and pre-fill it to the configured fill factor by writing every
+    /// logical page once (sequentially, as an initial load).
+    pub fn new(config: SimConfig, workload: &dyn PageWorkload) -> Self {
+        assert!(
+            workload.num_pages() <= config.logical_pages().max(1),
+            "workload addresses {} pages but the configuration only provides {} logical pages \
+             (raise num_segments or fill_factor)",
+            workload.num_pages(),
+            config.logical_pages()
+        );
+        let logical = workload.num_pages();
+        let exact_freq = if config.exact_frequencies() {
+            Some((0..logical).map(|p| workload.update_frequency(p).unwrap_or(1.0)).collect())
+        } else {
+            None
+        };
+        let mut sim = Self {
+            policy: config.policy.build(),
+            page_loc: vec![NO_LOCATION; logical as usize],
+            slots: vec![Vec::new(); config.num_segments],
+            table: SegmentTable::new(config.num_segments),
+            open: FxHashMap::default(),
+            buffer: Vec::new(),
+            exact_freq,
+            unow: 0,
+            stats: StoreStats::default(),
+            cleaning: false,
+            config,
+        };
+        // Initial load: every page written once. This fills the store to the fill factor
+        // before the measured run begins.
+        for page in 0..logical {
+            sim.user_write(page);
+        }
+        sim.drain_buffer();
+        sim.stats.reset();
+        sim
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. after a warm-up period).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Current update-count clock.
+    pub fn unow(&self) -> UpdateTick {
+        self.unow
+    }
+
+    /// Number of free segments.
+    pub fn free_segments(&self) -> usize {
+        self.table.free_count()
+    }
+
+    /// Number of live pages (equals the workload's page count once loaded).
+    pub fn live_pages(&self) -> u64 {
+        self.page_loc.iter().filter(|&&l| l != NO_LOCATION).count() as u64
+    }
+
+    /// Apply one user page write.
+    pub fn user_write(&mut self, page: PageId) {
+        debug_assert!((page as usize) < self.page_loc.len(), "page {page} out of range");
+        self.unow += 1;
+        self.stats.user_pages_written += 1;
+        self.stats.user_bytes_written += 1;
+        let info = PageWriteInfo {
+            page,
+            size: 1,
+            up2: 0,
+            exact_freq: self.exact_freq.as_ref().map(|f| f[page as usize]),
+            origin: WriteOrigin::User,
+        };
+        self.buffer.push(info);
+        let capacity = self.config.sort_buffer_segments * self.config.pages_per_segment;
+        if self.config.sort_buffer_segments == 0 || self.buffer.len() >= capacity {
+            self.drain_buffer();
+        }
+    }
+
+    /// Run `n` writes drawn from a workload.
+    pub fn run_writes(&mut self, workload: &mut dyn PageWorkload, n: u64) {
+        for _ in 0..n {
+            let page = workload.next_page();
+            self.user_write(page);
+        }
+    }
+
+    fn drain_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.buffer);
+
+        // Resolve carried up2 values (paper §5.2.2).
+        let mut coldest: Option<UpdateTick> = None;
+        for info in batch.iter_mut() {
+            let loc = self.page_loc[info.page as usize];
+            if loc != NO_LOCATION {
+                let old_up2 = self
+                    .table
+                    .meta(SegmentId(loc.0))
+                    .map(|m| m.freq.up2())
+                    .unwrap_or_default();
+                info.up2 = carry_forward_rewrite(old_up2, self.unow);
+                coldest = Some(match coldest {
+                    Some(c) => c.min(info.up2),
+                    None => info.up2,
+                });
+            } else {
+                info.up2 = UpdateTick::MAX; // sentinel: first write, resolved below
+            }
+        }
+        let cold = first_write_up2(coldest);
+        for info in batch.iter_mut() {
+            if info.up2 == UpdateTick::MAX {
+                info.up2 = cold;
+            }
+        }
+
+        if self.config.separation.separate_user_writes {
+            self.sort_batch(&mut batch);
+        }
+        for info in batch {
+            self.append(info);
+        }
+    }
+
+    fn sort_batch(&mut self, batch: &mut [PageWriteInfo]) {
+        let policy = &self.policy;
+        batch.sort_by(|a, b| {
+            let ka = policy.separation_key(a);
+            let kb = policy.separation_key(b);
+            match (ka, kb) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+        });
+    }
+
+    fn append(&mut self, info: PageWriteInfo) {
+        let log = if self.policy.num_logs() > 1 {
+            let ctx = PolicyContext { unow: self.unow, segments: &[] };
+            self.policy.log_for_page(&info, &ctx)
+        } else {
+            0
+        };
+        let key = (info.origin, log);
+        let seg_id = self.ensure_open(key);
+
+        // Place the page.
+        let slot = self.slots[seg_id.index()].len() as u32;
+        self.slots[seg_id.index()].push(info.page);
+        if let Some(meta) = self.table.meta_mut(seg_id) {
+            meta.on_page_added(1, info.exact_freq);
+        }
+        if let Some(stream) = self.open.get_mut(&key) {
+            stream.up2_avg.add(info.up2);
+        }
+
+        // Invalidate the previous copy (user overwrites only; GC moves always come out of
+        // victims that have already been released).
+        let old = std::mem::replace(&mut self.page_loc[info.page as usize], (seg_id.0, slot));
+        if info.origin == WriteOrigin::User && old != NO_LOCATION {
+            if let Some(meta) = self.table.meta_mut(SegmentId(old.0)) {
+                meta.on_page_dead(1, self.unow, info.exact_freq);
+            }
+        }
+
+        // Seal the segment once it is full.
+        if self.slots[seg_id.index()].len() >= self.config.pages_per_segment {
+            if let Some(stream) = self.open.remove(&key) {
+                self.seal(stream);
+            }
+        }
+    }
+
+    fn ensure_open(&mut self, key: (WriteOrigin, u16)) -> SegmentId {
+        if let Some(stream) = self.open.get(&key) {
+            return stream.id;
+        }
+        let id = self.allocate(key.0, key.1);
+        self.open.insert(key, OpenStream { id, up2_avg: Up2Average::new() });
+        id
+    }
+
+    /// The free-segment level below which cleaning is triggered. The configured value
+    /// (32 in the paper) is raised when the policy keeps many open output segments
+    /// (multi-log), so that partially-filled open segments never starve allocation.
+    fn effective_trigger(&self) -> usize {
+        self.config.cleaning.trigger_free_segments.max(self.open.len() + 4)
+    }
+
+    fn allocate(&mut self, origin: WriteOrigin, log: u16) -> SegmentId {
+        if origin == WriteOrigin::User
+            && !self.cleaning
+            && self.table.free_count() <= self.effective_trigger()
+        {
+            self.clean_until_headroom();
+        }
+        let capacity = self.config.pages_per_segment as u64;
+        if let Some(id) = self.table.allocate(capacity, log, self.config.up2_mode) {
+            self.slots[id.index()].clear();
+            return id;
+        }
+        // Last resort for user allocations under extreme pressure: clean again and retry
+        // once before giving up.
+        if origin == WriteOrigin::User && !self.cleaning {
+            self.clean_until_headroom();
+            if let Some(id) = self.table.allocate(capacity, log, self.config.up2_mode) {
+                self.slots[id.index()].clear();
+                return id;
+            }
+        }
+        panic!(
+            "simulator ran out of free segments (policy {}, fill factor {}); \
+             the configuration over-commits the store",
+            self.policy.name(),
+            self.config.fill_factor
+        )
+    }
+
+    /// Run cleaning cycles until the free pool is back above the trigger, falling back to
+    /// an emergency greedy pass when the configured policy makes no net progress (a
+    /// selective policy such as multi-log can pick victims that reclaim less than its own
+    /// GC output consumes; real systems escalate to a space-driven GC in that corner).
+    fn clean_until_headroom(&mut self) {
+        let target = self.effective_trigger();
+        for _ in 0..128 {
+            if self.table.free_count() > target {
+                return;
+            }
+            let before = self.table.free_count();
+            self.clean_cycle();
+            if self.table.free_count() <= before {
+                self.emergency_greedy_clean();
+                if self.table.free_count() <= before {
+                    return; // nothing reclaimable at all
+                }
+            }
+        }
+    }
+
+    /// One cleaning pass with victims chosen globally by emptiness, regardless of the
+    /// configured policy.
+    fn emergency_greedy_clean(&mut self) {
+        let mut greedy: Box<dyn CleaningPolicy> =
+            Box::new(lss_core::policy::GreedyPolicy::new());
+        std::mem::swap(&mut self.policy, &mut greedy);
+        self.clean_cycle();
+        std::mem::swap(&mut self.policy, &mut greedy);
+    }
+
+    fn seal(&mut self, stream: OpenStream) {
+        let carried = stream.up2_avg.mean_or(self.unow);
+        self.table.seal(stream.id, self.unow, carried, self.config.up2_mode);
+        self.stats.segments_sealed += 1;
+    }
+
+    /// Run one cleaning cycle (also callable directly by experiments).
+    pub fn clean_cycle(&mut self) {
+        if self.cleaning {
+            return;
+        }
+        self.cleaning = true;
+        self.clean_cycle_inner();
+        self.cleaning = false;
+    }
+
+    fn clean_cycle_inner(&mut self) {
+        self.stats.cleaning_cycles += 1;
+        let batch = self
+            .policy
+            .preferred_batch()
+            .unwrap_or(self.config.cleaning.segments_per_cycle)
+            .max(1);
+        let sealed = self.table.sealed_stats();
+        let ctx = PolicyContext { unow: self.unow, segments: &sealed };
+        let victims = self.policy.select_victims(&ctx, batch);
+        if victims.is_empty() {
+            return;
+        }
+
+        let mut gc_batch: Vec<PageWriteInfo> = Vec::new();
+        for &victim in &victims {
+            let (emptiness, up2) = {
+                let meta = self.table.meta(victim).expect("victim must hold data");
+                (meta.emptiness(), meta.freq.up2())
+            };
+            self.stats.segments_cleaned += 1;
+            self.stats.emptiness_sum_at_clean += emptiness;
+            let pages = std::mem::take(&mut self.slots[victim.index()]);
+            for (slot, page) in pages.iter().enumerate() {
+                if self.page_loc[*page as usize] == (victim.0, slot as u32) {
+                    gc_batch.push(PageWriteInfo {
+                        page: *page,
+                        size: 1,
+                        up2: carry_forward_gc(up2),
+                        exact_freq: self.exact_freq.as_ref().map(|f| f[*page as usize]),
+                        origin: WriteOrigin::Gc,
+                    });
+                }
+            }
+            self.table.release(victim);
+        }
+
+        if self.config.separation.separate_gc_writes {
+            self.sort_batch(&mut gc_batch);
+        }
+        for info in gc_batch {
+            self.stats.gc_pages_written += 1;
+            self.stats.gc_bytes_written += 1;
+            self.append(info);
+        }
+    }
+
+    /// Consistency check used by tests: every live page's recorded location actually
+    /// holds it, and per-segment live counters agree with the page table.
+    pub fn verify_consistency(&self) -> Result<(), String> {
+        let mut live_per_segment = vec![0u64; self.config.num_segments];
+        for (page, &(seg, slot)) in self.page_loc.iter().enumerate() {
+            if (seg, slot) == NO_LOCATION {
+                continue;
+            }
+            let slots = &self.slots[seg as usize];
+            if slot as usize >= slots.len() || slots[slot as usize] != page as u64 {
+                return Err(format!("page {page} location ({seg},{slot}) does not hold it"));
+            }
+            live_per_segment[seg as usize] += 1;
+        }
+        for meta in self.table.iter_meta() {
+            let expected = live_per_segment[meta.id.index()];
+            if meta.live_pages != expected {
+                return Err(format!(
+                    "{} live counter {} disagrees with page table {expected}",
+                    meta.id, meta.live_pages
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a complete simulation: build the simulator (which performs the initial load),
+/// apply `total_writes` user writes from the workload, resetting statistics after
+/// `warmup_writes`, and summarise the measured remainder.
+pub fn run_simulation(
+    config: &SimConfig,
+    workload: &mut dyn PageWorkload,
+    total_writes: u64,
+    warmup_writes: u64,
+) -> SimResult {
+    assert!(warmup_writes < total_writes, "warm-up must be shorter than the total run");
+    let mut sim = Simulator::new(config.clone(), workload);
+    sim.run_writes(workload, warmup_writes);
+    sim.reset_stats();
+    sim.run_writes(workload, total_writes - warmup_writes);
+    SimResult::from_run(config, workload.name(), sim.stats(), total_writes - warmup_writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_analysis::table1::uniform_emptiness;
+    use lss_analysis::write_amplification;
+    use lss_workload::{HotColdWorkload, TraceWorkload, UniformWorkload, WriteTrace, ZipfianWorkload};
+
+    fn measure(policy: PolicyKind, fill: f64, workload: &mut dyn PageWorkload) -> SimResult {
+        let config = SimConfig::small_for_tests(policy).with_fill_factor(fill);
+        let writes = config.physical_pages() * 20;
+        run_simulation(&config, workload, writes, writes / 4)
+    }
+
+    #[test]
+    fn load_phase_fills_to_the_fill_factor_without_cleaning() {
+        let config = SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(0.7);
+        let workload = UniformWorkload::new(config.logical_pages(), 1);
+        let sim = Simulator::new(config.clone(), &workload);
+        assert_eq!(sim.live_pages(), config.logical_pages());
+        assert_eq!(sim.stats().cleaning_cycles, 0, "sequential load must not need cleaning");
+        sim.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn uniform_greedy_matches_the_age_based_analysis() {
+        // Paper §8.1: under a uniform distribution the simulated emptiness at cleaning
+        // matches the Table 1 fixpoint, and greedy == age == optimal. The agreement
+        // requires the cleaning batch to be small relative to the store (the paper cleans
+        // 64 of 51 200 segments), so this test uses a roomier geometry than the others.
+        for fill in [0.5, 0.8] {
+            let mut config = SimConfig::small_for_tests(PolicyKind::Greedy)
+                .with_num_segments(256)
+                .with_fill_factor(fill);
+            config.cleaning.trigger_free_segments = 8;
+            config.cleaning.segments_per_cycle = 4;
+            let mut w = UniformWorkload::new(config.logical_pages(), 11);
+            let writes = config.physical_pages() * 12;
+            let r = run_simulation(&config, &mut w, writes, writes / 4);
+            let expected_e = uniform_emptiness(fill);
+            let expected_wamp = write_amplification(expected_e);
+            assert!(
+                (r.mean_emptiness_at_clean - expected_e).abs() < 0.06,
+                "F={fill}: simulated E {} vs analysis {expected_e}",
+                r.mean_emptiness_at_clean
+            );
+            assert!(
+                (r.write_amplification - expected_wamp).abs() / expected_wamp < 0.30,
+                "F={fill}: simulated Wamp {} vs analysis {expected_wamp}",
+                r.write_amplification
+            );
+        }
+    }
+
+    #[test]
+    fn mdc_matches_greedy_under_uniform_updates() {
+        // Paper §4.5: for a uniform distribution Priority[MDC] orders segments exactly
+        // like Priority[greedy], so their write amplification must be very close.
+        let fill = 0.8;
+        let pages =
+            SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(fill).logical_pages();
+        let mut w1 = UniformWorkload::new(pages, 5);
+        let greedy = measure(PolicyKind::Greedy, fill, &mut w1);
+        let mut w2 = UniformWorkload::new(pages, 5);
+        let mdc = measure(PolicyKind::MdcOpt, fill, &mut w2);
+        let rel = (mdc.write_amplification - greedy.write_amplification).abs()
+            / greedy.write_amplification.max(1e-9);
+        assert!(
+            rel < 0.25,
+            "MDC-opt ({}) should track greedy ({}) under uniform updates",
+            mdc.write_amplification,
+            greedy.write_amplification
+        );
+    }
+
+    #[test]
+    fn skew_helps_mdc_beat_greedy() {
+        // Paper Figure 3: under a skewed hot-cold distribution MDC(-opt) has lower write
+        // amplification than greedy.
+        let fill = 0.8;
+        let pages =
+            SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(fill).logical_pages();
+        let mut wg = HotColdWorkload::new(pages, 0.1, 0.9, 3);
+        let greedy = measure(PolicyKind::Greedy, fill, &mut wg);
+        let mut wm = HotColdWorkload::new(pages, 0.1, 0.9, 3);
+        let mdc_opt = measure(PolicyKind::MdcOpt, fill, &mut wm);
+        assert!(
+            mdc_opt.write_amplification < greedy.write_amplification * 0.9,
+            "MDC-opt ({}) should clearly beat greedy ({}) on a 90:10 workload",
+            mdc_opt.write_amplification,
+            greedy.write_amplification
+        );
+    }
+
+    #[test]
+    fn age_suffers_under_skew() {
+        // Paper Figure 5b/c: age-based cleaning ignores update frequency and produces the
+        // highest write amplification under skew.
+        let fill = 0.8;
+        let pages =
+            SimConfig::small_for_tests(PolicyKind::Age).with_fill_factor(fill).logical_pages();
+        let mut wa = ZipfianWorkload::new(pages, 0.99, 9);
+        let age = measure(PolicyKind::Age, fill, &mut wa);
+        let mut wm = ZipfianWorkload::new(pages, 0.99, 9);
+        let mdc_opt = measure(PolicyKind::MdcOpt, fill, &mut wm);
+        assert!(
+            mdc_opt.write_amplification < age.write_amplification,
+            "MDC-opt ({}) should beat age ({}) under Zipfian skew",
+            mdc_opt.write_amplification,
+            age.write_amplification
+        );
+    }
+
+    #[test]
+    fn every_policy_preserves_all_pages_and_stays_consistent() {
+        for kind in PolicyKind::ALL {
+            if kind == PolicyKind::CostBenefitPaperLiteral {
+                // The literal formula printed in the paper prefers full segments, reclaims
+                // almost nothing per cycle, and cannot sustain this fill factor — that is
+                // exactly why DESIGN.md treats it as a typo. It is exercised separately in
+                // the ablation bench at a low fill factor.
+                continue;
+            }
+            // Roomier geometry than the other tests: multi-log keeps one partially-filled
+            // open segment per log, which needs slack to park in.
+            let config =
+                SimConfig::small_for_tests(kind).with_num_segments(128).with_fill_factor(0.6);
+            let mut w = ZipfianWorkload::new(config.logical_pages(), 0.99, 1);
+            let mut sim = Simulator::new(config.clone(), &w);
+            sim.run_writes(&mut w, config.physical_pages() * 8);
+            assert_eq!(sim.live_pages(), config.logical_pages(), "policy {kind} lost pages");
+            sim.verify_consistency().unwrap_or_else(|e| panic!("policy {kind}: {e}"));
+            assert!(sim.stats().cleaning_cycles > 0, "policy {kind} never cleaned");
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let config = SimConfig::small_for_tests(PolicyKind::Mdc).with_fill_factor(0.8);
+        let run = || {
+            let mut w = ZipfianWorkload::new(config.logical_pages(), 0.99, 77);
+            run_simulation(&config, &mut w, 50_000, 10_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats.gc_pages_written, b.stats.gc_pages_written);
+        assert_eq!(a.stats.user_pages_written, b.stats.user_pages_written);
+    }
+
+    #[test]
+    fn higher_fill_factor_means_higher_write_amplification() {
+        let mut results = Vec::new();
+        for fill in [0.5, 0.7, 0.9] {
+            let pages = SimConfig::small_for_tests(PolicyKind::Greedy)
+                .with_fill_factor(fill)
+                .logical_pages();
+            let mut w = UniformWorkload::new(pages, 2);
+            results.push(measure(PolicyKind::Greedy, fill, &mut w).write_amplification);
+        }
+        assert!(results[0] < results[1] && results[1] < results[2], "wamp not monotone: {results:?}");
+    }
+
+    #[test]
+    fn trace_replay_works_end_to_end() {
+        let mut trace = WriteTrace::new();
+        // A small synthetic trace with a hot range.
+        for i in 0..20_000u64 {
+            let page = if i % 10 < 8 { i % 50 } else { 50 + (i % 450) };
+            trace.record(page);
+        }
+        let mut workload = TraceWorkload::with_empirical_frequencies("synthetic-trace", &trace);
+        let config = SimConfig::small_for_tests(PolicyKind::Mdc).with_fill_factor(0.55);
+        assert!(workload.num_pages() <= config.logical_pages());
+        let result = run_simulation(&config, &mut workload, 40_000, 10_000);
+        assert!(result.write_amplification.is_finite());
+        assert_eq!(result.workload, "synthetic-trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "workload addresses")]
+    fn oversized_workload_is_rejected() {
+        let config = SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(0.5);
+        let w = UniformWorkload::new(config.physical_pages() * 2, 1);
+        let _ = Simulator::new(config, &w);
+    }
+
+    #[test]
+    fn sort_buffer_of_zero_is_supported() {
+        let config = SimConfig::small_for_tests(PolicyKind::Mdc)
+            .with_fill_factor(0.8)
+            .with_sort_buffer_segments(0);
+        let mut w = ZipfianWorkload::new(config.logical_pages(), 0.99, 4);
+        let result = run_simulation(&config, &mut w, 60_000, 20_000);
+        assert!(result.write_amplification.is_finite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Hot-cold (`m : 1−m`) page-write distributions (paper §3 and Figure 3).
+//!
+//! A fraction `hot_data_fraction` of the pages (the *hot set*) receives a fraction
+//! `hot_update_fraction` of the writes; both sets are internally uniform. The classic
+//! "80:20" workload is `hot_data_fraction = 0.2`, `hot_update_fraction = 0.8`.
+
+use crate::{PageId, PageWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-pool skewed distribution: hot pages updated much more often than cold pages.
+#[derive(Debug, Clone)]
+pub struct HotColdWorkload {
+    num_pages: u64,
+    hot_pages: u64,
+    hot_update_fraction: f64,
+    rng: StdRng,
+}
+
+impl HotColdWorkload {
+    /// Create an `m : 1−m` style workload.
+    ///
+    /// * `hot_data_fraction` — fraction of pages in the hot set (e.g. 0.2),
+    /// * `hot_update_fraction` — fraction of writes that go to the hot set (e.g. 0.8).
+    pub fn new(
+        num_pages: u64,
+        hot_data_fraction: f64,
+        hot_update_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_pages > 0, "workload needs at least one page");
+        assert!(
+            (0.0..=1.0).contains(&hot_data_fraction) && (0.0..=1.0).contains(&hot_update_fraction),
+            "fractions must be within [0, 1]"
+        );
+        let hot_pages = ((num_pages as f64 * hot_data_fraction).round() as u64).clamp(1, num_pages);
+        Self { num_pages, hot_pages, hot_update_fraction, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The paper's shorthand `m:(1−m)` distributions (e.g. `from_skew(80)` = 80% of the
+    /// updates to 20% of the data). `m` is in percent and must be in `50..=99`.
+    pub fn from_skew_percent(num_pages: u64, m: u32, seed: u64) -> Self {
+        assert!((50..=99).contains(&m), "skew percent must be in 50..=99, got {m}");
+        let m = m as f64 / 100.0;
+        Self::new(num_pages, 1.0 - m, m, seed)
+    }
+
+    /// Number of pages in the hot set.
+    pub fn hot_pages(&self) -> u64 {
+        self.hot_pages
+    }
+
+    /// True if the page belongs to the hot set.
+    pub fn is_hot(&self, page: PageId) -> bool {
+        page < self.hot_pages
+    }
+}
+
+impl PageWorkload for HotColdWorkload {
+    fn name(&self) -> String {
+        format!(
+            "hotcold-{:.0}:{:.0}",
+            self.hot_update_fraction * 100.0,
+            (1.0 - self.hot_update_fraction) * 100.0
+        )
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn next_page(&mut self) -> PageId {
+        let cold_pages = self.num_pages - self.hot_pages;
+        if cold_pages == 0 || self.rng.gen_bool(self.hot_update_fraction) {
+            self.rng.gen_range(0..self.hot_pages)
+        } else {
+            self.hot_pages + self.rng.gen_range(0..cold_pages)
+        }
+    }
+
+    fn update_frequency(&self, page: PageId) -> Option<f64> {
+        let hot = self.hot_pages as f64;
+        let cold = (self.num_pages - self.hot_pages) as f64;
+        let freq = if page < self.hot_pages {
+            self.hot_update_fraction / hot
+        } else if cold > 0.0 {
+            (1.0 - self.hot_update_fraction) / cold
+        } else {
+            0.0
+        };
+        Some(freq * self.num_pages as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram;
+
+    #[test]
+    fn eighty_twenty_sends_most_writes_to_the_hot_set() {
+        let mut w = HotColdWorkload::new(1000, 0.2, 0.8, 11);
+        assert_eq!(w.hot_pages(), 200);
+        let h = histogram(&mut w, 200_000);
+        let hot_hits: u64 = h[..200].iter().sum();
+        let frac = hot_hits as f64 / 200_000.0;
+        assert!((frac - 0.8).abs() < 0.01, "hot fraction was {frac}");
+    }
+
+    #[test]
+    fn from_skew_percent_matches_explicit_construction() {
+        let a = HotColdWorkload::from_skew_percent(1000, 90, 1);
+        assert_eq!(a.hot_pages(), 100);
+        assert_eq!(a.name(), "hotcold-90:10");
+        let b = HotColdWorkload::from_skew_percent(1000, 50, 1);
+        assert_eq!(b.hot_pages(), 500);
+    }
+
+    #[test]
+    fn frequencies_reflect_the_skew() {
+        let w = HotColdWorkload::new(1000, 0.2, 0.8, 3);
+        let hot = w.update_frequency(0).unwrap();
+        let cold = w.update_frequency(999).unwrap();
+        // Hot pages: 0.8/200*1000 = 4.0; cold pages: 0.2/800*1000 = 0.25.
+        assert!((hot - 4.0).abs() < 1e-9);
+        assert!((cold - 0.25).abs() < 1e-9);
+        assert!(w.is_hot(10));
+        assert!(!w.is_hot(500));
+    }
+
+    #[test]
+    fn fifty_fifty_is_effectively_uniform() {
+        let w = HotColdWorkload::from_skew_percent(1000, 50, 5);
+        let hot = w.update_frequency(0).unwrap();
+        let cold = w.update_frequency(999).unwrap();
+        assert!((hot - 1.0).abs() < 1e-9);
+        assert!((cold - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew percent")]
+    fn out_of_range_skew_rejected() {
+        HotColdWorkload::from_skew_percent(10, 20, 0);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let mut a = HotColdWorkload::new(500, 0.1, 0.9, 77);
+        let mut b = HotColdWorkload::new(500, 0.1, 0.9, 77);
+        for _ in 0..100 {
+            assert_eq!(a.next_page(), b.next_page());
+        }
+    }
+}

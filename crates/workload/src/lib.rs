@@ -1,0 +1,105 @@
+//! # lss-workload — page-write workload generators
+//!
+//! The evaluation of *Efficiently Reclaiming Space in a Log Structured Store* drives its
+//! simulator with three kinds of workloads (paper §6.1.4):
+//!
+//! * **synthetic distributions** — uniform, hot-cold (`m : 1−m`), and Zipfian with
+//!   configurable skew (θ = 0.99 for "80-20", θ = 1.35 for "90-10");
+//! * **I/O traces** collected from a B+-tree storage engine running TPC-C (regenerated in
+//!   this workspace by `lss-tpcc` + `lss-btree`);
+//! * a configurable number of total page writes (the paper writes 100× the store size so
+//!   write amplification stabilises).
+//!
+//! Every generator implements [`PageWorkload`]: a deterministic (seeded) stream of page
+//! ids to overwrite, plus — crucially for the paper's "-opt" oracle policies — the *exact*
+//! update frequency of every page via [`PageWorkload::update_frequency`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hotcold;
+pub mod trace;
+pub mod uniform;
+pub mod zipfian;
+
+pub use hotcold::HotColdWorkload;
+pub use trace::{TraceWorkload, WriteTrace};
+pub use uniform::UniformWorkload;
+pub use zipfian::ZipfianWorkload;
+
+/// A logical page identifier (matches `lss_core::PageId`).
+pub type PageId = u64;
+
+/// A deterministic stream of page writes over a fixed page population `0..num_pages`.
+pub trait PageWorkload: Send {
+    /// Short human-readable name (used in experiment reports).
+    fn name(&self) -> String;
+
+    /// Number of distinct logical pages the workload addresses. Page ids produced by
+    /// [`PageWorkload::next_page`] are always `< num_pages()`.
+    fn num_pages(&self) -> u64;
+
+    /// The next page to write.
+    fn next_page(&mut self) -> PageId;
+
+    /// Exact update frequency of a page, normalised so the *average* page has frequency
+    /// 1.0 (i.e. `probability(page) * num_pages()`). Returns `None` when the distribution
+    /// cannot provide it (e.g. an unannotated trace), in which case oracle policies fall
+    /// back to estimates.
+    fn update_frequency(&self, page: PageId) -> Option<f64>;
+}
+
+/// Blanket helper: draw `n` pages into a vector (useful in tests and benches).
+pub fn take_pages<W: PageWorkload + ?Sized>(w: &mut W, n: usize) -> Vec<PageId> {
+    (0..n).map(|_| w.next_page()).collect()
+}
+
+/// Empirical frequency of each page over a sample (tests and diagnostics).
+pub fn histogram<W: PageWorkload + ?Sized>(w: &mut W, samples: usize) -> Vec<u64> {
+    let mut h = vec![0u64; w.num_pages() as usize];
+    for _ in 0..samples {
+        let p = w.next_page();
+        h[p as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_pages_stays_in_range_for_all_generators() {
+        let mut gens: Vec<Box<dyn PageWorkload>> = vec![
+            Box::new(UniformWorkload::new(100, 1)),
+            Box::new(HotColdWorkload::new(100, 0.2, 0.8, 2)),
+            Box::new(ZipfianWorkload::new(100, 0.99, 3)),
+        ];
+        for g in &mut gens {
+            let n = g.num_pages();
+            let name = g.name();
+            for p in take_pages(g.as_mut(), 1_000) {
+                assert!(p < n, "{name} produced out-of-range page {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_frequencies_average_to_one() {
+        let gens: Vec<Box<dyn PageWorkload>> = vec![
+            Box::new(UniformWorkload::new(500, 1)),
+            Box::new(HotColdWorkload::new(500, 0.2, 0.8, 2)),
+            Box::new(ZipfianWorkload::new(500, 0.99, 3)),
+        ];
+        for g in &gens {
+            let n = g.num_pages();
+            let sum: f64 = (0..n).map(|p| g.update_frequency(p).unwrap()).sum();
+            let mean = sum / n as f64;
+            assert!(
+                (mean - 1.0).abs() < 1e-6,
+                "{}: mean normalised frequency is {mean}, expected 1.0",
+                g.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Page-write traces: recording, persistence and replay (paper §6.3 uses I/O traces
+//! collected from a B+-tree storage engine running TPC-C).
+//!
+//! A [`WriteTrace`] is simply the ordered sequence of page ids that were written.
+//! Traces can be saved to / loaded from a compact binary file (little-endian `u64`s with
+//! a small header) and replayed through the simulator with [`TraceWorkload`].
+
+use crate::{PageId, PageWorkload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const TRACE_MAGIC: &[u8; 8] = b"LSSTRACE";
+
+/// An ordered sequence of page writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteTrace {
+    /// The page ids, in write order.
+    pub writes: Vec<PageId>,
+}
+
+impl WriteTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one page write.
+    #[inline]
+    pub fn record(&mut self, page: PageId) {
+        self.writes.push(page);
+    }
+
+    /// Number of writes recorded.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of distinct pages touched.
+    pub fn distinct_pages(&self) -> usize {
+        let mut seen: Vec<PageId> = self.writes.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Remap arbitrary page ids onto a dense `0..distinct` range (first-seen order).
+    /// Returns the remapped trace and the number of distinct pages.
+    pub fn densify(&self) -> (WriteTrace, u64) {
+        let mut map: HashMap<PageId, PageId> = HashMap::new();
+        let mut next = 0u64;
+        let writes = self
+            .writes
+            .iter()
+            .map(|&p| {
+                *map.entry(p).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        (WriteTrace { writes }, next)
+    }
+
+    /// Empirical update frequency per (dense) page, normalised so the average page has
+    /// frequency 1.0.
+    pub fn empirical_frequencies(&self, num_pages: u64) -> Vec<f64> {
+        let mut counts = vec![0u64; num_pages as usize];
+        for &p in &self.writes {
+            if (p as usize) < counts.len() {
+                counts[p as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; num_pages as usize];
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64 * num_pages as f64)
+            .collect()
+    }
+
+    /// Serialise the trace to a writer (binary, little-endian).
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(TRACE_MAGIC)?;
+        w.write_all(&(self.writes.len() as u64).to_le_bytes())?;
+        for &p in &self.writes {
+            w.write_all(&p.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialise a trace from a reader.
+    pub fn read_from<R: Read>(mut r: R) -> std::io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != TRACE_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not an lss trace file (bad magic)",
+            ));
+        }
+        let mut lenb = [0u8; 8];
+        r.read_exact(&mut lenb)?;
+        let len = u64::from_le_bytes(lenb) as usize;
+        let mut writes = Vec::with_capacity(len.min(1 << 24));
+        let mut buf = [0u8; 8];
+        for _ in 0..len {
+            r.read_exact(&mut buf)?;
+            writes.push(u64::from_le_bytes(buf));
+        }
+        Ok(Self { writes })
+    }
+
+    /// Save to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Load from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+/// Replays a [`WriteTrace`] as a [`PageWorkload`], looping when the trace is exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    trace: WriteTrace,
+    num_pages: u64,
+    frequencies: Option<Vec<f64>>,
+    pos: usize,
+    /// How many times the trace has wrapped around.
+    loops: u64,
+}
+
+impl TraceWorkload {
+    /// Build a workload from a trace whose page ids may be sparse. Ids are densified so
+    /// the simulator can size its page table to the distinct page count.
+    pub fn new(name: impl Into<String>, trace: &WriteTrace) -> Self {
+        let (dense, num_pages) = trace.densify();
+        Self {
+            name: name.into(),
+            num_pages: num_pages.max(1),
+            frequencies: None,
+            trace: dense,
+            pos: 0,
+            loops: 0,
+        }
+    }
+
+    /// Build a workload from an already-dense trace and annotate it with its empirical
+    /// frequencies so oracle ("-opt") policies can use them, as the paper does when it
+    /// pre-analyses page update frequencies for multi-log-opt and MDC-opt (§6.3).
+    pub fn with_empirical_frequencies(name: impl Into<String>, trace: &WriteTrace) -> Self {
+        let mut w = Self::new(name, trace);
+        w.frequencies = Some(w.trace.empirical_frequencies(w.num_pages));
+        w
+    }
+
+    /// Number of writes in one pass of the trace.
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// How many times the trace has wrapped around so far.
+    pub fn loops(&self) -> u64 {
+        self.loops
+    }
+}
+
+impl PageWorkload for TraceWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn next_page(&mut self) -> PageId {
+        if self.trace.writes.is_empty() {
+            return 0;
+        }
+        let p = self.trace.writes[self.pos];
+        self.pos += 1;
+        if self.pos == self.trace.writes.len() {
+            self.pos = 0;
+            self.loops += 1;
+        }
+        p
+    }
+
+    fn update_frequency(&self, page: PageId) -> Option<f64> {
+        self.frequencies.as_ref().and_then(|f| f.get(page as usize).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_densify_and_count() {
+        let mut t = WriteTrace::new();
+        for p in [100u64, 5, 100, 7, 5, 100] {
+            t.record(p);
+        }
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.distinct_pages(), 3);
+        let (dense, n) = t.densify();
+        assert_eq!(n, 3);
+        assert_eq!(dense.writes, vec![0, 1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut t = WriteTrace::new();
+        for i in 0..1000u64 {
+            t.record(i * 3 % 97);
+        }
+        let mut path = std::env::temp_dir();
+        path.push(format!("lss-trace-test-{}.bin", std::process::id()));
+        t.save(&path).unwrap();
+        let back = WriteTrace::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = b"NOTATRACExxxxxxx".to_vec();
+        assert!(WriteTrace::read_from(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn replay_loops_over_the_trace() {
+        let mut t = WriteTrace::new();
+        for p in [10u64, 20, 30] {
+            t.record(p);
+        }
+        let mut w = TraceWorkload::new("test", &t);
+        assert_eq!(w.num_pages(), 3);
+        let seq: Vec<u64> = (0..7).map(|_| w.next_page()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(w.loops(), 2);
+    }
+
+    #[test]
+    fn empirical_frequencies_reflect_the_trace() {
+        let mut t = WriteTrace::new();
+        // Page 0 written 6 times, page 1 written 2 times => normalised 1.5 and 0.5.
+        for p in [0u64, 0, 0, 1, 0, 0, 1, 0] {
+            t.record(p);
+        }
+        let w = TraceWorkload::with_empirical_frequencies("skewed", &t);
+        assert!((w.update_frequency(0).unwrap() - 1.5).abs() < 1e-12);
+        assert!((w.update_frequency(1).unwrap() - 0.5).abs() < 1e-12);
+        // Plain trace workloads expose no frequencies.
+        let plain = TraceWorkload::new("plain", &t);
+        assert!(plain.update_frequency(0).is_none());
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = WriteTrace::new();
+        assert!(t.is_empty());
+        let mut w = TraceWorkload::new("empty", &t);
+        assert_eq!(w.next_page(), 0);
+        assert_eq!(w.num_pages(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Uniformly distributed page writes (paper §2.2 and Figure 5a).
+
+use crate::{PageId, PageWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every page is equally likely to be written.
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    num_pages: u64,
+    rng: StdRng,
+}
+
+impl UniformWorkload {
+    /// Create a uniform workload over `num_pages` pages with a deterministic seed.
+    pub fn new(num_pages: u64, seed: u64) -> Self {
+        assert!(num_pages > 0, "workload needs at least one page");
+        Self { num_pages, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl PageWorkload for UniformWorkload {
+    fn name(&self) -> String {
+        "uniform".to_string()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn next_page(&mut self) -> PageId {
+        self.rng.gen_range(0..self.num_pages)
+    }
+
+    fn update_frequency(&self, _page: PageId) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram;
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let mut a = UniformWorkload::new(1000, 42);
+        let mut b = UniformWorkload::new(1000, 42);
+        let xs: Vec<_> = (0..100).map(|_| a.next_page()).collect();
+        let ys: Vec<_> = (0..100).map(|_| b.next_page()).collect();
+        assert_eq!(xs, ys);
+        let mut c = UniformWorkload::new(1000, 43);
+        let zs: Vec<_> = (0..100).map(|_| c.next_page()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn roughly_uniform_coverage() {
+        let mut w = UniformWorkload::new(100, 7);
+        let h = histogram(&mut w, 100_000);
+        // Each page expects ~1000 hits; allow generous slack.
+        assert!(h.iter().all(|&c| c > 700 && c < 1300), "histogram too skewed: {h:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pages_rejected() {
+        UniformWorkload::new(0, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Zipfian page-write distributions (paper §6.2, Figures 4 and 5).
+//!
+//! The paper evaluates two skew levels: the "80-20" Zipfian with factor θ = 0.99 and the
+//! "90-10" Zipfian with θ = 1.35. Unlike the two-pool hot-cold distribution, every page
+//! has a *unique* update frequency, which makes frequency estimation genuinely hard and
+//! is why the paper calls it "more complex and realistic".
+//!
+//! The sampler is the standard rejection-free inverse-CDF approximation popularised by
+//! Gray et al. and used in YCSB. The harmonic normalisation constant `ζ(n, θ)` is
+//! computed once at construction (O(n)).
+
+use crate::{PageId, PageWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipfian distribution over `0..num_pages` where rank 0 is the hottest page.
+///
+/// By default rank equals page id (page 0 is hottest). Use
+/// [`ZipfianWorkload::scrambled`] to spread hot pages pseudo-randomly over the id space;
+/// placement in segments depends only on write order, so both variants produce the same
+/// cleaning behaviour, but the scrambled variant is more realistic when page ids carry
+/// meaning (e.g. B+-tree page numbers).
+#[derive(Debug, Clone)]
+pub struct ZipfianWorkload {
+    num_pages: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    /// Multiplier of the rank → page permutation `(rank · mul) mod n` (1 = identity).
+    /// Chosen coprime with `num_pages`, so the permutation is a bijection.
+    scramble_mul: u64,
+    /// Modular inverse of `scramble_mul` modulo `num_pages` (1 for the identity).
+    scramble_inv: u64,
+    rng: StdRng,
+}
+
+impl ZipfianWorkload {
+    /// Create a Zipfian workload with skew `theta` (0 < θ, θ ≠ 1; θ = 0.99 and 1.35 are
+    /// the paper's settings).
+    pub fn new(num_pages: u64, theta: f64, seed: u64) -> Self {
+        Self::with_scramble(num_pages, theta, seed, 1)
+    }
+
+    /// Like [`ZipfianWorkload::new`] but hot ranks are spread over the page-id space by
+    /// the bijection `page = (rank · m) mod num_pages` with `m` coprime to `num_pages`.
+    pub fn scrambled(num_pages: u64, theta: f64, seed: u64) -> Self {
+        let mut mul = (0x9E37_79B9_7F4A_7C15u64 % num_pages.max(1)).max(1);
+        if num_pages > 1 {
+            while gcd(mul, num_pages) != 1 {
+                mul = (mul + 1) % num_pages;
+                if mul == 0 {
+                    mul = 1;
+                }
+            }
+        } else {
+            mul = 1;
+        }
+        Self::with_scramble(num_pages, theta, seed, mul)
+    }
+
+    fn with_scramble(num_pages: u64, theta: f64, seed: u64, scramble_mul: u64) -> Self {
+        assert!(num_pages > 0, "workload needs at least one page");
+        assert!(theta > 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be > 0 and != 1");
+        let zetan = Self::zeta(num_pages, theta);
+        let zeta2 = Self::zeta(2.min(num_pages), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / num_pages as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let scramble_inv = if scramble_mul == 1 {
+            1
+        } else {
+            mod_inverse(scramble_mul % num_pages, num_pages)
+                .expect("scramble multiplier is constructed coprime with num_pages")
+        };
+        Self {
+            num_pages,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble_mul,
+            scramble_inv,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Harmonic-like normalisation `ζ(n, θ) = Σ_{i=1..n} 1/i^θ`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn next_rank(&mut self) -> u64 {
+        let n = self.num_pages as f64;
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (n * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.num_pages - 1)
+    }
+
+    /// Probability mass of a given rank (rank 0 is the hottest).
+    pub fn rank_probability(&self, rank: u64) -> f64 {
+        1.0 / ((rank + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    #[inline]
+    fn page_for_rank(&self, rank: u64) -> PageId {
+        if self.scramble_mul == 1 {
+            rank
+        } else {
+            mulmod(rank, self.scramble_mul, self.num_pages)
+        }
+    }
+
+    #[inline]
+    fn page_to_rank(&self, page: PageId) -> u64 {
+        if self.scramble_mul == 1 {
+            page
+        } else {
+            mulmod(page, self.scramble_inv, self.num_pages)
+        }
+    }
+}
+
+/// `(a * b) % m` without overflow.
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Greatest common divisor.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse via the extended Euclidean algorithm, if it exists.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+impl PageWorkload for ZipfianWorkload {
+    fn name(&self) -> String {
+        format!("zipfian-{:.2}", self.theta)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn next_page(&mut self) -> PageId {
+        let rank = self.next_rank();
+        self.page_for_rank(rank)
+    }
+
+    fn update_frequency(&self, page: PageId) -> Option<f64> {
+        let rank = self.page_to_rank(page);
+        Some(self.rank_probability(rank) * self.num_pages as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram;
+
+    #[test]
+    fn rank_probabilities_sum_to_one() {
+        let w = ZipfianWorkload::new(1000, 0.99, 1);
+        let sum: f64 = (0..1000).map(|r| w.rank_probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum of probabilities is {sum}");
+    }
+
+    #[test]
+    fn empirical_skew_matches_theory_for_theta_099() {
+        // With θ = 0.99 over 1000 pages, the hottest 20% of ranks should absorb roughly
+        // 70-85% of the writes ("80-20" in the paper's terminology).
+        let mut w = ZipfianWorkload::new(1000, 0.99, 7);
+        let h = histogram(&mut w, 200_000);
+        let hot: u64 = h[..200].iter().sum();
+        let frac = hot as f64 / 200_000.0;
+        let expected: f64 = (0..200).map(|r| w.rank_probability(r)).sum();
+        assert!((frac - expected).abs() < 0.02, "empirical {frac} vs theoretical {expected}");
+        assert!(frac > 0.65 && frac < 0.9, "hot fraction {frac} outside 80-20 territory");
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut a = ZipfianWorkload::new(1000, 0.99, 3);
+        let mut b = ZipfianWorkload::new(1000, 1.35, 3);
+        let ha = histogram(&mut a, 100_000);
+        let hb = histogram(&mut b, 100_000);
+        let top_a: u64 = ha[..100].iter().sum();
+        let top_b: u64 = hb[..100].iter().sum();
+        assert!(top_b > top_a, "theta=1.35 should concentrate more than theta=0.99");
+    }
+
+    #[test]
+    fn frequencies_are_monotone_in_rank() {
+        let w = ZipfianWorkload::new(100, 0.99, 1);
+        let f0 = w.update_frequency(0).unwrap();
+        let f50 = w.update_frequency(50).unwrap();
+        let f99 = w.update_frequency(99).unwrap();
+        assert!(f0 > f50 && f50 > f99);
+        assert!(f0 > 1.0 && f99 < 1.0);
+    }
+
+    #[test]
+    fn scrambled_variant_produces_valid_pages_and_consistent_frequencies() {
+        for n in [997u64, 1000, 1024, 6] {
+            let mut w = ZipfianWorkload::scrambled(n, 0.99, 5);
+            for _ in 0..5_000 {
+                let p = w.next_page();
+                assert!(p < n);
+            }
+            // Exact frequencies must still be a permutation of the rank probabilities:
+            // the normalised frequencies sum to n.
+            let sum: f64 = (0..n).map(|p| w.update_frequency(p).unwrap()).sum();
+            assert!((sum / n as f64 - 1.0).abs() < 1e-9, "n={n}: sum/n = {}", sum / n as f64);
+        }
+    }
+
+    #[test]
+    fn scramble_round_trip_rank_page() {
+        for n in [1000u64, 997, 4096] {
+            let w = ZipfianWorkload::scrambled(n, 0.99, 5);
+            for rank in [0u64, 1, 2, 17, n / 2, n - 1] {
+                let page = w.page_for_rank(rank);
+                assert_eq!(w.page_to_rank(page), rank, "n={n}: rank {rank} did not round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let mut a = ZipfianWorkload::new(1000, 1.35, 123);
+        let mut b = ZipfianWorkload::new(1000, 1.35, 123);
+        for _ in 0..200 {
+            assert_eq!(a.next_page(), b.next_page());
+        }
+    }
+
+    #[test]
+    fn helper_number_theory_functions() {
+        assert_eq!(mod_inverse(3, 10), Some(7));
+        assert_eq!(mod_inverse(2, 10), None);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(mulmod(u64::MAX - 1, u64::MAX - 1, 1_000_000_007), {
+            (((u64::MAX - 1) as u128 * (u64::MAX - 1) as u128) % 1_000_000_007u128) as u64
+        });
+    }
+}

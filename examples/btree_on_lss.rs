@@ -1,0 +1,58 @@
+//! The B+-tree storage engine running directly on the log-structured store — the stack
+//! the paper's Figure 6 studies (B+-tree pages written to a log-structured device), here
+//! end to end in one process: tree → buffer pool → LogStore with MDC cleaning.
+//!
+//! Run with: `cargo run --release --example btree_on_lss`
+
+use lss::btree::{BTree, BufferPool, LssPageStore};
+use lss::core::policy::PolicyKind;
+use lss::core::{LogStore, StoreConfig};
+
+fn main() -> lss::core::Result<()> {
+    // A small device plus a small buffer pool, so tree page rewrites actually reach the
+    // log-structured store and its cleaner.
+    let mut config = StoreConfig::paper_default().with_policy(PolicyKind::Mdc);
+    config.segment_bytes = 128 * 1024;
+    config.num_segments = 32;
+    config.sort_buffer_segments = 2;
+    config.cleaning.trigger_free_segments = 6;
+    config.cleaning.segments_per_cycle = 8;
+    config.absorb_updates_in_buffer = false;
+
+    let store = LogStore::open_in_memory(config.clone())?;
+    let pool = BufferPool::new(LssPageStore::new(store, config.page_bytes), 64);
+    let mut tree = BTree::open(pool)?;
+
+    // Insert an ordered data set, then update a hot key range repeatedly — B+-tree page
+    // rewrites are exactly the kind of skewed page-write stream MDC is designed for.
+    for i in 0..20_000u32 {
+        tree.insert(format!("order:{i:08}").as_bytes(), format!("line-items-for-order-{i}").as_bytes())?;
+    }
+    for round in 0..30u32 {
+        for i in 0..2_000u32 {
+            // Scatter the updates over the whole key space so the working set exceeds the
+            // buffer pool and the resulting page rewrites reach the log-structured store.
+            let order = (round.wrapping_mul(104_729).wrapping_add(i * 37)) % 20_000;
+            tree.insert(
+                format!("order:{order:08}").as_bytes(),
+                format!("updated-round-{round}-order-{order}").as_bytes(),
+            )?;
+        }
+    }
+
+    let from = b"order:00000500".to_vec();
+    let to = b"order:00000510".to_vec();
+    let window = tree.range(&from, &to)?;
+    println!("range scan [{}..{}) returned {} orders", 500, 510, window.len());
+    println!("tree height is implicit; keys stored = {}", tree.len());
+    println!("buffer pool hit ratio = {:.3}", tree.pool_stats().hit_ratio());
+
+    // Push everything down to the log-structured store and look at its cleaning stats.
+    let lss = tree.into_store()?.into_inner();
+    let stats = lss.stats();
+    println!("LogStore user pages written  = {}", stats.user_pages_written);
+    println!("LogStore GC pages relocated  = {}", stats.gc_pages_written);
+    println!("LogStore write amplification = {:.3}", stats.write_amplification());
+    println!("LogStore segments cleaned    = {}", stats.segments_cleaned);
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # lss — a log-structured store with Minimum Declining Cost cleaning
+//!
+//! This is the umbrella crate of the workspace reproducing
+//! *Efficiently Reclaiming Space in a Log Structured Store* (Lomet & Luo, ICDE 2021).
+//! It re-exports the individual crates so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`core`] — the log-structured page store and the cleaning policies (the paper's
+//!   contribution lives in [`core::policy::mdc`]).
+//! * [`sim`] — the evaluation simulator used to regenerate the paper's figures.
+//! * [`workload`] — synthetic and trace-driven workload generators.
+//! * [`analysis`] — the closed-form analytical models behind Tables 1 and 2.
+//! * [`btree`] — a B+-tree page storage engine substrate.
+//! * [`tpcc`] — a TPC-C-style workload used to produce page-write traces.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lss::core::{LogStore, StoreConfig, policy::PolicyKind};
+//!
+//! let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
+//! let mut store = LogStore::open_in_memory(config).unwrap();
+//! store.put(42, b"hello world").unwrap();
+//! assert_eq!(store.get(42).unwrap().unwrap().as_ref(), b"hello world");
+//! ```
+
+pub use lss_analysis as analysis;
+pub use lss_btree as btree;
+pub use lss_core as core;
+pub use lss_sim as sim;
+pub use lss_tpcc as tpcc;
+pub use lss_workload as workload;

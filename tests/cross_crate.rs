@@ -1,0 +1,191 @@
+//! Integration tests spanning the workspace crates: the analytical models, the
+//! simulator, the real store, the workload generators and the TPC-C/B+-tree substrates
+//! must tell one consistent story — the paper's story.
+
+use lss::analysis::hotcold::{HotColdAnalysis, HotColdSpec};
+use lss::analysis::table1::uniform_emptiness;
+use lss::analysis::write_amplification;
+use lss::core::config::SeparationConfig;
+use lss::core::policy::PolicyKind;
+use lss::core::{LogStore, StoreConfig};
+use lss::sim::{run_simulation, SimConfig};
+use lss::tpcc::{TpccConfig, TpccDriver};
+use lss::workload::{HotColdWorkload, PageWorkload, TraceWorkload, UniformWorkload};
+
+fn small_sim(policy: PolicyKind, fill: f64) -> SimConfig {
+    SimConfig::small_for_tests(policy).with_num_segments(128).with_fill_factor(fill)
+}
+
+fn run(policy: PolicyKind, fill: f64, mk: impl Fn(u64) -> Box<dyn PageWorkload>) -> f64 {
+    let config = small_sim(policy, fill);
+    let mut w = mk(config.logical_pages());
+    let total = config.physical_pages() * 16;
+    run_simulation(&config, w.as_mut(), total, total / 4).write_amplification
+}
+
+/// Paper §8.1 "Analysis-Simulation Agreement", uniform case: the simulator's write
+/// amplification under a uniform workload tracks the Table 1 fixpoint for both greedy and
+/// MDC-opt.
+#[test]
+fn simulation_matches_analysis_under_uniform_updates() {
+    let fill = 0.8;
+    let expected = write_amplification(uniform_emptiness(fill));
+    for policy in [PolicyKind::Greedy, PolicyKind::MdcOpt] {
+        let wamp = run(policy, fill, |pages| Box::new(UniformWorkload::new(pages, 3)));
+        let rel = (wamp - expected).abs() / expected;
+        assert!(
+            rel < 0.35,
+            "{policy:?}: simulated Wamp {wamp:.3} vs analytical {expected:.3} (rel err {rel:.2})"
+        );
+    }
+}
+
+/// Paper §8.1, hot/cold case: MDC-opt approaches the Table 2 analytical optimum and the
+/// paper's ordering between algorithms holds (MDC-opt <= MDC < greedy under skew).
+#[test]
+fn simulation_matches_hotcold_analysis_and_paper_ordering() {
+    let fill = 0.8;
+    let spec = HotColdSpec::from_skew_percent(90);
+    let opt = HotColdAnalysis::minimum_cost(fill, spec).min_write_amplification;
+
+    let mk = |pages| -> Box<dyn PageWorkload> { Box::new(HotColdWorkload::from_skew_percent(pages, 90, 9)) };
+    let greedy = run(PolicyKind::Greedy, fill, mk);
+    let mdc = run(PolicyKind::Mdc, fill, mk);
+    let mdc_opt = run(PolicyKind::MdcOpt, fill, mk);
+
+    assert!(
+        mdc_opt < greedy,
+        "MDC-opt ({mdc_opt:.3}) must beat greedy ({greedy:.3}) on a 90:10 workload"
+    );
+    assert!(
+        mdc < greedy * 1.05,
+        "MDC ({mdc:.3}) should not be worse than greedy ({greedy:.3}) under skew"
+    );
+    // MDC-opt approaches the analytical optimum from above (small-store effects allow
+    // some slack but not a different regime).
+    assert!(
+        mdc_opt > opt * 0.5 && mdc_opt < opt * 2.5 + 0.3,
+        "MDC-opt ({mdc_opt:.3}) should be in the neighbourhood of the analytical optimum ({opt:.3})"
+    );
+}
+
+/// Figure 4's qualitative finding at test scale: with oracle (exact) frequency keys, a
+/// 16-segment sort buffer must not lose to writing pages straight through (at paper
+/// scale it clearly wins; the full sweep is the `fig4` bench binary). The miniature
+/// geometry used in unit tests makes the second-order effect noisy, so the assertion is
+/// a non-inferiority bound rather than a strict win.
+#[test]
+fn sort_buffer_with_oracle_keys_does_not_hurt() {
+    let fill = 0.8;
+    let config0 = small_sim(PolicyKind::MdcOpt, fill).with_sort_buffer_segments(0);
+    let config16 = small_sim(PolicyKind::MdcOpt, fill).with_sort_buffer_segments(16);
+    let total = config0.physical_pages() * 16;
+    let mut w0 = HotColdWorkload::from_skew_percent(config0.logical_pages(), 90, 17);
+    let mut w16 = HotColdWorkload::from_skew_percent(config16.logical_pages(), 90, 17);
+    let r0 = run_simulation(&config0, &mut w0, total, total / 4);
+    let r16 = run_simulation(&config16, &mut w16, total, total / 4);
+    assert!(
+        r16.write_amplification < r0.write_amplification * 1.15,
+        "16-segment sort buffer ({:.3}) should not lose clearly to no buffering ({:.3})",
+        r16.write_amplification,
+        r0.write_amplification
+    );
+}
+
+/// Figure 3's qualitative finding at test scale: with oracle frequency keys, grouping
+/// pages by update frequency (full separation) must not lose to no grouping, and the
+/// no-grouping oracle variant behaves like greedy-with-MDC-selection.
+#[test]
+fn separation_ablation_with_oracle_keys() {
+    let fill = 0.8;
+    let mk = |pages| -> Box<dyn PageWorkload> { Box::new(HotColdWorkload::from_skew_percent(pages, 90, 5)) };
+    let run_sep = |sep: SeparationConfig| {
+        let config = small_sim(PolicyKind::MdcOpt, fill).with_separation(sep);
+        let mut w = mk(config.logical_pages());
+        let total = config.physical_pages() * 16;
+        run_simulation(&config, w.as_mut(), total, total / 4).write_amplification
+    };
+    let full = run_sep(SeparationConfig::full());
+    let none = run_sep(SeparationConfig::none());
+    assert!(
+        full < none * 1.05,
+        "full separation ({full:.3}) should not lose to no separation ({none:.3})"
+    );
+}
+
+/// The real store, driven by the same skewed workload, shows the same qualitative win for
+/// MDC over greedy that the simulator shows — the policies are literally the same code,
+/// but here they run against real segment images, a device and a page table.
+#[test]
+fn real_store_reproduces_the_simulator_ordering() {
+    let mut config = StoreConfig::small_for_tests();
+    config.num_segments = 128;
+    config.sort_buffer_segments = 8;
+    let pages = config.logical_pages_for_fill_factor(0.8) as u64;
+    let payload = vec![9u8; config.page_bytes];
+
+    let mut wamp = std::collections::HashMap::new();
+    for policy in [PolicyKind::Greedy, PolicyKind::MdcOpt] {
+        let mut store = LogStore::open_in_memory(config.clone().with_policy(policy)).unwrap();
+        for p in 0..pages {
+            store.put(p, &payload).unwrap();
+        }
+        store.reset_stats();
+        let mut workload = HotColdWorkload::from_skew_percent(pages, 90, 4);
+        for _ in 0..(config.physical_pages() as u64 * 6) {
+            store.put(workload.next_page(), &payload).unwrap();
+        }
+        store.flush().unwrap();
+        wamp.insert(policy, store.stats().write_amplification());
+        // Data integrity under cleaning.
+        for p in (0..pages).step_by(97) {
+            assert!(store.get(p).unwrap().is_some(), "{policy:?} lost page {p}");
+        }
+    }
+    // Note: the real store's MDC-opt has no oracle frequencies (they are a simulator
+    // feature), so it runs on estimates; it must still not lose badly to greedy, and
+    // usually wins.
+    let greedy = wamp[&PolicyKind::Greedy];
+    let mdc = wamp[&PolicyKind::MdcOpt];
+    assert!(
+        mdc < greedy * 1.15,
+        "store-level MDC ({mdc:.3}) should be competitive with greedy ({greedy:.3})"
+    );
+}
+
+/// End-to-end Figure 6 pipeline at miniature scale: TPC-C on the B+-tree produces a
+/// trace, the trace replays through the simulator, and MDC does not lose to age-based
+/// cleaning on it.
+#[test]
+fn tpcc_trace_pipeline_end_to_end() {
+    let mut driver = TpccDriver::new(TpccConfig::tiny_for_tests()).unwrap();
+    driver.run(2_000).unwrap();
+    let (trace, distinct) = driver.finish().unwrap();
+    assert!(trace.len() > 500, "expected a non-trivial trace, got {}", trace.len());
+
+    let fill = 0.7;
+    let pages_per_segment = 32;
+    let mut results = Vec::new();
+    for policy in [PolicyKind::Age, PolicyKind::Mdc] {
+        let workload = TraceWorkload::with_empirical_frequencies("tpcc", &trace);
+        let num_segments =
+            ((workload.num_pages() as f64 / fill / pages_per_segment as f64).ceil() as usize).max(48);
+        let config = SimConfig {
+            pages_per_segment,
+            num_segments,
+            fill_factor: fill,
+            policy,
+            ..SimConfig::small_for_tests(policy)
+        };
+        let mut w = workload;
+        let total = (config.physical_pages() * 10).max(trace.len() as u64);
+        results.push(run_simulation(&config, &mut w, total, total / 4));
+    }
+    let age = results[0].write_amplification;
+    let mdc = results[1].write_amplification;
+    assert!(distinct > 0);
+    assert!(
+        mdc <= age * 1.05,
+        "MDC ({mdc:.3}) should not lose to age ({age:.3}) on the TPC-C trace"
+    );
+}

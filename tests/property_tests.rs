@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) for the core invariants of the workspace:
+//!
+//! * the log-structured store behaves exactly like a `HashMap` under arbitrary
+//!   put/delete/overwrite sequences, across flushes, cleaning and crash recovery;
+//! * the B+-tree behaves exactly like a `BTreeMap` under arbitrary operation sequences;
+//! * segment images and write traces round-trip through their binary encodings;
+//! * the analytical fixpoint respects its defining equation for arbitrary fill factors.
+
+use lss::btree::{BTree, BufferPool, MemPageStore};
+use lss::core::layout::{decode_segment, SegmentBuilder};
+use lss::core::policy::PolicyKind;
+use lss::core::{LogStore, SegmentId, StoreConfig};
+use lss::workload::{PageWorkload, WriteTrace, ZipfianWorkload};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// One user-level operation against the store.
+#[derive(Debug, Clone)]
+enum Op {
+    Put { page: u64, len: usize, fill: u8 },
+    Delete { page: u64 },
+}
+
+fn op_strategy(max_page: u64, max_len: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..max_page, 1..max_len, any::<u8>())
+            .prop_map(|(page, len, fill)| Op::Put { page, len, fill }),
+        1 => (0..max_page).prop_map(|page| Op::Delete { page }),
+    ]
+}
+
+fn expected_payload(len: usize, fill: u8) -> Vec<u8> {
+    let mut v = vec![fill; len];
+    if len >= 8 {
+        v[..8].copy_from_slice(&(len as u64).to_le_bytes());
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The store is a faithful map under arbitrary operation sequences, including after a
+    /// flush + full crash recovery from the device.
+    #[test]
+    fn store_matches_hashmap_model(ops in proptest::collection::vec(op_strategy(40, 180), 1..300)) {
+        let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
+        let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Put { page, len, fill } => {
+                    let payload = expected_payload(len, fill);
+                    store.put(page, &payload).unwrap();
+                    model.insert(page, payload);
+                }
+                Op::Delete { page } => {
+                    store.delete(page).unwrap();
+                    model.remove(&page);
+                }
+            }
+        }
+        // Live state matches the model before any flush (reads served from buffers).
+        for (&page, value) in &model {
+            let got = store.get(page).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+        for page in 0..40u64 {
+            if !model.contains_key(&page) {
+                prop_assert!(store.get(page).unwrap().is_none());
+            }
+        }
+
+        // After flush + recovery from the raw device, the state is identical.
+        store.flush().unwrap();
+        let device = store.into_device();
+        let mut recovered = LogStore::recover_with_device(config, device).unwrap();
+        prop_assert_eq!(recovered.live_pages(), model.len());
+        for (&page, value) in &model {
+            let got = recovered.get(page).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+    }
+
+    /// The B+-tree is a faithful ordered map under arbitrary operation sequences.
+    #[test]
+    fn btree_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(200, 40), 1..400)) {
+        let pool = BufferPool::new(MemPageStore::new(512), 32);
+        let mut tree = BTree::open(pool).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Put { page, len, fill } => {
+                    let key = format!("key-{page:06}").into_bytes();
+                    let value = expected_payload(len.min(60), fill);
+                    tree.insert(&key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                Op::Delete { page } => {
+                    let key = format!("key-{page:06}").into_bytes();
+                    let existed = model.remove(&key).is_some();
+                    prop_assert_eq!(tree.delete(&key).unwrap(), existed);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len() as usize, model.len());
+        for (key, value) in &model {
+            let got = tree.get(key).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+        // Full ordered scan equals the model's iteration order.
+        let scanned = tree.range(b"", b"zzzzzzzzzzzz").unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Segment images round-trip arbitrary page batches (ids, payload sizes, tombstones).
+    #[test]
+    fn segment_layout_roundtrips(
+        pages in proptest::collection::vec((any::<u64>(), 0..200usize, any::<bool>()), 0..20)
+    ) {
+        let segment_bytes = 8192;
+        let mut builder = SegmentBuilder::new(segment_bytes);
+        let mut pushed = Vec::new();
+        for (i, (page, len, tombstone)) in pages.iter().enumerate() {
+            if *tombstone {
+                if builder.fits(0) {
+                    builder.push_tombstone(*page, i as u64);
+                    pushed.push((*page, None));
+                }
+            } else if builder.fits(*len) {
+                let payload = vec![(i % 251) as u8; *len];
+                builder.push_page(*page, i as u64, &payload);
+                pushed.push((*page, Some(payload)));
+            }
+        }
+        let (image, _) = builder.finish(7, 100, 50);
+        prop_assert_eq!(image.len(), segment_bytes);
+        let parsed = decode_segment(SegmentId(0), &image).unwrap().unwrap();
+        prop_assert_eq!(parsed.entries.len(), pushed.len());
+        for (entry, (page, payload)) in parsed.entries.iter().zip(&pushed) {
+            prop_assert_eq!(entry.page_id, *page);
+            match payload {
+                None => prop_assert!(entry.is_tombstone()),
+                Some(p) => {
+                    let got = &image[entry.offset as usize..(entry.offset + entry.len) as usize];
+                    prop_assert_eq!(got, p.as_slice());
+                }
+            }
+        }
+    }
+
+    /// Write traces round-trip their binary file format.
+    #[test]
+    fn write_trace_roundtrips(writes in proptest::collection::vec(any::<u64>(), 0..2000)) {
+        let trace = WriteTrace { writes };
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = WriteTrace::read_from(&buf[..]).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// The Table 1 fixpoint actually satisfies E = 1 - e^(-E/F) and always beats the
+    /// average slack 1 - F.
+    #[test]
+    fn uniform_emptiness_satisfies_its_equation(f in 0.05f64..0.99) {
+        let e = lss::analysis::table1::uniform_emptiness(f);
+        let rhs = 1.0 - (-e / f).exp();
+        prop_assert!((e - rhs).abs() < 1e-9, "E={e} is not a fixpoint at F={f}");
+        prop_assert!(e >= 1.0 - f - 1e-9, "E={e} below the average slack at F={f}");
+        prop_assert!(e < 1.0);
+    }
+
+    /// Zipfian exact frequencies are a proper probability assignment regardless of theta
+    /// and population size.
+    #[test]
+    fn zipfian_frequencies_are_normalised(n in 2u64..400, theta in 0.3f64..1.6) {
+        prop_assume!((theta - 1.0).abs() > 0.01);
+        let w = ZipfianWorkload::new(n, theta, 1);
+        let sum: f64 = (0..n).map(|p| w.update_frequency(p).unwrap()).sum();
+        prop_assert!((sum / n as f64 - 1.0).abs() < 1e-6);
+    }
+}
+
+/// Non-proptest sanity companion: the store model test above exercises small stores; this
+/// checks one deterministic long-run case with heavy overwrites so cleaning definitely
+/// participates in the model equivalence.
+#[test]
+fn store_model_with_forced_cleaning() {
+    let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Greedy);
+    let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let pages = config.logical_pages_for_fill_factor(0.6) as u64;
+    let mut workload = ZipfianWorkload::new(pages, 0.99, 11);
+    for i in 0..(config.physical_pages() as u64 * 6) {
+        let page = workload.next_page();
+        let payload = expected_payload((i % 200 + 8) as usize, (i % 251) as u8);
+        store.put(page, &payload).unwrap();
+        model.insert(page, payload);
+    }
+    assert!(store.stats().cleaning_cycles > 0);
+    for (&page, value) in &model {
+        assert_eq!(store.get(page).unwrap().as_deref(), Some(value.as_slice()));
+    }
+}
