@@ -32,9 +32,15 @@ pub struct HotColdSpec {
 impl HotColdSpec {
     /// The paper's `m:(1−m)` shorthand: `m`% of updates go to `(100−m)`% of the data.
     pub fn from_skew_percent(m: u32) -> Self {
-        assert!((50..=99).contains(&m), "skew percent must be in 50..=99, got {m}");
+        assert!(
+            (50..=99).contains(&m),
+            "skew percent must be in 50..=99, got {m}"
+        );
         let m = m as f64 / 100.0;
-        Self { hot_data_fraction: 1.0 - m, hot_update_fraction: m }
+        Self {
+            hot_data_fraction: 1.0 - m,
+            hot_update_fraction: m,
+        }
     }
 
     /// Fraction of data that is cold.
@@ -99,7 +105,10 @@ fn weighted(
     hot_slack_share: f64,
     per_pool: impl Fn(f64) -> f64,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&hot_slack_share), "slack share must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&hot_slack_share),
+        "slack share must be in [0, 1]"
+    );
     let f_hot = pool_fill_factor(overall_f, spec.hot_data_fraction, hot_slack_share);
     let f_cold = pool_fill_factor(overall_f, spec.cold_data_fraction(), 1.0 - hot_slack_share);
     let e_hot = clamped_emptiness(f_hot);
@@ -133,7 +142,10 @@ impl HotColdAnalysis {
     /// Find the slack split that minimises the update-weighted cleaning cost by golden
     /// section search over `g_hot ∈ (0, 1)`.
     pub fn minimum_cost(overall_f: f64, spec: HotColdSpec) -> Self {
-        assert!(overall_f > 0.0 && overall_f < 1.0, "fill factor must be in (0, 1)");
+        assert!(
+            overall_f > 0.0 && overall_f < 1.0,
+            "fill factor must be in (0, 1)"
+        );
         let cost = |g: f64| cost_for_split(overall_f, spec, g);
         let golden: f64 = (5f64.sqrt() - 1.0) / 2.0;
         let (mut lo, mut hi) = (1e-4, 1.0 - 1e-4);
@@ -222,8 +234,16 @@ mod tests {
                 "{m}: min cost {} vs paper {min_c}",
                 row.min_cost
             );
-            assert!((row.cost_hot_60 - c60).abs() < 0.12, "{m}: 60% split {}", row.cost_hot_60);
-            assert!((row.cost_hot_40 - c40).abs() < 0.12, "{m}: 40% split {}", row.cost_hot_40);
+            assert!(
+                (row.cost_hot_60 - c60).abs() < 0.12,
+                "{m}: 60% split {}",
+                row.cost_hot_60
+            );
+            assert!(
+                (row.cost_hot_40 - c40).abs() < 0.12,
+                "{m}: 40% split {}",
+                row.cost_hot_40
+            );
         }
     }
 

@@ -40,14 +40,23 @@ mod tests {
         // deriving Cost/R/Wamp from the rounded value.
         for (f, e_paper, cost_paper, r_paper, wamp_paper) in cases {
             let e = uniform_emptiness(f);
-            assert!((e - e_paper).abs() < 0.012, "F={f}: E={e} vs paper {e_paper}");
+            assert!(
+                (e - e_paper).abs() < 0.012,
+                "F={f}: E={e} vs paper {e_paper}"
+            );
             assert!((cost_per_segment(e) - cost_paper).abs() < 0.2);
             assert!((emptiness_ratio(e, f) - r_paper).abs() < 0.05);
             assert!((write_amplification(e) - wamp_paper).abs() < 0.12);
         }
 
         // Table 2 spot checks at F = 0.8.
-        let cases = [(90u32, 2.96), (80, 4.00), (70, 4.80), (60, 5.23), (50, 5.38)];
+        let cases = [
+            (90u32, 2.96),
+            (80, 4.00),
+            (70, 4.80),
+            (60, 5.23),
+            (50, 5.38),
+        ];
         for (m, min_cost_paper) in cases {
             let spec = HotColdSpec::from_skew_percent(m);
             let analysis = HotColdAnalysis::minimum_cost(0.8, spec);

@@ -93,7 +93,10 @@ pub fn table1_row(fill_factor: f64) -> Table1Row {
 
 /// Compute the full Table 1 (all fill factors the paper lists).
 pub fn table1() -> Vec<Table1Row> {
-    PAPER_TABLE1_FILL_FACTORS.iter().map(|&f| table1_row(f)).collect()
+    PAPER_TABLE1_FILL_FACTORS
+        .iter()
+        .map(|&f| table1_row(f))
+        .collect()
 }
 
 #[cfg(test)]
@@ -141,7 +144,10 @@ mod tests {
         for f in [0.2, 0.4, 0.6, 0.8, 0.95] {
             let e = uniform_emptiness(f);
             assert!(e < prev, "E should fall as F rises");
-            assert!(e > 1.0 - f - 1e-9, "E must be at least the average slack 1-F");
+            assert!(
+                e > 1.0 - f - 1e-9,
+                "E must be at least the average slack 1-F"
+            );
             prev = e;
         }
     }
@@ -166,7 +172,10 @@ mod tests {
         for r in &rows {
             assert!((r.slack - (1.0 - r.fill_factor)).abs() < 1e-12);
             assert!((r.cost - 2.0 / r.emptiness).abs() < 1e-9);
-            assert!(r.r >= 1.0, "cleaning can never do worse than the average slack");
+            assert!(
+                r.r >= 1.0,
+                "cleaning can never do worse than the average slack"
+            );
         }
     }
 

@@ -20,7 +20,8 @@ fn bench_btree(c: &mut Criterion) {
             let mut tree = BTree::open(pool).unwrap();
             for i in 0..batch {
                 let k = (i.wrapping_mul(2654435761)) % batch;
-                tree.insert(&key(k), b"value-payload-of-a-realistic-size-123456").unwrap();
+                tree.insert(&key(k), b"value-payload-of-a-realistic-size-123456")
+                    .unwrap();
             }
             black_box(tree.len())
         })
@@ -30,7 +31,8 @@ fn bench_btree(c: &mut Criterion) {
         let pool = BufferPool::new(MemPageStore::new(4096), 1024);
         let mut tree = BTree::open(pool).unwrap();
         for i in 0..batch {
-            tree.insert(&key(i), b"value-payload-of-a-realistic-size-123456").unwrap();
+            tree.insert(&key(i), b"value-payload-of-a-realistic-size-123456")
+                .unwrap();
         }
         b.iter(|| {
             let mut found = 0u64;

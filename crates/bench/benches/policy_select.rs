@@ -40,7 +40,10 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_function(kind.paper_name(), |b| {
             let mut policy = kind.build();
             b.iter(|| {
-                let ctx = PolicyContext { unow: 2_000_000, segments: &segments };
+                let ctx = PolicyContext {
+                    unow: 2_000_000,
+                    segments: &segments,
+                };
                 black_box(policy.select_victims(&ctx, 64))
             })
         });

@@ -22,7 +22,7 @@ fn bench_put(c: &mut Criterion) {
         group.bench_function(policy.paper_name(), |b| {
             let config = store_config(policy);
             let pages = config.logical_pages_for_fill_factor(0.7) as u64;
-            let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+            let store = LogStore::open_in_memory(config.clone()).unwrap();
             let payload = vec![0xA5u8; config.page_bytes];
             let mut i = 0u64;
             b.iter(|| {
@@ -46,7 +46,7 @@ fn bench_get(c: &mut Criterion) {
     group.bench_function("MDC", |b| {
         let config = store_config(PolicyKind::Mdc);
         let pages = config.logical_pages_for_fill_factor(0.5) as u64;
-        let mut store = LogStore::open_in_memory(config.clone()).unwrap();
+        let store = LogStore::open_in_memory(config.clone()).unwrap();
         let payload = vec![0x5Au8; config.page_bytes];
         for p in 0..pages {
             store.put(p, &payload).unwrap();

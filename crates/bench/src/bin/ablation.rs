@@ -20,7 +20,10 @@ fn main() {
     let mut results: Vec<SimResult> = Vec::new();
 
     // 1. up2 tracking mode.
-    for (mode, label) in [(Up2Mode::OnOverwrite, "MDC up2=on-overwrite"), (Up2Mode::CarryForwardOnly, "MDC up2=carry-forward")] {
+    for (mode, label) in [
+        (Up2Mode::OnOverwrite, "MDC up2=on-overwrite"),
+        (Up2Mode::CarryForwardOnly, "MDC up2=carry-forward"),
+    ] {
         let point = ExperimentPoint::new(PolicyKind::Mdc, fill);
         let mut config = sim_config(&point, scale);
         config.up2_mode = mode;
@@ -34,10 +37,15 @@ fn main() {
     // 2. Cost-benefit formula (the literal variant cannot sustain F = 0.8; compare at 0.6).
     for (policy, label) in [
         (PolicyKind::CostBenefit, "cost-benefit classic (F=0.6)"),
-        (PolicyKind::CostBenefitPaperLiteral, "cost-benefit literal (F=0.6)"),
+        (
+            PolicyKind::CostBenefitPaperLiteral,
+            "cost-benefit literal (F=0.6)",
+        ),
     ] {
         let point = ExperimentPoint::new(policy, 0.6);
-        let mut r = run_point(&point, scale, |pages| Box::new(ZipfianWorkload::new(pages, 0.99, 42)));
+        let mut r = run_point(&point, scale, |pages| {
+            Box::new(ZipfianWorkload::new(pages, 0.99, 42))
+        });
         r.policy = label.to_string();
         results.push(r);
     }
@@ -45,11 +53,16 @@ fn main() {
     // 3. Separation ablation (MDC variants of Figure 3, but on the Zipfian workload).
     for (sep, label) in [
         (SeparationConfig::full(), "MDC separation=user+GC"),
-        (SeparationConfig::no_user_separation(), "MDC separation=GC-only"),
+        (
+            SeparationConfig::no_user_separation(),
+            "MDC separation=GC-only",
+        ),
         (SeparationConfig::none(), "MDC separation=none"),
     ] {
         let point = ExperimentPoint::new(PolicyKind::Mdc, fill).with_separation(sep, label);
-        let r = run_point(&point, scale, |pages| Box::new(ZipfianWorkload::new(pages, 0.99, 42)));
+        let r = run_point(&point, scale, |pages| {
+            Box::new(ZipfianWorkload::new(pages, 0.99, 42))
+        });
         results.push(r);
     }
 
@@ -68,7 +81,9 @@ fn main() {
     // 5. Sort-buffer size: 0 vs 16 (the full sweep is Figure 4).
     for buf in [0usize, 16] {
         let point = ExperimentPoint::new(PolicyKind::Mdc, fill).with_sort_buffer(buf);
-        let mut r = run_point(&point, scale, |pages| Box::new(ZipfianWorkload::new(pages, 0.99, 42)));
+        let mut r = run_point(&point, scale, |pages| {
+            Box::new(ZipfianWorkload::new(pages, 0.99, 42))
+        });
         r.policy = format!("MDC sort-buffer={buf}");
         results.push(r);
     }

@@ -48,5 +48,8 @@ fn main() {
         opt.mean_emptiness_at_clean = 2.0 / analysis.min_cost;
         all.push(opt);
     }
-    print_results("Figure 3: breakdown analysis on hot-cold distributions (F = 0.8)", &all);
+    print_results(
+        "Figure 3: breakdown analysis on hot-cold distributions (F = 0.8)",
+        &all,
+    );
 }

@@ -38,7 +38,11 @@ impl Dist {
 fn main() {
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let which = args.iter().skip(1).find(|a| !a.starts_with("--")).map(String::as_str);
+    let which = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
     let dists: Vec<Dist> = match which {
         Some("uniform") => vec![Dist::Uniform],
         Some("zipf99") => vec![Dist::Zipf099],
@@ -60,7 +64,10 @@ fn main() {
             }
         }
         print_results(
-            &format!("Figure 5: write amplification vs fill factor — {}", dist.name()),
+            &format!(
+                "Figure 5: write amplification vs fill factor — {}",
+                dist.name()
+            ),
             &results,
         );
     }

@@ -24,9 +24,11 @@ fn main() {
         Scale::Full => (4, 300_000),
     };
 
-    eprintln!("# loading TPC-C ({warehouses} warehouses) and running {transactions} transactions...");
-    let mut driver = TpccDriver::new(TpccConfig::scaled_experiment(warehouses))
-        .expect("TPC-C load failed");
+    eprintln!(
+        "# loading TPC-C ({warehouses} warehouses) and running {transactions} transactions..."
+    );
+    let mut driver =
+        TpccDriver::new(TpccConfig::scaled_experiment(warehouses)).expect("TPC-C load failed");
     driver.run(transactions).expect("TPC-C run failed");
     let tx = driver.stats();
     let (trace, distinct_pages) = driver.finish().expect("trace collection failed");
@@ -45,8 +47,9 @@ fn main() {
     let mut results: Vec<SimResult> = Vec::new();
     for &fill in &fills {
         let workload = TraceWorkload::with_empirical_frequencies("tpcc", &trace);
-        let num_segments =
-            ((workload.num_pages() as f64 / fill / pages_per_segment as f64).ceil() as usize).max(64);
+        let num_segments = ((workload.num_pages() as f64 / fill / pages_per_segment as f64).ceil()
+            as usize)
+            .max(64);
         for policy in PolicyKind::PAPER_FIGURE5 {
             let config = SimConfig {
                 pages_per_segment,
@@ -65,10 +68,14 @@ fn main() {
                 seed: 42,
             };
             let mut w = workload.clone();
-            let total = (config.physical_pages() * scale.writes_multiplier()).max(trace.len() as u64);
+            let total =
+                (config.physical_pages() * scale.writes_multiplier()).max(trace.len() as u64);
             let r = run_simulation(&config, &mut w, total, total / 4);
             results.push(r);
         }
     }
-    print_results("Figure 6: write amplification on TPC-C B+-tree I/O traces", &results);
+    print_results(
+        "Figure 6: write amplification on TPC-C B+-tree I/O traces",
+        &results,
+    );
 }

@@ -27,15 +27,25 @@ fn main() {
         let row = table1_row(f);
         let sim_e = if simulate.contains(&f) {
             let point = ExperimentPoint::new(PolicyKind::MdcOpt, f);
-            let result = run_point(&point, scale, |pages| Box::new(UniformWorkload::new(pages, 42)));
+            let result = run_point(&point, scale, |pages| {
+                Box::new(UniformWorkload::new(pages, 42))
+            });
             format!("{:.3}", result.mean_emptiness_at_clean)
         } else {
             "-".to_string()
         };
         println!(
             "{:>6.3} {:>6.3} {:>9.3} {:>11} {:>8.2} {:>7.2} {:>8.3}",
-            row.fill_factor, row.slack, row.emptiness, sim_e, row.cost, row.r, row.write_amplification
+            row.fill_factor,
+            row.slack,
+            row.emptiness,
+            sim_e,
+            row.cost,
+            row.r,
+            row.write_amplification
         );
     }
-    println!("\n(analysis: fixpoint E = 1 - e^(-E/F); simulation: MDC-opt, geometry per --quick/--full)");
+    println!(
+        "\n(analysis: fixpoint E = 1 - e^(-E/F); simulation: MDC-opt, geometry per --quick/--full)"
+    );
 }

@@ -128,7 +128,9 @@ impl ExperimentPoint {
 
     /// The display label.
     pub fn label(&self) -> String {
-        self.label.clone().unwrap_or_else(|| self.policy.paper_name().to_string())
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.policy.paper_name().to_string())
     }
 }
 

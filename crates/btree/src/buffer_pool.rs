@@ -110,7 +110,11 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Write a page through the pool (kept dirty until evicted or flushed).
     pub fn write(&mut self, page_id: u64, data: Vec<u8>) -> Result<()> {
-        assert_eq!(data.len(), self.store.page_size(), "page {page_id} has the wrong size");
+        assert_eq!(
+            data.len(),
+            self.store.page_size(),
+            "page {page_id} has the wrong size"
+        );
         if let Some(&idx) = self.index.get(&page_id) {
             self.stats.hits += 1;
             let f = &mut self.frames[idx];
@@ -150,13 +154,23 @@ impl<S: PageStore> BufferPool<S> {
     fn install(&mut self, page_id: u64, data: Vec<u8>, dirty: bool) -> Result<()> {
         if self.frames.len() < self.capacity {
             let idx = self.frames.len();
-            self.frames.push(Frame { page_id, data, dirty, referenced: true });
+            self.frames.push(Frame {
+                page_id,
+                data,
+                dirty,
+                referenced: true,
+            });
             self.index.insert(page_id, idx);
             return Ok(());
         }
         let idx = self.evict_one()?;
         self.index.remove(&self.frames[idx].page_id);
-        self.frames[idx] = Frame { page_id, data, dirty, referenced: true };
+        self.frames[idx] = Frame {
+            page_id,
+            data,
+            dirty,
+            referenced: true,
+        };
         self.index.insert(page_id, idx);
         Ok(())
     }
@@ -172,7 +186,10 @@ impl<S: PageStore> BufferPool<S> {
                 continue;
             }
             if self.frames[idx].dirty {
-                let (pid, data) = (self.frames[idx].page_id, std::mem::take(&mut self.frames[idx].data));
+                let (pid, data) = (
+                    self.frames[idx].page_id,
+                    std::mem::take(&mut self.frames[idx].data),
+                );
                 self.store.write_page(pid, &data)?;
                 self.stats.dirty_evictions += 1;
             } else {
@@ -212,12 +229,16 @@ mod tests {
         for i in 0..4u64 {
             pool.write(i, page(i as u8)).unwrap();
         }
-        assert_eq!(pool.store().trace().len(), 0, "nothing should reach the store yet");
+        assert_eq!(
+            pool.store().trace().len(),
+            0,
+            "nothing should reach the store yet"
+        );
         // Overflow the pool: evictions must write dirty pages back.
         for i in 4..10u64 {
             pool.write(i, page(i as u8)).unwrap();
         }
-        assert!(pool.store().trace().len() > 0);
+        assert!(!pool.store().trace().is_empty());
         pool.flush_all().unwrap();
         let (trace, inner) = pool.into_store().unwrap().into_parts();
         // Every written page is durable in the inner store.
@@ -247,7 +268,11 @@ mod tests {
             pool.write(i, page(i as u8)).unwrap();
         }
         for i in 0..32u64 {
-            assert_eq!(pool.read(i).unwrap().unwrap(), page(i as u8), "page {i} lost");
+            assert_eq!(
+                pool.read(i).unwrap().unwrap(),
+                page(i as u8),
+                "page {i} lost"
+            );
         }
     }
 
@@ -258,7 +283,11 @@ mod tests {
         pool.flush_all().unwrap();
         let before = pool.stats().flush_writes;
         pool.flush_all().unwrap();
-        assert_eq!(pool.stats().flush_writes, before, "second flush had nothing to do");
+        assert_eq!(
+            pool.stats().flush_writes,
+            before,
+            "second flush had nothing to do"
+        );
     }
 
     #[test]

@@ -48,13 +48,19 @@ pub struct MetaPage {
 }
 
 fn corrupt(detail: &str) -> Error {
-    Error::CorruptSegment { segment: lss_core::SegmentId(u32::MAX), detail: format!("btree node: {detail}") }
+    Error::CorruptSegment {
+        segment: lss_core::SegmentId(u32::MAX),
+        detail: format!("btree node: {detail}"),
+    }
 }
 
 impl Node {
     /// An empty leaf.
     pub fn empty_leaf() -> Self {
-        Node::Leaf { next: 0, entries: Vec::new() }
+        Node::Leaf {
+            next: 0,
+            entries: Vec::new(),
+        }
     }
 
     /// True if this node is a leaf.
@@ -66,7 +72,12 @@ impl Node {
     pub fn encoded_size(&self) -> usize {
         match self {
             Node::Leaf { entries, .. } => {
-                1 + 2 + 8 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+                1 + 2
+                    + 8
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 4 + k.len() + v.len())
+                        .sum::<usize>()
             }
             Node::Internal { keys, .. } => {
                 1 + 2 + 8 + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
@@ -227,7 +238,10 @@ mod tests {
 
     #[test]
     fn meta_roundtrip() {
-        let m = MetaPage { root: 7, next_page_id: 99 };
+        let m = MetaPage {
+            root: 7,
+            next_page_id: 99,
+        };
         let enc = m.encode(64);
         assert_eq!(MetaPage::decode(&enc).unwrap(), m);
         assert!(MetaPage::decode(&[0u8; 64]).is_err());
@@ -245,7 +259,10 @@ mod tests {
 
     #[test]
     fn mismatched_internal_node_is_rejected() {
-        let node = Node::Internal { keys: vec![b"k".to_vec()], children: vec![1] };
+        let node = Node::Internal {
+            keys: vec![b"k".to_vec()],
+            children: vec![1],
+        };
         assert!(node.encode(128).is_err());
     }
 
@@ -263,7 +280,10 @@ mod tests {
     fn encoded_size_matches_actual_encoding_for_leaves() {
         let node = Node::Leaf {
             next: 1,
-            entries: vec![(b"key".to_vec(), b"value".to_vec()), (b"k2".to_vec(), b"v2".to_vec())],
+            entries: vec![
+                (b"key".to_vec(), b"value".to_vec()),
+                (b"k2".to_vec(), b"v2".to_vec()),
+            ],
         };
         let exact: usize = 1 + 2 + 8 + (4 + 3 + 5) + (4 + 2 + 2);
         assert_eq!(node.encoded_size(), exact);

@@ -43,7 +43,11 @@ pub struct MemPageStore {
 impl MemPageStore {
     /// Create a store for pages of `page_size` bytes.
     pub fn new(page_size: usize) -> Self {
-        Self { page_size, pages: HashMap::new(), writes: 0 }
+        Self {
+            page_size,
+            pages: HashMap::new(),
+            writes: 0,
+        }
     }
 
     /// Number of distinct pages stored.
@@ -127,7 +131,10 @@ pub struct TracingPageStore<S: PageStore> {
 impl<S: PageStore> TracingPageStore<S> {
     /// Wrap a store.
     pub fn new(inner: S) -> Self {
-        Self { inner, trace: WriteTrace::new() }
+        Self {
+            inner,
+            trace: WriteTrace::new(),
+        }
     }
 
     /// The trace recorded so far.
@@ -163,7 +170,7 @@ impl<S: PageStore> PageStore for TracingPageStore<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lss_core::{StoreConfig, policy::PolicyKind};
+    use lss_core::{policy::PolicyKind, StoreConfig};
 
     #[test]
     fn mem_store_roundtrip() {
@@ -184,10 +191,9 @@ mod tests {
 
     #[test]
     fn lss_store_roundtrip() {
-        let store = LogStore::open_in_memory(
-            StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc),
-        )
-        .unwrap();
+        let store =
+            LogStore::open_in_memory(StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc))
+                .unwrap();
         let mut ps = LssPageStore::new(store, 256);
         assert_eq!(ps.page_size(), 256);
         ps.write_page(5, &[3u8; 256]).unwrap();

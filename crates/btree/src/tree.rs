@@ -10,6 +10,10 @@ use crate::node::{MetaPage, Node};
 use crate::page_store::PageStore;
 use lss_core::error::{Error, Result};
 
+/// Outcome of a recursive insert: whether a new key was added, plus the
+/// `(separator, right page)` of a node split when one propagated upward.
+type InsertOutcome = (bool, Option<(Vec<u8>, u64)>);
+
 /// Page id of the metadata page.
 const META_PAGE: u64 = 0;
 
@@ -29,20 +33,30 @@ impl<S: PageStore> BTree<S> {
     pub fn open(mut pool: BufferPool<S>) -> Result<Self> {
         let page_size = pool.page_size();
         if page_size < 64 {
-            return Err(Error::InvalidConfig(format!("page size {page_size} too small for a B+-tree")));
+            return Err(Error::InvalidConfig(format!(
+                "page size {page_size} too small for a B+-tree"
+            )));
         }
         let meta = match pool.read(META_PAGE)? {
             Some(bytes) => MetaPage::decode(&bytes)?,
             None => {
                 // Fresh store: page 1 becomes an empty root leaf.
-                let meta = MetaPage { root: 1, next_page_id: 2 };
+                let meta = MetaPage {
+                    root: 1,
+                    next_page_id: 2,
+                };
                 let root = Node::empty_leaf().encode(page_size)?;
                 pool.write(1, root)?;
                 pool.write(META_PAGE, meta.encode(page_size))?;
                 meta
             }
         };
-        let mut tree = Self { pool, page_size, meta, len: 0 };
+        let mut tree = Self {
+            pool,
+            page_size,
+            meta,
+            len: 0,
+        };
         tree.len = tree.count_keys()?;
         Ok(tree)
     }
@@ -90,7 +104,10 @@ impl<S: PageStore> BTree<S> {
         if let Some((sep, right)) = split {
             // The root split: create a new internal root.
             let new_root_id = self.allocate_page();
-            let new_root = Node::Internal { keys: vec![sep], children: vec![root, right] };
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![root, right],
+            };
             self.write_node(new_root_id, &new_root)?;
             self.meta.root = new_root_id;
             self.write_meta()?;
@@ -143,18 +160,15 @@ impl<S: PageStore> BTree<S> {
         let mut out = Vec::new();
         // Descend to the leaf that would contain `start`.
         let mut page = self.meta.root;
-        loop {
-            match self.read_node(page)? {
-                Node::Internal { keys, children } => {
-                    page = children[child_index(&keys, start)];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { keys, children } = self.read_node(page)? {
+            page = children[child_index(&keys, start)];
         }
         // Walk the leaf chain.
         loop {
             let Node::Leaf { next, entries } = self.read_node(page)? else {
-                return Err(Error::InvalidConfig("leaf chain reached an internal node".into()));
+                return Err(Error::InvalidConfig(
+                    "leaf chain reached an internal node".into(),
+                ));
             };
             for (k, v) in entries {
                 if k.as_slice() >= end {
@@ -192,9 +206,10 @@ impl<S: PageStore> BTree<S> {
     }
 
     fn read_node(&mut self, page: u64) -> Result<Node> {
-        let bytes = self.pool.read(page)?.ok_or_else(|| {
-            Error::InvalidConfig(format!("btree references missing page {page}"))
-        })?;
+        let bytes = self
+            .pool
+            .read(page)?
+            .ok_or_else(|| Error::InvalidConfig(format!("btree references missing page {page}")))?;
         Node::decode(&bytes)
     }
 
@@ -207,12 +222,7 @@ impl<S: PageStore> BTree<S> {
     }
 
     /// Recursive insert. Returns (inserted_new_key, optional split (separator, right page)).
-    fn insert_rec(
-        &mut self,
-        page: u64,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<(bool, Option<(Vec<u8>, u64)>)> {
+    fn insert_rec(&mut self, page: u64, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
         match self.read_node(page)? {
             Node::Leaf { next, mut entries } => {
                 let inserted_new = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
@@ -231,18 +241,35 @@ impl<S: PageStore> BTree<S> {
                     return Ok((inserted_new, None));
                 }
                 // Split the leaf: move the upper half to a new page.
-                let Node::Leaf { next, entries } = node else { unreachable!() };
+                let Node::Leaf { next, entries } = node else {
+                    unreachable!()
+                };
                 let split_at = split_point(&entries, self.page_size);
                 let right_entries = entries[split_at..].to_vec();
                 let left_entries = entries[..split_at].to_vec();
                 let sep = right_entries[0].0.clone();
                 let right_page = self.allocate_page();
-                self.write_node(right_page, &Node::Leaf { next, entries: right_entries })?;
-                self.write_node(page, &Node::Leaf { next: right_page, entries: left_entries })?;
+                self.write_node(
+                    right_page,
+                    &Node::Leaf {
+                        next,
+                        entries: right_entries,
+                    },
+                )?;
+                self.write_node(
+                    page,
+                    &Node::Leaf {
+                        next: right_page,
+                        entries: left_entries,
+                    },
+                )?;
                 self.write_meta()?;
                 Ok((inserted_new, Some((sep, right_page))))
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = child_index(&keys, key);
                 let (inserted_new, split) = self.insert_rec(children[idx], key, value)?;
                 if let Some((sep, right)) = split {
@@ -254,7 +281,9 @@ impl<S: PageStore> BTree<S> {
                         return Ok((inserted_new, None));
                     }
                     // Split the internal node: the middle key moves up.
-                    let Node::Internal { keys, children } = node else { unreachable!() };
+                    let Node::Internal { keys, children } = node else {
+                        unreachable!()
+                    };
                     let mid = keys.len() / 2;
                     let up_key = keys[mid].clone();
                     let right_keys = keys[mid + 1..].to_vec();
@@ -264,11 +293,17 @@ impl<S: PageStore> BTree<S> {
                     let right_page = self.allocate_page();
                     self.write_node(
                         right_page,
-                        &Node::Internal { keys: right_keys, children: right_children },
+                        &Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
                     )?;
                     self.write_node(
                         page,
-                        &Node::Internal { keys: left_keys, children: left_children },
+                        &Node::Internal {
+                            keys: left_keys,
+                            children: left_children,
+                        },
                     )?;
                     self.write_meta()?;
                     return Ok((inserted_new, Some((up_key, right_page))));
@@ -281,16 +316,15 @@ impl<S: PageStore> BTree<S> {
     fn count_keys(&mut self) -> Result<u64> {
         // Walk the leftmost spine to the first leaf, then the leaf chain.
         let mut page = self.meta.root;
-        loop {
-            match self.read_node(page)? {
-                Node::Internal { children, .. } => page = children[0],
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { children, .. } = self.read_node(page)? {
+            page = children[0];
         }
         let mut count = 0u64;
         loop {
             let Node::Leaf { next, entries } = self.read_node(page)? else {
-                return Err(Error::InvalidConfig("leaf chain reached an internal node".into()));
+                return Err(Error::InvalidConfig(
+                    "leaf chain reached an internal node".into(),
+                ));
             };
             count += entries.len() as u64;
             if next == 0 {
@@ -407,7 +441,9 @@ mod tests {
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..3_000 {
@@ -448,7 +484,8 @@ mod tests {
         let pool = BufferPool::new(LssPageStore::new(store, config.page_bytes), 32);
         let mut tree = BTree::open(pool).unwrap();
         for i in 0..500u32 {
-            tree.insert(&key(i), format!("value-{i}").as_bytes()).unwrap();
+            tree.insert(&key(i), format!("value-{i}").as_bytes())
+                .unwrap();
         }
         let lss = tree.into_store().unwrap().into_inner();
 
@@ -459,7 +496,10 @@ mod tests {
         let mut tree2 = BTree::open(pool).unwrap();
         assert_eq!(tree2.len(), 500);
         for i in (0..500u32).step_by(37) {
-            assert_eq!(tree2.get(&key(i)).unwrap().unwrap(), format!("value-{i}").as_bytes());
+            assert_eq!(
+                tree2.get(&key(i)).unwrap().unwrap(),
+                format!("value-{i}").as_bytes()
+            );
         }
     }
 }

@@ -73,8 +73,8 @@ pub struct Checkpoint {
 pub fn to_json(store: &LogStore) -> Result<String> {
     let (unow, next_write_seq) = store.counters();
     let pages = store
-        .mapping()
-        .iter()
+        .mapping_snapshot()
+        .into_iter()
         .map(|(page, loc)| PageRecord {
             page,
             segment: loc.segment.0,
@@ -82,9 +82,8 @@ pub fn to_json(store: &LogStore) -> Result<String> {
             len: loc.len,
         })
         .collect();
-    let segments = store
-        .segment_table()
-        .sealed_stats()
+    let (sealed, next_seal_seq) = store.sealed_segment_records();
+    let segments = sealed
         .into_iter()
         .map(|s| SegmentRecord {
             id: s.id.0,
@@ -101,7 +100,7 @@ pub fn to_json(store: &LogStore) -> Result<String> {
         version: CHECKPOINT_VERSION,
         unow,
         next_write_seq,
-        next_seal_seq: store.segment_table().next_seal_seq(),
+        next_seal_seq,
         pages,
         segments,
     };
@@ -143,7 +142,11 @@ pub fn open_from_checkpoint(
         }
         mapping.insert(
             p.page,
-            PageLocation { segment: SegmentId(p.segment), offset: p.offset, len: p.len },
+            PageLocation {
+                segment: SegmentId(p.segment),
+                offset: p.offset,
+                len: p.len,
+            },
         );
     }
 
@@ -180,7 +183,7 @@ mod tests {
 
     #[test]
     fn checkpoint_roundtrips_through_json() {
-        let mut store = LogStore::open_in_memory(config()).unwrap();
+        let store = LogStore::open_in_memory(config()).unwrap();
         for i in 0..100u64 {
             store.put(i, format!("value-{i}").as_bytes()).unwrap();
         }
@@ -195,10 +198,12 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut store = LogStore::open_in_memory(config()).unwrap();
+        let store = LogStore::open_in_memory(config()).unwrap();
         store.put(1, b"x").unwrap();
         store.flush().unwrap();
-        let json = to_json(&store).unwrap().replace("\"version\":1", "\"version\":99");
+        let json = to_json(&store)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":99");
         assert!(from_json(&json).is_err());
     }
 
@@ -215,7 +220,12 @@ mod tests {
             unow: 0,
             next_write_seq: 1,
             next_seal_seq: 1,
-            pages: vec![PageRecord { page: 1, segment: 9999, offset: 0, len: 1 }],
+            pages: vec![PageRecord {
+                page: 1,
+                segment: 9999,
+                offset: 0,
+                len: 1,
+            }],
             segments: vec![],
         };
         let cfg = config();
@@ -228,7 +238,7 @@ mod tests {
     #[test]
     fn reopen_from_checkpoint_preserves_data_and_keeps_working() {
         let cfg = config();
-        let mut store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
         let pages = cfg.logical_pages_for_fill_factor(0.5) as u64;
         let payload = vec![5u8; cfg.page_bytes];
         for i in 0..(cfg.physical_pages() as u64 * 2) {
@@ -242,10 +252,13 @@ mod tests {
         let device = store.into_device();
         let cp = from_json(&json).unwrap();
         assert_eq!(cp.pages.len(), live_before);
-        let mut reopened = open_from_checkpoint(cfg.clone(), device, &cp).unwrap();
+        let reopened = open_from_checkpoint(cfg.clone(), device, &cp).unwrap();
         assert_eq!(reopened.live_pages(), live_before);
         for i in 0..pages {
-            assert!(reopened.get(i).unwrap().is_some(), "page {i} missing after reopen");
+            assert!(
+                reopened.get(i).unwrap().is_some(),
+                "page {i} missing after reopen"
+            );
         }
         // The reopened store keeps accepting writes and cleaning.
         for i in 0..(cfg.physical_pages() as u64) {

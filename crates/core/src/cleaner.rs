@@ -1,15 +1,14 @@
 //! Cleaning support: extracting the still-live pages of a victim segment and reporting
 //! what a cleaning cycle accomplished.
 //!
-//! The actual cleaning *driver* lives in [`crate::store::LogStore`] (it needs access to
-//! the device, the page table and the open segments); the pure parts — deciding which of
-//! a victim's entries are still current and building the GC write batch — live here so
-//! they can be tested in isolation.
+//! The actual cleaning *driver* lives in `store::gc_driver` (it needs the device, the
+//! sharded page table, the open segments and the quarantine, and runs concurrently with
+//! foreground traffic); the pure parts — deciding which of a victim's entries are still
+//! current and building a GC write batch — live here so they can be tested in isolation.
 
 use crate::freq::carry_forward_gc;
 use crate::layout::ParsedSegment;
-use crate::mapping::PageTable;
-use crate::types::{PageLocation, PageWriteInfo, SegmentId, UpdateTick, WriteOrigin};
+use crate::types::{PageId, PageLocation, PageWriteInfo, SegmentId, UpdateTick, WriteOrigin};
 use crate::write_buffer::PendingPage;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -34,60 +33,87 @@ impl CleaningReport {
     }
 }
 
+/// One still-live page of a victim: the pending GC write plus the victim location the
+/// page must still occupy when the relocation is committed (the cleaner's conflict
+/// check re-tests `is_current` against this location under the write lock).
+#[derive(Debug, Clone)]
+pub struct LivePage {
+    /// The relocation write, carrying the victim's `up2` and the payload copy.
+    pub pending: PendingPage,
+    /// Where the page lived in the victim when it was collected.
+    pub loc: PageLocation,
+}
+
 /// The live pages of one victim segment, ready to be relocated.
 #[derive(Debug)]
 pub struct VictimLivePages {
     /// The victim segment.
     pub victim: SegmentId,
-    /// GC write batch entries: metadata plus payload copied out of the victim's image.
-    pub pages: Vec<PendingPage>,
+    /// GC write batch entries, with their conflict-check locations.
+    pub pages: Vec<LivePage>,
     /// Bytes of live payload found.
     pub live_bytes: u64,
 }
 
 /// Walk a victim segment's entry table and copy out every page that is *still current*
-/// according to the page table.
+/// according to the supplied page-table check (a [`PageTable`], the store's sharded
+/// table, or anything else answering "is this page still at this location?").
 ///
 /// An entry is stale (skipped) if the page has since been overwritten, deleted, or the
 /// entry is a tombstone. The `victim_up2` estimate is carried forward onto every
 /// relocated page (paper §5.2.2, "Garbage Collection Writes").
-pub fn collect_live_pages(
+pub fn collect_live_pages<F>(
     victim: SegmentId,
     image: &[u8],
     parsed: &ParsedSegment,
-    mapping: &PageTable,
+    is_current: F,
     victim_up2: UpdateTick,
-) -> VictimLivePages {
+) -> VictimLivePages
+where
+    F: Fn(PageId, &PageLocation) -> bool,
+{
     let mut pages = Vec::new();
     let mut live_bytes = 0u64;
     for e in &parsed.entries {
         if e.is_tombstone() {
             continue;
         }
-        let loc = PageLocation { segment: victim, offset: e.offset, len: e.len };
-        if !mapping.is_current(e.page_id, &loc) {
+        let loc = PageLocation {
+            segment: victim,
+            offset: e.offset,
+            len: e.len,
+        };
+        if !is_current(e.page_id, &loc) {
             continue;
         }
         let payload = &image[e.offset as usize..(e.offset + e.len) as usize];
         live_bytes += e.len as u64;
-        pages.push(PendingPage {
-            info: PageWriteInfo {
-                page: e.page_id,
-                size: e.len,
-                up2: carry_forward_gc(victim_up2),
-                exact_freq: None,
-                origin: WriteOrigin::Gc,
+        pages.push(LivePage {
+            pending: PendingPage {
+                info: PageWriteInfo {
+                    page: e.page_id,
+                    size: e.len,
+                    up2: carry_forward_gc(victim_up2),
+                    exact_freq: None,
+                    origin: WriteOrigin::Gc,
+                },
+                data: Some(Bytes::copy_from_slice(payload)),
             },
-            data: Some(Bytes::copy_from_slice(payload)),
+            loc,
         });
     }
-    VictimLivePages { victim, pages, live_bytes }
+    VictimLivePages {
+        victim,
+        pages,
+        live_bytes,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::layout::{decode_segment, SegmentBuilder};
+    use crate::mapping::PageTable;
     use crate::types::PageLocation;
 
     /// Build a small segment image holding three pages and a tombstone, then check that
@@ -104,21 +130,59 @@ mod tests {
 
         let mut mapping = PageTable::new();
         // Page 1 still lives here; page 2 was overwritten elsewhere; page 3 lives here.
-        mapping.insert(1, PageLocation { segment: SegmentId(7), offset: off_a, len: 4 });
-        mapping.insert(2, PageLocation { segment: SegmentId(9), offset: 0, len: 4 });
-        mapping.insert(3, PageLocation { segment: SegmentId(7), offset: off_c, len: 6 });
+        mapping.insert(
+            1,
+            PageLocation {
+                segment: SegmentId(7),
+                offset: off_a,
+                len: 4,
+            },
+        );
+        mapping.insert(
+            2,
+            PageLocation {
+                segment: SegmentId(9),
+                offset: 0,
+                len: 4,
+            },
+        );
+        mapping.insert(
+            3,
+            PageLocation {
+                segment: SegmentId(7),
+                offset: off_c,
+                len: 6,
+            },
+        );
 
-        let live = collect_live_pages(SegmentId(7), &image, &parsed, &mapping, 40);
+        let live = collect_live_pages(
+            SegmentId(7),
+            &image,
+            &parsed,
+            |p, l| mapping.is_current(p, l),
+            40,
+        );
         assert_eq!(live.victim, SegmentId(7));
         assert_eq!(live.pages.len(), 2);
         assert_eq!(live.live_bytes, 10);
-        let ids: Vec<u64> = live.pages.iter().map(|p| p.info.page).collect();
+        let ids: Vec<u64> = live.pages.iter().map(|p| p.pending.info.page).collect();
         assert_eq!(ids, vec![1, 3]);
-        // Payloads were copied out correctly and the victim's up2 was carried forward.
-        assert_eq!(live.pages[0].data.as_ref().unwrap().as_ref(), b"aaaa");
-        assert_eq!(live.pages[1].data.as_ref().unwrap().as_ref(), b"cccccc");
-        assert!(live.pages.iter().all(|p| p.info.up2 == 40));
-        assert!(live.pages.iter().all(|p| p.info.origin == WriteOrigin::Gc));
+        // Payloads were copied out correctly, conflict-check locations point into the
+        // victim, and the victim's up2 was carried forward.
+        assert_eq!(
+            live.pages[0].pending.data.as_ref().unwrap().as_ref(),
+            b"aaaa"
+        );
+        assert_eq!(
+            live.pages[1].pending.data.as_ref().unwrap().as_ref(),
+            b"cccccc"
+        );
+        assert!(live.pages.iter().all(|p| p.loc.segment == SegmentId(7)));
+        assert!(live.pages.iter().all(|p| p.pending.info.up2 == 40));
+        assert!(live
+            .pages
+            .iter()
+            .all(|p| p.pending.info.origin == WriteOrigin::Gc));
     }
 
     #[test]
@@ -129,7 +193,13 @@ mod tests {
         let (image, _) = b.finish(1, 10, 5);
         let parsed = decode_segment(SegmentId(0), &image).unwrap().unwrap();
         let mapping = PageTable::new(); // nothing is live
-        let live = collect_live_pages(SegmentId(0), &image, &parsed, &mapping, 5);
+        let live = collect_live_pages(
+            SegmentId(0),
+            &image,
+            &parsed,
+            |p, l| mapping.is_current(p, l),
+            5,
+        );
         assert!(live.pages.is_empty());
         assert_eq!(live.live_bytes, 0);
     }
@@ -142,10 +212,26 @@ mod tests {
         let (image, _) = b.finish(1, 10, 5);
         let parsed = decode_segment(SegmentId(3), &image).unwrap().unwrap();
         let mut mapping = PageTable::new();
-        mapping.insert(8, PageLocation { segment: SegmentId(3), offset: new, len: 4 });
-        let live = collect_live_pages(SegmentId(3), &image, &parsed, &mapping, 5);
+        mapping.insert(
+            8,
+            PageLocation {
+                segment: SegmentId(3),
+                offset: new,
+                len: 4,
+            },
+        );
+        let live = collect_live_pages(
+            SegmentId(3),
+            &image,
+            &parsed,
+            |p, l| mapping.is_current(p, l),
+            5,
+        );
         assert_eq!(live.pages.len(), 1);
-        assert_eq!(live.pages[0].data.as_ref().unwrap().as_ref(), b"new!");
+        assert_eq!(
+            live.pages[0].pending.data.as_ref().unwrap().as_ref(),
+            b"new!"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct SeparationConfig {
 
 impl Default for SeparationConfig {
     fn default() -> Self {
-        Self { separate_user_writes: true, separate_gc_writes: true }
+        Self {
+            separate_user_writes: true,
+            separate_gc_writes: true,
+        }
     }
 }
 
@@ -48,13 +51,19 @@ impl SeparationConfig {
     /// `MDC-no-sep-user`: GC writes are still grouped by frequency but user writes are
     /// packed in arrival order.
     pub fn no_user_separation() -> Self {
-        Self { separate_user_writes: false, separate_gc_writes: true }
+        Self {
+            separate_user_writes: false,
+            separate_gc_writes: true,
+        }
     }
 
     /// `MDC-no-sep-user-GC`: neither stream is grouped; only victim selection differs
     /// from greedy.
     pub fn none() -> Self {
-        Self { separate_user_writes: false, separate_gc_writes: false }
+        Self {
+            separate_user_writes: false,
+            separate_gc_writes: false,
+        }
     }
 }
 
@@ -75,7 +84,11 @@ pub struct CleaningConfig {
 
 impl Default for CleaningConfig {
     fn default() -> Self {
-        Self { trigger_free_segments: 32, segments_per_cycle: 64, reserved_free_segments: 4 }
+        Self {
+            trigger_free_segments: 32,
+            segments_per_cycle: 64,
+            reserved_free_segments: 4,
+        }
     }
 }
 
@@ -214,7 +227,9 @@ impl StoreConfig {
     /// Validate the configuration, returning a descriptive error if it cannot work.
     pub fn validate(&self) -> Result<()> {
         if self.segment_bytes == 0 || self.page_bytes == 0 {
-            return Err(Error::InvalidConfig("segment and page sizes must be non-zero".into()));
+            return Err(Error::InvalidConfig(
+                "segment and page sizes must be non-zero".into(),
+            ));
         }
         if self.page_bytes > crate::layout::payload_capacity(self.segment_bytes, self.page_bytes) {
             return Err(Error::InvalidConfig(format!(
@@ -258,7 +273,7 @@ mod tests {
         // Layout overhead costs a few page slots; the remaining capacity must still be
         // close to the nominal 512 pages of the paper.
         let pps = c.pages_per_segment();
-        assert!(pps >= 500 && pps <= 512, "pages per segment = {pps}");
+        assert!((500..=512).contains(&pps), "pages per segment = {pps}");
     }
 
     #[test]

@@ -2,19 +2,24 @@
 //!
 //! The store talks to storage exclusively in whole segments (one large write per sealed
 //! segment — the defining property of a log-structured store) plus small ranged reads for
-//! serving individual pages. Two implementations are provided:
+//! serving individual pages. All methods take `&self`: devices are internally
+//! synchronised so the concurrent store can serve page reads without funnelling them
+//! through the write path's lock. Two implementations are provided:
 //!
-//! * [`MemDevice`] — segments held in memory; used by tests, the examples, and anywhere a
-//!   volatile store is acceptable.
-//! * [`FileDevice`] — a single preallocated file, one segment per slot; positional I/O.
+//! * [`MemDevice`] — segments held in memory (one `RwLock` per slot); used by tests, the
+//!   examples, and anywhere a volatile store is acceptable.
+//! * [`FileDevice`] — a single preallocated file, one segment per slot; positional I/O
+//!   (`pread`/`pwrite` on Unix, which needs no locking at all).
 //!
 //! Implement [`SegmentDevice`] to plug in anything else (an SSD partition, an object
 //! store, a simulated flash device with erase counters, ...).
 
 use crate::error::{Error, Result};
 use crate::types::SegmentId;
+use parking_lot::{Mutex, RwLock};
 use std::fs::{File, OpenOptions};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Physical geometry of a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,28 +38,34 @@ impl DeviceGeometry {
 }
 
 /// Abstraction over the storage medium holding segment images.
-pub trait SegmentDevice: Send {
+///
+/// Implementations must be internally synchronised (`&self` methods, `Send + Sync`):
+/// the store issues concurrent ranged reads from many threads while one thread writes
+/// sealed segments. Concurrent operations on *different* segment slots must not block
+/// each other more than necessary; the store guarantees it never reads a slot that is
+/// concurrently being written (its segment-pinning protocol, see `store::read_path`).
+pub trait SegmentDevice: Send + Sync {
     /// The device geometry.
     fn geometry(&self) -> DeviceGeometry;
 
     /// Read one whole segment image.
-    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>>;
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>>;
 
     /// Read `len` bytes starting at `offset` within a segment.
-    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>>;
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>>;
 
     /// Write one whole segment image (must be exactly `segment_bytes` long).
-    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()>;
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()>;
 
     /// Erase a segment (mark its slot blank). Optional: the default clears nothing, since
     /// a later `write_segment` will overwrite the slot anyway; `MemDevice` drops the
     /// allocation to return memory.
-    fn erase_segment(&mut self, _seg: SegmentId) -> Result<()> {
+    fn erase_segment(&self, _seg: SegmentId) -> Result<()> {
         Ok(())
     }
 
     /// Flush any buffered writes to stable storage.
-    fn sync(&mut self) -> Result<()>;
+    fn sync(&self) -> Result<()>;
 
     /// Number of segment writes performed (used by tests and the stats report).
     fn segment_writes(&self) -> u64;
@@ -64,39 +75,53 @@ fn check_bounds(geom: DeviceGeometry, seg: SegmentId, offset: u32, len: u32) -> 
     if seg.index() >= geom.num_segments {
         return Err(Error::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
-            format!("segment {seg} out of range (device has {})", geom.num_segments),
+            format!(
+                "segment {seg} out of range (device has {})",
+                geom.num_segments
+            ),
         )));
     }
     if offset as usize + len as usize > geom.segment_bytes {
         return Err(Error::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
-            format!("range [{offset}, +{len}) exceeds segment size {}", geom.segment_bytes),
+            format!(
+                "range [{offset}, +{len}) exceeds segment size {}",
+                geom.segment_bytes
+            ),
         )));
     }
     Ok(())
 }
 
-/// In-memory device: each segment slot is lazily allocated on first write.
+/// One lazily allocated in-memory segment slot.
+type MemSlot = RwLock<Option<Box<[u8]>>>;
+
+/// In-memory device: each segment slot is lazily allocated on first write and guarded by
+/// its own `RwLock`, so reads of different slots (and concurrent reads of the same slot)
+/// proceed in parallel.
 #[derive(Debug)]
 pub struct MemDevice {
     geometry: DeviceGeometry,
-    slots: Vec<Option<Box<[u8]>>>,
-    writes: u64,
+    slots: Box<[MemSlot]>,
+    writes: AtomicU64,
 }
 
 impl MemDevice {
     /// Create a blank in-memory device.
     pub fn new(segment_bytes: usize, num_segments: usize) -> Self {
         Self {
-            geometry: DeviceGeometry { segment_bytes, num_segments },
-            slots: (0..num_segments).map(|_| None).collect(),
-            writes: 0,
+            geometry: DeviceGeometry {
+                segment_bytes,
+                num_segments,
+            },
+            slots: (0..num_segments).map(|_| RwLock::new(None)).collect(),
+            writes: AtomicU64::new(0),
         }
     }
 
     /// Bytes currently allocated (for tests asserting erase releases memory).
     pub fn allocated_bytes(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count() * self.geometry.segment_bytes
+        self.slots.iter().filter(|s| s.read().is_some()).count() * self.geometry.segment_bytes
     }
 }
 
@@ -105,23 +130,23 @@ impl SegmentDevice for MemDevice {
         self.geometry
     }
 
-    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
         check_bounds(self.geometry, seg, 0, 0)?;
-        Ok(match &self.slots[seg.index()] {
+        Ok(match &*self.slots[seg.index()].read() {
             Some(data) => data.to_vec(),
             None => vec![0u8; self.geometry.segment_bytes],
         })
     }
 
-    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
         check_bounds(self.geometry, seg, offset, len)?;
-        Ok(match &self.slots[seg.index()] {
+        Ok(match &*self.slots[seg.index()].read() {
             Some(data) => data[offset as usize..(offset + len) as usize].to_vec(),
             None => vec![0u8; len as usize],
         })
     }
 
-    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
         check_bounds(self.geometry, seg, 0, 0)?;
         if image.len() != self.geometry.segment_bytes {
             return Err(Error::Io(std::io::Error::new(
@@ -133,33 +158,37 @@ impl SegmentDevice for MemDevice {
                 ),
             )));
         }
-        self.slots[seg.index()] = Some(image.to_vec().into_boxed_slice());
-        self.writes += 1;
+        *self.slots[seg.index()].write() = Some(image.to_vec().into_boxed_slice());
+        self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    fn erase_segment(&mut self, seg: SegmentId) -> Result<()> {
+    fn erase_segment(&self, seg: SegmentId) -> Result<()> {
         check_bounds(self.geometry, seg, 0, 0)?;
-        self.slots[seg.index()] = None;
+        *self.slots[seg.index()].write() = None;
         Ok(())
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         Ok(())
     }
 
     fn segment_writes(&self) -> u64 {
-        self.writes
+        self.writes.load(Ordering::Relaxed)
     }
 }
 
 /// File-backed device: one preallocated file, segment `i` at byte offset
-/// `i * segment_bytes`.
+/// `i * segment_bytes`. On Unix, reads and writes use positional I/O and need no lock;
+/// elsewhere a mutex serialises the seek+access pairs.
 #[derive(Debug)]
 pub struct FileDevice {
     geometry: DeviceGeometry,
     file: File,
-    writes: u64,
+    writes: AtomicU64,
+    /// Serialises seek+read/write on platforms without positional file I/O.
+    #[cfg_attr(unix, allow(dead_code))]
+    seek_lock: Mutex<()>,
 }
 
 impl FileDevice {
@@ -175,9 +204,17 @@ impl FileDevice {
             .create(true)
             .truncate(true)
             .open(path)?;
-        let geometry = DeviceGeometry { segment_bytes, num_segments };
+        let geometry = DeviceGeometry {
+            segment_bytes,
+            num_segments,
+        };
         file.set_len(geometry.capacity_bytes())?;
-        Ok(Self { geometry, file, writes: 0 })
+        Ok(Self {
+            geometry,
+            file,
+            writes: AtomicU64::new(0),
+            seek_lock: Mutex::new(()),
+        })
     }
 
     /// Open an existing device file, validating that its size matches the geometry.
@@ -187,7 +224,10 @@ impl FileDevice {
         num_segments: usize,
     ) -> Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let geometry = DeviceGeometry { segment_bytes, num_segments };
+        let geometry = DeviceGeometry {
+            segment_bytes,
+            num_segments,
+        };
         let len = file.metadata()?.len();
         if len != geometry.capacity_bytes() {
             return Err(Error::GeometryMismatch {
@@ -195,7 +235,12 @@ impl FileDevice {
                 actual: format!("{len} bytes"),
             });
         }
-        Ok(Self { geometry, file, writes: 0 })
+        Ok(Self {
+            geometry,
+            file,
+            writes: AtomicU64::new(0),
+            seek_lock: Mutex::new(()),
+        })
     }
 
     fn offset_of(&self, seg: SegmentId, offset: u32) -> u64 {
@@ -203,32 +248,36 @@ impl FileDevice {
     }
 
     #[cfg(unix)]
-    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+    fn read_at(&self, pos: u64, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         self.file.read_exact_at(buf, pos)?;
         Ok(())
     }
 
     #[cfg(not(unix))]
-    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+    fn read_at(&self, pos: u64, buf: &mut [u8]) -> Result<()> {
         use std::io::{Read, Seek, SeekFrom};
-        self.file.seek(SeekFrom::Start(pos))?;
-        self.file.read_exact(buf)?;
+        let _guard = self.seek_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(pos))?;
+        f.read_exact(buf)?;
         Ok(())
     }
 
     #[cfg(unix)]
-    fn write_at(&mut self, pos: u64, buf: &[u8]) -> Result<()> {
+    fn write_at(&self, pos: u64, buf: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(buf, pos)?;
         Ok(())
     }
 
     #[cfg(not(unix))]
-    fn write_at(&mut self, pos: u64, buf: &[u8]) -> Result<()> {
+    fn write_at(&self, pos: u64, buf: &[u8]) -> Result<()> {
         use std::io::{Seek, SeekFrom, Write};
-        self.file.seek(SeekFrom::Start(pos))?;
-        self.file.write_all(buf)?;
+        let _guard = self.seek_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(pos))?;
+        f.write_all(buf)?;
         Ok(())
     }
 }
@@ -238,7 +287,7 @@ impl SegmentDevice for FileDevice {
         self.geometry
     }
 
-    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
         check_bounds(self.geometry, seg, 0, 0)?;
         let mut buf = vec![0u8; self.geometry.segment_bytes];
         let pos = self.offset_of(seg, 0);
@@ -246,7 +295,7 @@ impl SegmentDevice for FileDevice {
         Ok(buf)
     }
 
-    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
         check_bounds(self.geometry, seg, offset, len)?;
         let mut buf = vec![0u8; len as usize];
         let pos = self.offset_of(seg, offset);
@@ -254,7 +303,7 @@ impl SegmentDevice for FileDevice {
         Ok(buf)
     }
 
-    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
         check_bounds(self.geometry, seg, 0, 0)?;
         if image.len() != self.geometry.segment_bytes {
             return Err(Error::Io(std::io::Error::new(
@@ -268,17 +317,17 @@ impl SegmentDevice for FileDevice {
         }
         let pos = self.offset_of(seg, 0);
         self.write_at(pos, image)?;
-        self.writes += 1;
+        self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
     }
 
     fn segment_writes(&self) -> u64 {
-        self.writes
+        self.writes.load(Ordering::Relaxed)
     }
 }
 
@@ -289,19 +338,22 @@ impl SegmentDevice for FileDevice {
 pub struct FlakyDevice<D: SegmentDevice> {
     inner: D,
     /// Segment writes remaining before the next injected failure (`None` = never fail).
-    fail_after_writes: Option<u64>,
+    fail_after_writes: Mutex<Option<u64>>,
 }
 
 impl<D: SegmentDevice> FlakyDevice<D> {
     /// Wrap a device; the `fail_after_writes`-th subsequent segment write (0-based) and
     /// every write after it will fail with an I/O error until the budget is reset.
     pub fn new(inner: D, fail_after_writes: Option<u64>) -> Self {
-        Self { inner, fail_after_writes }
+        Self {
+            inner,
+            fail_after_writes: Mutex::new(fail_after_writes),
+        }
     }
 
     /// Change the failure budget (e.g. heal the device mid-test).
-    pub fn set_fail_after_writes(&mut self, budget: Option<u64>) {
-        self.fail_after_writes = budget;
+    pub fn set_fail_after_writes(&self, budget: Option<u64>) {
+        *self.fail_after_writes.lock() = budget;
     }
 
     /// Access the wrapped device.
@@ -315,16 +367,16 @@ impl<D: SegmentDevice> SegmentDevice for FlakyDevice<D> {
         self.inner.geometry()
     }
 
-    fn read_segment(&mut self, seg: SegmentId) -> Result<Vec<u8>> {
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
         self.inner.read_segment(seg)
     }
 
-    fn read_range(&mut self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
         self.inner.read_range(seg, offset, len)
     }
 
-    fn write_segment(&mut self, seg: SegmentId, image: &[u8]) -> Result<()> {
-        if let Some(budget) = self.fail_after_writes.as_mut() {
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        if let Some(budget) = self.fail_after_writes.lock().as_mut() {
             if *budget == 0 {
                 return Err(Error::Io(std::io::Error::other(format!(
                     "injected write failure on segment {seg}"
@@ -335,11 +387,11 @@ impl<D: SegmentDevice> SegmentDevice for FlakyDevice<D> {
         self.inner.write_segment(seg, image)
     }
 
-    fn erase_segment(&mut self, seg: SegmentId) -> Result<()> {
+    fn erase_segment(&self, seg: SegmentId) -> Result<()> {
         self.inner.erase_segment(seg)
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         self.inner.sync()
     }
 
@@ -360,7 +412,7 @@ mod tests {
 
     #[test]
     fn mem_device_roundtrip() {
-        let mut dev = MemDevice::new(1024, 4);
+        let dev = MemDevice::new(1024, 4);
         assert_eq!(dev.geometry().capacity_bytes(), 4096);
         let image = vec![7u8; 1024];
         dev.write_segment(SegmentId(2), &image).unwrap();
@@ -371,14 +423,14 @@ mod tests {
 
     #[test]
     fn mem_device_unwritten_segments_read_as_zero() {
-        let mut dev = MemDevice::new(512, 2);
+        let dev = MemDevice::new(512, 2);
         assert_eq!(dev.read_segment(SegmentId(0)).unwrap(), vec![0u8; 512]);
         assert_eq!(dev.read_range(SegmentId(1), 100, 8).unwrap(), vec![0u8; 8]);
     }
 
     #[test]
     fn mem_device_bounds_checks() {
-        let mut dev = MemDevice::new(512, 2);
+        let dev = MemDevice::new(512, 2);
         assert!(dev.read_segment(SegmentId(5)).is_err());
         assert!(dev.read_range(SegmentId(0), 500, 100).is_err());
         assert!(dev.write_segment(SegmentId(0), &[0u8; 100]).is_err());
@@ -386,7 +438,7 @@ mod tests {
 
     #[test]
     fn mem_device_erase_releases_memory() {
-        let mut dev = MemDevice::new(1024, 4);
+        let dev = MemDevice::new(1024, 4);
         dev.write_segment(SegmentId(0), &vec![1u8; 1024]).unwrap();
         assert_eq!(dev.allocated_bytes(), 1024);
         dev.erase_segment(SegmentId(0)).unwrap();
@@ -395,18 +447,44 @@ mod tests {
     }
 
     #[test]
+    fn mem_device_supports_concurrent_readers() {
+        let dev = std::sync::Arc::new(MemDevice::new(4096, 8));
+        for i in 0..8u32 {
+            dev.write_segment(SegmentId(i), &vec![i as u8; 4096])
+                .unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let dev = dev.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200u32 {
+                    let seg = SegmentId((t + round) % 8);
+                    let got = dev.read_range(seg, 16, 64).unwrap();
+                    assert!(got.iter().all(|&b| b == seg.0 as u8));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn file_device_roundtrip_and_reopen() {
         let path = temp_path("roundtrip");
         {
-            let mut dev = FileDevice::create(&path, 1024, 8).unwrap();
+            let dev = FileDevice::create(&path, 1024, 8).unwrap();
             let image: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
             dev.write_segment(SegmentId(3), &image).unwrap();
             dev.sync().unwrap();
             assert_eq!(dev.read_segment(SegmentId(3)).unwrap(), image);
-            assert_eq!(dev.read_range(SegmentId(3), 5, 3).unwrap(), image[5..8].to_vec());
+            assert_eq!(
+                dev.read_range(SegmentId(3), 5, 3).unwrap(),
+                image[5..8].to_vec()
+            );
         }
         {
-            let mut dev = FileDevice::open(&path, 1024, 8).unwrap();
+            let dev = FileDevice::open(&path, 1024, 8).unwrap();
             let seg = dev.read_segment(SegmentId(3)).unwrap();
             assert_eq!(seg[5..8], [5, 6, 7]);
         }
@@ -427,7 +505,7 @@ mod tests {
     #[test]
     fn file_device_bounds_checks() {
         let path = temp_path("bounds");
-        let mut dev = FileDevice::create(&path, 512, 2).unwrap();
+        let dev = FileDevice::create(&path, 512, 2).unwrap();
         assert!(dev.read_segment(SegmentId(9)).is_err());
         assert!(dev.write_segment(SegmentId(0), &[1u8; 13]).is_err());
         std::fs::remove_file(&path).ok();
@@ -435,7 +513,7 @@ mod tests {
 
     #[test]
     fn flaky_device_injects_failures_after_budget() {
-        let mut dev = FlakyDevice::new(MemDevice::new(256, 4), Some(2));
+        let dev = FlakyDevice::new(MemDevice::new(256, 4), Some(2));
         let image = vec![1u8; 256];
         dev.write_segment(SegmentId(0), &image).unwrap();
         dev.write_segment(SegmentId(1), &image).unwrap();
@@ -459,13 +537,21 @@ mod tests {
             MemDevice::new(config.segment_bytes, config.num_segments),
             Some(4),
         );
-        let mut store = LogStore::open_with_device(config.clone(), Box::new(device)).unwrap();
+        let store = LogStore::open_with_device(config.clone(), Box::new(device)).unwrap();
         let payload = vec![7u8; config.page_bytes];
         let mut first_error = None;
         for i in 0..(config.physical_pages() as u64) {
-            if let Err(e) = store.put(i, &payload).and_then(|()| {
-                if i % 64 == 63 { store.flush() } else { Ok(()) }
-            }) {
+            if let Err(e) =
+                store.put(i, &payload).and_then(
+                    |()| {
+                        if i % 64 == 63 {
+                            store.flush()
+                        } else {
+                            Ok(())
+                        }
+                    },
+                )
+            {
                 first_error = Some((i, e));
                 break;
             }
@@ -475,7 +561,10 @@ mod tests {
         // Pages flushed before the fault are still readable.
         let durable = failed_at.saturating_sub(failed_at % 64);
         for i in (0..durable).step_by(17) {
-            assert!(store.get(i).unwrap().is_some(), "durable page {i} lost after I/O fault");
+            assert!(
+                store.get(i).unwrap().is_some(),
+                "durable page {i} lost after I/O fault"
+            );
         }
     }
 }

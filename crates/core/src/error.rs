@@ -58,7 +58,10 @@ impl fmt::Display for Error {
             Error::PageTooLarge { page, size, max } => {
                 write!(f, "page {page} is {size} bytes which exceeds the segment payload capacity of {max} bytes")
             }
-            Error::OutOfSpace { free_segments, needed } => write!(
+            Error::OutOfSpace {
+                free_segments,
+                needed,
+            } => write!(
                 f,
                 "out of space: {free_segments} free segments remain but {needed} are needed; \
                  reduce the logical data size or increase over-provisioning"
@@ -69,7 +72,10 @@ impl fmt::Display for Error {
             Error::CorruptCheckpoint(detail) => write!(f, "corrupt checkpoint: {detail}"),
             Error::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
             Error::GeometryMismatch { expected, actual } => {
-                write!(f, "device geometry mismatch: expected {expected}, found {actual}")
+                write!(
+                    f,
+                    "device geometry mismatch: expected {expected}, found {actual}"
+                )
             }
         }
     }
@@ -96,15 +102,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::PageTooLarge { page: 3, size: 10_000, max: 4096 };
+        let e = Error::PageTooLarge {
+            page: 3,
+            size: 10_000,
+            max: 4096,
+        };
         let msg = e.to_string();
         assert!(msg.contains("page 3"));
         assert!(msg.contains("10000"));
 
-        let e = Error::OutOfSpace { free_segments: 1, needed: 4 };
+        let e = Error::OutOfSpace {
+            free_segments: 1,
+            needed: 4,
+        };
         assert!(e.to_string().contains("out of space"));
 
-        let e = Error::CorruptSegment { segment: SegmentId(5), detail: "bad magic".into() };
+        let e = Error::CorruptSegment {
+            segment: SegmentId(5),
+            detail: "bad magic".into(),
+        };
         assert!(e.to_string().contains("seg#5"));
         assert!(e.to_string().contains("bad magic"));
     }

@@ -27,7 +27,10 @@ use crate::types::UpdateTick;
 /// `old_up2` is the `up2` of the segment holding the page's previous version.
 #[inline]
 pub fn carry_forward_rewrite(old_up2: UpdateTick, unow: UpdateTick) -> UpdateTick {
-    debug_assert!(old_up2 <= unow, "up2 {old_up2} is in the future of unow {unow}");
+    debug_assert!(
+        old_up2 <= unow,
+        "up2 {old_up2} is in the future of unow {unow}"
+    );
     old_up2 + (unow - old_up2) / 2
 }
 
@@ -77,7 +80,11 @@ impl SegmentFreq {
         // estimate as the penultimate update and the midpoint between it and seal time as
         // the (assumed) last update. This mirrors the paper's midpoint assumption.
         let up1 = initial_up2 + (sealed_at.saturating_sub(initial_up2)) / 2;
-        Self { mode, up1, up2: initial_up2 }
+        Self {
+            mode,
+            up1,
+            up2: initial_up2,
+        }
     }
 
     /// Record that one of the segment's live pages was just overwritten at `unow`.
@@ -155,7 +162,10 @@ mod tests {
         for now in [100u64, 200, 300, 400] {
             up2 = carry_forward_rewrite(up2, now);
         }
-        assert!(up2 > 300, "after several recent rewrites the page should look hot, up2={up2}");
+        assert!(
+            up2 > 300,
+            "after several recent rewrites the page should look hot, up2={up2}"
+        );
     }
 
     #[test]

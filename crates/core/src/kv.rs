@@ -43,11 +43,15 @@ pub struct KvStore {
 impl KvStore {
     /// Wrap a freshly opened [`LogStore`].
     pub fn new(store: LogStore) -> Self {
-        Self { store, index: BTreeMap::new(), next_page: 0 }
+        Self {
+            store,
+            index: BTreeMap::new(),
+            next_page: 0,
+        }
     }
 
     /// Re-open a key-value store whose index was persisted by [`KvStore::flush`].
-    pub fn reopen(mut store: LogStore) -> Result<Self> {
+    pub fn reopen(store: LogStore) -> Result<Self> {
         let Some(root) = store.get(INDEX_ROOT)? else {
             // No persisted index: treat as empty.
             return Ok(Self::new(store));
@@ -62,7 +66,9 @@ impl KvStore {
         }
         for c in 1..chunks {
             let Some(bytes) = store.get(INDEX_ROOT + c as u64)? else {
-                return Err(Error::CorruptCheckpoint(format!("kv index chunk {c} missing")));
+                return Err(Error::CorruptCheckpoint(format!(
+                    "kv index chunk {c} missing"
+                )));
             };
             let chunk: IndexChunk = serde_json::from_slice(&bytes)
                 .map_err(|e| Error::CorruptCheckpoint(format!("kv index chunk {c}: {e}")))?;
@@ -71,7 +77,11 @@ impl KvStore {
                 index.insert(k, v);
             }
         }
-        Ok(Self { store, index, next_page })
+        Ok(Self {
+            store,
+            index,
+            next_page,
+        })
     }
 
     /// Number of keys.
@@ -92,7 +102,9 @@ impl KvStore {
                 let p = self.next_page;
                 self.next_page += 1;
                 if p >= META_BASE {
-                    return Err(Error::InvalidConfig("key-value store page ids exhausted".into()));
+                    return Err(Error::InvalidConfig(
+                        "key-value store page ids exhausted".into(),
+                    ));
                 }
                 self.index.insert(key.to_vec(), p);
                 p
@@ -101,8 +113,8 @@ impl KvStore {
         self.store.put(page, value)
     }
 
-    /// Read a key.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+    /// Read a key. Takes `&self`: reads go through the store's concurrent read path.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         match self.index.get(key) {
             Some(&page) => self.store.get(page),
             None => Ok(None),
@@ -121,7 +133,7 @@ impl KvStore {
     }
 
     /// Iterate keys in `[start, end)` in order, reading each value.
-    pub fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
         let keys: Vec<(Vec<u8>, PageId)> = self
             .index
             .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
@@ -143,14 +155,22 @@ impl KvStore {
             .min(self.store.config().page_bytes.max(1024))
             / 2;
         let mut chunks: Vec<IndexChunk> = Vec::new();
-        let mut current = IndexChunk { chunks: 0, entries: Vec::new(), next_page: self.next_page };
+        let mut current = IndexChunk {
+            chunks: 0,
+            entries: Vec::new(),
+            next_page: self.next_page,
+        };
         let mut current_bytes = 0usize;
         for (k, &p) in &self.index {
             let entry_bytes = k.len() + 24;
             if current_bytes + entry_bytes > max_chunk_bytes && !current.entries.is_empty() {
                 chunks.push(std::mem::replace(
                     &mut current,
-                    IndexChunk { chunks: 0, entries: Vec::new(), next_page: self.next_page },
+                    IndexChunk {
+                        chunks: 0,
+                        entries: Vec::new(),
+                        next_page: self.next_page,
+                    },
                 ));
                 current_bytes = 0;
             }
@@ -186,10 +206,9 @@ mod tests {
     use crate::StoreConfig;
 
     fn kv() -> KvStore {
-        let store = LogStore::open_in_memory(
-            StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc),
-        )
-        .unwrap();
+        let store =
+            LogStore::open_in_memory(StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc))
+                .unwrap();
         KvStore::new(store)
     }
 
@@ -224,7 +243,10 @@ mod tests {
         }
         let out = kv.range(b"b", b"e").unwrap();
         let keys: Vec<&[u8]> = out.iter().map(|(k, _)| k.as_slice()).collect();
-        assert_eq!(keys, vec![b"b".as_slice(), b"c".as_slice(), b"d".as_slice()]);
+        assert_eq!(
+            keys,
+            vec![b"b".as_slice(), b"c".as_slice(), b"d".as_slice()]
+        );
         assert_eq!(out[0].1.as_ref(), b"B");
     }
 
@@ -232,7 +254,11 @@ mod tests {
     fn flush_and_reopen_preserves_contents() {
         let mut kv = kv();
         for i in 0..300u32 {
-            kv.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+            kv.put(
+                format!("key-{i:04}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         kv.delete(b"key-0007").unwrap();
         kv.flush().unwrap();
@@ -244,7 +270,10 @@ mod tests {
         let mut kv2 = KvStore::reopen(recovered).unwrap();
         assert_eq!(kv2.len(), 299);
         assert!(kv2.get(b"key-0007").unwrap().is_none());
-        assert_eq!(kv2.get(b"key-0123").unwrap().unwrap().as_ref(), b"value-123");
+        assert_eq!(
+            kv2.get(b"key-0123").unwrap().unwrap().as_ref(),
+            b"value-123"
+        );
         // New writes keep working after reopen.
         kv2.put(b"key-new", b"fresh").unwrap();
         assert_eq!(kv2.get(b"key-new").unwrap().unwrap().as_ref(), b"fresh");

@@ -94,7 +94,11 @@ impl SegmentEntry {
     /// Payload length in bytes (0 for tombstones).
     #[inline]
     pub fn payload_len(&self) -> u32 {
-        if self.is_tombstone() { 0 } else { self.len }
+        if self.is_tombstone() {
+            0
+        } else {
+            self.len
+        }
     }
 }
 
@@ -204,7 +208,9 @@ pub fn decode_segment(seg: SegmentId, image: &[u8]) -> Result<Option<ParsedSegme
     if computed != entries_crc {
         return Err(Error::CorruptSegment {
             segment: seg,
-            detail: format!("entry table CRC mismatch: stored {entries_crc:#x}, computed {computed:#x}"),
+            detail: format!(
+                "entry table CRC mismatch: stored {entries_crc:#x}, computed {computed:#x}"
+            ),
         });
     }
     let mut entries = Vec::with_capacity(count);
@@ -251,7 +257,10 @@ pub struct SegmentBuilder {
 impl SegmentBuilder {
     /// Start building a segment image of `segment_bytes` bytes.
     pub fn new(segment_bytes: usize) -> Self {
-        assert!(segment_bytes > HEADER_SIZE + ENTRY_SIZE, "segment too small: {segment_bytes}");
+        assert!(
+            segment_bytes > HEADER_SIZE + ENTRY_SIZE,
+            "segment too small: {segment_bytes}"
+        );
         Self {
             segment_bytes,
             entries: Vec::new(),
@@ -291,7 +300,11 @@ impl SegmentBuilder {
     ///
     /// Panics if the payload does not fit — callers must check [`SegmentBuilder::fits`].
     pub fn push_page(&mut self, page_id: PageId, write_seq: WriteSeq, data: &[u8]) -> u32 {
-        assert!(self.fits(data.len()), "payload of {} bytes does not fit", data.len());
+        assert!(
+            self.fits(data.len()),
+            "payload of {} bytes does not fit",
+            data.len()
+        );
         let start = self.payload_tail - data.len();
         self.image[start..self.payload_tail].copy_from_slice(data);
         self.payload_tail = start;
@@ -340,6 +353,34 @@ impl SegmentBuilder {
         up2: UpdateTick,
         log_id: u16,
     ) -> (Vec<u8>, Vec<SegmentEntry>) {
+        self.write_metadata(seal_seq, sealed_at, up2, log_id);
+        (self.image, self.entries)
+    }
+
+    /// Finalise the image *without consuming the builder*: writes the entry table and
+    /// header into the in-place image and returns a copy of it.
+    ///
+    /// The payload area is left untouched, so concurrent readers that still hold page
+    /// locations into this (shared) builder keep reading correct bytes while the sealed
+    /// image is being written to the device.
+    pub fn finish_image(
+        &mut self,
+        seal_seq: SealSeq,
+        sealed_at: UpdateTick,
+        up2: UpdateTick,
+        log_id: u16,
+    ) -> Vec<u8> {
+        self.write_metadata(seal_seq, sealed_at, up2, log_id);
+        self.image.clone()
+    }
+
+    fn write_metadata(
+        &mut self,
+        seal_seq: SealSeq,
+        sealed_at: UpdateTick,
+        up2: UpdateTick,
+        log_id: u16,
+    ) {
         let count = self.entries.len();
         for (i, e) in self.entries.iter().enumerate() {
             let off = HEADER_SIZE + i * ENTRY_SIZE;
@@ -360,7 +401,6 @@ impl SegmentBuilder {
         };
         let hdr = encode_header(&header, entries_crc);
         self.image[..HEADER_SIZE].copy_from_slice(&hdr);
-        (self.image, self.entries)
     }
 }
 
@@ -404,7 +444,10 @@ mod tests {
         assert_eq!(parsed.entries[2].payload_len(), 0);
 
         let e = parsed.entries[1];
-        assert_eq!(&image[e.offset as usize..(e.offset + e.len) as usize], b"world!");
+        assert_eq!(
+            &image[e.offset as usize..(e.offset + e.len) as usize],
+            b"world!"
+        );
     }
 
     #[test]
@@ -430,14 +473,17 @@ mod tests {
         let (mut image, _) = b.finish(1, 1, 1);
         image[HEADER_SIZE + 2] ^= 0xFF; // corrupt the entry table
         let err = decode_segment(SegmentId(1), &image).unwrap_err();
-        assert!(err.to_string().contains("entry table CRC"), "unexpected error: {err}");
+        assert!(
+            err.to_string().contains("entry table CRC"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
     fn fits_accounts_for_entry_overhead() {
         let mut b = SegmentBuilder::new(HEADER_SIZE + 2 * ENTRY_SIZE + 100);
         assert!(b.fits(100));
-        b.push_page(1, 1, &vec![0u8; 100]);
+        b.push_page(1, 1, &[0u8; 100]);
         // A second 100-byte page cannot fit: no payload room remains.
         assert!(!b.fits(100));
         assert!(b.fits(0)); // but a tombstone still fits

@@ -15,19 +15,27 @@
 //! ## Layered design
 //!
 //! * [`device`] — where segments physically live ([`device::MemDevice`],
-//!   [`device::FileDevice`], or your own [`device::SegmentDevice`]).
+//!   [`device::FileDevice`], or your own [`device::SegmentDevice`]); internally
+//!   synchronised (`&self`) so page reads bypass every store lock.
 //! * [`layout`] — the self-describing on-device segment format (header, entry table,
 //!   checksums) that makes full-scan crash recovery possible.
 //! * [`segment`] — in-memory bookkeeping for every segment: free bytes `A`, live pages
-//!   `C`, and the update-recency estimate `up2` used by the MDC formula.
-//! * [`mapping`] — the page table mapping a [`types::PageId`] to its current location.
+//!   `C`, the update-recency estimate `up2` used by the MDC formula, and the quarantine
+//!   that delays victim-slot reuse until relocated pages are durable and unpinned.
+//! * [`mapping`] — the page table mapping a [`types::PageId`] to its current location;
+//!   [`mapping::ShardedPageTable`] is the concurrent form the live store uses.
 //! * [`write_buffer`] — the sort buffer that groups pages with similar update frequency
 //!   into the same output segment (paper §5.3).
 //! * [`policy`] — the cleaning policies evaluated in the paper: age, greedy,
 //!   cost-benefit, multi-log, MDC and their "-opt" oracle variants.
-//! * [`cleaner`] — the driver that picks victims with a policy and relocates live pages.
+//! * [`cleaner`] — pure helpers for victim-page collection plus the
+//!   [`cleaner::CleaningReport`] type; the concurrent driver lives in `store::gc_driver`.
 //! * [`store`] — [`LogStore`], the public facade: `put` / `get` / `delete` / `flush` /
-//!   `checkpoint`, with crash recovery in [`recovery`].
+//!   `checkpoint`, all `&self`, split into a lock-free-ish read path, a mutex-guarded
+//!   write pipeline, and a cleaning driver that relocates pages concurrently with
+//!   foreground traffic; crash recovery in [`recovery`].
+//! * [`shared`] — [`SharedLogStore`]: cheap cloneable `Arc` handles plus the
+//!   [`shared::BackgroundCleaner`] thread that takes cleaning off the write path.
 //! * [`kv`] — a small ordered key-value convenience layer used by the examples.
 //!
 //! ## Quick example
@@ -37,7 +45,7 @@
 //! use lss_core::policy::PolicyKind;
 //!
 //! let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
-//! let mut store = LogStore::open_in_memory(config).unwrap();
+//! let store = LogStore::open_in_memory(config).unwrap();
 //! for i in 0..1_000u64 {
 //!     store.put(i, format!("value-{i}").as_bytes()).unwrap();
 //! }

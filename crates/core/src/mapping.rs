@@ -1,10 +1,22 @@
 //! The page table: the dynamic remapping from logical page id to current physical
 //! location that log structuring requires (every write relocates the page).
+//!
+//! Two forms are provided:
+//!
+//! * [`PageTable`] — a plain single-owner map, used by recovery/checkpoint loading to
+//!   assemble state and by unit tests of the cleaner's pure helpers.
+//! * [`ShardedPageTable`] — the concurrent table the live store uses: page ids are
+//!   hashed across N shards, each behind its own `parking_lot::RwLock`, so `get` takes
+//!   `&self` and readers on different shards (and concurrent readers of the same shard)
+//!   never contend. Aggregate counters (`len`, `live_bytes`) are kept in atomics so the
+//!   hot read path never sums across shards.
 
 use crate::types::{PageId, PageLocation};
-use crate::util::FxHashMap;
+use crate::util::{mix64, FxHashMap};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Page table mapping live pages to their current location.
+/// Page table mapping live pages to their current location (single-owner form).
 ///
 /// This is the in-memory analogue of an SSD FTL's logical-to-physical map or an LFS's
 /// inode map. It is rebuilt on restart from a checkpoint plus a device scan
@@ -75,13 +87,138 @@ impl PageTable {
     }
 }
 
+/// Number of shards in a [`ShardedPageTable`]. A fixed power of two keeps the shard
+/// selection branch-free; 64 shards is comfortably above the core counts this store
+/// targets, so shard collisions between concurrent readers are rare.
+pub const PAGE_TABLE_SHARDS: usize = 64;
+
+/// The concurrent page table: N independently locked shards plus atomic aggregates.
+///
+/// All methods take `&self`. Point lookups and updates lock exactly one shard; only
+/// [`ShardedPageTable::snapshot`] (checkpointing) walks every shard.
+#[derive(Debug)]
+pub struct ShardedPageTable {
+    shards: Box<[RwLock<FxHashMap<PageId, PageLocation>>]>,
+    live_pages: AtomicU64,
+    live_bytes: AtomicU64,
+}
+
+impl Default for ShardedPageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedPageTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..PAGE_TABLE_SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            live_pages: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, page: PageId) -> &RwLock<FxHashMap<PageId, PageLocation>> {
+        // Mix before masking: page ids are often dense small integers, and the low bits
+        // alone would put striding workloads on a handful of shards.
+        &self.shards[(mix64(page) as usize) & (PAGE_TABLE_SHARDS - 1)]
+    }
+
+    /// Number of live pages.
+    pub fn len(&self) -> usize {
+        self.live_pages.load(Ordering::Relaxed) as usize
+    }
+
+    /// True if no pages are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of live page payloads.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current location of a page.
+    pub fn get(&self, page: PageId) -> Option<PageLocation> {
+        self.shard(page).read().get(&page).copied()
+    }
+
+    /// Install a new location for a page, returning the previous location if the page
+    /// was already live.
+    pub fn insert(&self, page: PageId, loc: PageLocation) -> Option<PageLocation> {
+        let old = self.shard(page).write().insert(page, loc);
+        self.live_bytes.fetch_add(loc.len as u64, Ordering::Relaxed);
+        match old {
+            Some(o) => {
+                self.live_bytes.fetch_sub(o.len as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.live_pages.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        old
+    }
+
+    /// Remove a page (deletion), returning its last location.
+    pub fn remove(&self, page: PageId) -> Option<PageLocation> {
+        let old = self.shard(page).write().remove(&page);
+        if let Some(o) = old {
+            self.live_bytes.fetch_sub(o.len as u64, Ordering::Relaxed);
+            self.live_pages.fetch_sub(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// True if the page is currently live at exactly this location (the cleaner's
+    /// conflict check: a page rewritten since victim selection fails this test and its
+    /// stale copy is skipped).
+    pub fn is_current(&self, page: PageId, loc: &PageLocation) -> bool {
+        self.get(page).is_some_and(|cur| cur == *loc)
+    }
+
+    /// Collect every live page into a plain vector (checkpointing; O(n)).
+    pub fn snapshot(&self) -> Vec<(PageId, PageLocation)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            out.extend(shard.iter().map(|(&k, &v)| (k, v)));
+        }
+        out
+    }
+
+    /// Replace the entire contents with a recovered [`PageTable`] (restart path).
+    pub fn install(&self, table: PageTable) {
+        for shard in self.shards.iter() {
+            shard.write().clear();
+        }
+        let mut pages = 0u64;
+        let mut bytes = 0u64;
+        for (page, loc) in table.iter() {
+            self.shard(page).write().insert(page, loc);
+            pages += 1;
+            bytes += loc.len as u64;
+        }
+        self.live_pages.store(pages, Ordering::Relaxed);
+        self.live_bytes.store(bytes, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::types::SegmentId;
 
     fn loc(seg: u32, offset: u32, len: u32) -> PageLocation {
-        PageLocation { segment: SegmentId(seg), offset, len }
+        PageLocation {
+            segment: SegmentId(seg),
+            offset,
+            len,
+        }
     }
 
     #[test]
@@ -127,5 +264,67 @@ mod tests {
         let mut pages: Vec<PageId> = t.iter().map(|(p, _)| p).collect();
         pages.sort_unstable();
         assert_eq!(pages, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_basic_roundtrip_and_counters() {
+        let t = ShardedPageTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, loc(0, 100, 50)), None);
+        assert_eq!(t.insert(2, loc(0, 150, 30)), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.live_bytes(), 80);
+        assert_eq!(t.insert(1, loc(1, 0, 10)), Some(loc(0, 100, 50)));
+        assert_eq!(t.live_bytes(), 40);
+        assert_eq!(t.remove(2), Some(loc(0, 150, 30)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.live_bytes(), 10);
+    }
+
+    #[test]
+    fn sharded_snapshot_and_install_roundtrip() {
+        let t = ShardedPageTable::new();
+        for i in 0..500u64 {
+            t.insert(i, loc((i % 7) as u32, i as u32, 16));
+        }
+        let mut snap = t.snapshot();
+        snap.sort_unstable_by_key(|(p, _)| *p);
+        assert_eq!(snap.len(), 500);
+        assert_eq!(snap[42], (42, loc(0, 42, 16)));
+
+        let mut plain = PageTable::new();
+        for (p, l) in snap {
+            plain.insert(p, l);
+        }
+        let t2 = ShardedPageTable::new();
+        t2.install(plain);
+        assert_eq!(t2.len(), 500);
+        assert_eq!(t2.live_bytes(), 500 * 16);
+        for i in 0..500u64 {
+            assert_eq!(t2.get(i), Some(loc((i % 7) as u32, i as u32, 16)));
+        }
+    }
+
+    #[test]
+    fn sharded_concurrent_inserts_and_reads_are_coherent() {
+        let t = std::sync::Arc::new(ShardedPageTable::new());
+        let threads = 8u64;
+        let per_thread = 2_000u64;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let page = tid * per_thread + i;
+                    t.insert(page, loc(tid as u32, i as u32, 8));
+                    assert_eq!(t.get(page), Some(loc(tid as u32, i as u32, 8)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len() as u64, threads * per_thread);
+        assert_eq!(t.live_bytes(), threads * per_thread * 8);
     }
 }

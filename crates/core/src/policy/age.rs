@@ -5,7 +5,7 @@
 //! uniform update distribution this is near-optimal (Table 1), but under skew it performs
 //! poorly because hot and cold segments are treated identically (Figure 5b/5c).
 
-use super::{CleaningPolicy, PolicyContext, SegmentId, select_k_smallest_by};
+use super::{select_k_smallest_by, CleaningPolicy, PolicyContext, SegmentId};
 
 /// The `age` policy of the paper's evaluation.
 #[derive(Debug, Default, Clone, Copy)]
@@ -46,7 +46,10 @@ mod tests {
         // Make seal_seq match the id ordering used above (test_segment sets seal_seq=id).
         segs.rotate_left(1);
         let mut p = AgePolicy::new();
-        let ctx = PolicyContext { unow: 100, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 100,
+            segments: &segs,
+        };
         let picked = p.select_victims(&ctx, 2);
         assert_eq!(picked, vec![SegmentId(1), SegmentId(2)]);
     }
@@ -55,16 +58,25 @@ mod tests {
     fn ignores_emptiness_entirely() {
         // The oldest segment is completely full (free == 0); age still cleans it first,
         // exactly like a circular log would.
-        let segs = vec![test_segment(0, 100, 0, 10, 0, 0), test_segment(1, 100, 100, 0, 0, 1)];
+        let segs = vec![
+            test_segment(0, 100, 0, 10, 0, 0),
+            test_segment(1, 100, 100, 0, 0, 1),
+        ];
         let mut p = AgePolicy::new();
-        let ctx = PolicyContext { unow: 100, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 100,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(0)]);
     }
 
     #[test]
     fn empty_candidate_list_returns_nothing() {
         let mut p = AgePolicy::new();
-        let ctx = PolicyContext { unow: 0, segments: &[] };
+        let ctx = PolicyContext {
+            unow: 0,
+            segments: &[],
+        };
         assert!(p.select_victims(&ctx, 4).is_empty());
     }
 }

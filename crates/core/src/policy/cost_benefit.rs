@@ -18,7 +18,7 @@
 //! default, and keep the literal variant available for the ablation bench
 //! ([`CostBenefitFormula::PaperLiteral`]).
 
-use super::{CleaningPolicy, PolicyContext, SegmentId, select_k_smallest_by};
+use super::{select_k_smallest_by, CleaningPolicy, PolicyContext, SegmentId};
 
 /// Which cost-benefit formula to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +77,12 @@ impl CleaningPolicy for CostBenefitPolicy {
     }
 
     fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
-        let candidates: Vec<_> =
-            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect();
+        let candidates: Vec<_> = ctx
+            .segments
+            .iter()
+            .filter(|s| s.free_bytes > 0)
+            .copied()
+            .collect();
         // Highest benefit first == smallest negative score first.
         select_k_smallest_by(&candidates, want, |s| {
             -self.score(s.emptiness(), s.age(ctx.unow) as f64)
@@ -102,7 +106,10 @@ mod tests {
             test_segment(1, 100, 30, 7, 0, 100), // E=0.3, age=900
         ];
         let mut p = CostBenefitPolicy::default();
-        let ctx = PolicyContext { unow: 1000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 1000,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(1)]);
     }
 
@@ -113,7 +120,10 @@ mod tests {
             test_segment(1, 100, 30, 7, 0, 0), // E = 0.3
         ];
         let mut p = CostBenefitPolicy::default();
-        let ctx = PolicyContext { unow: 1000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 1000,
+            segments: &segs,
+        };
         // With equal ages the emptier segment has the larger benefit/cost.
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(0)]);
     }
@@ -122,7 +132,10 @@ mod tests {
     fn skips_segments_with_no_reclaimable_space() {
         let segs = vec![test_segment(0, 100, 0, 10, 0, 0)];
         let mut p = CostBenefitPolicy::default();
-        let ctx = PolicyContext { unow: 1000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 1000,
+            segments: &segs,
+        };
         assert!(p.select_victims(&ctx, 1).is_empty());
     }
 
@@ -133,7 +146,10 @@ mod tests {
             test_segment(1, 100, 20, 8, 0, 0), // E = 0.2
         ];
         let mut p = CostBenefitPolicy::new(CostBenefitFormula::PaperLiteral);
-        let ctx = PolicyContext { unow: 1000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 1000,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(1)]);
         assert_eq!(p.name(), "cost-benefit-literal");
     }

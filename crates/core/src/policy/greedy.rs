@@ -7,7 +7,7 @@
 //! the hottest segments' emptiness and are never cleaned, so they pin space that the hot
 //! data could have used as slack (paper §6.2.1).
 
-use super::{CleaningPolicy, PolicyContext, SegmentId, select_k_smallest_by};
+use super::{select_k_smallest_by, CleaningPolicy, PolicyContext, SegmentId};
 
 /// The `greedy` policy of the paper's evaluation.
 #[derive(Debug, Default, Clone, Copy)]
@@ -28,8 +28,12 @@ impl CleaningPolicy for GreedyPolicy {
     fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
         // Most free space first == smallest (1 - E) first; skip segments with nothing to
         // reclaim (they would cost a full segment copy and gain zero space).
-        let candidates: Vec<_> =
-            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect();
+        let candidates: Vec<_> = ctx
+            .segments
+            .iter()
+            .filter(|s| s.free_bytes > 0)
+            .copied()
+            .collect();
         select_k_smallest_by(&candidates, want, |s| -(s.free_bytes as f64))
     }
 }
@@ -47,15 +51,24 @@ mod tests {
             test_segment(2, 100, 50, 5, 0, 0),
         ];
         let mut p = GreedyPolicy::new();
-        let ctx = PolicyContext { unow: 100, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 100,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 2), vec![SegmentId(1), SegmentId(2)]);
     }
 
     #[test]
     fn skips_full_segments() {
-        let segs = vec![test_segment(0, 100, 0, 10, 0, 0), test_segment(1, 100, 5, 9, 0, 0)];
+        let segs = vec![
+            test_segment(0, 100, 0, 10, 0, 0),
+            test_segment(1, 100, 5, 9, 0, 0),
+        ];
         let mut p = GreedyPolicy::new();
-        let ctx = PolicyContext { unow: 100, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 100,
+            segments: &segs,
+        };
         let picked = p.select_victims(&ctx, 5);
         assert_eq!(picked, vec![SegmentId(1)]);
     }

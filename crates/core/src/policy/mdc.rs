@@ -29,7 +29,7 @@
 //! sorted is controlled by [`crate::config::SeparationConfig`], giving the
 //! `MDC-no-sep-user` / `MDC-no-sep-user-GC` ablation variants of Figure 3.
 
-use super::{CleaningPolicy, PolicyContext, SegmentId, SegmentStats, select_k_smallest_by};
+use super::{select_k_smallest_by, CleaningPolicy, PolicyContext, SegmentId, SegmentStats};
 use crate::freq::estimated_upf;
 use crate::types::{PageWriteInfo, UpdateTick};
 
@@ -81,7 +81,8 @@ impl MdcPolicy {
             // Exact segment update frequency: sum of the live pages' probabilities,
             // normalised so the average page has frequency 1. Falls back to the estimate
             // if the embedding system did not supply it.
-            seg.exact_upf.unwrap_or_else(|| estimated_upf(seg.up2, unow) * c)
+            seg.exact_upf
+                .unwrap_or_else(|| estimated_upf(seg.up2, unow) * c)
         } else {
             estimated_upf(seg.up2, unow)
         };
@@ -91,12 +92,20 @@ impl MdcPolicy {
 
 impl CleaningPolicy for MdcPolicy {
     fn name(&self) -> &'static str {
-        if self.oracle { "MDC-opt" } else { "MDC" }
+        if self.oracle {
+            "MDC-opt"
+        } else {
+            "MDC"
+        }
     }
 
     fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
-        let candidates: Vec<_> =
-            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect();
+        let candidates: Vec<_> = ctx
+            .segments
+            .iter()
+            .filter(|s| s.free_bytes > 0)
+            .copied()
+            .collect();
         let this = *self;
         select_k_smallest_by(&candidates, want, |s| this.decline(s, ctx.unow))
     }
@@ -136,7 +145,7 @@ mod tests {
     #[test]
     fn full_segments_are_never_preferred() {
         let segs = vec![
-            test_segment(0, 100, 0, 10, 0, 0),  // nothing reclaimable
+            test_segment(0, 100, 0, 10, 0, 0), // nothing reclaimable
             test_segment(1, 100, 10, 9, 500, 0),
         ];
         let mut p = MdcPolicy::estimated();
@@ -150,7 +159,10 @@ mod tests {
         let cold = test_segment(0, 100, 40, 6, 100, 0);
         let hot = test_segment(1, 100, 40, 6, 990, 0);
         let mut p = MdcPolicy::estimated();
-        assert_eq!(p.select_victims(&ctx(&[cold, hot], 1000), 1), vec![SegmentId(0)]);
+        assert_eq!(
+            p.select_victims(&ctx(&[cold, hot], 1000), 1),
+            vec![SegmentId(0)]
+        );
     }
 
     #[test]
@@ -158,7 +170,10 @@ mod tests {
         let emptier = test_segment(0, 100, 70, 3, 500, 0);
         let fuller = test_segment(1, 100, 20, 8, 500, 0);
         let mut p = MdcPolicy::estimated();
-        assert_eq!(p.select_victims(&ctx(&[emptier, fuller], 1000), 1), vec![SegmentId(0)]);
+        assert_eq!(
+            p.select_victims(&ctx(&[emptier, fuller], 1000), 1),
+            vec![SegmentId(0)]
+        );
     }
 
     #[test]
@@ -186,7 +201,10 @@ mod tests {
         let mut p = MdcPolicy::oracle();
         // Cold has the smaller decline, so it is cleaned first even though the estimated
         // up2 values are identical.
-        assert_eq!(p.select_victims(&ctx(&[hot, cold], 1000), 1), vec![SegmentId(1)]);
+        assert_eq!(
+            p.select_victims(&ctx(&[hot, cold], 1000), 1),
+            vec![SegmentId(1)]
+        );
         assert!(p.is_oracle());
     }
 
@@ -200,7 +218,10 @@ mod tests {
             origin: WriteOrigin::User,
         };
         let est = MdcPolicy::estimated();
-        assert!(est.separation_key(&mk(10, None)).unwrap() < est.separation_key(&mk(900, None)).unwrap());
+        assert!(
+            est.separation_key(&mk(10, None)).unwrap()
+                < est.separation_key(&mk(900, None)).unwrap()
+        );
 
         let orc = MdcPolicy::oracle();
         // Lower exact frequency => smaller key => sorts first (cold end).

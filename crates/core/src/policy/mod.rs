@@ -257,10 +257,14 @@ pub(crate) fn select_k_smallest_by<F>(
 where
     F: FnMut(&SegmentStats) -> f64,
 {
-    let mut scored: Vec<(f64, SealSeq, SegmentId)> =
-        segments.iter().map(|s| (key(s), s.seal_seq, s.id)).collect();
+    let mut scored: Vec<(f64, SealSeq, SegmentId)> = segments
+        .iter()
+        .map(|s| (key(s), s.seal_seq, s.id))
+        .collect();
     scored.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
     });
     scored.into_iter().take(want).map(|(_, _, id)| id).collect()
 }

@@ -20,7 +20,7 @@
 //! * one segment is cleaned per cycle, matching the evaluation setup of \[26\] that the
 //!   paper preserves.
 
-use super::{CleaningPolicy, PolicyContext, SegmentId, SegmentStats, select_k_smallest_by};
+use super::{select_k_smallest_by, CleaningPolicy, PolicyContext, SegmentId, SegmentStats};
 use crate::types::PageWriteInfo;
 
 /// Maximum number of distinct logs maintained. 32 buckets of doubling update periods
@@ -41,12 +41,20 @@ pub struct MultiLogPolicy {
 impl MultiLogPolicy {
     /// Multi-log with update periods estimated from `up2` carry-forward.
     pub fn estimated() -> Self {
-        Self { oracle: false, last_written_log: 0, routed: [0; MAX_LOGS] }
+        Self {
+            oracle: false,
+            last_written_log: 0,
+            routed: [0; MAX_LOGS],
+        }
     }
 
     /// `multi-log-opt`: uses the exact page update frequency for log placement.
     pub fn oracle() -> Self {
-        Self { oracle: true, last_written_log: 0, routed: [0; MAX_LOGS] }
+        Self {
+            oracle: true,
+            last_written_log: 0,
+            routed: [0; MAX_LOGS],
+        }
     }
 
     /// Whether this instance is the oracle variant.
@@ -95,7 +103,11 @@ impl MultiLogPolicy {
 
 impl CleaningPolicy for MultiLogPolicy {
     fn name(&self) -> &'static str {
-        if self.oracle { "multi-log-opt" } else { "multi-log" }
+        if self.oracle {
+            "multi-log-opt"
+        } else {
+            "multi-log"
+        }
     }
 
     fn select_victims(&mut self, ctx: &PolicyContext<'_>, want: usize) -> Vec<SegmentId> {
@@ -119,7 +131,11 @@ impl CleaningPolicy for MultiLogPolicy {
         let pick_from = if local.is_empty() {
             // Fall back to a global choice when the neighbourhood has nothing to offer
             // (e.g. right after start-up when only one log exists but it is full).
-            ctx.segments.iter().filter(|s| s.free_bytes > 0).copied().collect::<Vec<_>>()
+            ctx.segments
+                .iter()
+                .filter(|s| s.free_bytes > 0)
+                .copied()
+                .collect::<Vec<_>>()
         } else {
             let mut per_log: Vec<SegmentStats> = Vec::new();
             for log in neighbourhood {
@@ -166,7 +182,13 @@ mod tests {
     use crate::types::{PageWriteInfo, WriteOrigin};
 
     fn page(up2: u64, freq: Option<f64>) -> PageWriteInfo {
-        PageWriteInfo { page: 1, size: 10, up2, exact_freq: freq, origin: WriteOrigin::User }
+        PageWriteInfo {
+            page: 1,
+            size: 10,
+            up2,
+            exact_freq: freq,
+            origin: WriteOrigin::User,
+        }
     }
 
     #[test]
@@ -182,7 +204,10 @@ mod tests {
     #[test]
     fn pages_without_history_go_to_the_coldest_log() {
         let mut p = MultiLogPolicy::estimated();
-        let ctx = PolicyContext { unow: 10_000, segments: &[] };
+        let ctx = PolicyContext {
+            unow: 10_000,
+            segments: &[],
+        };
         let log = p.log_for_page(&page(0, None), &ctx);
         assert_eq!(log as usize, MAX_LOGS - 1);
         assert_eq!(p.active_logs(), 1);
@@ -191,17 +216,26 @@ mod tests {
     #[test]
     fn pages_with_history_spread_across_logs() {
         let mut p = MultiLogPolicy::estimated();
-        let ctx = PolicyContext { unow: 10_000, segments: &[] };
+        let ctx = PolicyContext {
+            unow: 10_000,
+            segments: &[],
+        };
         let hot = p.log_for_page(&page(9_990, None), &ctx);
         let cold = p.log_for_page(&page(100, None), &ctx);
-        assert!(hot < cold, "hot page log {hot} should be below cold page log {cold}");
+        assert!(
+            hot < cold,
+            "hot page log {hot} should be below cold page log {cold}"
+        );
         assert!(p.active_logs() >= 2);
     }
 
     #[test]
     fn oracle_spreads_immediately_from_exact_frequencies() {
         let mut p = MultiLogPolicy::oracle();
-        let ctx = PolicyContext { unow: 0, segments: &[] };
+        let ctx = PolicyContext {
+            unow: 0,
+            segments: &[],
+        };
         let hot = p.log_for_page(&page(0, Some(50.0)), &ctx);
         let cold = p.log_for_page(&page(0, Some(0.01)), &ctx);
         assert!(hot < cold);
@@ -212,7 +246,10 @@ mod tests {
     fn victim_selection_prefers_local_neighbourhood() {
         let mut p = MultiLogPolicy::estimated();
         // Route a hot page so last_written_log becomes a low bucket.
-        let ctx_empty = PolicyContext { unow: 10_000, segments: &[] };
+        let ctx_empty = PolicyContext {
+            unow: 10_000,
+            segments: &[],
+        };
         let hot_log = p.log_for_page(&page(9_990, None), &ctx_empty);
 
         // One segment in the hot log's neighbourhood (moderately empty) and one far away
@@ -222,21 +259,30 @@ mod tests {
         let mut far = test_segment(1, 100, 90, 1, 0, 0);
         far.log_id = (MAX_LOGS - 1) as u16;
         let segs = [near, far];
-        let ctx = PolicyContext { unow: 10_000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 10_000,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(0)]);
     }
 
     #[test]
     fn falls_back_to_global_choice_when_neighbourhood_is_empty() {
         let mut p = MultiLogPolicy::estimated();
-        let ctx_empty = PolicyContext { unow: 10_000, segments: &[] };
+        let ctx_empty = PolicyContext {
+            unow: 10_000,
+            segments: &[],
+        };
         let hot_log = p.log_for_page(&page(9_990, None), &ctx_empty);
         assert!(hot_log < 5);
 
         let mut far = test_segment(1, 100, 90, 1, 0, 0);
         far.log_id = (MAX_LOGS - 1) as u16;
         let segs = [far];
-        let ctx = PolicyContext { unow: 10_000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 10_000,
+            segments: &segs,
+        };
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(1)]);
     }
 
@@ -249,7 +295,10 @@ mod tests {
     #[test]
     fn within_a_log_the_oldest_segment_is_the_candidate() {
         let mut p = MultiLogPolicy::estimated();
-        let ctx_empty = PolicyContext { unow: 10_000, segments: &[] };
+        let ctx_empty = PolicyContext {
+            unow: 10_000,
+            segments: &[],
+        };
         let log = p.log_for_page(&page(9_990, None), &ctx_empty);
 
         let mut old = test_segment(0, 100, 30, 7, 0, 0);
@@ -259,7 +308,10 @@ mod tests {
         young.log_id = log;
         young.seal_seq = 99;
         let segs = [young, old];
-        let ctx = PolicyContext { unow: 10_000, segments: &segs };
+        let ctx = PolicyContext {
+            unow: 10_000,
+            segments: &segs,
+        };
         // Only the oldest segment per log is considered, even though the young one is
         // emptier — the log is treated as a FIFO.
         assert_eq!(p.select_victims(&ctx, 1), vec![SegmentId(0)]);

@@ -53,7 +53,7 @@ pub fn recover(config: StoreConfig, device: Box<dyn SegmentDevice>) -> Result<Lo
 /// [`recover`] but also returns a [`ScanReport`] describing what was found.
 pub fn recover_with_report(
     config: StoreConfig,
-    mut device: Box<dyn SegmentDevice>,
+    device: Box<dyn SegmentDevice>,
 ) -> Result<(LogStore, ScanReport)> {
     config.validate()?;
     let mut report = ScanReport::default();
@@ -71,7 +71,11 @@ pub fn recover_with_report(
         match decode_segment(id, &image) {
             Ok(Some(p)) => {
                 report.sealed_segments += 1;
-                parsed_segments.push(Parsed { id, header: p.header, entries: p.entries });
+                parsed_segments.push(Parsed {
+                    id,
+                    header: p.header,
+                    entries: p.entries,
+                });
             }
             Ok(None) => report.blank_segments += 1,
             Err(_) => report.corrupt_segments.push(id),
@@ -90,12 +94,17 @@ pub fn recover_with_report(
             let candidate = PageVersion {
                 write_seq: e.write_seq,
                 seal_seq: p.header.seal_seq,
-                loc: PageLocation { segment: p.id, offset: e.offset, len: e.payload_len() },
+                loc: PageLocation {
+                    segment: p.id,
+                    offset: e.offset,
+                    len: e.payload_len(),
+                },
                 tombstone: e.is_tombstone(),
             };
             match best.get(&e.page_id) {
                 Some(cur)
-                    if (cur.write_seq, cur.seal_seq) >= (candidate.write_seq, candidate.seal_seq) => {}
+                    if (cur.write_seq, cur.seal_seq)
+                        >= (candidate.write_seq, candidate.seal_seq) => {}
                 _ => {
                     best.insert(e.page_id, candidate);
                 }
@@ -120,12 +129,16 @@ pub fn recover_with_report(
     let capacity = layout::payload_capacity(config.segment_bytes, config.page_bytes) as u64;
     let mut table = SegmentTable::new(config.num_segments);
     for p in &parsed_segments {
-        let (live_bytes, live_pages) =
-            live_per_segment.get(&p.id).copied().unwrap_or((0, 0));
+        let (live_bytes, live_pages) = live_per_segment.get(&p.id).copied().unwrap_or((0, 0));
         let mut meta = SegmentMeta::new_open(p.id, capacity, p.header.log_id, config.up2_mode);
         meta.live_bytes = live_bytes;
         meta.live_pages = live_pages;
-        meta.seal(p.header.seal_seq, p.header.sealed_at, p.header.up2, config.up2_mode);
+        meta.seal(
+            p.header.seal_seq,
+            p.header.sealed_at,
+            p.header.up2,
+            config.up2_mode,
+        );
         table.install_sealed(meta);
     }
 
@@ -158,7 +171,7 @@ mod tests {
     #[test]
     fn recover_after_flush_restores_all_pages() {
         let cfg = config();
-        let mut store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
         for i in 0..200u64 {
             store.put(i, format!("page-{i}").as_bytes()).unwrap();
         }
@@ -170,10 +183,13 @@ mod tests {
         store.flush().unwrap();
 
         let device = store.into_device();
-        let (mut recovered, report) = recover_with_report(cfg, device).unwrap();
+        let (recovered, report) = recover_with_report(cfg, device).unwrap();
         assert!(report.sealed_segments > 0);
         assert_eq!(recovered.live_pages(), 199);
-        assert!(recovered.get(7).unwrap().is_none(), "deleted page resurrected");
+        assert!(
+            recovered.get(7).unwrap().is_none(),
+            "deleted page resurrected"
+        );
         for i in 0..50u64 {
             if i == 7 {
                 continue; // deleted above
@@ -188,7 +204,10 @@ mod tests {
             if i == 7 {
                 continue;
             }
-            assert_eq!(recovered.get(i).unwrap().unwrap().as_ref(), format!("page-{i}").as_bytes());
+            assert_eq!(
+                recovered.get(i).unwrap().unwrap().as_ref(),
+                format!("page-{i}").as_bytes()
+            );
         }
     }
 
@@ -196,7 +215,7 @@ mod tests {
     fn recovery_survives_cleaning_having_run() {
         let cfg = config();
         let pages = cfg.logical_pages_for_fill_factor(0.5) as u64;
-        let mut store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
         // Full-size payloads so segments actually fill and cleaning is forced; the first
         // bytes identify the version so recovery correctness can be checked.
         let page_bytes = cfg.page_bytes;
@@ -220,11 +239,17 @@ mod tests {
             expected[page as usize] = version;
         }
         store.flush().unwrap();
-        assert!(store.stats().cleaning_cycles > 0, "test needs cleaning to have happened");
-        assert!(store.stats().gc_pages_written > 0, "test needs live pages to have moved");
+        assert!(
+            store.stats().cleaning_cycles > 0,
+            "test needs cleaning to have happened"
+        );
+        assert!(
+            store.stats().gc_pages_written > 0,
+            "test needs live pages to have moved"
+        );
 
         let device = store.into_device();
-        let (mut recovered, _) = recover_with_report(cfg, device).unwrap();
+        let (recovered, _) = recover_with_report(cfg, device).unwrap();
         assert_eq!(recovered.live_pages() as u64, pages);
         for i in 0..pages {
             assert_eq!(
@@ -238,18 +263,21 @@ mod tests {
             recovered.put(i, &payload(i, u64::MAX)).unwrap();
         }
         recovered.flush().unwrap();
-        assert_eq!(recovered.get(0).unwrap().unwrap().as_ref(), payload(0, u64::MAX).as_slice());
+        assert_eq!(
+            recovered.get(0).unwrap().unwrap().as_ref(),
+            payload(0, u64::MAX).as_slice()
+        );
     }
 
     #[test]
     fn unflushed_writes_are_lost_as_documented() {
         let cfg = config();
-        let mut store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
         store.put(1, b"durable").unwrap();
         store.flush().unwrap();
         store.put(2, b"volatile").unwrap(); // never flushed
         let device = store.into_device();
-        let (mut recovered, _) = recover_with_report(cfg, device).unwrap();
+        let (recovered, _) = recover_with_report(cfg, device).unwrap();
         assert!(recovered.get(1).unwrap().is_some());
         assert!(recovered.get(2).unwrap().is_none());
     }
@@ -257,12 +285,12 @@ mod tests {
     #[test]
     fn corrupt_segments_are_skipped_not_fatal() {
         let cfg = config();
-        let mut store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
         for i in 0..40u64 {
             store.put(i, b"some data here").unwrap();
         }
         store.flush().unwrap();
-        let mut device = store.into_device();
+        let device = store.into_device();
 
         // Corrupt one sealed segment's header byte.
         let victim = SegmentId(0);

@@ -77,7 +77,11 @@ impl SegmentMeta {
     /// Record that a live page of `size` bytes was superseded (overwritten elsewhere or
     /// deleted) at update tick `unow`.
     pub fn on_page_dead(&mut self, size: u32, unow: UpdateTick, exact_freq: Option<f64>) {
-        debug_assert!(self.live_pages > 0, "page death on empty segment {}", self.id);
+        debug_assert!(
+            self.live_pages > 0,
+            "page death on empty segment {}",
+            self.id
+        );
         self.live_bytes = self.live_bytes.saturating_sub(size as u64);
         self.live_pages = self.live_pages.saturating_sub(1);
         self.freq.on_overwrite(unow);
@@ -110,7 +114,11 @@ impl SegmentMeta {
             sealed_at: self.sealed_at,
             seal_seq: self.seal_seq,
             log_id: self.log_id,
-            exact_upf: if self.has_exact_upf { Some(self.exact_upf_sum) } else { None },
+            exact_upf: if self.has_exact_upf {
+                Some(self.exact_upf_sum)
+            } else {
+                None
+            },
         }
     }
 }
@@ -154,11 +162,19 @@ impl SegmentState {
     }
 }
 
-/// Table of all physical segments plus the free list and seal-sequence counter.
+/// Table of all physical segments plus the free list, the reclamation quarantine and
+/// the seal-sequence counter.
 #[derive(Debug)]
 pub struct SegmentTable {
     states: Vec<SegmentState>,
     free: Vec<SegmentId>,
+    /// Segments released by the cleaner but not yet eligible for reuse: their slots must
+    /// stay untouched until (a) the cleaning cycle that emptied them has synced its GC
+    /// output segments to the device (crash safety: the old copies are the only durable
+    /// ones until then — tracked by the per-entry `synced` flag) and (b) no in-flight
+    /// reader still holds the slot pinned (read safety: a ranged read may be in progress
+    /// against the old image).
+    quarantine: Vec<(SegmentId, bool)>,
     next_seal_seq: SealSeq,
 }
 
@@ -171,6 +187,7 @@ impl SegmentTable {
         Self {
             states: vec![SegmentState::Free; num_segments],
             free,
+            quarantine: Vec::new(),
             next_seal_seq: 1,
         }
     }
@@ -196,17 +213,65 @@ impl SegmentTable {
     }
 
     /// Allocate a free segment, if any, transitioning it to `Open`.
-    pub fn allocate(&mut self, capacity_bytes: u64, log_id: u16, up2_mode: Up2Mode) -> Option<SegmentId> {
+    pub fn allocate(
+        &mut self,
+        capacity_bytes: u64,
+        log_id: u16,
+        up2_mode: Up2Mode,
+    ) -> Option<SegmentId> {
         let id = self.free.pop()?;
-        self.states[id.index()] = SegmentState::Open(SegmentMeta::new_open(id, capacity_bytes, log_id, up2_mode));
+        self.states[id.index()] =
+            SegmentState::Open(SegmentMeta::new_open(id, capacity_bytes, log_id, up2_mode));
         Some(id)
     }
 
-    /// Return a segment to the free list (after cleaning or after an aborted open).
+    /// Return a segment to the free list immediately (after an aborted open, or in
+    /// single-threaded embedders like the simulator where no reader can be mid-flight).
     pub fn release(&mut self, id: SegmentId) {
         debug_assert!(!self.states[id.index()].is_free(), "double free of {id}");
         self.states[id.index()] = SegmentState::Free;
         self.free.push(id);
+    }
+
+    /// Release a cleaned victim into the quarantine instead of the free list. The slot
+    /// becomes allocatable only after [`SegmentTable::mark_quarantine_synced`] (a device
+    /// sync has made the relocated copies durable) and a subsequent
+    /// [`SegmentTable::reap_quarantine`] confirming no reader pins remain.
+    pub fn release_quarantined(&mut self, id: SegmentId) {
+        debug_assert!(!self.states[id.index()].is_free(), "double free of {id}");
+        self.states[id.index()] = SegmentState::Free;
+        self.quarantine.push((id, false));
+    }
+
+    /// Number of segments parked in the quarantine.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Record that a device sync has happened: every quarantined victim's relocated
+    /// pages are now durable, so the victims become candidates for reaping.
+    pub fn mark_quarantine_synced(&mut self) {
+        for (_, synced) in &mut self.quarantine {
+            *synced = true;
+        }
+    }
+
+    /// Move synced quarantined segments whose reader pin count is zero (per the supplied
+    /// predicate) to the free list. Returns how many segments were freed.
+    pub fn reap_quarantine(&mut self, unpinned: impl Fn(SegmentId) -> bool) -> usize {
+        let mut freed = 0;
+        let mut i = 0;
+        while i < self.quarantine.len() {
+            let (id, synced) = self.quarantine[i];
+            if synced && unpinned(id) {
+                self.quarantine.swap_remove(i);
+                self.free.push(id);
+                freed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        freed
     }
 
     /// Seal an open segment. Returns the assigned seal sequence.
@@ -237,6 +302,7 @@ impl SegmentTable {
         self.next_seal_seq = self.next_seal_seq.max(meta.seal_seq + 1);
         self.states[id.index()] = SegmentState::Sealed(meta);
         self.free.retain(|&s| s != id);
+        self.quarantine.retain(|&(s, _)| s != id);
     }
 
     /// The state of a segment.
@@ -379,6 +445,29 @@ mod tests {
             let id = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
             assert_ne!(id, SegmentId(2));
         }
+    }
+
+    #[test]
+    fn quarantine_defers_reuse_until_reaped() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        assert_eq!(t.free_count(), 3);
+        t.release_quarantined(a);
+        // Quarantined: state is free but the slot is not allocatable yet.
+        assert!(t.state(a).is_free());
+        assert_eq!(t.free_count(), 3);
+        assert_eq!(t.quarantine_len(), 1);
+        // Not synced yet: reaping skips it even when unpinned.
+        assert_eq!(t.reap_quarantine(|_| true), 0);
+        t.mark_quarantine_synced();
+        // A pinned segment survives reaping.
+        assert_eq!(t.reap_quarantine(|id| id != a), 0);
+        assert_eq!(t.quarantine_len(), 1);
+        // Synced and unpinned: it re-enters the free pool.
+        assert_eq!(t.reap_quarantine(|_| true), 1);
+        assert_eq!(t.quarantine_len(), 0);
+        assert_eq!(t.free_count(), 4);
     }
 
     #[test]

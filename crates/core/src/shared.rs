@@ -1,78 +1,207 @@
-//! A thread-safe handle around [`LogStore`].
+//! [`SharedLogStore`]: cloneable handles plus the background cleaner.
 //!
-//! The store itself is deliberately single-writer (`&mut self` everywhere): log
-//! structuring serialises segment allocation and cleaning anyway, so internal fine-grained
-//! locking would buy little. Embedders that want to share one store across threads wrap
-//! it in [`SharedLogStore`], which provides cheap cloneable handles protected by a
-//! `parking_lot` mutex (chosen over `std::sync::Mutex` for its smaller footprint and
-//! poison-free API, per the performance guide this project follows).
+//! Since the concurrent-pipeline refactor, [`crate::LogStore`] is internally
+//! synchronised (`&self` everywhere), so this handle is a thin `Arc` — **not** a global
+//! mutex like the pre-refactor design. Reads from any number of handles proceed in
+//! parallel with writes and with cleaning.
+//!
+//! Creating a `SharedLogStore` also spawns a [`BackgroundCleaner`]: a thread that wakes
+//! when writers signal free-space pressure (or on a periodic poll), selects victims,
+//! relocates their live pages and commits the remaps with a conflict check — so the
+//! cleaning cost leaves the foreground write path. Writers fall back to lending their
+//! own thread to a synchronous cycle only at the hard reserve floor, and the plain
+//! (un-shared) `LogStore` still cleans synchronously, so nothing requires the thread.
+//!
+//! The cleaner thread holds only a `Weak` reference: dropping the last handle shuts it
+//! down, and [`SharedLogStore::try_into_inner`] can recover the owned store.
 
+use crate::cleaner::CleaningReport;
 use crate::error::Result;
 use crate::stats::StoreStats;
 use crate::store::LogStore;
 use crate::types::PageId;
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// A cloneable, thread-safe handle to a [`LogStore`].
+/// A cloneable, thread-safe handle to a [`LogStore`] with a background cleaner.
 #[derive(Debug, Clone)]
 pub struct SharedLogStore {
-    inner: Arc<Mutex<LogStore>>,
+    // Declared before `store` so that when the last handle drops, the cleaner shuts
+    // down (its Drop joins the thread) while the store is still alive.
+    cleaner: Arc<BackgroundCleaner>,
+    store: Arc<LogStore>,
 }
 
 impl SharedLogStore {
-    /// Wrap a store.
+    /// Wrap a store and spawn its background cleaner.
     pub fn new(store: LogStore) -> Self {
-        Self { inner: Arc::new(Mutex::new(store)) }
+        let store = Arc::new(store);
+        let cleaner = Arc::new(BackgroundCleaner::spawn(&store));
+        Self { cleaner, store }
+    }
+
+    /// Wrap a store **without** a background cleaner: cleaning then runs synchronously
+    /// on writer threads at the free-segment watermark, as in the plain `LogStore`.
+    /// Useful for tests and for embedders that schedule cleaning themselves.
+    pub fn without_background_cleaner(store: LogStore) -> Self {
+        Self {
+            cleaner: Arc::new(BackgroundCleaner::detached()),
+            store: Arc::new(store),
+        }
     }
 
     /// Write (or overwrite) a page.
     pub fn put(&self, page: PageId, data: &[u8]) -> Result<()> {
-        self.inner.lock().put(page, data)
+        self.store.put(page, data)
     }
 
-    /// Read the current version of a page.
+    /// Read the current version of a page. Never blocks on writers or the cleaner.
     pub fn get(&self, page: PageId) -> Result<Option<Bytes>> {
-        self.inner.lock().get(page)
+        self.store.get(page)
     }
 
     /// Delete a page.
     pub fn delete(&self, page: PageId) -> Result<()> {
-        self.inner.lock().delete(page)
+        self.store.delete(page)
     }
 
     /// True if the page currently exists.
     pub fn contains(&self, page: PageId) -> bool {
-        self.inner.lock().contains(page)
+        self.store.contains(page)
     }
 
     /// Drain buffers, seal open segments and sync the device (the durability point).
     pub fn flush(&self) -> Result<()> {
-        self.inner.lock().flush()
+        self.store.flush()
+    }
+
+    /// Run one cleaning cycle synchronously, regardless of the free-segment trigger.
+    pub fn clean_now(&self) -> Result<CleaningReport> {
+        self.store.clean_now()
     }
 
     /// Snapshot of the operational statistics.
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().stats().clone()
+        self.store.stats()
     }
 
     /// Number of live pages.
     pub fn live_pages(&self) -> usize {
-        self.inner.lock().live_pages()
+        self.store.live_pages()
     }
 
-    /// Run a closure with exclusive access to the underlying store (for operations not
-    /// mirrored on the handle, e.g. checkpointing or manual cleaning).
-    pub fn with_store<R>(&self, f: impl FnOnce(&mut LogStore) -> R) -> R {
-        f(&mut self.inner.lock())
+    /// Serialize a checkpoint of the current state (call [`SharedLogStore::flush`]
+    /// first).
+    pub fn checkpoint_json(&self) -> Result<String> {
+        self.store.checkpoint_json()
+    }
+
+    /// Run a closure with shared access to the underlying store (for operations not
+    /// mirrored on the handle).
+    pub fn with_store<R>(&self, f: impl FnOnce(&LogStore) -> R) -> R {
+        f(&self.store)
     }
 
     /// Unwrap the store if this is the last handle; otherwise returns `self` back.
+    /// Shuts the background cleaner down first.
     pub fn try_into_inner(self) -> std::result::Result<LogStore, SharedLogStore> {
-        match Arc::try_unwrap(self.inner) {
-            Ok(mutex) => Ok(mutex.into_inner()),
-            Err(arc) => Err(SharedLogStore { inner: arc }),
+        let SharedLogStore { cleaner, store } = self;
+        match Arc::try_unwrap(cleaner) {
+            // Last handle: joining the cleaner (Drop) releases its transient refs.
+            Ok(cleaner) => drop(cleaner),
+            Err(cleaner) => return Err(SharedLogStore { cleaner, store }),
+        }
+        Arc::try_unwrap(store).map_err(|store| {
+            // Unreachable in practice (the store Arc is never handed out), but recover
+            // gracefully rather than panicking: re-attach a cleaner.
+            let cleaner = Arc::new(BackgroundCleaner::spawn(&store));
+            SharedLogStore { cleaner, store }
+        })
+    }
+}
+
+/// The background cleaning thread: wakes on writer pressure signals (or a periodic
+/// poll), then runs cleaning cycles until the free pool is back above the trigger.
+///
+/// Owns nothing but a `Weak` reference to the store; the thread exits when the store is
+/// dropped or a shutdown is signalled. Dropping the `BackgroundCleaner` signals shutdown
+/// and joins the thread.
+#[derive(Debug)]
+pub struct BackgroundCleaner {
+    store: Weak<LogStore>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// How often the cleaner polls the watermark even without a kick. Kicks make the common
+/// case immediate; the poll only covers embedders that write through the plain
+/// `LogStore` API while a cleaner is attached.
+const CLEANER_POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+impl BackgroundCleaner {
+    fn detached() -> Self {
+        Self {
+            store: Weak::new(),
+            thread: None,
+        }
+    }
+
+    fn spawn(store: &Arc<LogStore>) -> Self {
+        store.gc.set_background_attached(true);
+        let weak = Arc::downgrade(store);
+        let thread_weak = weak.clone();
+        let thread = std::thread::Builder::new()
+            .name("lss-background-cleaner".into())
+            .spawn(move || cleaner_loop(thread_weak))
+            .expect("spawning the background cleaner thread");
+        Self {
+            store: weak,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for BackgroundCleaner {
+    fn drop(&mut self) {
+        if let Some(store) = self.store.upgrade() {
+            store.gc.set_background_attached(false);
+            store.gc.shutdown();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn cleaner_loop(weak: Weak<LogStore>) {
+    loop {
+        // Wait without holding a strong reference so the store can be unwrapped.
+        let shutdown = {
+            let Some(store) = weak.upgrade() else { return };
+            store.gc.wait_for_kick(CLEANER_POLL_INTERVAL)
+        };
+        if shutdown {
+            return;
+        }
+        let Some(store) = weak.upgrade() else { return };
+        let trigger = store.effective_clean_trigger();
+        while store.approx_free_segments() <= trigger {
+            let free_before = store.approx_free_segments();
+            match store.clean_now() {
+                // No victims (nothing reclaimable yet): stop until the next kick.
+                Ok(report) if report.segments_freed() == 0 => break,
+                // Victims were cleaned but the pool did not grow (the cycle's GC
+                // output consumed what it freed — possible under multi-log's
+                // one-victim cycles). Back off instead of churning: the writers'
+                // retry path escalates to space-driven greedy cycles when they
+                // actually run out.
+                Ok(_) if store.approx_free_segments() <= free_before => break,
+                Ok(_) => {}
+                // Cleaning I/O errors surface on the foreground paths too; the
+                // background thread just backs off.
+                Err(_) => break,
+            }
         }
     }
 }
@@ -127,7 +256,9 @@ mod tests {
                     let payload = format!("thread-{t}-page-{i}");
                     store.put(page, payload.as_bytes()).unwrap();
                     // Overwrite a hot page repeatedly to force some cleaning pressure.
-                    store.put(t * 10_000, format!("hot-{t}-{i}").as_bytes()).unwrap();
+                    store
+                        .put(t * 10_000, format!("hot-{t}-{i}").as_bytes())
+                        .unwrap();
                 }
             }));
         }
@@ -139,11 +270,65 @@ mod tests {
         for t in 0..threads {
             for i in 1..per_thread {
                 let page = t * 10_000 + i;
-                let got = store.get(page).unwrap().expect("page lost under concurrency");
+                let got = store
+                    .get(page)
+                    .unwrap()
+                    .expect("page lost under concurrency");
                 assert_eq!(got.as_ref(), format!("thread-{t}-page-{i}").as_bytes());
             }
             let hot = store.get(t * 10_000).unwrap().unwrap();
-            assert_eq!(hot.as_ref(), format!("hot-{t}-{}", per_thread - 1).as_bytes());
+            assert_eq!(
+                hot.as_ref(),
+                format!("hot-{t}-{}", per_thread - 1).as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn readers_run_against_concurrent_writers() {
+        let store = shared();
+        for i in 0..256u64 {
+            store.put(i, format!("init-{i}").as_bytes()).unwrap();
+        }
+        store.flush().unwrap();
+        let writer = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for round in 0..20u64 {
+                    for i in 0..256u64 {
+                        store
+                            .put(i, format!("round-{round}-{i}").as_bytes())
+                            .unwrap();
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for round in 0..2_000u64 {
+                        let page = (t * 97 + round) % 256;
+                        let got = store.get(page).unwrap().expect("page must always exist");
+                        let text = std::str::from_utf8(&got).unwrap().to_string();
+                        assert!(
+                            text == format!("init-{page}") || text.ends_with(&format!("-{page}")),
+                            "read a foreign payload: {text} for page {page}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        store.flush().unwrap();
+        for i in 0..256u64 {
+            assert_eq!(
+                store.get(i).unwrap().unwrap().as_ref(),
+                format!("round-19-{i}").as_bytes()
+            );
         }
     }
 
@@ -151,7 +336,7 @@ mod tests {
     fn with_store_gives_access_to_advanced_operations() {
         let store = shared();
         for i in 0..200u64 {
-            store.put(i % 32, &vec![3u8; 200]).unwrap();
+            store.put(i % 32, &[3u8; 200]).unwrap();
         }
         let report = store.with_store(|s| s.clean_now()).unwrap();
         assert!(report.segments_freed() > 0 || report.pages_moved == 0);
@@ -173,7 +358,25 @@ mod tests {
             Ok(_) => panic!("unwrap should fail while a clone exists"),
         };
         drop(clone);
-        let mut inner = store.try_into_inner().expect("last handle unwraps");
+        let inner = store.try_into_inner().expect("last handle unwraps");
         assert_eq!(inner.get(1).unwrap().unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn background_cleaner_keeps_free_pool_above_floor() {
+        let mut config = StoreConfig::small_for_tests().with_policy(PolicyKind::Greedy);
+        config.num_segments = 64;
+        let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
+        let pages = config.logical_pages_for_fill_factor(0.5) as u64;
+        let payload = vec![5u8; config.page_bytes];
+        for i in 0..(config.physical_pages() as u64 * 6) {
+            store.put(i % pages, &payload).unwrap();
+        }
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert!(stats.cleaning_cycles > 0, "cleaning never ran");
+        for i in 0..pages {
+            assert!(store.get(i).unwrap().is_some(), "page {i} lost");
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! means half of it is spent on cleaning.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated by a [`crate::LogStore`] (or the simulator) during operation.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,7 +71,11 @@ impl StoreStats {
     /// observed mean emptiness. Returns infinity if nothing has been cleaned.
     pub fn observed_cost_per_segment(&self) -> f64 {
         let e = self.mean_emptiness_at_clean();
-        if e <= 0.0 { f64::INFINITY } else { 2.0 / e }
+        if e <= 0.0 {
+            f64::INFINITY
+        } else {
+            2.0 / e
+        }
     }
 
     /// Merge another set of counters into this one (used when aggregating shards or
@@ -93,6 +98,105 @@ impl StoreStats {
     /// starts clean, as the paper does by writing 100× the store size).
     pub fn reset(&mut self) {
         *self = StoreStats::default();
+    }
+}
+
+/// Lock-free counter set used internally by the concurrent store.
+///
+/// Every counter of [`StoreStats`] as a relaxed atomic, so the read path can bump
+/// `pages_read` without touching any lock and writers/cleaner can account concurrently.
+/// [`AtomicStats::snapshot`] materialises a plain [`StoreStats`] for reporting. The one
+/// non-integer counter (`emptiness_sum_at_clean`) is stored as `f64` bits and updated
+/// with a CAS loop — it is only touched once per cleaned victim, so contention is nil.
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    /// See [`StoreStats::user_pages_written`].
+    pub user_pages_written: AtomicU64,
+    /// See [`StoreStats::user_bytes_written`].
+    pub user_bytes_written: AtomicU64,
+    /// See [`StoreStats::gc_pages_written`].
+    pub gc_pages_written: AtomicU64,
+    /// See [`StoreStats::gc_bytes_written`].
+    pub gc_bytes_written: AtomicU64,
+    /// See [`StoreStats::segments_sealed`].
+    pub segments_sealed: AtomicU64,
+    /// See [`StoreStats::segments_cleaned`].
+    pub segments_cleaned: AtomicU64,
+    /// See [`StoreStats::cleaning_cycles`].
+    pub cleaning_cycles: AtomicU64,
+    /// See [`StoreStats::emptiness_sum_at_clean`] (stored as `f64::to_bits`).
+    emptiness_sum_bits: AtomicU64,
+    /// See [`StoreStats::pages_read`].
+    pub pages_read: AtomicU64,
+    /// See [`StoreStats::device_page_reads`].
+    pub device_page_reads: AtomicU64,
+    /// See [`StoreStats::absorbed_in_buffer`].
+    pub absorbed_in_buffer: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Increment a counter by one (convenience for the common case).
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulate a victim's emptiness `E` at cleaning time.
+    pub fn add_emptiness(&self, e: f64) {
+        let mut cur = self.emptiness_sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + e).to_bits();
+            match self.emptiness_sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Materialise a coherent-enough snapshot of the counters.
+    ///
+    /// Individual loads are relaxed; counters incremented by in-flight operations may or
+    /// may not be included, exactly like sampling any monitoring counter.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            user_pages_written: self.user_pages_written.load(Ordering::Relaxed),
+            user_bytes_written: self.user_bytes_written.load(Ordering::Relaxed),
+            gc_pages_written: self.gc_pages_written.load(Ordering::Relaxed),
+            gc_bytes_written: self.gc_bytes_written.load(Ordering::Relaxed),
+            segments_sealed: self.segments_sealed.load(Ordering::Relaxed),
+            segments_cleaned: self.segments_cleaned.load(Ordering::Relaxed),
+            cleaning_cycles: self.cleaning_cycles.load(Ordering::Relaxed),
+            emptiness_sum_at_clean: f64::from_bits(self.emptiness_sum_bits.load(Ordering::Relaxed)),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            device_page_reads: self.device_page_reads.load(Ordering::Relaxed),
+            absorbed_in_buffer: self.absorbed_in_buffer.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.user_pages_written.store(0, Ordering::Relaxed);
+        self.user_bytes_written.store(0, Ordering::Relaxed);
+        self.gc_pages_written.store(0, Ordering::Relaxed);
+        self.gc_bytes_written.store(0, Ordering::Relaxed);
+        self.segments_sealed.store(0, Ordering::Relaxed);
+        self.segments_cleaned.store(0, Ordering::Relaxed);
+        self.cleaning_cycles.store(0, Ordering::Relaxed);
+        self.emptiness_sum_bits.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.device_page_reads.store(0, Ordering::Relaxed);
+        self.absorbed_in_buffer.store(0, Ordering::Relaxed);
     }
 }
 
@@ -126,7 +230,11 @@ mod tests {
 
     #[test]
     fn merge_adds_all_counters() {
-        let mut a = StoreStats { user_pages_written: 1, gc_pages_written: 2, ..Default::default() };
+        let mut a = StoreStats {
+            user_pages_written: 1,
+            gc_pages_written: 2,
+            ..Default::default()
+        };
         let b = StoreStats {
             user_pages_written: 10,
             gc_pages_written: 20,
@@ -143,14 +251,60 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let mut s = StoreStats { user_pages_written: 5, ..Default::default() };
+        let mut s = StoreStats {
+            user_pages_written: 5,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, StoreStats::default());
     }
 
     #[test]
+    fn atomic_stats_snapshot_and_reset() {
+        let a = AtomicStats::default();
+        AtomicStats::bump(&a.user_pages_written);
+        AtomicStats::add(&a.user_bytes_written, 100);
+        AtomicStats::bump(&a.segments_cleaned);
+        a.add_emptiness(0.5);
+        a.add_emptiness(0.25);
+        let s = a.snapshot();
+        assert_eq!(s.user_pages_written, 1);
+        assert_eq!(s.user_bytes_written, 100);
+        assert!((s.emptiness_sum_at_clean - 0.75).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.snapshot(), StoreStats::default());
+    }
+
+    #[test]
+    fn atomic_stats_concurrent_updates_do_not_lose_counts() {
+        let a = std::sync::Arc::new(AtomicStats::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    AtomicStats::bump(&a.pages_read);
+                }
+                for _ in 0..100 {
+                    a.add_emptiness(0.125);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = a.snapshot();
+        assert_eq!(s.pages_read, 80_000);
+        assert!((s.emptiness_sum_at_clean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn stats_serialize_roundtrip() {
-        let s = StoreStats { user_pages_written: 7, emptiness_sum_at_clean: 0.25, ..Default::default() };
+        let s = StoreStats {
+            user_pages_written: 7,
+            emptiness_sum_at_clean: 0.25,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: StoreStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);

@@ -1,0 +1,517 @@
+//! The write pipeline: buffering, batch draining, open-segment management and segment
+//! allocation — everything guarded by the store's single write mutex.
+//!
+//! `put`/`delete` enqueue into the sort buffer and, when the buffer reaches its
+//! configured size, drain it as one batch: carry-forward `up2` estimates are assigned
+//! (paper §5.2.2), the batch is optionally sorted by the policy's separation key
+//! (paper §5.3), and each page is appended to the open segment of its (origin, log)
+//! stream.
+//!
+//! Cleaning is **not** run inline inside the drain (the seed design cleaned while
+//! holding the write state, stalling every other writer). Instead:
+//!
+//! * before taking the write lock, `submit` checks the free-segment watermark and either
+//!   kicks the background cleaner or — with no cleaner attached — runs synchronous
+//!   cycles on the caller's thread ([`ensure_headroom`]);
+//! * if a drain still runs out of segments (allocation would dip below the reserve), it
+//!   parks the unprocessed remainder back at the front of the sort buffer, releases the
+//!   write lock, lets a cleaning cycle run, and retries. Out-of-space is reported only
+//!   when a full cycle frees nothing.
+
+use super::{gc_driver, LogStore, OpenKey, OpenSegment, WriteState};
+use crate::error::{Error, Result};
+use crate::freq::{carry_forward_rewrite, first_write_up2, Up2Average};
+use crate::layout::{self, SegmentBuilder};
+use crate::policy::PolicyContext;
+use crate::stats::AtomicStats;
+use crate::types::{PageLocation, SegmentId, WriteOrigin};
+use crate::write_buffer::{sort_by_separation_key, PendingPage};
+use parking_lot::{MutexGuard, RwLock};
+use std::sync::Arc;
+
+/// Result of draining the sort buffer.
+pub(crate) enum DrainOutcome {
+    /// Everything was appended.
+    Done,
+    /// Allocation hit the reserve floor; the remainder was requeued and a cleaning cycle
+    /// must run before retrying.
+    NeedsCleaning,
+}
+
+/// Result of appending one pending page.
+pub(crate) enum AppendOutcome {
+    /// The page was appended (or was a no-op tombstone).
+    Appended,
+    /// No segment could be allocated without dipping below the reserve; nothing was
+    /// appended (the page stays in the sort buffer for the post-cleaning retry).
+    NeedsCleaning,
+}
+
+/// Entry point for `put`/`delete`: buffer the write and drain if the buffer is full.
+pub(crate) fn submit(store: &LogStore, pending: PendingPage) -> Result<()> {
+    ensure_headroom(store)?;
+    let mut ws = store.write_state().lock();
+    {
+        let mut buf = store.buffer().write();
+        if buf.push(pending) {
+            AtomicStats::bump(&store.atomic_stats().absorbed_in_buffer);
+        }
+    }
+    if !should_drain(store) {
+        return Ok(());
+    }
+    match drain_user_buffer(store, &mut ws)? {
+        DrainOutcome::Done => Ok(()),
+        DrainOutcome::NeedsCleaning => {
+            drop(ws);
+            drain_with_cleaning(store)
+        }
+    }
+}
+
+/// Drain the sort buffer, seal every open segment, sync the device and reap the
+/// quarantine: the durability point.
+pub(crate) fn flush(store: &LogStore) -> Result<()> {
+    for _attempt in 0..MAX_CLEAN_RETRIES {
+        let mut ws = store.write_state().lock();
+        match drain_user_buffer(store, &mut ws)? {
+            DrainOutcome::Done => {
+                let keys: Vec<OpenKey> = ws.open.keys().copied().collect();
+                for key in keys {
+                    if let Some(open) = ws.open.remove(&key) {
+                        seal_open(store, &mut ws, open)?;
+                    }
+                }
+                // Sync and mark the quarantine in the SAME critical section as the
+                // seals: releasing the lock in between would let a concurrent cleaning
+                // cycle quarantine a fresh victim whose relocated pages are still only
+                // in unsealed GC builders — marking that victim synced here would allow
+                // its slot to be rewritten before the copies are durable.
+                store.device().sync()?;
+                ws.segments.mark_quarantine_synced();
+                ws.segments.reap_quarantine(|id| store.pin_count(id) == 0);
+                store.publish_free(&ws);
+                return Ok(());
+            }
+            DrainOutcome::NeedsCleaning => {
+                drop(ws);
+                let report = gc_driver::run_cleaning_cycle(store)?;
+                if report.segments_freed() == 0 {
+                    return Err(out_of_space(store));
+                }
+            }
+        }
+    }
+    Err(out_of_space(store))
+}
+
+/// Maximum clean-and-retry iterations before reporting out-of-space. Each iteration
+/// requires the preceding cycle to have freed at least one segment, so this bound is
+/// only reached on pathological configurations.
+const MAX_CLEAN_RETRIES: usize = 64;
+
+fn out_of_space(store: &LogStore) -> Error {
+    Error::OutOfSpace {
+        free_segments: store.approx_free_segments(),
+        needed: store.config().cleaning.reserved_free_segments + 1,
+    }
+}
+
+/// Keep the free pool above the cleaning trigger *before* entering the write lock.
+///
+/// With a background cleaner attached this only kicks its condvar (and, at the hard
+/// reserve floor, lends the caller's thread to one synchronous cycle so writers cannot
+/// outrun the cleaner). Without one, cycles run synchronously here until the pool is
+/// above the trigger or a cycle makes no progress.
+pub(crate) fn ensure_headroom(store: &LogStore) -> Result<()> {
+    let trigger = store.effective_clean_trigger();
+    if store.approx_free_segments() > trigger {
+        return Ok(());
+    }
+    if store.gc.background_attached() {
+        store.gc.kick();
+        if store.approx_free_segments() <= store.config().cleaning.reserved_free_segments + 1 {
+            gc_driver::run_cleaning_cycle(store)?;
+        }
+        return Ok(());
+    }
+    for _ in 0..MAX_CLEAN_RETRIES {
+        if store.approx_free_segments() > trigger {
+            break;
+        }
+        let free_before = store.approx_free_segments();
+        let report = gc_driver::run_cleaning_cycle(store)?;
+        // Stop on no progress — no victims, or a cycle whose GC output consumed
+        // everything it freed. The drain path escalates harder if allocation
+        // actually fails.
+        if report.segments_freed() == 0 || store.approx_free_segments() <= free_before {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Clean-then-retry loop for a drain that ran out of segments mid-batch.
+///
+/// The first attempts let the configured policy pick victims; if that does not unblock
+/// the drain (a selective policy can net almost nothing per cycle under distress), the
+/// loop escalates to full-batch greedy cycles, which monotonically reclaim whatever is
+/// reclaimable. Out-of-space is reported only once even a greedy cycle frees nothing.
+fn drain_with_cleaning(store: &LogStore) -> Result<()> {
+    for attempt in 0..MAX_CLEAN_RETRIES {
+        let mode = if attempt < 2 {
+            gc_driver::SelectionMode::Policy
+        } else {
+            gc_driver::SelectionMode::ForceGreedy
+        };
+        let report = gc_driver::run_cleaning_cycle_with(store, mode)?;
+        let mut ws = store.write_state().lock();
+        match drain_user_buffer(store, &mut ws)? {
+            DrainOutcome::Done => return Ok(()),
+            DrainOutcome::NeedsCleaning => {
+                if report.segments_freed() == 0 {
+                    return Err(out_of_space(store));
+                }
+            }
+        }
+    }
+    Err(out_of_space(store))
+}
+
+fn sort_buffer_capacity_bytes(store: &LogStore) -> usize {
+    store.config().sort_buffer_segments
+        * layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes)
+}
+
+fn should_drain(store: &LogStore) -> bool {
+    let (payload_bytes, len) = {
+        let buf = store.buffer().read();
+        (buf.payload_bytes(), buf.len())
+    };
+    let sbs = store.config().sort_buffer_segments;
+    sbs == 0 || payload_bytes >= sort_buffer_capacity_bytes(store) || len >= sbs.max(1) * 4096
+}
+
+/// Assign carried `up2` values to the buffered batch (paper §5.2.2) and hand every
+/// page to an open segment, sorted by the policy's separation key if configured.
+///
+/// The buffer is *snapshotted*, not drained up front: an entry keeps serving reads
+/// until its page has a page-table entry, and is removed individually right after its
+/// append (all under the continuously held write lock) — so a reader always finds an
+/// acknowledged write in the buffer or in the page table, never in neither. If the
+/// batch stops early for cleaning, only the unprocessed remainder stays buffered; the
+/// post-cleaning retry re-snapshots exactly that remainder.
+pub(crate) fn drain_user_buffer(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+) -> Result<DrainOutcome> {
+    let mut batch = store.buffer().read().snapshot_indexed();
+    if batch.is_empty() {
+        return Ok(DrainOutcome::Done);
+    }
+    let unow = store.unow();
+
+    // First pass: pages with history inherit from their previous segment.
+    let mut coldest = None;
+    let mut has_history = vec![false; batch.len()];
+    for (i, (_, p)) in batch.iter_mut().enumerate() {
+        if let Some(loc) = store.mapping().get(p.info.page) {
+            let old_up2 = ws
+                .segments
+                .meta(loc.segment)
+                .map(|m| m.freq.up2())
+                .unwrap_or_default();
+            p.info.up2 = carry_forward_rewrite(old_up2, unow);
+            has_history[i] = true;
+            coldest = Some(match coldest {
+                Some(c) if c < p.info.up2 => c,
+                _ => p.info.up2,
+            });
+        }
+    }
+    // Second pass: first writes get the coldest estimate seen in the batch.
+    let cold = first_write_up2(coldest);
+    for (i, (_, p)) in batch.iter_mut().enumerate() {
+        if !has_history[i] {
+            p.info.up2 = cold;
+        }
+    }
+
+    if store.config().separation.separate_user_writes {
+        let policy = &ws.policy;
+        sort_by_separation_key(&mut batch, |(_, p): &(usize, PendingPage)| {
+            policy.separation_key(&p.info)
+        });
+    }
+    for (slot, p) in batch {
+        match append_page(store, ws, p)? {
+            AppendOutcome::Appended => {
+                // The page is mapped; its buffer copy is now redundant.
+                store.buffer().write().remove_slot(slot);
+            }
+            AppendOutcome::NeedsCleaning => {
+                // The remainder (this page onward) stays in the buffer for the retry.
+                return Ok(DrainOutcome::NeedsCleaning);
+            }
+        }
+    }
+    Ok(DrainOutcome::Done)
+}
+
+/// Append one pending page (user or GC) to the appropriate open segment, updating the
+/// page table and invalidating the previous version.
+pub(crate) fn append_page(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    p: PendingPage,
+) -> Result<AppendOutcome> {
+    let origin = p.info.origin;
+    let log = if ws.policy.num_logs() > 1 {
+        let ctx = PolicyContext {
+            unow: store.unow(),
+            segments: &[],
+        };
+        ws.policy.log_for_page(&p.info, &ctx)
+    } else {
+        0
+    };
+    let key = OpenKey { origin, log };
+
+    if p.is_tombstone() {
+        return append_tombstone(store, ws, key, p);
+    }
+
+    let data = p
+        .data
+        .clone()
+        .expect("non-tombstone pending page must carry a payload in the real store");
+    if !ensure_open(store, ws, key, data.len())? {
+        return Ok(AppendOutcome::NeedsCleaning);
+    }
+    let seq = ws.next_write_seq;
+    ws.next_write_seq += 1;
+
+    let open = ws
+        .open
+        .get_mut(&key)
+        .expect("ensure_open just installed this key");
+    let offset = open.builder.write().push_page(p.info.page, seq, &data);
+    open.up2_avg.add(p.info.up2);
+    let seg_id = open.id;
+    let loc = PageLocation {
+        segment: seg_id,
+        offset,
+        len: data.len() as u32,
+    };
+
+    if let Some(meta) = ws.segments.meta_mut(seg_id) {
+        meta.on_page_added(data.len() as u32, p.info.exact_freq);
+    }
+    let old = store.mapping().insert(p.info.page, loc);
+    // GC relocations always move a page out of a victim segment that is about to be
+    // released, so only user overwrites need to mark the previous copy dead (the
+    // victim's metadata dies with the release; perturbing its `up2` estimate during the
+    // relocation would bias nothing but wastes work).
+    if origin == WriteOrigin::User {
+        if let Some(old) = old {
+            invalidate(store, ws, old, p.info.exact_freq);
+        }
+    }
+    Ok(AppendOutcome::Appended)
+}
+
+fn append_tombstone(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    key: OpenKey,
+    p: PendingPage,
+) -> Result<AppendOutcome> {
+    let page = p.info.page;
+    if store.mapping().get(page).is_none() {
+        // The page does not exist on the device; nothing to delete or record.
+        return Ok(AppendOutcome::Appended);
+    }
+    if !ensure_open(store, ws, key, 0)? {
+        return Ok(AppendOutcome::NeedsCleaning);
+    }
+    let Some(old) = store.mapping().remove(page) else {
+        return Ok(AppendOutcome::Appended);
+    };
+    invalidate(store, ws, old, None);
+    let seq = ws.next_write_seq;
+    ws.next_write_seq += 1;
+    let open = ws
+        .open
+        .get_mut(&key)
+        .expect("ensure_open just installed this key");
+    open.builder.write().push_tombstone(page, seq);
+    Ok(AppendOutcome::Appended)
+}
+
+/// Make sure an open segment with room for a payload of `len` bytes exists for the
+/// given (origin, log) stream, sealing the current one and allocating a fresh segment
+/// if necessary. Returns false if allocation would dip below the user reserve (the
+/// caller must let cleaning run).
+fn ensure_open(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    key: OpenKey,
+    len: usize,
+) -> Result<bool> {
+    if let Some(open) = ws.open.get(&key) {
+        if open.builder.read().fits(len) {
+            return Ok(true);
+        }
+    }
+    if let Some(full) = ws.open.remove(&key) {
+        seal_open(store, ws, full)?;
+    }
+    let Some(id) = allocate_segment(store, ws, key.origin, key.log)? else {
+        return Ok(false);
+    };
+    let builder = Arc::new(RwLock::new(SegmentBuilder::new(
+        store.config().segment_bytes,
+    )));
+    store.open_reads().write().insert(id, Arc::clone(&builder));
+    ws.open.insert(
+        key,
+        OpenSegment {
+            id,
+            builder,
+            up2_avg: Up2Average::new(),
+            log: key.log,
+        },
+    );
+    store.publish_free(ws);
+    Ok(true)
+}
+
+/// Seal an open segment: finalise its image, write it to the device and transition its
+/// metadata to `Sealed`. Empty builders just release the segment.
+///
+/// Ordering matters for the lock-free read path: the image is written to the device
+/// *before* the builder is removed from the open-segment read index, so a reader that
+/// misses the index is guaranteed to find the image on the device.
+pub(crate) fn seal_open(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    open: OpenSegment,
+) -> Result<()> {
+    if open.builder.read().is_empty() {
+        ws.segments.release(open.id);
+        store.open_reads().write().remove(&open.id);
+        store.publish_free(ws);
+        return Ok(());
+    }
+    let unow = store.unow();
+    let carried_up2 = open.up2_avg.mean_or(unow);
+    let seal_seq = ws
+        .segments
+        .seal(open.id, unow, carried_up2, store.config().up2_mode);
+    let image = open
+        .builder
+        .write()
+        .finish_image(seal_seq, unow, carried_up2, open.log);
+    store.device().write_segment(open.id, &image)?;
+    AtomicStats::bump(&store.atomic_stats().segments_sealed);
+    store.open_reads().write().remove(&open.id);
+    store.publish_free(ws);
+    Ok(())
+}
+
+/// Account for the death of a page's previous version.
+fn invalidate(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    old: PageLocation,
+    exact_freq: Option<f64>,
+) {
+    if let Some(meta) = ws.segments.meta_mut(old.segment) {
+        meta.on_page_dead(old.len, store.unow(), exact_freq);
+    }
+}
+
+/// Allocate a free segment for the given write stream.
+///
+/// User allocations stop at the reserve floor (returning `None` so the caller can run a
+/// cleaning cycle); GC allocations may dip into the reserve — that is what it is for —
+/// and fail hard only when the device is truly exhausted. Both first try to reclaim
+/// quarantined victims via [`emergency_reclaim`] when the pool runs dry.
+fn allocate_segment(
+    store: &LogStore,
+    ws: &mut MutexGuard<'_, WriteState>,
+    origin: WriteOrigin,
+    log: u16,
+) -> Result<Option<SegmentId>> {
+    let reserved = store.config().cleaning.reserved_free_segments;
+    match origin {
+        WriteOrigin::User => {
+            if ws.segments.free_count() <= reserved {
+                emergency_reclaim(store, ws)?;
+                if ws.segments.free_count() <= reserved {
+                    return Ok(None);
+                }
+            }
+        }
+        WriteOrigin::Gc => {
+            if ws.segments.free_count() == 0 {
+                emergency_reclaim(store, ws)?;
+            }
+        }
+    }
+    let capacity =
+        layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes) as u64;
+    match ws.segments.allocate(capacity, log, store.config().up2_mode) {
+        Some(id) => {
+            store.publish_free(ws);
+            Ok(Some(id))
+        }
+        None => match origin {
+            WriteOrigin::User => Ok(None),
+            WriteOrigin::Gc => Err(Error::OutOfSpace {
+                free_segments: 0,
+                needed: 1,
+            }),
+        },
+    }
+}
+
+/// Escape hatch under allocation pressure: make relocated pages durable right now (seal
+/// the GC output streams, sync the device) so quarantined victims become reusable.
+fn emergency_reclaim(store: &LogStore, ws: &mut MutexGuard<'_, WriteState>) -> Result<()> {
+    if ws.segments.quarantine_len() == 0 {
+        return Ok(());
+    }
+    let gc_keys: Vec<OpenKey> = ws
+        .open
+        .keys()
+        .copied()
+        .filter(|k| k.origin == WriteOrigin::Gc)
+        .collect();
+    for key in gc_keys {
+        if let Some(open) = ws.open.remove(&key) {
+            seal_open(store, ws, open)?;
+        }
+    }
+    store.device().sync()?;
+    ws.segments.mark_quarantine_synced();
+    ws.segments.reap_quarantine(|id| store.pin_count(id) == 0);
+    store.publish_free(ws);
+    Ok(())
+}
+
+/// Seal every GC-origin open stream (end of a cleaning cycle).
+pub(crate) fn seal_gc_streams(store: &LogStore, ws: &mut MutexGuard<'_, WriteState>) -> Result<()> {
+    let gc_keys: Vec<OpenKey> = ws
+        .open
+        .keys()
+        .copied()
+        .filter(|k| k.origin == WriteOrigin::Gc)
+        .collect();
+    for key in gc_keys {
+        if let Some(open) = ws.open.remove(&key) {
+            seal_open(store, ws, open)?;
+        }
+    }
+    Ok(())
+}

@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn page_location_roundtrips_through_serde() {
-        let loc = PageLocation { segment: SegmentId(9), offset: 4096, len: 512 };
+        let loc = PageLocation {
+            segment: SegmentId(9),
+            offset: 4096,
+            len: 512,
+        };
         let json = serde_json::to_string(&loc).unwrap();
         let back: PageLocation = serde_json::from_str(&json).unwrap();
         assert_eq!(back, loc);

@@ -41,7 +41,10 @@ impl WriteBuffer {
     /// Create a buffer. If `absorb` is true, a second write to a page already in the
     /// buffer replaces the buffered copy instead of adding another entry.
     pub fn new(absorb: bool) -> Self {
-        Self { absorb, ..Default::default() }
+        Self {
+            absorb,
+            ..Default::default()
+        }
     }
 
     /// Number of pending entries.
@@ -84,7 +87,9 @@ impl WriteBuffer {
     pub fn get(&self, page: PageId) -> Option<&PendingPage> {
         // The index tracks the most recent entry for each page even without absorption,
         // because later pushes overwrite the index slot.
-        self.index.get(&page).and_then(|&idx| self.pending[idx].as_ref())
+        self.index
+            .get(&page)
+            .and_then(|&idx| self.pending[idx].as_ref())
     }
 
     /// Drain all pending writes in arrival order, clearing the buffer.
@@ -94,20 +99,61 @@ impl WriteBuffer {
         self.live_entries = 0;
         self.pending.drain(..).flatten().collect()
     }
+
+    /// Clone every pending write in arrival order *without* clearing the buffer.
+    ///
+    /// The write path drains in two phases: it appends a snapshot of the batch to open
+    /// segments first and clears the buffer only afterwards, so a reader always finds a
+    /// page either in the buffer or in the page table — never in neither. Payloads are
+    /// `Bytes`, so the clones are reference-count bumps.
+    pub fn snapshot(&self) -> Vec<PendingPage> {
+        self.pending.iter().flatten().cloned().collect()
+    }
+
+    /// Like [`WriteBuffer::snapshot`], but each clone carries its stable slot index so
+    /// the drain can remove entries one by one (via [`WriteBuffer::remove_slot`]) as
+    /// soon as their page-table entries exist.
+    pub fn snapshot_indexed(&self) -> Vec<(usize, PendingPage)> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p.clone())))
+            .collect()
+    }
+
+    /// Remove the entry at a snapshot slot (called right after the entry's page has
+    /// been appended to a segment and remapped, so reads switch from the buffer copy to
+    /// the mapped copy without a gap).
+    pub fn remove_slot(&mut self, slot: usize) {
+        if let Some(p) = self.pending[slot].take() {
+            self.payload_bytes -= p.info.size as usize;
+            self.live_entries -= 1;
+            if self.index.get(&p.info.page) == Some(&slot) {
+                self.index.remove(&p.info.page);
+            }
+        }
+        if self.live_entries == 0 {
+            self.pending.clear();
+            self.index.clear();
+            self.payload_bytes = 0;
+        }
+    }
 }
 
-/// Sort a batch of pending writes by the given separation key, smallest key first.
+/// Sort a batch by the given separation key, smallest key first.
 ///
-/// The sort is stable so pages with equal keys keep their arrival order, which keeps the
-/// result deterministic. Pages for which the policy returns `None` (no separation) are
-/// left in place relative to each other at the end of the batch.
-pub fn sort_by_separation_key<F>(batch: &mut [PendingPage], mut key: F)
+/// Generic over the batch item (the user write path sorts `PendingPage`s, the cleaner
+/// sorts its relocation candidates) via a key-projection closure. The sort is stable so
+/// items with equal keys keep their arrival order, which keeps the result deterministic.
+/// Items for which the policy returns `None` (no separation) are left in place relative
+/// to each other at the end of the batch.
+pub fn sort_by_separation_key<T, F>(batch: &mut [T], mut key: F)
 where
-    F: FnMut(&PageWriteInfo) -> Option<f64>,
+    F: FnMut(&T) -> Option<f64>,
 {
     batch.sort_by(|a, b| {
-        let ka = key(&a.info);
-        let kb = key(&b.info);
+        let ka = key(a);
+        let kb = key(b);
         match (ka, kb) {
             (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
             (Some(_), None) => std::cmp::Ordering::Less,
@@ -124,7 +170,13 @@ mod tests {
 
     fn pending(page: PageId, size: u32, up2: u64) -> PendingPage {
         PendingPage {
-            info: PageWriteInfo { page, size, up2, exact_freq: None, origin: WriteOrigin::User },
+            info: PageWriteInfo {
+                page,
+                size,
+                up2,
+                exact_freq: None,
+                origin: WriteOrigin::User,
+            },
             data: Some(Bytes::from(vec![0u8; size as usize])),
         }
     }
@@ -138,7 +190,10 @@ mod tests {
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.payload_bytes(), 60);
         let batch = buf.drain();
-        assert_eq!(batch.iter().map(|p| p.info.page).collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(
+            batch.iter().map(|p| p.info.page).collect::<Vec<_>>(),
+            vec![3, 1, 2]
+        );
         assert!(buf.is_empty());
         assert_eq!(buf.payload_bytes(), 0);
     }
@@ -166,6 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_clones_without_clearing() {
+        let mut buf = WriteBuffer::new(false);
+        buf.push(pending(1, 10, 0));
+        buf.push(pending(2, 20, 0));
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap.iter().map(|p| p.info.page).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // The buffer is untouched: reads keep hitting it until the batch is committed.
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.payload_bytes(), 30);
+        let order: Vec<PageId> = buf.drain().iter().map(|p| p.info.page).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
     fn get_misses_for_unknown_pages() {
         let buf = WriteBuffer::new(true);
         assert!(buf.get(99).is_none());
@@ -189,8 +262,13 @@ mod tests {
 
     #[test]
     fn separation_sort_orders_by_key_and_is_stable() {
-        let mut batch = vec![pending(1, 1, 50), pending(2, 1, 10), pending(3, 1, 50), pending(4, 1, 30)];
-        sort_by_separation_key(&mut batch, |info| Some(info.up2 as f64));
+        let mut batch = vec![
+            pending(1, 1, 50),
+            pending(2, 1, 10),
+            pending(3, 1, 50),
+            pending(4, 1, 30),
+        ];
+        sort_by_separation_key(&mut batch, |p| Some(p.info.up2 as f64));
         let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
         assert_eq!(order, vec![2, 4, 1, 3]); // 10, 30, 50, 50 (stable between pages 1 and 3)
     }
@@ -198,7 +276,7 @@ mod tests {
     #[test]
     fn separation_sort_with_no_key_keeps_order() {
         let mut batch = vec![pending(9, 1, 50), pending(8, 1, 10)];
-        sort_by_separation_key(&mut batch, |_| None);
+        sort_by_separation_key(&mut batch, |_: &PendingPage| None);
         let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
         assert_eq!(order, vec![9, 8]);
     }
@@ -206,7 +284,13 @@ mod tests {
     #[test]
     fn mixed_keys_put_unkeyed_pages_last() {
         let mut batch = vec![pending(1, 1, 5), pending(2, 1, 1), pending(3, 1, 3)];
-        sort_by_separation_key(&mut batch, |info| if info.page == 1 { None } else { Some(info.up2 as f64) });
+        sort_by_separation_key(&mut batch, |p| {
+            if p.info.page == 1 {
+                None
+            } else {
+                Some(p.info.up2 as f64)
+            }
+        });
         let order: Vec<PageId> = batch.iter().map(|p| p.info.page).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }

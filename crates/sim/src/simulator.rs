@@ -120,7 +120,8 @@ impl SimConfig {
     }
 
     fn exact_frequencies(&self) -> bool {
-        self.use_exact_frequencies.unwrap_or_else(|| self.policy.needs_exact_frequencies())
+        self.use_exact_frequencies
+            .unwrap_or_else(|| self.policy.needs_exact_frequencies())
     }
 }
 
@@ -165,7 +166,11 @@ impl Simulator {
         );
         let logical = workload.num_pages();
         let exact_freq = if config.exact_frequencies() {
-            Some((0..logical).map(|p| workload.update_frequency(p).unwrap_or(1.0)).collect())
+            Some(
+                (0..logical)
+                    .map(|p| workload.update_frequency(p).unwrap_or(1.0))
+                    .collect(),
+            )
         } else {
             None
         };
@@ -224,7 +229,10 @@ impl Simulator {
 
     /// Apply one user page write.
     pub fn user_write(&mut self, page: PageId) {
-        debug_assert!((page as usize) < self.page_loc.len(), "page {page} out of range");
+        debug_assert!(
+            (page as usize) < self.page_loc.len(),
+            "page {page} out of range"
+        );
         self.unow += 1;
         self.stats.user_pages_written += 1;
         self.stats.user_bytes_written += 1;
@@ -306,7 +314,10 @@ impl Simulator {
 
     fn append(&mut self, info: PageWriteInfo) {
         let log = if self.policy.num_logs() > 1 {
-            let ctx = PolicyContext { unow: self.unow, segments: &[] };
+            let ctx = PolicyContext {
+                unow: self.unow,
+                segments: &[],
+            };
             self.policy.log_for_page(&info, &ctx)
         } else {
             0
@@ -346,7 +357,13 @@ impl Simulator {
             return stream.id;
         }
         let id = self.allocate(key.0, key.1);
-        self.open.insert(key, OpenStream { id, up2_avg: Up2Average::new() });
+        self.open.insert(
+            key,
+            OpenStream {
+                id,
+                up2_avg: Up2Average::new(),
+            },
+        );
         id
     }
 
@@ -354,7 +371,10 @@ impl Simulator {
     /// (32 in the paper) is raised when the policy keeps many open output segments
     /// (multi-log), so that partially-filled open segments never starve allocation.
     fn effective_trigger(&self) -> usize {
-        self.config.cleaning.trigger_free_segments.max(self.open.len() + 4)
+        self.config
+            .cleaning
+            .trigger_free_segments
+            .max(self.open.len() + 4)
     }
 
     fn allocate(&mut self, origin: WriteOrigin, log: u16) -> SegmentId {
@@ -410,8 +430,7 @@ impl Simulator {
     /// One cleaning pass with victims chosen globally by emptiness, regardless of the
     /// configured policy.
     fn emergency_greedy_clean(&mut self) {
-        let mut greedy: Box<dyn CleaningPolicy> =
-            Box::new(lss_core::policy::GreedyPolicy::new());
+        let mut greedy: Box<dyn CleaningPolicy> = Box::new(lss_core::policy::GreedyPolicy::new());
         std::mem::swap(&mut self.policy, &mut greedy);
         self.clean_cycle();
         std::mem::swap(&mut self.policy, &mut greedy);
@@ -419,7 +438,8 @@ impl Simulator {
 
     fn seal(&mut self, stream: OpenStream) {
         let carried = stream.up2_avg.mean_or(self.unow);
-        self.table.seal(stream.id, self.unow, carried, self.config.up2_mode);
+        self.table
+            .seal(stream.id, self.unow, carried, self.config.up2_mode);
         self.stats.segments_sealed += 1;
     }
 
@@ -441,7 +461,10 @@ impl Simulator {
             .unwrap_or(self.config.cleaning.segments_per_cycle)
             .max(1);
         let sealed = self.table.sealed_stats();
-        let ctx = PolicyContext { unow: self.unow, segments: &sealed };
+        let ctx = PolicyContext {
+            unow: self.unow,
+            segments: &sealed,
+        };
         let victims = self.policy.select_victims(&ctx, batch);
         if victims.is_empty() {
             return;
@@ -490,7 +513,9 @@ impl Simulator {
             }
             let slots = &self.slots[seg as usize];
             if slot as usize >= slots.len() || slots[slot as usize] != page as u64 {
-                return Err(format!("page {page} location ({seg},{slot}) does not hold it"));
+                return Err(format!(
+                    "page {page} location ({seg},{slot}) does not hold it"
+                ));
             }
             live_per_segment[seg as usize] += 1;
         }
@@ -516,12 +541,20 @@ pub fn run_simulation(
     total_writes: u64,
     warmup_writes: u64,
 ) -> SimResult {
-    assert!(warmup_writes < total_writes, "warm-up must be shorter than the total run");
+    assert!(
+        warmup_writes < total_writes,
+        "warm-up must be shorter than the total run"
+    );
     let mut sim = Simulator::new(config.clone(), workload);
     sim.run_writes(workload, warmup_writes);
     sim.reset_stats();
     sim.run_writes(workload, total_writes - warmup_writes);
-    SimResult::from_run(config, workload.name(), sim.stats(), total_writes - warmup_writes)
+    SimResult::from_run(
+        config,
+        workload.name(),
+        sim.stats(),
+        total_writes - warmup_writes,
+    )
 }
 
 #[cfg(test)]
@@ -529,7 +562,9 @@ mod tests {
     use super::*;
     use lss_analysis::table1::uniform_emptiness;
     use lss_analysis::write_amplification;
-    use lss_workload::{HotColdWorkload, TraceWorkload, UniformWorkload, WriteTrace, ZipfianWorkload};
+    use lss_workload::{
+        HotColdWorkload, TraceWorkload, UniformWorkload, WriteTrace, ZipfianWorkload,
+    };
 
     fn measure(policy: PolicyKind, fill: f64, workload: &mut dyn PageWorkload) -> SimResult {
         let config = SimConfig::small_for_tests(policy).with_fill_factor(fill);
@@ -543,7 +578,11 @@ mod tests {
         let workload = UniformWorkload::new(config.logical_pages(), 1);
         let sim = Simulator::new(config.clone(), &workload);
         assert_eq!(sim.live_pages(), config.logical_pages());
-        assert_eq!(sim.stats().cleaning_cycles, 0, "sequential load must not need cleaning");
+        assert_eq!(
+            sim.stats().cleaning_cycles,
+            0,
+            "sequential load must not need cleaning"
+        );
         sim.verify_consistency().unwrap();
     }
 
@@ -582,8 +621,9 @@ mod tests {
         // Paper §4.5: for a uniform distribution Priority[MDC] orders segments exactly
         // like Priority[greedy], so their write amplification must be very close.
         let fill = 0.8;
-        let pages =
-            SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(fill).logical_pages();
+        let pages = SimConfig::small_for_tests(PolicyKind::Greedy)
+            .with_fill_factor(fill)
+            .logical_pages();
         let mut w1 = UniformWorkload::new(pages, 5);
         let greedy = measure(PolicyKind::Greedy, fill, &mut w1);
         let mut w2 = UniformWorkload::new(pages, 5);
@@ -603,8 +643,9 @@ mod tests {
         // Paper Figure 3: under a skewed hot-cold distribution MDC(-opt) has lower write
         // amplification than greedy.
         let fill = 0.8;
-        let pages =
-            SimConfig::small_for_tests(PolicyKind::Greedy).with_fill_factor(fill).logical_pages();
+        let pages = SimConfig::small_for_tests(PolicyKind::Greedy)
+            .with_fill_factor(fill)
+            .logical_pages();
         let mut wg = HotColdWorkload::new(pages, 0.1, 0.9, 3);
         let greedy = measure(PolicyKind::Greedy, fill, &mut wg);
         let mut wm = HotColdWorkload::new(pages, 0.1, 0.9, 3);
@@ -622,8 +663,9 @@ mod tests {
         // Paper Figure 5b/c: age-based cleaning ignores update frequency and produces the
         // highest write amplification under skew.
         let fill = 0.8;
-        let pages =
-            SimConfig::small_for_tests(PolicyKind::Age).with_fill_factor(fill).logical_pages();
+        let pages = SimConfig::small_for_tests(PolicyKind::Age)
+            .with_fill_factor(fill)
+            .logical_pages();
         let mut wa = ZipfianWorkload::new(pages, 0.99, 9);
         let age = measure(PolicyKind::Age, fill, &mut wa);
         let mut wm = ZipfianWorkload::new(pages, 0.99, 9);
@@ -648,14 +690,23 @@ mod tests {
             }
             // Roomier geometry than the other tests: multi-log keeps one partially-filled
             // open segment per log, which needs slack to park in.
-            let config =
-                SimConfig::small_for_tests(kind).with_num_segments(128).with_fill_factor(0.6);
+            let config = SimConfig::small_for_tests(kind)
+                .with_num_segments(128)
+                .with_fill_factor(0.6);
             let mut w = ZipfianWorkload::new(config.logical_pages(), 0.99, 1);
             let mut sim = Simulator::new(config.clone(), &w);
             sim.run_writes(&mut w, config.physical_pages() * 8);
-            assert_eq!(sim.live_pages(), config.logical_pages(), "policy {kind} lost pages");
-            sim.verify_consistency().unwrap_or_else(|e| panic!("policy {kind}: {e}"));
-            assert!(sim.stats().cleaning_cycles > 0, "policy {kind} never cleaned");
+            assert_eq!(
+                sim.live_pages(),
+                config.logical_pages(),
+                "policy {kind} lost pages"
+            );
+            sim.verify_consistency()
+                .unwrap_or_else(|e| panic!("policy {kind}: {e}"));
+            assert!(
+                sim.stats().cleaning_cycles > 0,
+                "policy {kind} never cleaned"
+            );
         }
     }
 
@@ -682,7 +733,10 @@ mod tests {
             let mut w = UniformWorkload::new(pages, 2);
             results.push(measure(PolicyKind::Greedy, fill, &mut w).write_amplification);
         }
-        assert!(results[0] < results[1] && results[1] < results[2], "wamp not monotone: {results:?}");
+        assert!(
+            results[0] < results[1] && results[1] < results[2],
+            "wamp not monotone: {results:?}"
+        );
     }
 
     #[test]

@@ -157,7 +157,9 @@ impl TpccDriver {
         let load_writes = self.load_writes;
         let store = self.tree.into_store()?;
         let (trace, inner) = store.into_parts();
-        let run_trace = WriteTrace { writes: trace.writes[load_writes..].to_vec() };
+        let run_trace = WriteTrace {
+            writes: trace.writes[load_writes..].to_vec(),
+        };
         Ok((run_trace, inner.distinct_pages() as u64))
     }
 
@@ -168,15 +170,19 @@ impl TpccDriver {
     fn load(&mut self) -> Result<()> {
         let c = self.config.clone();
         for i in 0..c.items {
-            self.tree.insert(&key(Table::Item, &[i]), &row(Table::Item, i as u64))?;
+            self.tree
+                .insert(&key(Table::Item, &[i]), &row(Table::Item, i as u64))?;
         }
         for w in 0..c.warehouses {
-            self.tree.insert(&key(Table::Warehouse, &[w]), &row(Table::Warehouse, 0))?;
+            self.tree
+                .insert(&key(Table::Warehouse, &[w]), &row(Table::Warehouse, 0))?;
             for i in 0..c.items {
-                self.tree.insert(&key(Table::Stock, &[w, i]), &row(Table::Stock, 100))?;
+                self.tree
+                    .insert(&key(Table::Stock, &[w, i]), &row(Table::Stock, 100))?;
             }
             for d in 0..c.districts_per_warehouse {
-                self.tree.insert(&key(Table::District, &[w, d]), &row(Table::District, 0))?;
+                self.tree
+                    .insert(&key(Table::District, &[w, d]), &row(Table::District, 0))?;
                 for cu in 0..c.customers_per_district {
                     self.tree
                         .insert(&key(Table::Customer, &[w, d, cu]), &row(Table::Customer, 0))?;
@@ -191,7 +197,8 @@ impl TpccDriver {
                     c.initial_orders_per_district - (c.initial_orders_per_district * 3 / 10).max(1);
                 self.next_delivery.insert((w, d), undelivered_from);
                 for o in undelivered_from..c.initial_orders_per_district {
-                    self.tree.insert(&key(Table::NewOrder, &[w, d, o]), &row(Table::NewOrder, 0))?;
+                    self.tree
+                        .insert(&key(Table::NewOrder, &[w, d, o]), &row(Table::NewOrder, 0))?;
                 }
             }
         }
@@ -200,15 +207,11 @@ impl TpccDriver {
         Ok(())
     }
 
-    fn insert_order(
-        &mut self,
-        w: u32,
-        d: u32,
-        o: u32,
-        customer: u32,
-        lines: u32,
-    ) -> Result<()> {
-        self.tree.insert(&key(Table::Order, &[w, d, o]), &row(Table::Order, customer as u64))?;
+    fn insert_order(&mut self, w: u32, d: u32, o: u32, customer: u32, lines: u32) -> Result<()> {
+        self.tree.insert(
+            &key(Table::Order, &[w, d, o]),
+            &row(Table::Order, customer as u64),
+        )?;
         for l in 0..lines {
             let item = (o.wrapping_mul(31).wrapping_add(l * 7)) % self.config.items;
             self.tree.insert(
@@ -275,14 +278,18 @@ impl TpccDriver {
         self.bump(&key(Table::District, &[w, d]), 1)?;
 
         let lines = self.rng.gen_range(5..=15u32);
-        self.tree.insert(&key(Table::Order, &[w, d, o]), &row(Table::Order, c as u64))?;
-        self.tree.insert(&key(Table::NewOrder, &[w, d, o]), &row(Table::NewOrder, 0))?;
+        self.tree
+            .insert(&key(Table::Order, &[w, d, o]), &row(Table::Order, c as u64))?;
+        self.tree
+            .insert(&key(Table::NewOrder, &[w, d, o]), &row(Table::NewOrder, 0))?;
         for l in 0..lines {
             let item = self.pick_item();
             let _ = self.tree.get(&key(Table::Item, &[item]))?;
             self.bump(&key(Table::Stock, &[w, item]), 1)?;
-            self.tree
-                .insert(&key(Table::OrderLine, &[w, d, o, l]), &row(Table::OrderLine, item as u64))?;
+            self.tree.insert(
+                &key(Table::OrderLine, &[w, d, o, l]),
+                &row(Table::OrderLine, item as u64),
+            )?;
         }
         self.stats.new_orders += 1;
         Ok(())
@@ -297,7 +304,10 @@ impl TpccDriver {
         self.bump(&key(Table::Customer, &[w, d, c]), 7)?;
         let h = self.history_seq;
         self.history_seq += 1;
-        self.tree.insert(&key(Table::History, &[w, d, c, h]), &row(Table::History, h as u64))?;
+        self.tree.insert(
+            &key(Table::History, &[w, d, c, h]),
+            &row(Table::History, h as u64),
+        )?;
         self.stats.payments += 1;
         Ok(())
     }
@@ -307,11 +317,17 @@ impl TpccDriver {
         let d = self.pick_district();
         let c = self.pick_customer();
         let _ = self.tree.get(&key(Table::Customer, &[w, d, c]))?;
-        let last_o = self.next_o_id.get(&(w, d)).copied().unwrap_or(0).saturating_sub(1);
+        let last_o = self
+            .next_o_id
+            .get(&(w, d))
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(1);
         let _ = self.tree.get(&key(Table::Order, &[w, d, last_o]))?;
-        let _ = self
-            .tree
-            .range(&key(Table::OrderLine, &[w, d, last_o, 0]), &key(Table::OrderLine, &[w, d, last_o + 1, 0]))?;
+        let _ = self.tree.range(
+            &key(Table::OrderLine, &[w, d, last_o, 0]),
+            &key(Table::OrderLine, &[w, d, last_o + 1, 0]),
+        )?;
         self.stats.order_status += 1;
         Ok(())
     }
@@ -327,12 +343,14 @@ impl TpccDriver {
             self.next_delivery.insert((w, d), oldest + 1);
             self.tree.delete(&key(Table::NewOrder, &[w, d, oldest]))?;
             self.bump(&key(Table::Order, &[w, d, oldest]), 1)?;
-            let lines = self
-                .tree
-                .range(&key(Table::OrderLine, &[w, d, oldest, 0]), &key(Table::OrderLine, &[w, d, oldest + 1, 0]))?;
+            let lines = self.tree.range(
+                &key(Table::OrderLine, &[w, d, oldest, 0]),
+                &key(Table::OrderLine, &[w, d, oldest + 1, 0]),
+            )?;
             let mut customer = 0u32;
             if let Some(order_row) = self.tree.get(&key(Table::Order, &[w, d, oldest]))? {
-                customer = (embedded_value(&order_row) % self.config.customers_per_district as u64) as u32;
+                customer =
+                    (embedded_value(&order_row) % self.config.customers_per_district as u64) as u32;
             }
             for (k, _) in lines {
                 self.bump(&k, 1)?;
@@ -349,9 +367,10 @@ impl TpccDriver {
         let _ = self.tree.get(&key(Table::District, &[w, d]))?;
         let newest = self.next_o_id.get(&(w, d)).copied().unwrap_or(0);
         let from = newest.saturating_sub(20);
-        let lines = self
-            .tree
-            .range(&key(Table::OrderLine, &[w, d, from, 0]), &key(Table::OrderLine, &[w, d, newest, 0]))?;
+        let lines = self.tree.range(
+            &key(Table::OrderLine, &[w, d, from, 0]),
+            &key(Table::OrderLine, &[w, d, newest, 0]),
+        )?;
         for (_, v) in lines.iter().take(40) {
             let item = (embedded_value(v) % self.config.items as u64) as u32;
             let _ = self.tree.get(&key(Table::Stock, &[w, item]))?;
@@ -421,7 +440,10 @@ mod tests {
             max > 2.0,
             "TPC-C page-write trace should be skewed (hottest page at {max}x the mean)"
         );
-        assert!(n <= distinct_pages, "trace cannot touch more pages than exist");
+        assert!(
+            n <= distinct_pages,
+            "trace cannot touch more pages than exist"
+        );
     }
 
     #[test]

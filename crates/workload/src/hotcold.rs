@@ -34,13 +34,21 @@ impl HotColdWorkload {
             "fractions must be within [0, 1]"
         );
         let hot_pages = ((num_pages as f64 * hot_data_fraction).round() as u64).clamp(1, num_pages);
-        Self { num_pages, hot_pages, hot_update_fraction, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            num_pages,
+            hot_pages,
+            hot_update_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The paper's shorthand `m:(1−m)` distributions (e.g. `from_skew(80)` = 80% of the
     /// updates to 20% of the data). `m` is in percent and must be in `50..=99`.
     pub fn from_skew_percent(num_pages: u64, m: u32, seed: u64) -> Self {
-        assert!((50..=99).contains(&m), "skew percent must be in 50..=99, got {m}");
+        assert!(
+            (50..=99).contains(&m),
+            "skew percent must be in 50..=99, got {m}"
+        );
         let m = m as f64 / 100.0;
         Self::new(num_pages, 1.0 - m, m, seed)
     }

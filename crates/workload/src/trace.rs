@@ -203,7 +203,9 @@ impl PageWorkload for TraceWorkload {
     }
 
     fn update_frequency(&self, page: PageId) -> Option<f64> {
-        self.frequencies.as_ref().and_then(|f| f.get(page as usize).copied())
+        self.frequencies
+            .as_ref()
+            .and_then(|f| f.get(page as usize).copied())
     }
 }
 

@@ -15,7 +15,10 @@ impl UniformWorkload {
     /// Create a uniform workload over `num_pages` pages with a deterministic seed.
     pub fn new(num_pages: u64, seed: u64) -> Self {
         assert!(num_pages > 0, "workload needs at least one page");
-        Self { num_pages, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            num_pages,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -59,7 +62,10 @@ mod tests {
         let mut w = UniformWorkload::new(100, 7);
         let h = histogram(&mut w, 100_000);
         // Each page expects ~1000 hits; allow generous slack.
-        assert!(h.iter().all(|&c| c > 700 && c < 1300), "histogram too skewed: {h:?}");
+        assert!(
+            h.iter().all(|&c| c > 700 && c < 1300),
+            "histogram too skewed: {h:?}"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl ZipfianWorkload {
 
     fn with_scramble(num_pages: u64, theta: f64, seed: u64, scramble_mul: u64) -> Self {
         assert!(num_pages > 0, "workload needs at least one page");
-        assert!(theta > 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be > 0 and != 1");
+        assert!(
+            theta > 0.0 && (theta - 1.0).abs() > 1e-9,
+            "theta must be > 0 and != 1"
+        );
         let zetan = Self::zeta(num_pages, theta);
         let zeta2 = Self::zeta(2.min(num_pages), theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -205,8 +208,14 @@ mod tests {
         let hot: u64 = h[..200].iter().sum();
         let frac = hot as f64 / 200_000.0;
         let expected: f64 = (0..200).map(|r| w.rank_probability(r)).sum();
-        assert!((frac - expected).abs() < 0.02, "empirical {frac} vs theoretical {expected}");
-        assert!(frac > 0.65 && frac < 0.9, "hot fraction {frac} outside 80-20 territory");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "empirical {frac} vs theoretical {expected}"
+        );
+        assert!(
+            frac > 0.65 && frac < 0.9,
+            "hot fraction {frac} outside 80-20 territory"
+        );
     }
 
     #[test]
@@ -217,7 +226,10 @@ mod tests {
         let hb = histogram(&mut b, 100_000);
         let top_a: u64 = ha[..100].iter().sum();
         let top_b: u64 = hb[..100].iter().sum();
-        assert!(top_b > top_a, "theta=1.35 should concentrate more than theta=0.99");
+        assert!(
+            top_b > top_a,
+            "theta=1.35 should concentrate more than theta=0.99"
+        );
     }
 
     #[test]
@@ -241,7 +253,11 @@ mod tests {
             // Exact frequencies must still be a permutation of the rank probabilities:
             // the normalised frequencies sum to n.
             let sum: f64 = (0..n).map(|p| w.update_frequency(p).unwrap()).sum();
-            assert!((sum / n as f64 - 1.0).abs() < 1e-9, "n={n}: sum/n = {}", sum / n as f64);
+            assert!(
+                (sum / n as f64 - 1.0).abs() < 1e-9,
+                "n={n}: sum/n = {}",
+                sum / n as f64
+            );
         }
     }
 
@@ -251,7 +267,11 @@ mod tests {
             let w = ZipfianWorkload::scrambled(n, 0.99, 5);
             for rank in [0u64, 1, 2, 17, n / 2, n - 1] {
                 let page = w.page_for_rank(rank);
-                assert_eq!(w.page_to_rank(page), rank, "n={n}: rank {rank} did not round-trip");
+                assert_eq!(
+                    w.page_to_rank(page),
+                    rank,
+                    "n={n}: rank {rank} did not round-trip"
+                );
             }
         }
     }

@@ -26,7 +26,10 @@ fn main() -> lss::core::Result<()> {
     // Insert an ordered data set, then update a hot key range repeatedly — B+-tree page
     // rewrites are exactly the kind of skewed page-write stream MDC is designed for.
     for i in 0..20_000u32 {
-        tree.insert(format!("order:{i:08}").as_bytes(), format!("line-items-for-order-{i}").as_bytes())?;
+        tree.insert(
+            format!("order:{i:08}").as_bytes(),
+            format!("line-items-for-order-{i}").as_bytes(),
+        )?;
     }
     for round in 0..30u32 {
         for i in 0..2_000u32 {
@@ -43,16 +46,30 @@ fn main() -> lss::core::Result<()> {
     let from = b"order:00000500".to_vec();
     let to = b"order:00000510".to_vec();
     let window = tree.range(&from, &to)?;
-    println!("range scan [{}..{}) returned {} orders", 500, 510, window.len());
+    println!(
+        "range scan [{}..{}) returned {} orders",
+        500,
+        510,
+        window.len()
+    );
     println!("tree height is implicit; keys stored = {}", tree.len());
-    println!("buffer pool hit ratio = {:.3}", tree.pool_stats().hit_ratio());
+    println!(
+        "buffer pool hit ratio = {:.3}",
+        tree.pool_stats().hit_ratio()
+    );
 
     // Push everything down to the log-structured store and look at its cleaning stats.
     let lss = tree.into_store()?.into_inner();
     let stats = lss.stats();
-    println!("LogStore user pages written  = {}", stats.user_pages_written);
+    println!(
+        "LogStore user pages written  = {}",
+        stats.user_pages_written
+    );
     println!("LogStore GC pages relocated  = {}", stats.gc_pages_written);
-    println!("LogStore write amplification = {:.3}", stats.write_amplification());
+    println!(
+        "LogStore write amplification = {:.3}",
+        stats.write_amplification()
+    );
     println!("LogStore segments cleaned    = {}", stats.segments_cleaned);
     Ok(())
 }

@@ -30,7 +30,10 @@ fn main() -> lss::core::Result<()> {
         let store = LogStore::open_with_device(config.clone(), Box::new(device))?;
         let mut kv = KvStore::new(store);
         for i in 0..5_000u32 {
-            kv.put(format!("user:{i:06}").as_bytes(), format!("{{\"id\":{i},\"karma\":{}}}", i * 7).as_bytes())?;
+            kv.put(
+                format!("user:{i:06}").as_bytes(),
+                format!("{{\"id\":{i},\"karma\":{}}}", i * 7).as_bytes(),
+            )?;
         }
         // Overwrite keys scattered across the whole data set so segments decay into the
         // live/dead checkerboard the cleaner exists for.
@@ -39,8 +42,11 @@ fn main() -> lss::core::Result<()> {
                 let key_id = (round.wrapping_mul(7919).wrapping_add(i * 13)) % 5_000;
                 kv.put(
                     format!("user:{key_id:06}").as_bytes(),
-                    format!("{{\"id\":{key_id},\"karma\":{},\"round\":{round}}}", key_id * 7 + round)
-                        .as_bytes(),
+                    format!(
+                        "{{\"id\":{key_id},\"karma\":{},\"round\":{round}}}",
+                        key_id * 7 + round
+                    )
+                    .as_bytes(),
                 )?;
             }
         }
@@ -58,10 +64,13 @@ fn main() -> lss::core::Result<()> {
     {
         let device = FileDevice::open(&path, config.segment_bytes, config.num_segments)?;
         let store = LogStore::recover_with_device(config.clone(), Box::new(device))?;
-        let mut kv = KvStore::reopen(store)?;
+        let kv = KvStore::reopen(store)?;
         println!("recovered {} keys from {}", kv.len(), path.display());
         assert_eq!(kv.len(), 4_999);
-        assert!(kv.get(b"user:000013")?.is_none(), "deleted key must stay deleted");
+        assert!(
+            kv.get(b"user:000013")?.is_none(),
+            "deleted key must stay deleted"
+        );
         let sample = kv.get(b"user:000100")?.expect("key must survive recovery");
         println!("user:000100 = {}", String::from_utf8_lossy(&sample));
         println!(

@@ -13,7 +13,7 @@ fn main() -> lss::core::Result<()> {
     config.segment_bytes = 64 * 1024;
     config.num_segments = 256;
     config.sort_buffer_segments = 8;
-    let mut store = LogStore::open_in_memory(config.clone())?;
+    let store = LogStore::open_in_memory(config.clone())?;
 
     // Fill to ~70% with 4 KiB pages, then overwrite with an 80:20 hot/cold pattern.
     let pages = config.logical_pages_for_fill_factor(0.7) as u64;
@@ -35,7 +35,10 @@ fn main() -> lss::core::Result<()> {
     println!("GC pages relocated    = {}", stats.gc_pages_written);
     println!("cleaning cycles       = {}", stats.cleaning_cycles);
     println!("write amplification   = {:.3}", stats.write_amplification());
-    println!("mean E at cleaning    = {:.3}", stats.mean_emptiness_at_clean());
+    println!(
+        "mean E at cleaning    = {:.3}",
+        stats.mean_emptiness_at_clean()
+    );
     println!("fill factor           = {:.3}", store.fill_factor());
     Ok(())
 }

@@ -27,11 +27,22 @@ fn main() {
 
     println!("SSD FTL garbage-collection what-if");
     println!("  host workload : Zipfian theta = {skew}");
-    println!("  over-provision: {:.0}% (fill factor {fill:.2})", over_provisioning * 100.0);
+    println!(
+        "  over-provision: {:.0}% (fill factor {fill:.2})",
+        over_provisioning * 100.0
+    );
     println!("  erase block   : 128 pages of 4 KiB (512 KiB)\n");
-    println!("{:<14} {:>18} {:>22}", "GC policy", "write amplification", "flash writes per user write");
+    println!(
+        "{:<14} {:>18} {:>22}",
+        "GC policy", "write amplification", "flash writes per user write"
+    );
 
-    for policy in [PolicyKind::Greedy, PolicyKind::CostBenefit, PolicyKind::Mdc, PolicyKind::MdcOpt] {
+    for policy in [
+        PolicyKind::Greedy,
+        PolicyKind::CostBenefit,
+        PolicyKind::Mdc,
+        PolicyKind::MdcOpt,
+    ] {
         let config = SimConfig {
             pages_per_segment: 128,
             num_segments: 1024,

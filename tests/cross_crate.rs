@@ -13,7 +13,9 @@ use lss::tpcc::{TpccConfig, TpccDriver};
 use lss::workload::{HotColdWorkload, PageWorkload, TraceWorkload, UniformWorkload};
 
 fn small_sim(policy: PolicyKind, fill: f64) -> SimConfig {
-    SimConfig::small_for_tests(policy).with_num_segments(128).with_fill_factor(fill)
+    SimConfig::small_for_tests(policy)
+        .with_num_segments(128)
+        .with_fill_factor(fill)
 }
 
 fn run(policy: PolicyKind, fill: f64, mk: impl Fn(u64) -> Box<dyn PageWorkload>) -> f64 {
@@ -31,7 +33,9 @@ fn simulation_matches_analysis_under_uniform_updates() {
     let fill = 0.8;
     let expected = write_amplification(uniform_emptiness(fill));
     for policy in [PolicyKind::Greedy, PolicyKind::MdcOpt] {
-        let wamp = run(policy, fill, |pages| Box::new(UniformWorkload::new(pages, 3)));
+        let wamp = run(policy, fill, |pages| {
+            Box::new(UniformWorkload::new(pages, 3))
+        });
         let rel = (wamp - expected).abs() / expected;
         assert!(
             rel < 0.35,
@@ -48,7 +52,9 @@ fn simulation_matches_hotcold_analysis_and_paper_ordering() {
     let spec = HotColdSpec::from_skew_percent(90);
     let opt = HotColdAnalysis::minimum_cost(fill, spec).min_write_amplification;
 
-    let mk = |pages| -> Box<dyn PageWorkload> { Box::new(HotColdWorkload::from_skew_percent(pages, 90, 9)) };
+    let mk = |pages| -> Box<dyn PageWorkload> {
+        Box::new(HotColdWorkload::from_skew_percent(pages, 90, 9))
+    };
     let greedy = run(PolicyKind::Greedy, fill, mk);
     let mdc = run(PolicyKind::Mdc, fill, mk);
     let mdc_opt = run(PolicyKind::MdcOpt, fill, mk);
@@ -98,7 +104,9 @@ fn sort_buffer_with_oracle_keys_does_not_hurt() {
 #[test]
 fn separation_ablation_with_oracle_keys() {
     let fill = 0.8;
-    let mk = |pages| -> Box<dyn PageWorkload> { Box::new(HotColdWorkload::from_skew_percent(pages, 90, 5)) };
+    let mk = |pages| -> Box<dyn PageWorkload> {
+        Box::new(HotColdWorkload::from_skew_percent(pages, 90, 5))
+    };
     let run_sep = |sep: SeparationConfig| {
         let config = small_sim(PolicyKind::MdcOpt, fill).with_separation(sep);
         let mut w = mk(config.logical_pages());
@@ -126,7 +134,7 @@ fn real_store_reproduces_the_simulator_ordering() {
 
     let mut wamp = std::collections::HashMap::new();
     for policy in [PolicyKind::Greedy, PolicyKind::MdcOpt] {
-        let mut store = LogStore::open_in_memory(config.clone().with_policy(policy)).unwrap();
+        let store = LogStore::open_in_memory(config.clone().with_policy(policy)).unwrap();
         for p in 0..pages {
             store.put(p, &payload).unwrap();
         }
@@ -161,15 +169,20 @@ fn tpcc_trace_pipeline_end_to_end() {
     let mut driver = TpccDriver::new(TpccConfig::tiny_for_tests()).unwrap();
     driver.run(2_000).unwrap();
     let (trace, distinct) = driver.finish().unwrap();
-    assert!(trace.len() > 500, "expected a non-trivial trace, got {}", trace.len());
+    assert!(
+        trace.len() > 500,
+        "expected a non-trivial trace, got {}",
+        trace.len()
+    );
 
     let fill = 0.7;
     let pages_per_segment = 32;
     let mut results = Vec::new();
     for policy in [PolicyKind::Age, PolicyKind::Mdc] {
         let workload = TraceWorkload::with_empirical_frequencies("tpcc", &trace);
-        let num_segments =
-            ((workload.num_pages() as f64 / fill / pages_per_segment as f64).ceil() as usize).max(48);
+        let num_segments = ((workload.num_pages() as f64 / fill / pages_per_segment as f64).ceil()
+            as usize)
+            .max(48);
         let config = SimConfig {
             pages_per_segment,
             num_segments,

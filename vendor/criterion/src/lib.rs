@@ -1,0 +1,224 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Measures wall-clock time per iteration and prints a one-line summary per benchmark
+//! (median of the sampled iterations, plus derived throughput when configured). It is
+//! deliberately tiny: no statistics beyond the median, no HTML reports, no comparisons.
+//! When invoked with `--test` (as `cargo test` does for `harness = false` bench targets)
+//! every benchmark body runs exactly once, as a smoke test.
+
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput specification used to derive per-element rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Run the benchmarked routine repeatedly, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_test {
+            black_box(routine());
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        // One warm-up call, then the timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench -- <filter>` / `cargo test` pass through these flags.
+        let smoke_test = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with("bench"))
+            .cloned();
+        Self {
+            sample_size: 10,
+            smoke_test,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(self, name, None, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        let throughput = self.throughput;
+        run_bench(self.criterion, &full, samples, throughput, f);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    name: &str,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let samples = sample_size.unwrap_or(criterion.sample_size);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    let effective_samples = if criterion.smoke_test { 1 } else { samples };
+    for _ in 0..effective_samples {
+        let mut b = Bencher {
+            iters: 1,
+            total: Duration::ZERO,
+            smoke_test: criterion.smoke_test,
+        };
+        f(&mut b);
+        per_iter.push(b.total / b.iters.max(1) as u32);
+    }
+    per_iter.sort();
+    let median = per_iter[per_iter.len() / 2];
+    if criterion.smoke_test {
+        println!("bench {name}: ok (smoke test)");
+        return;
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("bench {name}: {median:?}/iter, {rate:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            println!("bench {name}: {median:?}/iter, {rate:.1} MiB/s");
+        }
+        _ => println!("bench {name}: {median:?}/iter"),
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            smoke_test: false,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2).throughput(Throughput::Elements(100));
+        let mut counter = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                counter += 1;
+                black_box(counter)
+            })
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this stub trades that for a simple
+//! JSON-like value tree ([`Value`]) that `serde_json` (also vendored) renders and parses.
+//! The public surface this workspace relies on is preserved:
+//!
+//! * `use serde::{Serialize, Deserialize};` imports both the traits and the derive
+//!   macros (re-exported from the vendored `serde_derive`).
+//! * `#[derive(Serialize, Deserialize)]` works on plain structs with named fields,
+//!   tuple structs (newtypes serialize transparently), and enums with unit variants
+//!   (serialized as their name, matching serde's external tagging).
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-like value tree: the serialization data model of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Create an empty object (used by derived `Serialize` impls).
+    pub fn new_object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Append a field to an object (used by derived `Serialize` impls).
+    pub fn push_field(&mut self, name: &str, value: Value) {
+        match self {
+            Value::Object(fields) => fields.push((name.to_string(), value)),
+            _ => panic!("push_field on a non-object value"),
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be converted into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Create an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rendered into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild a value of this type from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch and deserialize a named object field (used by derived impls; the target type is
+/// inferred from the surrounding struct literal).
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let v = value
+        .get_field(name)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))?;
+    T::deserialize(v).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+}
+
+/// Fetch and deserialize a positional array element (used by derived tuple-struct impls).
+pub fn element<T: Deserialize>(value: &Value, idx: usize) -> Result<T, DeError> {
+    match value {
+        Value::Array(items) => {
+            let v = items
+                .get(idx)
+                .ok_or_else(|| DeError::new(format!("missing tuple element {idx}")))?;
+            T::deserialize(v).map_err(|e| DeError::new(format!("element {idx}: {e}")))
+        }
+        other => Err(DeError::new(format!("expected array, found {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(DeError::new(format!(
+                        "expected unsigned integer, found {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::new(format!("{u} out of range for i64"))
+                    })?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::new(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(DeError::new(format!(
+                "expected 2-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => Err(DeError::new(format!(
+                "expected 3-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-5i32).serialize()).unwrap(), -5);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (vec![1u8, 2], 9u64);
+        assert_eq!(<(Vec<u8>, u64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let mut obj = Value::new_object();
+        obj.push_field("a", Value::UInt(1));
+        assert_eq!(field::<u64>(&obj, "a").unwrap(), 1);
+        assert!(field::<u64>(&obj, "b").is_err());
+    }
+
+    #[test]
+    fn numbers_cross_deserialize() {
+        // JSON parsing yields UInt for "1"; f64 fields must accept it.
+        assert_eq!(f64::deserialize(&Value::UInt(1)).unwrap(), 1.0);
+        assert_eq!(u32::deserialize(&Value::Float(7.0)).unwrap(), 7);
+        assert!(u32::deserialize(&Value::Float(7.5)).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (`struct S { a: u64, b: Vec<T> }`),
+//! * tuple structs (newtypes serialize transparently as their inner value, larger tuple
+//!   structs as arrays),
+//! * enums whose variants are all unit variants (serialized as the variant name, which
+//!   matches real serde's externally-tagged representation).
+//!
+//! The macro parses the raw token stream directly (no `syn`/`quote`, which are
+//! unavailable offline); unsupported shapes (generics, data-carrying enum variants)
+//! panic at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What was parsed out of the item the derive is attached to.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip `#[...]` attribute groups (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected a type name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::UnitEnum {
+                name: name.clone(),
+                variants: parse_unit_variants(&name, g.stream()),
+            },
+            other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Parse `name: Type, ...` pairs, returning the field names. Angle-bracket depth is
+/// tracked so commas inside `Vec<(A, B)>`-style types do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected a field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde derive: expected `:` after field `{field}`"
+        );
+        i += 1;
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct body (`(pub u32, pub u64)` has two).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tt in &tokens {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            count += 1;
+            saw_tokens_since_comma = false;
+            continue;
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde derive: expected a variant name in `{enum_name}`, found {other}")
+            }
+        };
+        i += 1;
+        if i < tokens.len() && matches!(&tokens[i], TokenTree::Group(_)) {
+            panic!(
+                "serde derive (vendored): enum `{enum_name}` has data-carrying variant \
+                 `{variant}`, which is not supported"
+            );
+        }
+        if i < tokens.len() && is_punct(&tokens[i], '=') {
+            panic!(
+                "serde derive (vendored): enum `{enum_name}` has an explicit discriminant \
+                 on `{variant}`, which is not supported"
+            );
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __obj = ::serde::Value::new_object();\n");
+            for f in &fields {
+                body.push_str(&format!(
+                    "__obj.push_field(\"{f}\", ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            body.push_str("__obj");
+            impl_serialize(&name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            impl_serialize(&name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            impl_serialize(&name, &format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    code.parse().expect("serde derive generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__value, \"{f}\")?"))
+                .collect();
+            let body = format!(
+                "if !matches!(__value, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(\"expected object for {name}, found {{:?}}\", __value)));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            );
+            impl_deserialize(&name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::element(__value, {i})?"))
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+            };
+            impl_deserialize(&name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            let body = format!(
+                "let __s = __value.as_str().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"expected string variant for {name}, found {{:?}}\", __value)))?;\n\
+                 match __s {{\n\
+                     {},\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(\"unknown variant `{{}}` for {name}\", __other)))\n\
+                 }}",
+                arms.join(",\n")
+            );
+            impl_deserialize(&name, &body)
+        }
+    };
+    code.parse().expect("serde derive generated invalid Rust")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
