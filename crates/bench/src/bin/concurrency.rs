@@ -33,6 +33,7 @@ struct ScalingReport {
     page_bytes: usize,
     segment_bytes: usize,
     num_segments: usize,
+    write_streams: usize,
     ops_per_thread: u64,
     results: Vec<ScalingPoint>,
 }
@@ -46,6 +47,13 @@ fn store_config(scale: Scale) -> StoreConfig {
         Scale::Full => 1024,
     };
     c.sort_buffer_segments = 4;
+    // One stream per measured writer thread at the top of the scaling curve: put
+    // throughput is the whole point of this benchmark. Overridable for A/B runs
+    // (LSS_WRITE_STREAMS=1 reproduces the pre-sharding single-mutex write path).
+    c.write_streams = std::env::var("LSS_WRITE_STREAMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     c
 }
 
@@ -134,9 +142,10 @@ fn main() {
     let scale = Scale::from_args();
     let config = store_config(scale);
     println!(
-        "concurrency scaling: MDC, {} x {} KiB segments, {} ops/thread",
+        "concurrency scaling: MDC, {} x {} KiB segments, {} write streams, {} ops/thread",
         config.num_segments,
         config.segment_bytes / 1024,
+        config.write_streams,
         ops_per_thread(scale)
     );
     println!(
@@ -165,6 +174,7 @@ fn main() {
         page_bytes: config.page_bytes,
         segment_bytes: config.segment_bytes,
         num_segments: config.num_segments,
+        write_streams: config.write_streams,
         ops_per_thread: ops_per_thread(scale),
         results,
     };

@@ -71,9 +71,13 @@ pub struct Checkpoint {
 
 /// Serialize a store's metadata to a checkpoint JSON string.
 pub fn to_json(store: &LogStore) -> Result<String> {
+    // Snapshot the mapping *before* reading the counters: writers racing this
+    // checkpoint only increase `next_write_seq`, so sampling it afterwards guarantees
+    // the recorded counter is >= every write sequence reachable from the snapshot —
+    // a restore can then never re-issue a sequence number that is already on disk.
+    let snapshot = store.mapping_snapshot();
     let (unow, next_write_seq) = store.counters();
-    let pages = store
-        .mapping_snapshot()
+    let pages = snapshot
         .into_iter()
         .map(|(page, loc)| PageRecord {
             page,

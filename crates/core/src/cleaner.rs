@@ -8,7 +8,9 @@
 
 use crate::freq::carry_forward_gc;
 use crate::layout::ParsedSegment;
-use crate::types::{PageId, PageLocation, PageWriteInfo, SegmentId, UpdateTick, WriteOrigin};
+use crate::types::{
+    PageId, PageLocation, PageWriteInfo, SegmentId, UpdateTick, WriteOrigin, WriteSeq,
+};
 use crate::write_buffer::PendingPage;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -42,6 +44,12 @@ pub struct LivePage {
     pub pending: PendingPage,
     /// Where the page lived in the victim when it was collected.
     pub loc: PageLocation,
+    /// The per-page write sequence of the copy being relocated. A GC relocation *keeps*
+    /// this sequence (it moves an existing version, it does not create a new one), so
+    /// that after a crash, recovery — which keeps the copy with the largest
+    /// `(write_seq, seal_seq)` — can never prefer a relocated stale copy over a user
+    /// write that raced the relocation.
+    pub write_seq: WriteSeq,
 }
 
 /// The live pages of one victim segment, ready to be relocated.
@@ -56,8 +64,9 @@ pub struct VictimLivePages {
 }
 
 /// Walk a victim segment's entry table and copy out every page that is *still current*
-/// according to the supplied page-table check (a [`PageTable`], the store's sharded
-/// table, or anything else answering "is this page still at this location?").
+/// according to the supplied page-table check (a [`crate::mapping::PageTable`], the
+/// store's sharded table, or anything else answering "is this page still at this
+/// location?").
 ///
 /// An entry is stale (skipped) if the page has since been overwritten, deleted, or the
 /// entry is a tombstone. The `victim_up2` estimate is carried forward onto every
@@ -100,6 +109,7 @@ where
                 data: Some(Bytes::copy_from_slice(payload)),
             },
             loc,
+            write_seq: e.write_seq,
         });
     }
     VictimLivePages {
@@ -178,6 +188,11 @@ mod tests {
             b"cccccc"
         );
         assert!(live.pages.iter().all(|p| p.loc.segment == SegmentId(7)));
+        // Relocations carry the original write sequences, not fresh ones.
+        assert_eq!(
+            live.pages.iter().map(|p| p.write_seq).collect::<Vec<_>>(),
+            vec![10, 12]
+        );
         assert!(live.pages.iter().all(|p| p.pending.info.up2 == 40));
         assert!(live
             .pages

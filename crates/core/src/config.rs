@@ -111,9 +111,25 @@ pub struct StoreConfig {
     pub separation: SeparationConfig,
     /// Size of the user-write sort buffer, in segments (paper Figure 4; 16 is the knee).
     /// A value of 0 disables buffering: each user write goes straight to the open segment.
+    ///
+    /// This budget is **per write stream**: each of the
+    /// [`write_streams`](StoreConfig::write_streams) shards batches this many segments'
+    /// worth of writes before draining, because the batch size is what the paper's
+    /// `up2` carry-forward estimates and frequency-separated packing depend on.
+    /// Aggregate buffered (volatile) memory is therefore `write_streams ×
+    /// sort_buffer_segments` segments.
     pub sort_buffer_segments: usize,
     /// How the per-segment `up2` estimate is maintained.
     pub up2_mode: Up2Mode,
+    /// Number of independent write streams the store shards its write path into.
+    ///
+    /// Pages are routed to a stream by page-id hash; each stream owns its own slice of
+    /// the sort buffer and its own open output segments, so writers on different streams
+    /// append in parallel and only touch the shared coordination layer (segment table,
+    /// policy, free-space accounting) for short allocation/seal/accounting operations.
+    /// `1` reproduces the single-write-mutex behaviour of earlier versions. Writes to
+    /// the *same* page always hit the same stream, preserving per-page ordering.
+    pub write_streams: usize,
     /// If true, a second write to a page that is still sitting in the (unflushed) sort
     /// buffer overwrites it in place instead of appending a new copy. Real systems do
     /// this; the paper's simulator does not (every user write is a page write), so the
@@ -138,6 +154,7 @@ impl StoreConfig {
             separation: SeparationConfig::default(),
             sort_buffer_segments: 16,
             up2_mode: Up2Mode::default(),
+            write_streams: 4,
             absorb_updates_in_buffer: true,
             verify_checksums_on_read: true,
         }
@@ -159,6 +176,7 @@ impl StoreConfig {
             separation: SeparationConfig::default(),
             sort_buffer_segments: 2,
             up2_mode: Up2Mode::default(),
+            write_streams: 2,
             absorb_updates_in_buffer: false,
             verify_checksums_on_read: true,
         }
@@ -197,6 +215,12 @@ impl StoreConfig {
     /// Builder-style: set the `up2` maintenance mode.
     pub fn with_up2_mode(mut self, mode: Up2Mode) -> Self {
         self.up2_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the number of independent write streams.
+    pub fn with_write_streams(mut self, n: usize) -> Self {
+        self.write_streams = n;
         self
     }
 
@@ -253,6 +277,23 @@ impl StoreConfig {
                 "trigger_free_segments must exceed reserved_free_segments".into(),
             ));
         }
+        // The cap keeps the per-stream open-log bound meaningful: at 16 streams each
+        // stream still gets 32/16 = 2 open logs, so total user opens never exceed the
+        // multi-log policy's 32 regardless of the stream count.
+        if self.write_streams == 0 || self.write_streams > 16 {
+            return Err(Error::InvalidConfig(format!(
+                "write_streams must be in 1..=16, got {}",
+                self.write_streams
+            )));
+        }
+        if self.write_streams * 2 >= self.num_segments {
+            return Err(Error::InvalidConfig(format!(
+                "num_segments ({}) must exceed 2 * write_streams ({}): every stream \
+                 needs at least an open segment plus allocation headroom",
+                self.num_segments,
+                2 * self.write_streams
+            )));
+        }
         Ok(())
     }
 }
@@ -295,6 +336,15 @@ mod tests {
         let mut c = StoreConfig::small_for_tests();
         c.cleaning.trigger_free_segments = c.cleaning.reserved_free_segments;
         assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.write_streams = 0;
+        assert!(c.validate().is_err());
+        c.write_streams = 17; // above the cap that keeps total open logs bounded
+        assert!(c.validate().is_err());
+        c.num_segments = 20;
+        c.write_streams = 10; // 2 * 10 >= 20 segments
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -319,12 +369,14 @@ mod tests {
             .with_num_segments(128)
             .with_sort_buffer_segments(4)
             .with_separation(SeparationConfig::none())
-            .with_up2_mode(Up2Mode::CarryForwardOnly);
+            .with_up2_mode(Up2Mode::CarryForwardOnly)
+            .with_write_streams(8);
         assert_eq!(c.policy, PolicyKind::Greedy);
         assert_eq!(c.num_segments, 128);
         assert_eq!(c.sort_buffer_segments, 4);
         assert!(!c.separation.separate_user_writes);
         assert_eq!(c.up2_mode, Up2Mode::CarryForwardOnly);
+        assert_eq!(c.write_streams, 8);
     }
 
     #[test]

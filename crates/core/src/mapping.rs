@@ -181,6 +181,55 @@ impl ShardedPageTable {
         self.get(page).is_some_and(|cur| cur == *loc)
     }
 
+    /// Atomically move a page from `expected` to `new`, failing if the page is no longer
+    /// live at exactly `expected`.
+    ///
+    /// This is the cleaner's *commit* operation in the sharded-write-path design: the
+    /// check and the update happen under one shard write lock, so a concurrent user
+    /// rewrite (which unconditionally [`ShardedPageTable::insert`]s) either lands before
+    /// the swap — the swap fails and the stale GC copy is abandoned — or after it, in
+    /// which case the user's newer location simply overwrites the relocated one. Both
+    /// orders leave the newest data current.
+    pub fn replace_if_current(
+        &self,
+        page: PageId,
+        expected: &PageLocation,
+        new: PageLocation,
+    ) -> bool {
+        let mut shard = self.shard(page).write();
+        match shard.get_mut(&page) {
+            Some(cur) if *cur == *expected => {
+                *cur = new;
+                drop(shard);
+                self.live_bytes.fetch_add(new.len as u64, Ordering::Relaxed);
+                self.live_bytes
+                    .fetch_sub(expected.len as u64, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Atomically remove a page, failing if it is no longer live at exactly `expected`.
+    ///
+    /// Counterpart of [`ShardedPageTable::replace_if_current`] for deletions: the write
+    /// path uses it so the death of the removed copy can be attributed to the segment
+    /// incarnation that was observed *while the location was still current*.
+    pub fn remove_if_current(&self, page: PageId, expected: &PageLocation) -> bool {
+        let mut shard = self.shard(page).write();
+        match shard.get(&page) {
+            Some(cur) if *cur == *expected => {
+                shard.remove(&page);
+                drop(shard);
+                self.live_bytes
+                    .fetch_sub(expected.len as u64, Ordering::Relaxed);
+                self.live_pages.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Collect every live page into a plain vector (checkpointing; O(n)).
     pub fn snapshot(&self) -> Vec<(PageId, PageLocation)> {
         let mut out = Vec::with_capacity(self.len());
@@ -303,6 +352,22 @@ mod tests {
         for i in 0..500u64 {
             assert_eq!(t2.get(i), Some(loc((i % 7) as u32, i as u32, 16)));
         }
+    }
+
+    #[test]
+    fn replace_if_current_commits_only_against_the_expected_location() {
+        let t = ShardedPageTable::new();
+        t.insert(5, loc(1, 0, 32));
+        // Wrong expected location: no change.
+        assert!(!t.replace_if_current(5, &loc(1, 64, 32), loc(2, 0, 32)));
+        assert_eq!(t.get(5), Some(loc(1, 0, 32)));
+        // Matching expected location: swapped.
+        assert!(t.replace_if_current(5, &loc(1, 0, 32), loc(2, 0, 32)));
+        assert_eq!(t.get(5), Some(loc(2, 0, 32)));
+        assert_eq!(t.live_bytes(), 32);
+        // Unknown page: no change, no phantom insert.
+        assert!(!t.replace_if_current(6, &loc(1, 0, 32), loc(2, 0, 32)));
+        assert!(t.get(6).is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! |---|---|---|---|
 //! | `age` | [`AgePolicy`] | oldest sealed segment first | none |
 //! | `greedy` | [`GreedyPolicy`] | most free space first | none |
-//! | `cost-benefit` | [`CostBenefitPolicy`] | max benefit/cost (LFS [23]) | none |
+//! | `cost-benefit` | [`CostBenefitPolicy`] | max benefit/cost (LFS \[23\]) | none |
 //! | `multi-log` | [`MultiLogPolicy`] | local-optimal among the written log and its two neighbours | pages bucketed into logs by estimated update period |
 //! | `multi-log-opt` | [`MultiLogPolicy::oracle`] | same | buckets use the exact page update frequency |
 //! | `MDC` | [`MdcPolicy`] | minimum declining cost (paper §4/§5) | sort batch by carried `up2` |
@@ -26,6 +26,7 @@ pub use cost_benefit::{CostBenefitFormula, CostBenefitPolicy};
 pub use greedy::GreedyPolicy;
 pub use mdc::MdcPolicy;
 pub use multilog::MultiLogPolicy;
+pub use multilog::MAX_LOGS as MULTILOG_MAX_LOGS;
 
 use crate::types::{PageWriteInfo, SealSeq, SegmentId, UpdateTick};
 use serde::{Deserialize, Serialize};

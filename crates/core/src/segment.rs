@@ -175,6 +175,14 @@ pub struct SegmentTable {
     /// reader still holds the slot pinned (read safety: a ranged read may be in progress
     /// against the old image).
     quarantine: Vec<(SegmentId, bool)>,
+    /// Segments whose metadata says `Sealed` but whose image is still being written to
+    /// the device. In the sharded write path the (large) device write of a seal happens
+    /// *outside* the coordination lock, so there is a window in which a segment is
+    /// `Sealed` in this table while the device slot is still blank; such segments are
+    /// excluded from [`SegmentTable::sealed_stats`] so the cleaner never selects a
+    /// victim it cannot read back. Single-threaded embedders (the simulator) never mark
+    /// anything pending and are unaffected.
+    image_pending: Vec<SegmentId>,
     next_seal_seq: SealSeq,
 }
 
@@ -188,6 +196,7 @@ impl SegmentTable {
             states: vec![SegmentState::Free; num_segments],
             free,
             quarantine: Vec::new(),
+            image_pending: Vec::new(),
             next_seal_seq: 1,
         }
     }
@@ -303,6 +312,7 @@ impl SegmentTable {
         self.states[id.index()] = SegmentState::Sealed(meta);
         self.free.retain(|&s| s != id);
         self.quarantine.retain(|&(s, _)| s != id);
+        self.image_pending.retain(|&s| s != id);
     }
 
     /// The state of a segment.
@@ -320,12 +330,31 @@ impl SegmentTable {
         self.states[id.index()].meta_mut()
     }
 
-    /// Snapshots of every sealed segment, for the cleaning policies.
+    /// Mark a sealed segment's device image as still in flight (`pending = true`) or
+    /// durable on the device (`pending = false`). Pending segments are hidden from
+    /// [`SegmentTable::sealed_stats`].
+    pub fn set_image_pending(&mut self, id: SegmentId, pending: bool) {
+        if pending {
+            if !self.image_pending.contains(&id) {
+                self.image_pending.push(id);
+            }
+        } else {
+            self.image_pending.retain(|&s| s != id);
+        }
+    }
+
+    /// True while a sealed segment's image write has not completed.
+    pub fn is_image_pending(&self, id: SegmentId) -> bool {
+        self.image_pending.contains(&id)
+    }
+
+    /// Snapshots of every sealed segment whose image is on the device, for the cleaning
+    /// policies (segments mid-seal are excluded; see [`SegmentTable::set_image_pending`]).
     pub fn sealed_stats(&self) -> Vec<SegmentStats> {
         self.states
             .iter()
             .filter_map(|s| match s {
-                SegmentState::Sealed(m) => Some(m.stats()),
+                SegmentState::Sealed(m) if !self.image_pending.contains(&m.id) => Some(m.stats()),
                 _ => None,
             })
             .collect()
@@ -468,6 +497,24 @@ mod tests {
         assert_eq!(t.reap_quarantine(|_| true), 1);
         assert_eq!(t.quarantine_len(), 0);
         assert_eq!(t.free_count(), 4);
+    }
+
+    #[test]
+    fn image_pending_segments_are_hidden_from_sealed_stats() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let b = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        t.seal(b, 12, 6, Up2Mode::OnOverwrite);
+        t.set_image_pending(b, true);
+        assert!(t.is_image_pending(b));
+        let stats = t.sealed_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].id, a);
+        // Once the image lands, the segment becomes a cleaning candidate again.
+        t.set_image_pending(b, false);
+        assert!(!t.is_image_pending(b));
+        assert_eq!(t.sealed_stats().len(), 2);
     }
 
     #[test]

@@ -1,43 +1,57 @@
 //! The cleaning driver: victim selection, live-page relocation and remap commit.
 //!
-//! Extracted out of the old monolithic `LogStore` so that cleaning can run concurrently
-//! with foreground traffic. A cycle is structured so that the expensive work — reading
-//! and parsing whole victim segment images from the device — happens **outside** the
-//! write lock:
+//! A cycle is structured so that the expensive work — reading and parsing whole victim
+//! segment images from the device, and copying live payloads into GC output builders —
+//! happens with **no store lock** held (only the cycle lock, which foreground traffic
+//! never takes):
 //!
-//! 1. **Select** (short write lock): the policy picks up to `segments_per_cycle` victims
-//!    from the sealed-segment snapshots; their emptiness/`up2` are recorded.
+//! 1. **Select** (short central lock): the policy picks up to `segments_per_cycle`
+//!    victims from the sealed-segment snapshots; their emptiness/`up2` are recorded.
 //! 2. **Collect** (no locks): each victim's image is read from the device and its entry
 //!    table decoded; entries that are no longer current are pre-filtered against the
 //!    sharded page table.
-//! 3. **Commit** (write lock, per victim): each candidate is re-checked with the
-//!    *conflict check* — `mapping.is_current(page, victim_loc)` — so any page the user
-//!    rewrote since victim selection is skipped; survivors are appended through the
-//!    normal write machinery (GC origin) which remaps them atomically under the lock.
+//! 3. **Stage & commit** (per victim): still-current pages are appended to the cycle's
+//!    GC output segments (no store lock; allocation and seals touch the central lock
+//!    briefly), *keeping their original per-page write sequences*. Then, under one
+//!    short central section, each staged page is committed with an atomic
+//!    *compare-and-swap* on the page table
+//!    ([`crate::mapping::ShardedPageTable::replace_if_current`]): a page the user
+//!    rewrote since staging fails the swap and its stale copy is abandoned (the original
+//!    write sequence guarantees the abandoned copy can also never win during recovery).
 //!    The victim is then released into the quarantine (remap-before-release: by the time
 //!    a victim is released, none of its pages are referenced by the mapping).
-//! 4. **Seal + sync + reap** : GC output streams are sealed, the device is synced, and
+//! 4. **Seal + sync + reap**: GC output streams are sealed, the device is synced, and
 //!    only then do quarantined victims with no reader pins return to the free list.
 //!
-//! Cycles are serialised by [`GcControl::cycle_lock`]; they are started by the
-//! [`crate::shared::BackgroundCleaner`] thread, by writers at the free-segment
+//! Unlike the pre-sharding design, committing relocations takes no write lock at all —
+//! writers on every stream keep appending while a cycle runs; they only contend with the
+//! cleaner on the short central-lock sections.
+//!
+//! Cycles are serialised by the cycle lock ([`GcControl::lock_cycle`]); they are started
+//! by the [`crate::shared::BackgroundCleaner`] thread, by writers at the free-segment
 //! watermark, or explicitly via [`crate::LogStore::clean_now`].
 
-use super::{write_path, LogStore};
+use super::write_path::{self, MetaLedger};
+use super::{CentralState, GcStreams, LogStore, OpenSegment};
 use crate::cleaner::{collect_live_pages, CleaningReport, LivePage};
 use crate::error::{Error, Result};
-use crate::layout::decode_segment;
+use crate::freq::Up2Average;
+use crate::layout::{self, decode_segment, SegmentBuilder};
 use crate::policy::PolicyContext;
 use crate::stats::AtomicStats;
-use crate::types::{SegmentId, UpdateTick};
+use crate::types::{PageId, PageLocation, SegmentId, UpdateTick};
 use crate::write_buffer::sort_by_separation_key;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Coordination state for cleaning: cycle serialisation and background-cleaner wakeup.
 pub(crate) struct GcControl {
-    /// Serialises whole cleaning cycles (one at a time, whoever runs them).
+    /// Serialises whole cleaning cycles (one at a time, whoever runs them). Also taken
+    /// by `flush` and the emergency reclaim path before syncing + marking the
+    /// quarantine, so quarantine durability transitions are totally ordered against
+    /// in-flight cycles.
     cycle_lock: Mutex<()>,
     /// Wakeup flag for the background cleaner, guarded with [`GcControl::kick_cond`].
     kick: Mutex<KickState>,
@@ -61,6 +75,16 @@ impl GcControl {
             kick_cond: Condvar::new(),
             background_attached: AtomicBool::new(false),
         }
+    }
+
+    /// Acquire the cycle lock (blocks while a cycle, flush tail or reclaim runs).
+    pub(crate) fn lock_cycle(&self) -> MutexGuard<'_, ()> {
+        self.cycle_lock.lock()
+    }
+
+    /// Acquire the cycle lock without blocking, if free.
+    pub(crate) fn try_lock_cycle(&self) -> Option<MutexGuard<'_, ()>> {
+        self.cycle_lock.try_lock()
     }
 
     /// Wake the background cleaner (writers call this at the free-segment watermark).
@@ -113,6 +137,23 @@ pub(crate) enum SelectionMode {
     ForceGreedy,
 }
 
+/// One relocation appended to a GC builder, awaiting its page-table commit.
+struct StagedRelocation {
+    page: PageId,
+    /// Where the page lived in the victim (the compare-and-swap's expected value).
+    old: PageLocation,
+    /// Where the relocated copy now lives (`new.segment` is the GC output segment and
+    /// the accounting target on commit).
+    new: PageLocation,
+}
+
+/// A collected live page plus its routing decisions.
+struct GcItem {
+    live: LivePage,
+    log: u16,
+    key: Option<f64>,
+}
+
 /// Run one full cleaning cycle with the configured policy. Serialised against other
 /// cycles; safe to call from any thread, with no store locks held.
 pub(crate) fn run_cleaning_cycle(store: &LogStore) -> Result<CleaningReport> {
@@ -124,26 +165,26 @@ pub(crate) fn run_cleaning_cycle_with(
     store: &LogStore,
     mode: SelectionMode,
 ) -> Result<CleaningReport> {
-    let _cycle = store.gc.cycle_lock.lock();
+    let _cycle = store.gc.lock_cycle();
     let stats = store.atomic_stats();
     AtomicStats::bump(&stats.cleaning_cycles);
     let unow = store.unow();
 
-    // Phase 1: select victims under a short write lock.
+    // Phase 1: select victims under a short central lock.
     let victims: Vec<(SegmentId, f64, UpdateTick)> = {
-        let mut ws = store.write_state().lock();
-        let batch = ws
-            .policy
+        let mut central = store.central().lock();
+        let CentralState { segments, policy } = &mut *central;
+        let batch = policy
             .preferred_batch()
             .unwrap_or(store.config().cleaning.segments_per_cycle)
             .max(1);
-        let sealed = ws.segments.sealed_stats();
+        let sealed = segments.sealed_stats();
         let ctx = PolicyContext {
             unow,
             segments: &sealed,
         };
         let mut picked = match mode {
-            SelectionMode::Policy => ws.policy.select_victims(&ctx, batch),
+            SelectionMode::Policy => policy.select_victims(&ctx, batch),
             SelectionMode::ForceGreedy => {
                 let want = batch.max(store.config().cleaning.segments_per_cycle);
                 let mut greedy = crate::policy::GreedyPolicy::new();
@@ -160,20 +201,19 @@ pub(crate) fn run_cleaning_cycle_with(
         }
         picked
             .into_iter()
-            .filter_map(|v| {
-                ws.segments
-                    .meta(v)
-                    .map(|m| (v, m.emptiness(), m.freq.up2()))
-            })
+            .filter_map(|v| segments.meta(v).map(|m| (v, m.emptiness(), m.freq.up2())))
             .collect()
     };
     if victims.is_empty() {
         return Ok(CleaningReport::default());
     }
 
+    // The GC output streams belong to this cycle (we hold the cycle lock).
+    let mut gcs = store.gc_streams().lock();
     let mut report = CleaningReport::default();
     let mut emptiness_sum = 0.0;
-    for &(victim, emptiness, up2) in &victims {
+    let mut released: Vec<SegmentId> = Vec::with_capacity(victims.len());
+    'victims: for &(victim, emptiness, up2) in &victims {
         // Phase 2: read and parse the victim image without any store lock — foreground
         // reads and writes proceed while this (the dominant cost of cleaning) runs.
         let image = store.device().read_segment(victim)?;
@@ -182,8 +222,8 @@ pub(crate) fn run_cleaning_cycle_with(
             detail: "sealed segment has a blank image".into(),
         })?;
         // Lock-free pre-filter against the sharded page table; the authoritative
-        // conflict check happens again under the write lock below.
-        let mut candidates = collect_live_pages(
+        // conflict check is the compare-and-swap at commit time.
+        let candidates = collect_live_pages(
             victim,
             &image,
             &parsed,
@@ -192,55 +232,192 @@ pub(crate) fn run_cleaning_cycle_with(
         )
         .pages;
 
-        // Phase 3: commit relocations under the write lock, then quarantine the victim.
-        let mut ws = store.write_state().lock();
-        if store.config().separation.separate_gc_writes {
-            let policy = &ws.policy;
-            sort_by_separation_key(&mut candidates, |c: &LivePage| {
-                policy.separation_key(&c.pending.info)
-            });
+        // Route every candidate to an output log and fetch separation keys, under one
+        // short central acquisition (the policy lives there). Same routing helper as
+        // the user drain, so user and GC placement can never diverge.
+        let separate = store.config().separation.separate_gc_writes;
+        let mut items: Vec<GcItem> = {
+            let mut central = store.central().lock();
+            let CentralState { policy, .. } = &mut *central;
+            candidates
+                .into_iter()
+                .map(|live| {
+                    let (log, key) =
+                        write_path::route_page(policy, unow, separate, &live.pending.info);
+                    GcItem { live, log, key }
+                })
+                .collect()
+        };
+        if separate {
+            sort_by_separation_key(&mut items, |it: &GcItem| it.key);
         }
-        for c in candidates {
-            // The conflict check: skip any page rewritten by the user (or deleted)
-            // since victim selection — its buffered/new copy is authoritative and the
-            // stale payload in hand must not shadow it.
-            if !store.mapping().is_current(c.pending.info.page, &c.loc) {
+
+        // Phase 3a: stage — copy still-current pages into the GC output builders. No
+        // store lock; the occasional seal/allocation touches the central lock briefly.
+        // The ledger only satisfies `seal_open`'s batching interface and stays empty
+        // here: GC accounting is applied directly at commit (phase 3b), in the same
+        // central section as the page-table swap.
+        let mut staged: Vec<StagedRelocation> = Vec::with_capacity(items.len());
+        let mut ledger = MetaLedger::default();
+        for item in items {
+            let info = &item.live.pending.info;
+            if !store.mapping().is_current(info.page, &item.live.loc) {
+                // Rewritten or deleted since collection; skip before wasting output
+                // space. The commit-time compare-and-swap below remains authoritative.
                 continue;
             }
-            AtomicStats::bump(&stats.gc_pages_written);
-            AtomicStats::add(&stats.gc_bytes_written, c.pending.info.size as u64);
-            report.pages_moved += 1;
-            report.bytes_moved += c.pending.info.size as u64;
-            match write_path::append_page(store, &mut ws, c.pending)? {
-                write_path::AppendOutcome::Appended => {}
-                write_path::AppendOutcome::NeedsCleaning => {
-                    unreachable!("GC allocations dip into the reserve and never defer")
-                }
-            }
+            let data = item
+                .live
+                .pending
+                .data
+                .as_ref()
+                .expect("GC relocation always carries a payload");
+            let Some(log) = ensure_gc_open(store, &mut gcs, &mut ledger, item.log, data.len())?
+            else {
+                // No output space for this victim even after the distress fallbacks:
+                // abandon it *gracefully*. Nothing of it has been committed — its pages
+                // are still mapped into the sealed victim image, which stays exactly
+                // where it is — and the few copies already staged into builders are
+                // never swapped in, so they are recovery-safe garbage. Move on to the
+                // remaining victims rather than giving up on the cycle: a later victim
+                // may be fully dead (needing no output space at all) and releasing it
+                // is exactly what relieves the pressure. The writers' escalation
+                // ladder (greedy cycles, quarantine sweeps) decides whether the store
+                // is genuinely full.
+                continue 'victims;
+            };
+            let open = gcs
+                .open
+                .get_mut(&log)
+                .expect("ensure_gc_open just installed this log");
+            // The relocated copy keeps the original write sequence: it is the same
+            // version of the page, just at a new address (see `LivePage::write_seq`).
+            let offset = open
+                .builder
+                .write()
+                .push_page(info.page, item.live.write_seq, data);
+            open.up2_avg.add(info.up2);
+            staged.push(StagedRelocation {
+                page: info.page,
+                old: item.live.loc,
+                new: PageLocation {
+                    segment: open.id,
+                    offset,
+                    len: data.len() as u32,
+                },
+            });
         }
-        // Remap-before-release has now held for every live page of this victim; park the
-        // slot until the relocated copies are durable and no reader pins remain.
-        ws.segments.release_quarantined(victim);
-        AtomicStats::bump(&stats.segments_cleaned);
-        stats.add_emptiness(emptiness);
-        emptiness_sum += emptiness;
-        store.publish_free(&ws);
+
+        // Phase 3b: commit under one short central section. The swap and the output
+        // segment's accounting land in the same critical section, so any later death of
+        // the relocated copy (recorded by a writer only after it observes the new
+        // location) is applied after this `on_page_added`, never before.
+        {
+            let mut central = store.central().lock();
+            for s in staged {
+                if store.mapping().replace_if_current(s.page, &s.old, s.new) {
+                    if let Some(meta) = central.segments.meta_mut(s.new.segment) {
+                        meta.on_page_added(s.new.len, None);
+                    }
+                    AtomicStats::bump(&stats.gc_pages_written);
+                    AtomicStats::add(&stats.gc_bytes_written, s.new.len as u64);
+                    report.pages_moved += 1;
+                    report.bytes_moved += s.new.len as u64;
+                }
+                // A failed swap means the user rewrote the page after staging: the
+                // stale copy in the output builder is dead on arrival and is simply
+                // never accounted live (it will be reclaimed when that segment is
+                // eventually cleaned).
+            }
+            // Remap-before-release now holds for every live page of this victim; park
+            // the slot until the relocated copies are durable and no reader pins
+            // remain.
+            central.segments.release_quarantined(victim);
+            released.push(victim);
+            AtomicStats::bump(&stats.segments_cleaned);
+            stats.add_emptiness(emptiness);
+            emptiness_sum += emptiness;
+            store.publish_free(&central.segments);
+        }
     }
 
     // Phase 4: make the relocated pages durable and recycle the victims.
-    {
-        let mut ws = store.write_state().lock();
-        write_path::seal_gc_streams(store, &mut ws)?;
-    }
-    store.device().sync()?;
-    {
-        let mut ws = store.write_state().lock();
-        ws.segments.mark_quarantine_synced();
-        ws.segments.reap_quarantine(|id| store.pin_count(id) == 0);
-        store.publish_free(&ws);
-    }
+    write_path::seal_gc_and_reap(store, &mut gcs)?;
 
-    report.mean_emptiness = emptiness_sum / victims.len() as f64;
-    report.victims = victims.iter().map(|&(v, _, _)| v).collect();
+    if !released.is_empty() {
+        report.mean_emptiness = emptiness_sum / released.len() as f64;
+    }
+    report.victims = released;
     Ok(report)
+}
+
+/// Make sure a GC output segment with room for `len` bytes exists, preferably for
+/// `log`, sealing the full one and allocating a fresh segment if necessary. Returns the
+/// log key of the open segment to append to, or `None` if no output space can be found
+/// (the caller abandons the current victim rather than failing the cycle).
+///
+/// GC allocations may dip into the reserve — that is what it is for. Under allocation
+/// distress the cycle degrades gracefully: it first redirects the relocation into *any*
+/// of its open outputs with room (sacrificing log purity for progress), then seals its
+/// output streams and syncs so its already quarantined victims become reusable.
+fn ensure_gc_open(
+    store: &LogStore,
+    gcs: &mut GcStreams,
+    ledger: &mut MetaLedger,
+    log: u16,
+    len: usize,
+) -> Result<Option<u16>> {
+    if let Some(open) = gcs.open.get(&log) {
+        if open.builder.read().fits(len) {
+            return Ok(Some(log));
+        }
+    }
+    if let Some(full) = gcs.open.remove(&log) {
+        write_path::seal_open(store, full, ledger)?;
+    }
+    let capacity =
+        layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes) as u64;
+    let mut allocated = try_allocate_gc(store, capacity, log);
+    if allocated.is_none() {
+        // Distress fallback 1: reuse another output stream's headroom.
+        if let Some((&l, _)) = gcs.open.iter().find(|(_, o)| o.builder.read().fits(len)) {
+            return Ok(Some(l));
+        }
+        // Distress fallback 2: make this cycle's own relocations durable so its
+        // quarantined victims free up (their live pages are all in the builders about
+        // to be sealed), then retry the allocation.
+        write_path::seal_gc_and_reap(store, gcs)?;
+        allocated = try_allocate_gc(store, capacity, log);
+    }
+    let Some((id, gen)) = allocated else {
+        return Ok(None);
+    };
+    let builder = Arc::new(RwLock::new(SegmentBuilder::new(
+        store.config().segment_bytes,
+    )));
+    store.open_reads().write().insert(id, Arc::clone(&builder));
+    gcs.open.insert(
+        log,
+        OpenSegment {
+            id,
+            builder,
+            up2_avg: Up2Average::new(),
+            log,
+            gen,
+            last_used: 0,
+        },
+    );
+    store.note_open_delta(1);
+    Ok(Some(log))
+}
+
+fn try_allocate_gc(store: &LogStore, capacity: u64, log: u16) -> Option<(SegmentId, u64)> {
+    let mut central = store.central().lock();
+    let id = central
+        .segments
+        .allocate(capacity, log, store.config().up2_mode)?;
+    store.bump_segment_gen(id);
+    let gen = store.segment_gen(id);
+    store.publish_free(&central.segments);
+    Some((id, gen))
 }

@@ -1,37 +1,55 @@
 //! [`LogStore`]: the public facade of the log-structured page store.
 //!
 //! Since the concurrent-pipeline refactor the store is **internally synchronised** and
-//! every operation takes `&self`: reads, writes and cleaning proceed on separate layers
-//! with their own locks instead of serialising behind one `&mut self` facade. Wrap the
-//! store in an `Arc` (or use [`crate::SharedLogStore`], which also runs the background
-//! cleaner) to share it across threads.
+//! every operation takes `&self`; since the sharded-write-path refactor the write side
+//! is further split into **independent per-stream append pipelines** so that writers on
+//! different streams never serialise behind one mutex. Wrap the store in an `Arc` (or
+//! use [`crate::SharedLogStore`], which also runs the background cleaner) to share it
+//! across threads.
 //!
-//! ### The three layers
+//! ### The layers
 //!
 //! * **Read path** (`read_path`) — `get`/`contains` touch only concurrently readable
-//!   state: the sharded page table, the sort buffer behind an `RwLock`, the open-segment
-//!   builders, and the device (whose trait is `&self`). A per-segment *pin* protocol
-//!   makes device reads safe against concurrent segment reuse; see the `read_path` docs.
-//!   Reads never acquire the write lock and never wait for cleaning.
-//! * **Write path** (`write_path`) — one mutex guards the mutable write-side state
-//!   ([`WriteState`]: open segments, segment table, policy, write-sequence counter).
-//!   `put`/`delete` buffer under that lock and drain batches into open segments.
+//!   state: the sharded page table, the owning stream's sort buffer behind an `RwLock`,
+//!   the open-segment builders, and the device (whose trait is `&self`). A per-segment
+//!   *pin* protocol makes device reads safe against concurrent segment reuse; see the
+//!   `read_path` docs. Reads never take a write-side lock and never wait for cleaning.
+//! * **Write path** (`write_path`) — `put`/`delete` route by page-id hash to one of
+//!   [`StoreConfig::write_streams`](crate::StoreConfig::write_streams) write streams.
+//!   Each stream owns its slice of the sort buffer and its open output segments
+//!   (one per output log), guarded by the *stream lock*; buffering, `up2` assignment,
+//!   separation sorting, payload copies into builders and segment image writes all
+//!   happen under the stream lock only. The shared central state (segment table,
+//!   policy, free-space accounting) is touched in short, bounded critical sections:
+//!   segment allocation, seal bookkeeping, and batched per-page accounting.
 //! * **Cleaning** (`gc_driver`) — cycles are serialised by their own lock and run
 //!   either synchronously (allocation pressure, [`LogStore::clean_now`]) or on the
 //!   [`crate::shared::BackgroundCleaner`] thread. Victim images are read and parsed
-//!   *outside* the write lock; relocations are committed under it with a conflict check
-//!   (pages the user rewrote since victim selection are skipped), and victims are
-//!   quarantined until the cycle's device sync lands and no reader pins remain.
+//!   with no store lock held; relocations are committed with a per-page atomic
+//!   *compare-and-swap* on the page table ([`crate::mapping::ShardedPageTable::replace_if_current`]),
+//!   so cleaning never stalls the write streams. Victims are quarantined until the
+//!   cycle's device sync lands and no reader pins remain.
+//!
+//! ### Lock ordering
+//!
+//! To stay deadlock-free, locks nest in this order (any prefix may be skipped, never
+//! reordered): `cycle lock → stream lock → GC-stream lock → wounded-seal lock →
+//! central lock`. The open-segment read index and page-table shards are leaves: no
+//! other lock is acquired while holding them. The one intentional exception is the emergency quarantine reclaim
+//! on the write path, which `try_lock`s the cycle lock while holding a stream lock —
+//! non-blocking, so it cannot deadlock.
 //!
 //! ### Durability model
 //!
-//! Pages buffered in the sort buffer or in a still-open segment are volatile; they become
-//! durable when their segment is sealed (written to the device) and the device is synced.
-//! [`LogStore::flush`] drains and seals everything and syncs the device, so it is the
-//! durability point. After a crash, [`LogStore::recover_with_device`] rebuilds the page
-//! table by scanning segment images; anything not flushed is lost (standard LFS
+//! Pages buffered in a sort-buffer shard or in a still-open segment are volatile; they
+//! become durable when their segment is sealed (written to the device) and the device is
+//! synced. [`LogStore::flush`] drains and seals every stream and syncs the device, so it
+//! is the durability point. After a crash, [`LogStore::recover_with_device`] rebuilds
+//! the page table by scanning segment images; anything not flushed is lost (standard LFS
 //! semantics). Cleaning never shrinks the durable window: a victim's slot is not reused
-//! until the relocated copies of its live pages have been synced.
+//! until the relocated copies of its live pages have been synced, and a relocated copy
+//! keeps its original per-page write sequence so it can never shadow a newer user write
+//! during recovery.
 
 mod gc_driver;
 mod read_path;
@@ -52,31 +70,28 @@ use crate::stats::{AtomicStats, StoreStats};
 use crate::types::{
     PageId, PageLocation, PageWriteInfo, SealSeq, SegmentId, UpdateTick, WriteOrigin, WriteSeq,
 };
-use crate::util::FxHashMap;
+use crate::util::{mix64, FxHashMap};
 use crate::write_buffer::{PendingPage, WriteBuffer};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Key identifying an open output segment: the write stream (user vs GC) and the output
-/// log the policy routed the page to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct OpenKey {
-    pub(crate) origin: WriteOrigin,
-    pub(crate) log: u16,
-}
-
 /// A segment currently being filled in memory.
 ///
 /// The builder is shared with the read path through the store's `open_reads` index so
-/// `get` can serve pages that live in a not-yet-sealed segment without taking the write
-/// lock.
+/// `get` can serve pages that live in a not-yet-sealed segment without taking any
+/// write-side lock.
 pub(crate) struct OpenSegment {
     pub(crate) id: SegmentId,
     pub(crate) builder: Arc<RwLock<SegmentBuilder>>,
     pub(crate) up2_avg: Up2Average,
     pub(crate) log: u16,
+    /// Allocation generation of the slot (see [`LogStore::segment_gen`]); recorded so
+    /// batched accounting for this open segment can be validated at apply time.
+    pub(crate) gen: u64,
+    /// Stream-local LRU tick, used to bound how many logs a stream keeps open at once.
+    pub(crate) last_used: u64,
 }
 
 impl std::fmt::Debug for OpenSegment {
@@ -89,16 +104,50 @@ impl std::fmt::Debug for OpenSegment {
     }
 }
 
-/// The write-side state guarded by the store's write mutex.
-pub(crate) struct WriteState {
+/// The mutable state of one write stream, guarded by the stream lock.
+#[derive(Default)]
+pub(crate) struct StreamState {
+    /// Open user-origin output segment per output log.
+    pub(crate) open: FxHashMap<u16, OpenSegment>,
+    /// Monotonic counter stamping [`OpenSegment::last_used`].
+    pub(crate) use_tick: u64,
+}
+
+/// One independent write stream: a slice of the sort buffer plus its open segments.
+///
+/// Pages are routed to streams by page-id hash ([`LogStore::stream_of_page`]), so all
+/// writes to a given page — including its tombstone — serialise on the same stream lock
+/// and per-page ordering is preserved without any global lock.
+pub(crate) struct WriteStream {
+    /// This stream's sort-buffer shard. Behind its own `RwLock` so the read path can
+    /// consult it without the stream lock; writers mutate it while holding the stream
+    /// lock (pushes and drains of one stream never interleave).
+    pub(crate) buffer: RwLock<WriteBuffer>,
+    /// Open segments and drain bookkeeping; the "write lock" of this stream.
+    pub(crate) state: Mutex<StreamState>,
+}
+
+/// The GC output streams: open segments the cleaner relocates live pages into.
+///
+/// Only ever touched while holding the cycle lock (by the cleaning cycle itself, by
+/// `flush`, or by the emergency reclaim path), so the inner mutex is uncontended; it
+/// exists to make the sharing explicit. GC opens normally live only for the duration of
+/// one cycle — a cycle seals its outputs in its final phase — but survive here if a
+/// cycle aborts on an I/O error, so a later flush or cycle can still seal them.
+#[derive(Default)]
+pub(crate) struct GcStreams {
+    pub(crate) open: FxHashMap<u16, OpenSegment>,
+}
+
+/// The shared coordination layer of the sharded write path, guarded by the central lock.
+///
+/// Critical sections on this lock are short and bounded — allocation, seal bookkeeping,
+/// victim selection and batched accounting — never payload copies or device I/O.
+pub(crate) struct CentralState {
     /// Per-segment bookkeeping: free list, quarantine, seal sequences, `A`/`C`/`up2`.
     pub(crate) segments: SegmentTable,
-    /// Open output segment per (origin, log) stream.
-    pub(crate) open: FxHashMap<OpenKey, OpenSegment>,
     /// The cleaning policy (victim selection, log routing, separation keys).
     pub(crate) policy: Box<dyn CleaningPolicy>,
-    /// Next per-page write sequence number.
-    pub(crate) next_write_seq: WriteSeq,
 }
 
 /// The log-structured page store.
@@ -108,27 +157,42 @@ pub struct LogStore {
     device: Box<dyn SegmentDevice>,
     /// Sharded concurrent page table: `get` takes `&self` and locks one shard.
     mapping: ShardedPageTable,
-    /// User sort buffer. Behind its own `RwLock` so the read path can consult it without
-    /// the write mutex; writers mutate it while holding the write mutex.
-    buffer: RwLock<WriteBuffer>,
-    /// The write-side state (see [`WriteState`]); the "write lock" of the store.
-    write: Mutex<WriteState>,
-    /// Builders of currently open segments, readable without the write lock.
+    /// The independent write streams (see [`WriteStream`]).
+    streams: Box<[WriteStream]>,
+    /// The shared coordination layer (see [`CentralState`]).
+    central: Mutex<CentralState>,
+    /// GC output streams (see [`GcStreams`]); access requires the cycle lock.
+    gc_streams: Mutex<GcStreams>,
+    /// Sealed segments whose finished image failed to reach the device (an I/O error
+    /// during the seal's device write). The rendered image is parked here and retried
+    /// before every sync point; until it lands, the segment stays image-pending (never
+    /// a cleaning victim), its builder stays in `open_reads` (pages stay readable), and
+    /// `flush` keeps failing rather than falsely reporting durability.
+    wounded_seals: Mutex<Vec<(SegmentId, Vec<u8>)>>,
+    /// Builders of currently open segments, readable without any write-side lock.
     open_reads: RwLock<FxHashMap<SegmentId, Arc<RwLock<SegmentBuilder>>>>,
     /// Per-segment reader pin counts (see `read_path`); quarantined victims are only
     /// reused once their pin count is zero.
     pins: Box<[AtomicU32]>,
+    /// Per-segment allocation generation, bumped (under the central lock) every time a
+    /// slot is handed out by the allocator. Batched accounting records the generation it
+    /// observed; an op whose generation no longer matches at apply time targeted a
+    /// previous incarnation of the slot and is dropped.
+    seg_gen: Box<[AtomicU64]>,
     /// Lock-free operation counters.
     stats: AtomicStats,
     /// The update-count clock (one tick per user write or delete).
     unow: AtomicU64,
-    /// Mirror of the segment table's free count, readable without the write lock (used
+    /// Next per-page write sequence number. Global and atomic: per-page monotonicity
+    /// follows from all writes to a page being serialised on its stream lock.
+    next_write_seq: AtomicU64,
+    /// Mirror of the segment table's free count, readable without the central lock (used
     /// by the cleaning trigger check on the hot write path).
     approx_free: AtomicUsize,
-    /// Mirror of the open-segment count, readable without the write lock: the cleaning
-    /// trigger is raised when many output streams are open (multi-log keeps up to 32)
-    /// so partially filled open segments never starve allocation.
-    approx_open: AtomicUsize,
+    /// Count of currently open output segments across all streams (user and GC): the
+    /// cleaning trigger is raised when many output streams are open (multi-log keeps up
+    /// to 32) so partially filled open segments never starve allocation.
+    open_count: AtomicUsize,
     /// Cleaning coordination: cycle serialisation, background-cleaner wakeup.
     pub(crate) gc: GcControl,
 }
@@ -137,6 +201,7 @@ impl std::fmt::Debug for LogStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LogStore")
             .field("policy", &self.policy_name)
+            .field("write_streams", &self.streams.len())
             .field("live_pages", &self.mapping.len())
             .field("free_segments", &self.approx_free.load(Ordering::Relaxed))
             .field("unow", &self.unow.load(Ordering::Relaxed))
@@ -174,19 +239,26 @@ impl LogStore {
         Ok(Self {
             policy_name,
             mapping: ShardedPageTable::new(),
-            buffer: RwLock::new(WriteBuffer::new(config.absorb_updates_in_buffer)),
-            write: Mutex::new(WriteState {
+            streams: (0..config.write_streams.max(1))
+                .map(|_| WriteStream {
+                    buffer: RwLock::new(WriteBuffer::new(config.absorb_updates_in_buffer)),
+                    state: Mutex::new(StreamState::default()),
+                })
+                .collect(),
+            central: Mutex::new(CentralState {
                 segments: SegmentTable::new(num_segments),
-                open: FxHashMap::default(),
                 policy,
-                next_write_seq: 1,
             }),
+            gc_streams: Mutex::new(GcStreams::default()),
+            wounded_seals: Mutex::new(Vec::new()),
             open_reads: RwLock::new(FxHashMap::default()),
             pins: (0..num_segments).map(|_| AtomicU32::new(0)).collect(),
+            seg_gen: (0..num_segments).map(|_| AtomicU64::new(0)).collect(),
             stats: AtomicStats::default(),
             unow: AtomicU64::new(0),
+            next_write_seq: AtomicU64::new(1),
             approx_free: AtomicUsize::new(num_segments),
-            approx_open: AtomicUsize::new(0),
+            open_count: AtomicUsize::new(0),
             gc: GcControl::new(),
             device,
             config,
@@ -254,8 +326,8 @@ impl LogStore {
     /// Read the current version of a page. Returns `None` if the page does not exist or
     /// has been deleted.
     ///
-    /// Takes `&self` and never acquires the write lock: reads proceed concurrently with
-    /// writes and with an in-flight cleaning cycle.
+    /// Takes `&self` and never acquires a write-side lock: reads proceed concurrently
+    /// with writes on every stream and with an in-flight cleaning cycle.
     pub fn get(&self, page: PageId) -> Result<Option<Bytes>> {
         read_path::get(self, page)
     }
@@ -265,8 +337,8 @@ impl LogStore {
         read_path::contains(self, page)
     }
 
-    /// Drain the sort buffer, seal every open segment and sync the device. This is the
-    /// durability point.
+    /// Drain every stream's sort buffer, seal every open segment and sync the device.
+    /// This is the durability point.
     pub fn flush(&self) -> Result<()> {
         write_path::flush(self)
     }
@@ -298,6 +370,16 @@ impl LogStore {
         self.policy_name
     }
 
+    /// Number of independent write streams this store shards its write path into.
+    pub fn write_stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The write stream a page routes to (diagnostic; stable for the store's lifetime).
+    pub fn stream_of_page(&self, page: PageId) -> usize {
+        (mix64(page) as usize) % self.streams.len()
+    }
+
     /// The update-count clock (one tick per user write or delete).
     pub fn unow(&self) -> UpdateTick {
         self.unow.load(Ordering::Relaxed)
@@ -315,7 +397,7 @@ impl LogStore {
 
     /// Number of free segments (excluding quarantined victims awaiting reuse).
     pub fn free_segments(&self) -> usize {
-        self.write.lock().segments.free_count()
+        self.central.lock().segments.free_count()
     }
 
     /// Current fill factor: live payload bytes over total device payload capacity.
@@ -363,12 +445,26 @@ impl LogStore {
         &self.mapping
     }
 
-    pub(crate) fn buffer(&self) -> &RwLock<WriteBuffer> {
-        &self.buffer
+    /// The write stream owning a page.
+    pub(crate) fn stream(&self, page: PageId) -> &WriteStream {
+        &self.streams[self.stream_of_page(page)]
     }
 
-    pub(crate) fn write_state(&self) -> &Mutex<WriteState> {
-        &self.write
+    /// All write streams (flush and checkpoint walk them in index order).
+    pub(crate) fn streams(&self) -> &[WriteStream] {
+        &self.streams
+    }
+
+    pub(crate) fn central(&self) -> &Mutex<CentralState> {
+        &self.central
+    }
+
+    pub(crate) fn gc_streams(&self) -> &Mutex<GcStreams> {
+        &self.gc_streams
+    }
+
+    pub(crate) fn wounded_seals(&self) -> &Mutex<Vec<(SegmentId, Vec<u8>)>> {
+        &self.wounded_seals
     }
 
     pub(crate) fn open_reads(&self) -> &RwLock<FxHashMap<SegmentId, Arc<RwLock<SegmentBuilder>>>> {
@@ -377,6 +473,23 @@ impl LogStore {
 
     pub(crate) fn atomic_stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// Claim the next per-page write sequence number.
+    pub(crate) fn take_write_seq(&self) -> WriteSeq {
+        self.next_write_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current allocation generation of a segment slot (relaxed read; stable while the
+    /// caller owns the slot or holds the central lock).
+    pub(crate) fn segment_gen(&self, id: SegmentId) -> u64 {
+        self.seg_gen[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Bump a slot's allocation generation. Call only under the central lock, right
+    /// after the allocator hands the slot out.
+    pub(crate) fn bump_segment_gen(&self, id: SegmentId) {
+        self.seg_gen[id.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reader pin count of a segment slot.
@@ -392,49 +505,72 @@ impl LogStore {
         self.pins[id.index()].fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Free-segment count readable without the write lock (updated after every segment
+    /// Free-segment count readable without the central lock (updated after every segment
     /// table mutation; may lag a concurrent mutation by a moment).
     pub(crate) fn approx_free_segments(&self) -> usize {
         self.approx_free.load(Ordering::Relaxed)
     }
 
     /// Refresh [`LogStore::approx_free_segments`] from the authoritative table.
-    pub(crate) fn publish_free(&self, ws: &WriteState) {
+    pub(crate) fn publish_free(&self, segments: &SegmentTable) {
         self.approx_free
-            .store(ws.segments.free_count(), Ordering::Relaxed);
-        self.approx_open.store(ws.open.len(), Ordering::Relaxed);
+            .store(segments.free_count(), Ordering::Relaxed);
+    }
+
+    /// Record that an output segment was opened (`+1`) or closed (`-1`).
+    pub(crate) fn note_open_delta(&self, delta: isize) {
+        if delta >= 0 {
+            self.open_count.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.open_count
+                .fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// How many output logs one user stream may keep open at once. Sized so the total
+    /// across streams stays at the multi-log policy's bound (32): a stream that needs
+    /// one more log seals its least-recently-used open segment first. Config validation
+    /// caps `write_streams` at 16, so the division never lands below 2 and the
+    /// aggregate bound holds for every allowed stream count. Single-log policies keep
+    /// exactly one open segment per stream and never hit the bound.
+    pub(crate) fn max_open_logs_per_stream(&self) -> usize {
+        (crate::policy::MULTILOG_MAX_LOGS / self.streams.len()).max(2)
     }
 
     /// The free-segment level below which cleaning should run: the configured trigger,
-    /// raised when the policy keeps many open output segments (multi-log keeps up to 32)
-    /// so partially filled open segments never starve allocation — mirroring the
+    /// raised when many output segments are open (multi-log keeps up to 32 logs) so
+    /// partially filled open segments never starve allocation — mirroring the
     /// simulator's `effective_trigger`.
     pub(crate) fn effective_clean_trigger(&self) -> usize {
         self.config
             .cleaning
             .trigger_free_segments
-            .max(self.approx_open.load(Ordering::Relaxed) + 2)
+            .max(self.open_count.load(Ordering::Relaxed) + 2)
     }
 
     pub(crate) fn counters(&self) -> (UpdateTick, WriteSeq) {
         (
             self.unow.load(Ordering::Relaxed),
-            self.write.lock().next_write_seq,
+            self.next_write_seq.load(Ordering::Relaxed),
         )
     }
 
     /// Coherent snapshot of the page table for checkpointing.
     pub(crate) fn mapping_snapshot(&self) -> Vec<(PageId, PageLocation)> {
-        // Hold the write lock so no drain/clean commits mid-walk; shard reads are then
-        // stable (the read path never mutates the mapping).
-        let _ws = self.write.lock();
+        // Hold the cycle lock (no GC remaps) and every stream lock (no drains) so shard
+        // reads are stable — the read path never mutates the mapping.
+        let _cycle = self.gc.lock_cycle();
+        let _streams: Vec<_> = self.streams.iter().map(|s| s.state.lock()).collect();
         self.mapping.snapshot()
     }
 
     /// Sealed-segment snapshots plus the next seal sequence, for checkpointing.
     pub(crate) fn sealed_segment_records(&self) -> (Vec<SegmentStats>, SealSeq) {
-        let ws = self.write.lock();
-        (ws.segments.sealed_stats(), ws.segments.next_seal_seq())
+        let central = self.central.lock();
+        (
+            central.segments.sealed_stats(),
+            central.segments.next_seal_seq(),
+        )
     }
 
     pub(crate) fn install_recovered_state(
@@ -446,9 +582,9 @@ impl LogStore {
     ) {
         self.mapping.install(mapping);
         let free = segments.free_count();
-        let ws = self.write.get_mut();
-        ws.segments = segments;
-        ws.next_write_seq = next_write_seq;
+        let central = self.central.get_mut();
+        central.segments = segments;
+        self.next_write_seq.store(next_write_seq, Ordering::Relaxed);
         self.unow.store(unow, Ordering::Relaxed);
         self.approx_free.store(free, Ordering::Relaxed);
     }
@@ -717,5 +853,28 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn pages_route_to_stable_streams_and_cover_all_of_them() {
+        let store = LogStore::open_in_memory(
+            StoreConfig::small_for_tests()
+                .with_policy(PolicyKind::Greedy)
+                .with_write_streams(4),
+        )
+        .unwrap();
+        assert_eq!(store.write_stream_count(), 4);
+        let mut seen = vec![false; 4];
+        for page in 0..256u64 {
+            let s = store.stream_of_page(page);
+            assert!(s < 4);
+            // Routing is a pure function of the page id.
+            assert_eq!(s, store.stream_of_page(page));
+            seen[s] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "a stream received no pages: {seen:?}"
+        );
     }
 }

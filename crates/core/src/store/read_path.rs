@@ -1,14 +1,17 @@
-//! The lock-free-ish read path: `get`/`contains` without the write lock.
+//! The lock-free-ish read path: `get`/`contains` without any write-side lock.
 //!
 //! A read resolves a page in three steps, touching only concurrently readable state:
 //!
-//! 1. **Sort buffer** — the most recent unflushed user write wins (shared read lock on
-//!    the buffer; writers hold it exclusively only for the microseconds of a push/drain).
+//! 1. **Sort buffer** — the most recent unflushed user write wins. Only the page's own
+//!    stream shard is consulted (writes to a page always route to the same stream), via
+//!    a shared read lock held for microseconds.
 //! 2. **Open segment** — if the mapped location belongs to a segment that is still being
 //!    filled, the payload is served from the shared [`SegmentBuilder`] image.
 //! 3. **Device** — otherwise the payload is read from the sealed image on the device.
 //!
-//! ### Why device reads are safe without the write lock
+//! [`SegmentBuilder`]: crate::layout::SegmentBuilder
+//!
+//! ### Why device reads are safe without a write lock
 //!
 //! The hazard: between looking up a page's location and reading the device, the cleaner
 //! could relocate the page, release its victim segment, and the slot could be reused and
@@ -26,27 +29,83 @@
 //! still points at the same location, the segment was not yet released at that moment —
 //! and since the pin is already visible, it cannot be reaped (hence not reused) until
 //! the reader unpins. If the mapping moved on, the reader simply retries with the page's
-//! new location. A bounded number of retries falls back to serialising against the write
-//! lock, which trivially stabilises the location.
+//! new location. A bounded number of retries falls back to locking the page's write
+//! stream, which freezes user rewrites of the page and leaves only GC relocations — each
+//! of which moves the page *toward* a readable location — so the loop terminates.
 
 use super::LogStore;
 use crate::error::Result;
 use crate::stats::AtomicStats;
-use crate::types::PageId;
+use crate::types::{PageId, PageLocation};
 use bytes::Bytes;
 
-/// How many optimistic retries before a read serialises against the write lock. Each
-/// retry means the page was concurrently rewritten or relocated between lookup and read
-/// — vanishingly rare, so the fallback is effectively never taken under real workloads.
+/// How many optimistic retries before a read serialises against the page's write
+/// stream. Each retry means the page was concurrently rewritten or relocated between
+/// lookup and read — vanishingly rare, so the fallback is effectively never taken under
+/// real workloads.
 const MAX_OPTIMISTIC_RETRIES: usize = 16;
+
+/// One attempt to serve a page from its mapped location.
+enum Attempt {
+    /// The payload was read (or the page does not exist).
+    Done(Option<Bytes>),
+    /// The page moved between lookup and read; look its location up again.
+    Retry,
+}
+
+/// Resolve a page once: open-segment builder first, then pinned device read.
+fn try_read_mapped(store: &LogStore, page: PageId, loc: PageLocation) -> Result<Attempt> {
+    // Open segment: serve from the shared builder image, validated under the
+    // open-segment index lock. Holding the index read lock freezes seal (removal)
+    // and slot-reuse (insertion) transitions, so the entry seen here is the
+    // *newest* incarnation of this segment id and stays that way for the duration.
+    // The mapping re-check then proves the copied bytes are the page's current
+    // payload: a mapping entry equal to `loc` means the page's latest append went
+    // into exactly this builder at this offset (appends register their builder in
+    // the index before updating the mapping). If the re-check fails the page moved
+    // between our two mapping reads — retry with its new location.
+    {
+        let open_index = store.open_reads().read();
+        if let Some(builder) = open_index.get(&loc.segment) {
+            let payload = {
+                let b = builder.read();
+                Bytes::copy_from_slice(b.read_payload(loc.offset, loc.len))
+            };
+            if store.mapping().is_current(page, &loc) {
+                return Ok(Attempt::Done(Some(payload)));
+            }
+            return Ok(Attempt::Retry);
+        }
+    }
+
+    // Sealed segment: pin, revalidate, read, unpin.
+    store.pin(loc.segment);
+    if !store.mapping().is_current(page, &loc) {
+        // Lost a race with an overwrite or a GC relocation; retry with the new
+        // location.
+        store.unpin(loc.segment);
+        return Ok(Attempt::Retry);
+    }
+    if store.open_reads().read().contains_key(&loc.segment) {
+        // The slot was recycled and reopened before we pinned (its on-device image
+        // is stale); the retry will serve the page from the open builder instead.
+        // Once pinned, no further recycle can happen, so this check is conclusive.
+        store.unpin(loc.segment);
+        return Ok(Attempt::Retry);
+    }
+    AtomicStats::bump(&store.atomic_stats().device_page_reads);
+    let result = store.device().read_range(loc.segment, loc.offset, loc.len);
+    store.unpin(loc.segment);
+    result.map(|bytes| Attempt::Done(Some(Bytes::from(bytes))))
+}
 
 /// Read the current version of a page (see module docs for the protocol).
 pub(crate) fn get(store: &LogStore, page: PageId) -> Result<Option<Bytes>> {
     AtomicStats::bump(&store.atomic_stats().pages_read);
 
-    // 1. Still in the sort buffer?
+    // 1. Still in the owning stream's sort buffer?
     {
-        let buffer = store.buffer().read();
+        let buffer = store.stream(page).buffer.read();
         if let Some(pending) = buffer.get(page) {
             return Ok(if pending.is_tombstone() {
                 None
@@ -61,76 +120,35 @@ pub(crate) fn get(store: &LogStore, page: PageId) -> Result<Option<Bytes>> {
         let Some(loc) = store.mapping().get(page) else {
             return Ok(None);
         };
-
-        // Open segment: serve from the shared builder image, validated under the
-        // open-segment index lock. Holding the index read lock freezes seal (removal)
-        // and slot-reuse (insertion) transitions, so the entry seen here is the
-        // *newest* incarnation of this segment id and stays that way for the duration.
-        // The mapping re-check then proves the copied bytes are the page's current
-        // payload: a mapping entry equal to `loc` means the page's latest append went
-        // into exactly this builder at this offset (appends register their builder in
-        // the index before updating the mapping). If the re-check fails the page moved
-        // between our two mapping reads — retry with its new location.
-        {
-            let open_index = store.open_reads().read();
-            if let Some(builder) = open_index.get(&loc.segment) {
-                let payload = {
-                    let b = builder.read();
-                    Bytes::copy_from_slice(b.read_payload(loc.offset, loc.len))
-                };
-                if store.mapping().is_current(page, &loc) {
-                    return Ok(Some(payload));
-                }
-                continue;
-            }
+        match try_read_mapped(store, page, loc)? {
+            Attempt::Done(result) => return Ok(result),
+            Attempt::Retry => continue,
         }
-
-        // Sealed segment: pin, revalidate, read, unpin.
-        store.pin(loc.segment);
-        if !store.mapping().is_current(page, &loc) {
-            // Lost a race with an overwrite or a GC relocation; retry with the new
-            // location.
-            store.unpin(loc.segment);
-            continue;
-        }
-        if store.open_reads().read().contains_key(&loc.segment) {
-            // The slot was recycled and reopened before we pinned (its on-device image
-            // is stale); the retry will serve the page from the open builder instead.
-            // Once pinned, no further recycle can happen, so this check is conclusive.
-            store.unpin(loc.segment);
-            continue;
-        }
-        AtomicStats::bump(&store.atomic_stats().device_page_reads);
-        let result = store.device().read_range(loc.segment, loc.offset, loc.len);
-        store.unpin(loc.segment);
-        return result.map(|bytes| Some(Bytes::from(bytes)));
     }
 
-    // Pathological contention: serialise against writers and the cleaner. Holding the
-    // write lock stops remaps and releases, so one more lookup is definitive.
-    let _ws = store.write_state().lock();
-    let Some(loc) = store.mapping().get(page) else {
-        return Ok(None);
-    };
-    let open = store.open_reads().read().get(&loc.segment).cloned();
-    if let Some(builder) = open {
-        let b = builder.read();
-        return Ok(Some(Bytes::copy_from_slice(
-            b.read_payload(loc.offset, loc.len),
-        )));
+    // Pathological contention: hold the page's stream lock, which freezes user
+    // rewrites of this page (they all route here). The page can then move at most
+    // once more per cleaning cycle, and a GC relocation always lands the page either
+    // in a registered open builder or in a sealed segment whose image precedes its
+    // removal from the index — so each iteration either succeeds or observes one of
+    // these strictly rarer moves, and the loop terminates.
+    let _stream = store.stream(page).state.lock();
+    loop {
+        let Some(loc) = store.mapping().get(page) else {
+            return Ok(None);
+        };
+        match try_read_mapped(store, page, loc)? {
+            Attempt::Done(result) => return Ok(result),
+            Attempt::Retry => std::hint::spin_loop(),
+        }
     }
-    AtomicStats::bump(&store.atomic_stats().device_page_reads);
-    let bytes = store
-        .device()
-        .read_range(loc.segment, loc.offset, loc.len)?;
-    Ok(Some(Bytes::from(bytes)))
 }
 
 /// True if the page currently exists (buffered or stored). Same concurrency contract as
 /// [`get`], without materialising the payload.
 pub(crate) fn contains(store: &LogStore, page: PageId) -> bool {
     {
-        let buffer = store.buffer().read();
+        let buffer = store.stream(page).buffer.read();
         if let Some(p) = buffer.get(page) {
             return !p.is_tombstone();
         }

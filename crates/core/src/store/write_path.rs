@@ -1,35 +1,47 @@
-//! The write pipeline: buffering, batch draining, open-segment management and segment
-//! allocation — everything guarded by the store's single write mutex.
+//! The sharded write pipeline: per-stream buffering, batch draining, open-segment
+//! management, and the short-critical-section coordination with the shared segment
+//! table.
 //!
-//! `put`/`delete` enqueue into the sort buffer and, when the buffer reaches its
-//! configured size, drain it as one batch: carry-forward `up2` estimates are assigned
-//! (paper §5.2.2), the batch is optionally sorted by the policy's separation key
-//! (paper §5.3), and each page is appended to the open segment of its (origin, log)
-//! stream.
+//! `put`/`delete` route by page-id hash to one write stream and enqueue into that
+//! stream's sort-buffer shard; when the shard reaches its configured size the stream
+//! drains it as one batch under the *stream lock*: carry-forward `up2` estimates are
+//! assigned (paper §5.2.2), the batch is optionally sorted by the policy's separation
+//! key (paper §5.3), and each page is appended to the stream's open segment for its
+//! output log. Streams never serialise against each other; they meet only at the
+//! central lock, which is held for short bounded operations:
 //!
-//! Cleaning is **not** run inline inside the drain (the seed design cleaned while
-//! holding the write state, stalling every other writer). Instead:
+//! * **allocation** — taking a segment off the shared free list (and bumping its
+//!   allocation generation);
+//! * **seal bookkeeping** — assigning the seal sequence and transitioning metadata; the
+//!   (large) device write of the image happens *outside* the central lock, with the
+//!   segment hidden from victim selection until the image lands (see
+//!   [`crate::segment::SegmentTable::set_image_pending`]);
+//! * **batched accounting** — per-page `live_bytes`/`live_pages`/`up2` bookkeeping is
+//!   recorded into a [`MetaLedger`] while appending and applied in order under one lock
+//!   acquisition per batch (guarded by slot generations, so an op that raced a
+//!   clean-release-reuse of its segment is dropped instead of corrupting the new
+//!   incarnation's counters).
 //!
-//! * before taking the write lock, `submit` checks the free-segment watermark and either
-//!   kicks the background cleaner or — with no cleaner attached — runs synchronous
-//!   cycles on the caller's thread ([`ensure_headroom`]);
-//! * if a drain still runs out of segments (allocation would dip below the reserve), it
-//!   parks the unprocessed remainder back at the front of the sort buffer, releases the
-//!   write lock, lets a cleaning cycle run, and retries. Out-of-space is reported only
-//!   when a full cycle frees nothing.
+//! Cleaning is **not** run inline inside a drain. Before taking the stream lock,
+//! `submit` checks the free-segment watermark and either kicks the background cleaner
+//! or — with no cleaner attached — runs synchronous cycles on the caller's thread
+//! ([`ensure_headroom`]); if a drain still runs out of segments, it parks the
+//! unprocessed remainder back in the buffer shard, releases the stream lock, lets a
+//! cleaning cycle run, and retries. Out-of-space is reported only when a full cycle
+//! frees nothing.
 
-use super::{gc_driver, LogStore, OpenKey, OpenSegment, WriteState};
+use super::{gc_driver, CentralState, GcStreams, LogStore, OpenSegment, StreamState, WriteStream};
 use crate::error::{Error, Result};
 use crate::freq::{carry_forward_rewrite, first_write_up2, Up2Average};
 use crate::layout::{self, SegmentBuilder};
 use crate::policy::PolicyContext;
 use crate::stats::AtomicStats;
-use crate::types::{PageLocation, SegmentId, WriteOrigin};
+use crate::types::{PageLocation, SegmentId, UpdateTick};
 use crate::write_buffer::{sort_by_separation_key, PendingPage};
 use parking_lot::{MutexGuard, RwLock};
 use std::sync::Arc;
 
-/// Result of draining the sort buffer.
+/// Result of draining a stream's buffer shard.
 pub(crate) enum DrainOutcome {
     /// Everything was appended.
     Done,
@@ -47,62 +59,212 @@ pub(crate) enum AppendOutcome {
     NeedsCleaning,
 }
 
-/// Entry point for `put`/`delete`: buffer the write and drain if the buffer is full.
+/// One batched per-page accounting operation against the shared segment table.
+enum MetaOp {
+    /// A live page of `len` bytes was appended to `seg`.
+    Added {
+        seg: SegmentId,
+        gen: u64,
+        len: u32,
+        exact: Option<f64>,
+    },
+    /// A live page of `len` bytes in `seg` was superseded (overwritten or deleted) at
+    /// update tick `at`.
+    Dead {
+        seg: SegmentId,
+        gen: u64,
+        len: u32,
+        at: UpdateTick,
+        exact: Option<f64>,
+    },
+}
+
+/// An ordered batch of per-page accounting, applied under one central-lock acquisition.
+///
+/// Each op carries the allocation generation of its segment slot as observed when the
+/// op was recorded; if the slot has since been released and re-allocated (only possible
+/// for deaths racing a full clean-reap-reuse of the segment), the op targets a dead
+/// incarnation and is dropped. Ops for one segment incarnation are recorded in program
+/// order by the only actor that can touch it, so `Added` always lands before the
+/// matching `Dead`.
+#[derive(Default)]
+pub(crate) struct MetaLedger {
+    ops: Vec<MetaOp>,
+}
+
+impl MetaLedger {
+    fn record_added(&mut self, seg: SegmentId, gen: u64, len: u32, exact: Option<f64>) {
+        self.ops.push(MetaOp::Added {
+            seg,
+            gen,
+            len,
+            exact,
+        });
+    }
+
+    fn record_dead(
+        &mut self,
+        seg: SegmentId,
+        gen: u64,
+        len: u32,
+        at: UpdateTick,
+        exact: Option<f64>,
+    ) {
+        self.ops.push(MetaOp::Dead {
+            seg,
+            gen,
+            len,
+            at,
+            exact,
+        });
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply (and clear) every recorded op against the authoritative segment table.
+    /// Call with the central lock held.
+    pub(crate) fn apply(&mut self, store: &LogStore, central: &mut CentralState) {
+        for op in self.ops.drain(..) {
+            match op {
+                MetaOp::Added {
+                    seg,
+                    gen,
+                    len,
+                    exact,
+                } => {
+                    if store.segment_gen(seg) == gen {
+                        if let Some(meta) = central.segments.meta_mut(seg) {
+                            meta.on_page_added(len, exact);
+                        }
+                    }
+                }
+                MetaOp::Dead {
+                    seg,
+                    gen,
+                    len,
+                    at,
+                    exact,
+                } => {
+                    // A `None` meta means the segment was already released (its
+                    // metadata died wholesale with the victim) — nothing to account.
+                    if store.segment_gen(seg) == gen {
+                        if let Some(meta) = central.segments.meta_mut(seg) {
+                            meta.on_page_dead(len, at, exact);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply the batch under a fresh central-lock acquisition, if anything is pending.
+    pub(crate) fn flush_to_central(&mut self, store: &LogStore) {
+        if self.is_empty() {
+            return;
+        }
+        let mut central = store.central().lock();
+        self.apply(store, &mut central);
+    }
+}
+
+/// Entry point for `put`/`delete`: buffer the write into its page's stream and drain
+/// that stream if its buffer shard is full.
 pub(crate) fn submit(store: &LogStore, pending: PendingPage) -> Result<()> {
     ensure_headroom(store)?;
-    let mut ws = store.write_state().lock();
+    let stream = store.stream(pending.info.page);
+    let mut ss = stream.state.lock();
     {
-        let mut buf = store.buffer().write();
+        let mut buf = stream.buffer.write();
         if buf.push(pending) {
             AtomicStats::bump(&store.atomic_stats().absorbed_in_buffer);
         }
     }
-    if !should_drain(store) {
+    if !should_drain(store, stream) {
         return Ok(());
     }
-    match drain_user_buffer(store, &mut ws)? {
+    match drain_stream(store, stream, &mut ss)? {
         DrainOutcome::Done => Ok(()),
         DrainOutcome::NeedsCleaning => {
-            drop(ws);
-            drain_with_cleaning(store)
+            drop(ss);
+            drain_with_cleaning(store, stream)
         }
     }
 }
 
-/// Drain the sort buffer, seal every open segment, sync the device and reap the
+/// Drain every stream, seal every open segment, sync the device and reap the
 /// quarantine: the durability point.
 pub(crate) fn flush(store: &LogStore) -> Result<()> {
-    for _attempt in 0..MAX_CLEAN_RETRIES {
-        let mut ws = store.write_state().lock();
-        match drain_user_buffer(store, &mut ws)? {
-            DrainOutcome::Done => {
-                let keys: Vec<OpenKey> = ws.open.keys().copied().collect();
-                for key in keys {
-                    if let Some(open) = ws.open.remove(&key) {
-                        seal_open(store, &mut ws, open)?;
+    'retry: for attempt in 0..MAX_CLEAN_RETRIES {
+        for stream in store.streams() {
+            let mut ss = stream.state.lock();
+            match drain_stream(store, stream, &mut ss)? {
+                DrainOutcome::Done => {
+                    let mut ledger = MetaLedger::default();
+                    let logs: Vec<u16> = ss.open.keys().copied().collect();
+                    for log in logs {
+                        if let Some(open) = ss.open.remove(&log) {
+                            seal_open(store, open, &mut ledger)?;
+                        }
                     }
+                    ledger.flush_to_central(store);
                 }
-                // Sync and mark the quarantine in the SAME critical section as the
-                // seals: releasing the lock in between would let a concurrent cleaning
-                // cycle quarantine a fresh victim whose relocated pages are still only
-                // in unsealed GC builders — marking that victim synced here would allow
-                // its slot to be rewritten before the copies are durable.
-                store.device().sync()?;
-                ws.segments.mark_quarantine_synced();
-                ws.segments.reap_quarantine(|id| store.pin_count(id) == 0);
-                store.publish_free(&ws);
-                return Ok(());
-            }
-            DrainOutcome::NeedsCleaning => {
-                drop(ws);
-                let report = gc_driver::run_cleaning_cycle(store)?;
-                if report.segments_freed() == 0 {
-                    return Err(out_of_space(store));
+                DrainOutcome::NeedsCleaning => {
+                    drop(ss);
+                    // Same escalation ladder as `drain_with_cleaning`: a selective
+                    // policy (multi-log frees at most one segment per cycle) can
+                    // ping-pong with the drain forever; greedy cycles monotonically
+                    // reclaim whatever exists.
+                    let mode = if attempt < 2 {
+                        gc_driver::SelectionMode::Policy
+                    } else {
+                        gc_driver::SelectionMode::ForceGreedy
+                    };
+                    let report = gc_driver::run_cleaning_cycle_with(store, mode)?;
+                    if report.segments_freed() == 0 && !reclaim_stragglers(store)? {
+                        return Err(out_of_space(store));
+                    }
+                    continue 'retry;
                 }
             }
         }
+        // Every stream is drained and sealed. Holding the cycle lock while syncing and
+        // marking the quarantine orders this against an in-flight cleaning cycle: a
+        // cycle seals its GC outputs and syncs in its own final phase before releasing
+        // the lock, so the quarantine entries marked here can never belong to a victim
+        // whose relocated copies are still sitting in an unsealed builder.
+        let _cycle = store.gc.lock_cycle();
+        let mut gcs = store.gc_streams().lock();
+        seal_gc_and_reap(store, &mut gcs)?;
+        return Ok(());
     }
     Err(out_of_space(store))
+}
+
+/// Seal every GC output stream (leftovers exist only after a cycle aborted on an I/O
+/// error), sync the device, and reap quarantined victims without reader pins. The one
+/// place the seal-streams → sync → mark-synced → reap durability sequence is spelled
+/// out; callers must hold the cycle lock (which totally orders these transitions
+/// against in-flight cycles).
+pub(crate) fn seal_gc_and_reap(store: &LogStore, gcs: &mut GcStreams) -> Result<()> {
+    let mut ledger = MetaLedger::default();
+    let logs: Vec<u16> = gcs.open.keys().copied().collect();
+    for log in logs {
+        if let Some(open) = gcs.open.remove(&log) {
+            seal_open(store, open, &mut ledger)?;
+        }
+    }
+    ledger.flush_to_central(store);
+    retry_wounded_seals(store)?;
+    store.device().sync()?;
+    let mut central = store.central().lock();
+    central.segments.mark_quarantine_synced();
+    central
+        .segments
+        .reap_quarantine(|id| store.pin_count(id) == 0);
+    store.publish_free(&central.segments);
+    Ok(())
 }
 
 /// Maximum clean-and-retry iterations before reporting out-of-space. Each iteration
@@ -111,13 +273,29 @@ pub(crate) fn flush(store: &LogStore) -> Result<()> {
 const MAX_CLEAN_RETRIES: usize = 64;
 
 fn out_of_space(store: &LogStore) -> Error {
+    if std::env::var("LSS_DEBUG_OOS").is_ok() {
+        let central = store.central().lock();
+        let sealed = central.segments.sealed_stats();
+        let meta_live: u64 = central.segments.iter_meta().map(|m| m.live_bytes).sum();
+        let sealed_free: u64 = sealed.iter().map(|s| s.free_bytes).sum();
+        eprintln!(
+            "OOS: free={} quarantine={} sealed={} sealed_free_bytes={} meta_live={} map_live={} map_pages={}",
+            central.segments.free_count(),
+            central.segments.quarantine_len(),
+            sealed.len(),
+            sealed_free,
+            meta_live,
+            store.mapping().live_bytes(),
+            store.mapping().len(),
+        );
+    }
     Error::OutOfSpace {
         free_segments: store.approx_free_segments(),
         needed: store.config().cleaning.reserved_free_segments + 1,
     }
 }
 
-/// Keep the free pool above the cleaning trigger *before* entering the write lock.
+/// Keep the free pool above the cleaning trigger *before* entering the stream lock.
 ///
 /// With a background cleaner attached this only kicks its condvar (and, at the hard
 /// reserve floor, lends the caller's thread to one synchronous cycle so writers cannot
@@ -151,13 +329,28 @@ pub(crate) fn ensure_headroom(store: &LogStore) -> Result<()> {
     Ok(())
 }
 
-/// Clean-then-retry loop for a drain that ran out of segments mid-batch.
+/// Last line of defence before declaring out-of-space: dead space can be parked in the
+/// quarantine — either stragglers whose reap was skipped because a reader happened to
+/// hold a pin at the wrong instant, or a whole batch of victims a *concurrent* cycle is
+/// about to recycle. Neither is visible to victim selection, so a cycle that frees
+/// nothing does not prove the store is full. This waits for any in-flight cycle (no
+/// stream lock is held here, so blocking on the cycle lock is safe), then forces a
+/// sync+mark+reap pass. Returns true if the free pool grew — from the concurrent
+/// cycle's own reap or from ours — meaning the caller should retry instead of erroring.
+fn reclaim_stragglers(store: &LogStore) -> Result<bool> {
+    let before = store.approx_free_segments();
+    emergency_reclaim(store, true)?;
+    Ok(store.approx_free_segments() > before)
+}
+
+/// Clean-then-retry loop for a stream drain that ran out of segments mid-batch.
 ///
 /// The first attempts let the configured policy pick victims; if that does not unblock
 /// the drain (a selective policy can net almost nothing per cycle under distress), the
 /// loop escalates to full-batch greedy cycles, which monotonically reclaim whatever is
-/// reclaimable. Out-of-space is reported only once even a greedy cycle frees nothing.
-fn drain_with_cleaning(store: &LogStore) -> Result<()> {
+/// reclaimable. Out-of-space is reported only once even a greedy cycle plus a
+/// quarantine sweep ([`reclaim_stragglers`]) free nothing.
+fn drain_with_cleaning(store: &LogStore, stream: &WriteStream) -> Result<()> {
     for attempt in 0..MAX_CLEAN_RETRIES {
         let mode = if attempt < 2 {
             gc_driver::SelectionMode::Policy
@@ -165,12 +358,15 @@ fn drain_with_cleaning(store: &LogStore) -> Result<()> {
             gc_driver::SelectionMode::ForceGreedy
         };
         let report = gc_driver::run_cleaning_cycle_with(store, mode)?;
-        let mut ws = store.write_state().lock();
-        match drain_user_buffer(store, &mut ws)? {
+        let mut ss = stream.state.lock();
+        match drain_stream(store, stream, &mut ss)? {
             DrainOutcome::Done => return Ok(()),
             DrainOutcome::NeedsCleaning => {
                 if report.segments_freed() == 0 {
-                    return Err(out_of_space(store));
+                    drop(ss);
+                    if !reclaim_stragglers(store)? {
+                        return Err(out_of_space(store));
+                    }
                 }
             }
         }
@@ -183,334 +379,492 @@ fn sort_buffer_capacity_bytes(store: &LogStore) -> usize {
         * layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes)
 }
 
-fn should_drain(store: &LogStore) -> bool {
+/// A stream drains when its shard holds the full configured sort-buffer budget.
+///
+/// The budget is deliberately *per stream*, not divided by the stream count: the
+/// sort buffer exists to batch enough pages that carry-forward `up2` estimates and
+/// frequency-separated packing work (paper §5.3, Figure 4), and that quality depends on
+/// the *batch* size each drain sorts. Dividing the budget across streams was measured
+/// to cost ~20-30% write amplification at 8 streams — the aggregate memory ceiling
+/// (streams × budget) is the cheaper price.
+fn should_drain(store: &LogStore, stream: &WriteStream) -> bool {
     let (payload_bytes, len) = {
-        let buf = store.buffer().read();
+        let buf = stream.buffer.read();
         (buf.payload_bytes(), buf.len())
     };
     let sbs = store.config().sort_buffer_segments;
     sbs == 0 || payload_bytes >= sort_buffer_capacity_bytes(store) || len >= sbs.max(1) * 4096
 }
 
-/// Assign carried `up2` values to the buffered batch (paper §5.2.2) and hand every
-/// page to an open segment, sorted by the policy's separation key if configured.
+/// Ask the policy for a page's output log and separation key. Shared by the user drain
+/// and the GC cycle so user and GC placement can never silently diverge. The caller
+/// holds the central lock (the policy lives there).
+pub(crate) fn route_page(
+    policy: &mut Box<dyn crate::policy::CleaningPolicy>,
+    unow: UpdateTick,
+    separate: bool,
+    info: &crate::types::PageWriteInfo,
+) -> (u16, Option<f64>) {
+    let log = if policy.num_logs() > 1 {
+        let ctx = PolicyContext {
+            unow,
+            segments: &[],
+        };
+        policy.log_for_page(info, &ctx)
+    } else {
+        0
+    };
+    let key = if separate {
+        policy.separation_key(info)
+    } else {
+        None
+    };
+    (log, key)
+}
+
+/// One snapshot entry being drained: the pending write plus its routing decisions.
+struct DrainItem {
+    slot: usize,
+    page: PendingPage,
+    log: u16,
+    key: Option<f64>,
+}
+
+/// Assign carried `up2` values to the stream's buffered batch (paper §5.2.2) and hand
+/// every page to an open segment, sorted by the policy's separation key if configured.
 ///
-/// The buffer is *snapshotted*, not drained up front: an entry keeps serving reads
-/// until its page has a page-table entry, and is removed individually right after its
-/// append (all under the continuously held write lock) — so a reader always finds an
-/// acknowledged write in the buffer or in the page table, never in neither. If the
+/// The buffer shard is *snapshotted*, not drained up front: an entry keeps serving
+/// reads until its page has a page-table entry, and is removed individually right after
+/// its append (all under the continuously held stream lock) — so a reader always finds
+/// an acknowledged write in the buffer or in the page table, never in neither. If the
 /// batch stops early for cleaning, only the unprocessed remainder stays buffered; the
 /// post-cleaning retry re-snapshots exactly that remainder.
-pub(crate) fn drain_user_buffer(
+pub(crate) fn drain_stream(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
+    stream: &WriteStream,
+    ss: &mut MutexGuard<'_, StreamState>,
 ) -> Result<DrainOutcome> {
-    let mut batch = store.buffer().read().snapshot_indexed();
+    let mut batch = stream.buffer.read().snapshot_indexed();
     if batch.is_empty() {
         return Ok(DrainOutcome::Done);
     }
     let unow = store.unow();
+    let separate = store.config().separation.separate_user_writes;
 
-    // First pass: pages with history inherit from their previous segment.
-    let mut coldest = None;
-    let mut has_history = vec![false; batch.len()];
-    for (i, (_, p)) in batch.iter_mut().enumerate() {
-        if let Some(loc) = store.mapping().get(p.info.page) {
-            let old_up2 = ws
-                .segments
-                .meta(loc.segment)
-                .map(|m| m.freq.up2())
-                .unwrap_or_default();
-            p.info.up2 = carry_forward_rewrite(old_up2, unow);
-            has_history[i] = true;
-            coldest = Some(match coldest {
-                Some(c) if c < p.info.up2 => c,
-                _ => p.info.up2,
-            });
+    // Prefetch each page's current location with no lock held: the page-table lookups
+    // are the expensive part of the estimate pass, and they only feed heuristics — if
+    // the cleaner relocates a page between this read and the metadata read below, the
+    // worst case is a slightly-off `up2` estimate for that one page.
+    let old_locs: Vec<Option<PageLocation>> = batch
+        .iter()
+        .map(|(_, p)| store.mapping().get(p.info.page))
+        .collect();
+
+    // One central-lock pass over the batch: carried `up2` (needs old-segment metadata),
+    // output-log routing and separation keys (both need the policy).
+    let mut items: Vec<DrainItem> = {
+        let mut central = store.central().lock();
+        let CentralState { segments, policy } = &mut *central;
+
+        // First pass: pages with history inherit from their previous segment.
+        let mut coldest = None;
+        let mut has_history = vec![false; batch.len()];
+        for (i, (_, p)) in batch.iter_mut().enumerate() {
+            if let Some(loc) = old_locs[i] {
+                let old_up2 = segments
+                    .meta(loc.segment)
+                    .map(|m| m.freq.up2())
+                    .unwrap_or_default();
+                p.info.up2 = carry_forward_rewrite(old_up2, unow);
+                has_history[i] = true;
+                coldest = Some(match coldest {
+                    Some(c) if c < p.info.up2 => c,
+                    _ => p.info.up2,
+                });
+            }
         }
-    }
-    // Second pass: first writes get the coldest estimate seen in the batch.
-    let cold = first_write_up2(coldest);
-    for (i, (_, p)) in batch.iter_mut().enumerate() {
-        if !has_history[i] {
-            p.info.up2 = cold;
+        // Second pass: first writes get the coldest estimate seen in the batch.
+        let cold = first_write_up2(coldest);
+        for (i, (_, p)) in batch.iter_mut().enumerate() {
+            if !has_history[i] {
+                p.info.up2 = cold;
+            }
         }
+
+        batch
+            .into_iter()
+            .map(|(slot, p)| {
+                let (log, key) = route_page(policy, unow, separate, &p.info);
+                DrainItem {
+                    slot,
+                    page: p,
+                    log,
+                    key,
+                }
+            })
+            .collect()
+    };
+
+    if separate {
+        sort_by_separation_key(&mut items, |it: &DrainItem| it.key);
     }
 
-    if store.config().separation.separate_user_writes {
-        let policy = &ws.policy;
-        sort_by_separation_key(&mut batch, |(_, p): &(usize, PendingPage)| {
-            policy.separation_key(&p.info)
-        });
-    }
-    for (slot, p) in batch {
-        match append_page(store, ws, p)? {
+    let mut ledger = MetaLedger::default();
+    for item in items {
+        match append_page(store, ss, &mut ledger, item.page, item.log)? {
             AppendOutcome::Appended => {
                 // The page is mapped; its buffer copy is now redundant.
-                store.buffer().write().remove_slot(slot);
+                stream.buffer.write().remove_slot(item.slot);
             }
             AppendOutcome::NeedsCleaning => {
                 // The remainder (this page onward) stays in the buffer for the retry.
+                ledger.flush_to_central(store);
                 return Ok(DrainOutcome::NeedsCleaning);
             }
         }
     }
+    ledger.flush_to_central(store);
     Ok(DrainOutcome::Done)
 }
 
-/// Append one pending page (user or GC) to the appropriate open segment, updating the
-/// page table and invalidating the previous version.
-pub(crate) fn append_page(
+/// Append one pending user page to the stream's open segment for `log`, updating the
+/// page table and recording the death of the previous version.
+fn append_page(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
+    ss: &mut MutexGuard<'_, StreamState>,
+    ledger: &mut MetaLedger,
     p: PendingPage,
+    log: u16,
 ) -> Result<AppendOutcome> {
-    let origin = p.info.origin;
-    let log = if ws.policy.num_logs() > 1 {
-        let ctx = PolicyContext {
-            unow: store.unow(),
-            segments: &[],
-        };
-        ws.policy.log_for_page(&p.info, &ctx)
-    } else {
-        0
-    };
-    let key = OpenKey { origin, log };
-
     if p.is_tombstone() {
-        return append_tombstone(store, ws, key, p);
+        return append_tombstone(store, ss, ledger, p, log);
     }
 
     let data = p
         .data
         .clone()
         .expect("non-tombstone pending page must carry a payload in the real store");
-    if !ensure_open(store, ws, key, data.len())? {
+    if !ensure_open(store, ss, ledger, log, data.len())? {
         return Ok(AppendOutcome::NeedsCleaning);
     }
-    let seq = ws.next_write_seq;
-    ws.next_write_seq += 1;
-
-    let open = ws
+    let seq = store.take_write_seq();
+    ss.use_tick += 1;
+    let tick = ss.use_tick;
+    let open = ss
         .open
-        .get_mut(&key)
-        .expect("ensure_open just installed this key");
+        .get_mut(&log)
+        .expect("ensure_open just installed this log");
+    open.last_used = tick;
     let offset = open.builder.write().push_page(p.info.page, seq, &data);
     open.up2_avg.add(p.info.up2);
-    let seg_id = open.id;
     let loc = PageLocation {
-        segment: seg_id,
+        segment: open.id,
         offset,
         len: data.len() as u32,
     };
+    ledger.record_added(open.id, open.gen, data.len() as u32, p.info.exact_freq);
+    commit_user_remap(store, ledger, &p, loc);
+    Ok(AppendOutcome::Appended)
+}
 
-    if let Some(meta) = ws.segments.meta_mut(seg_id) {
-        meta.on_page_added(data.len() as u32, p.info.exact_freq);
-    }
-    let old = store.mapping().insert(p.info.page, loc);
-    // GC relocations always move a page out of a victim segment that is about to be
-    // released, so only user overwrites need to mark the previous copy dead (the
-    // victim's metadata dies with the release; perturbing its `up2` estimate during the
-    // relocation would bias nothing but wastes work).
-    if origin == WriteOrigin::User {
-        if let Some(old) = old {
-            invalidate(store, ws, old, p.info.exact_freq);
+/// Point the page table at a freshly appended user copy and record the death of the
+/// previous copy against the segment incarnation that actually held it.
+///
+/// The old location's allocation generation must be captured while that location is
+/// still *current* — a generation read after the transition could observe a slot that a
+/// concurrent clean-release-reuse has already handed to a new open segment, and the
+/// death would then corrupt the new incarnation's live counters. So the transition is a
+/// compare-and-swap against the observed old location: if it succeeds, the mapping
+/// still pointed at the old copy at swap time, which (by remap-before-release) proves
+/// its segment was un-recycled for the whole observation window and the generation is
+/// the right one. A failed swap means the cleaner relocated the page between our read
+/// and the swap — retry with the new location; user writes to this page cannot race us
+/// (they serialise on the stream lock we hold).
+fn commit_user_remap(
+    store: &LogStore,
+    ledger: &mut MetaLedger,
+    p: &PendingPage,
+    loc: PageLocation,
+) {
+    loop {
+        match store.mapping().get(p.info.page) {
+            None => {
+                // Absent pages stay absent until we insert (only user writes create
+                // mappings, and they hold this stream's lock).
+                let old = store.mapping().insert(p.info.page, loc);
+                debug_assert!(old.is_none(), "page appeared while its stream was locked");
+                return;
+            }
+            Some(old) => {
+                let gen = store.segment_gen(old.segment);
+                if store.mapping().replace_if_current(p.info.page, &old, loc) {
+                    ledger.record_dead(old.segment, gen, old.len, store.unow(), p.info.exact_freq);
+                    return;
+                }
+                // Lost a race with a GC relocation; re-observe and retry.
+            }
         }
     }
-    Ok(AppendOutcome::Appended)
 }
 
 fn append_tombstone(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
-    key: OpenKey,
+    ss: &mut MutexGuard<'_, StreamState>,
+    ledger: &mut MetaLedger,
     p: PendingPage,
+    log: u16,
 ) -> Result<AppendOutcome> {
     let page = p.info.page;
     if store.mapping().get(page).is_none() {
         // The page does not exist on the device; nothing to delete or record.
         return Ok(AppendOutcome::Appended);
     }
-    if !ensure_open(store, ws, key, 0)? {
+    if !ensure_open(store, ss, ledger, log, 0)? {
         return Ok(AppendOutcome::NeedsCleaning);
     }
-    let Some(old) = store.mapping().remove(page) else {
-        return Ok(AppendOutcome::Appended);
-    };
-    invalidate(store, ws, old, None);
-    let seq = ws.next_write_seq;
-    ws.next_write_seq += 1;
-    let open = ws
+    // Same generation-capture discipline as `commit_user_remap`, for removal.
+    loop {
+        let Some(old) = store.mapping().get(page) else {
+            return Ok(AppendOutcome::Appended);
+        };
+        let gen = store.segment_gen(old.segment);
+        if store.mapping().remove_if_current(page, &old) {
+            ledger.record_dead(old.segment, gen, old.len, store.unow(), None);
+            break;
+        }
+    }
+    let seq = store.take_write_seq();
+    ss.use_tick += 1;
+    let tick = ss.use_tick;
+    let open = ss
         .open
-        .get_mut(&key)
-        .expect("ensure_open just installed this key");
+        .get_mut(&log)
+        .expect("ensure_open just installed this log");
+    open.last_used = tick;
     open.builder.write().push_tombstone(page, seq);
     Ok(AppendOutcome::Appended)
 }
 
-/// Make sure an open segment with room for a payload of `len` bytes exists for the
-/// given (origin, log) stream, sealing the current one and allocating a fresh segment
-/// if necessary. Returns false if allocation would dip below the user reserve (the
-/// caller must let cleaning run).
+/// Make sure the stream has an open segment for `log` with room for a payload of `len`
+/// bytes, sealing the current one and allocating a fresh segment if necessary. Returns
+/// false if allocation would dip below the user reserve (the caller must let cleaning
+/// run).
 fn ensure_open(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
-    key: OpenKey,
+    ss: &mut MutexGuard<'_, StreamState>,
+    ledger: &mut MetaLedger,
+    log: u16,
     len: usize,
 ) -> Result<bool> {
-    if let Some(open) = ws.open.get(&key) {
+    if let Some(open) = ss.open.get(&log) {
         if open.builder.read().fits(len) {
             return Ok(true);
         }
     }
-    if let Some(full) = ws.open.remove(&key) {
-        seal_open(store, ws, full)?;
+    if let Some(full) = ss.open.remove(&log) {
+        seal_open(store, full, ledger)?;
     }
-    let Some(id) = allocate_segment(store, ws, key.origin, key.log)? else {
+    // Bound how many logs this stream keeps open at once (multi-log wants up to 32
+    // across the whole store): seal the least-recently-used open segment to make room.
+    let cap = store.max_open_logs_per_stream();
+    while ss.open.len() >= cap {
+        let lru = ss
+            .open
+            .iter()
+            .min_by_key(|(_, o)| o.last_used)
+            .map(|(&l, _)| l)
+            .expect("open map is non-empty");
+        let open = ss.open.remove(&lru).expect("lru key just observed");
+        seal_open(store, open, ledger)?;
+    }
+    let Some((id, gen)) = allocate_user_segment(store, ledger, log)? else {
         return Ok(false);
     };
     let builder = Arc::new(RwLock::new(SegmentBuilder::new(
         store.config().segment_bytes,
     )));
     store.open_reads().write().insert(id, Arc::clone(&builder));
-    ws.open.insert(
-        key,
+    ss.use_tick += 1;
+    let tick = ss.use_tick;
+    ss.open.insert(
+        log,
         OpenSegment {
             id,
             builder,
             up2_avg: Up2Average::new(),
-            log: key.log,
+            log,
+            gen,
+            last_used: tick,
         },
     );
-    store.publish_free(ws);
+    store.note_open_delta(1);
     Ok(true)
 }
 
 /// Seal an open segment: finalise its image, write it to the device and transition its
-/// metadata to `Sealed`. Empty builders just release the segment.
+/// metadata to `Sealed`. Empty builders just release the segment. Shared by the user
+/// streams (caller holds the stream lock) and the GC streams (caller holds the cycle
+/// lock).
 ///
+/// The central lock is held only for the bookkeeping on either side of the device
+/// write; while the image write is in flight the segment is flagged *image-pending* so
+/// victim selection cannot pick a segment whose on-device image does not exist yet.
 /// Ordering matters for the lock-free read path: the image is written to the device
 /// *before* the builder is removed from the open-segment read index, so a reader that
 /// misses the index is guaranteed to find the image on the device.
 pub(crate) fn seal_open(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
     open: OpenSegment,
+    ledger: &mut MetaLedger,
 ) -> Result<()> {
+    store.note_open_delta(-1);
     if open.builder.read().is_empty() {
-        ws.segments.release(open.id);
+        // Remove from the read index *before* releasing the slot: the moment the slot
+        // is back on the free list another stream may allocate it and register a new
+        // builder under the same id, which a late removal would clobber.
         store.open_reads().write().remove(&open.id);
-        store.publish_free(ws);
+        let mut central = store.central().lock();
+        ledger.apply(store, &mut central);
+        central.segments.release(open.id);
+        store.publish_free(&central.segments);
         return Ok(());
     }
     let unow = store.unow();
     let carried_up2 = open.up2_avg.mean_or(unow);
-    let seal_seq = ws
-        .segments
-        .seal(open.id, unow, carried_up2, store.config().up2_mode);
+    let seal_seq = {
+        let mut central = store.central().lock();
+        // Accounting recorded for this segment must land before its stats freeze.
+        ledger.apply(store, &mut central);
+        let seq = central
+            .segments
+            .seal(open.id, unow, carried_up2, store.config().up2_mode);
+        central.segments.set_image_pending(open.id, true);
+        seq
+    };
     let image = open
         .builder
         .write()
         .finish_image(seal_seq, unow, carried_up2, open.log);
-    store.device().write_segment(open.id, &image)?;
+    if let Err(e) = store.device().write_segment(open.id, &image) {
+        // Park the finished image as a *wounded seal*: the builder stays registered in
+        // `open_reads` (pages remain readable), the segment stays image-pending (never
+        // a victim), and every sync point retries the write via
+        // [`retry_wounded_seals`] — so a later flush either lands this image or keeps
+        // failing, instead of silently reporting durability for data that never
+        // reached the device.
+        store.wounded_seals().lock().push((open.id, image));
+        return Err(e);
+    }
     AtomicStats::bump(&store.atomic_stats().segments_sealed);
     store.open_reads().write().remove(&open.id);
-    store.publish_free(ws);
+    let mut central = store.central().lock();
+    central.segments.set_image_pending(open.id, false);
+    store.publish_free(&central.segments);
     Ok(())
 }
 
-/// Account for the death of a page's previous version.
-fn invalidate(
-    store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
-    old: PageLocation,
-    exact_freq: Option<f64>,
-) {
-    if let Some(meta) = ws.segments.meta_mut(old.segment) {
-        meta.on_page_dead(old.len, store.unow(), exact_freq);
+/// Retry the device writes of any wounded seals (see [`seal_open`]). Called before
+/// every sync point so a sync never "completes" a flush while a sealed image is still
+/// missing from the device. On success the segment finishes its normal seal transition;
+/// on failure the error propagates and the image stays parked for the next attempt.
+fn retry_wounded_seals(store: &LogStore) -> Result<()> {
+    let mut wounded = store.wounded_seals().lock();
+    while let Some((id, image)) = wounded.last() {
+        let id = *id;
+        store.device().write_segment(id, image)?;
+        AtomicStats::bump(&store.atomic_stats().segments_sealed);
+        store.open_reads().write().remove(&id);
+        {
+            let mut central = store.central().lock();
+            central.segments.set_image_pending(id, false);
+            store.publish_free(&central.segments);
+        }
+        wounded.pop();
     }
+    Ok(())
 }
 
-/// Allocate a free segment for the given write stream.
+/// Allocate a free segment for a user stream.
 ///
-/// User allocations stop at the reserve floor (returning `None` so the caller can run a
-/// cleaning cycle); GC allocations may dip into the reserve — that is what it is for —
-/// and fail hard only when the device is truly exhausted. Both first try to reclaim
-/// quarantined victims via [`emergency_reclaim`] when the pool runs dry.
-fn allocate_segment(
+/// User allocations stop at the reserve floor (returning `None` so the caller can let a
+/// cleaning cycle run); the reserve exists so GC relocations always have destinations.
+/// When the pool runs dry this first tries to reclaim quarantined victims via
+/// [`try_emergency_reclaim`]. Returns the segment plus its new allocation generation.
+fn allocate_user_segment(
     store: &LogStore,
-    ws: &mut MutexGuard<'_, WriteState>,
-    origin: WriteOrigin,
+    ledger: &mut MetaLedger,
     log: u16,
-) -> Result<Option<SegmentId>> {
+) -> Result<Option<(SegmentId, u64)>> {
     let reserved = store.config().cleaning.reserved_free_segments;
-    match origin {
-        WriteOrigin::User => {
-            if ws.segments.free_count() <= reserved {
-                emergency_reclaim(store, ws)?;
-                if ws.segments.free_count() <= reserved {
-                    return Ok(None);
+    let capacity =
+        layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes) as u64;
+    for attempt in 0..2 {
+        {
+            let mut central = store.central().lock();
+            ledger.apply(store, &mut central);
+            if central.segments.free_count() > reserved {
+                if let Some(id) = central
+                    .segments
+                    .allocate(capacity, log, store.config().up2_mode)
+                {
+                    store.bump_segment_gen(id);
+                    let gen = store.segment_gen(id);
+                    store.publish_free(&central.segments);
+                    return Ok(Some((id, gen)));
                 }
             }
         }
-        WriteOrigin::Gc => {
-            if ws.segments.free_count() == 0 {
-                emergency_reclaim(store, ws)?;
-            }
+        if attempt == 0 {
+            emergency_reclaim(store, false)?;
         }
     }
-    let capacity =
-        layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes) as u64;
-    match ws.segments.allocate(capacity, log, store.config().up2_mode) {
-        Some(id) => {
-            store.publish_free(ws);
-            Ok(Some(id))
-        }
-        None => match origin {
-            WriteOrigin::User => Ok(None),
-            WriteOrigin::Gc => Err(Error::OutOfSpace {
-                free_segments: 0,
-                needed: 1,
-            }),
-        },
-    }
+    Ok(None)
 }
 
-/// Escape hatch under allocation pressure: make relocated pages durable right now (seal
-/// the GC output streams, sync the device) so quarantined victims become reusable.
-fn emergency_reclaim(store: &LogStore, ws: &mut MutexGuard<'_, WriteState>) -> Result<()> {
-    if ws.segments.quarantine_len() == 0 {
+/// Escape hatch under allocation pressure: make relocated pages durable right now (sync
+/// the device) so quarantined victims become reusable.
+///
+/// When `blocking` is false this `try_lock`s the cycle lock and no-ops if a cleaning
+/// cycle is in flight: the allocation path calls it while holding a stream lock, where
+/// blocking on a whole cycle is not acceptable — and marking an in-progress cycle's
+/// quarantine entries synced would be wrong anyway (their relocated copies may still
+/// sit in unsealed GC builders). Callers that hold no stream lock pass `blocking =
+/// true` to wait the cycle out (see [`reclaim_stragglers`]).
+fn emergency_reclaim(store: &LogStore, blocking: bool) -> Result<()> {
+    let guard = if blocking {
+        Some(store.gc.lock_cycle())
+    } else {
+        store.gc.try_lock_cycle()
+    };
+    let Some(_cycle) = guard else {
+        return Ok(());
+    };
+    let mut gcs = store.gc_streams().lock();
+    if gcs.open.is_empty() && store.central().lock().segments.quarantine_len() == 0 {
+        // Nothing to seal and nothing parked: skip the pointless device sync.
         return Ok(());
     }
-    let gc_keys: Vec<OpenKey> = ws
-        .open
-        .keys()
-        .copied()
-        .filter(|k| k.origin == WriteOrigin::Gc)
-        .collect();
-    for key in gc_keys {
-        if let Some(open) = ws.open.remove(&key) {
-            seal_open(store, ws, open)?;
-        }
-    }
-    store.device().sync()?;
-    ws.segments.mark_quarantine_synced();
-    ws.segments.reap_quarantine(|id| store.pin_count(id) == 0);
-    store.publish_free(ws);
-    Ok(())
-}
-
-/// Seal every GC-origin open stream (end of a cleaning cycle).
-pub(crate) fn seal_gc_streams(store: &LogStore, ws: &mut MutexGuard<'_, WriteState>) -> Result<()> {
-    let gc_keys: Vec<OpenKey> = ws
-        .open
-        .keys()
-        .copied()
-        .filter(|k| k.origin == WriteOrigin::Gc)
-        .collect();
-    for key in gc_keys {
-        if let Some(open) = ws.open.remove(&key) {
-            seal_open(store, ws, open)?;
+    seal_gc_and_reap(store, &mut gcs)?;
+    if blocking {
+        // Quarantine entries can survive the reap only because a reader happened to
+        // hold a pin at that instant — pins last microseconds. When the caller is
+        // about to declare out-of-space, a brief bounded retry is worth far more than
+        // a false failure.
+        for _ in 0..64 {
+            let mut central = store.central().lock();
+            if central.segments.quarantine_len() == 0 {
+                break;
+            }
+            if central
+                .segments
+                .reap_quarantine(|id| store.pin_count(id) == 0)
+                > 0
+            {
+                store.publish_free(&central.segments);
+                break;
+            }
+            drop(central);
+            std::thread::yield_now();
         }
     }
     Ok(())

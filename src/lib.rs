@@ -6,7 +6,7 @@
 //! single crate:
 //!
 //! * [`core`] — the log-structured page store and the cleaning policies (the paper's
-//!   contribution lives in [`core::policy::mdc`]).
+//!   contribution lives in [`core::policy::MdcPolicy`]).
 //! * [`sim`] — the evaluation simulator used to regenerate the paper's figures.
 //! * [`workload`] — synthetic and trace-driven workload generators.
 //! * [`analysis`] — the closed-form analytical models behind Tables 1 and 2.

@@ -147,6 +147,9 @@ fn acknowledged_writes_never_transiently_disappear() {
     let mut config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
     config.num_segments = 256;
     config.sort_buffer_segments = 2;
+    // The visibility guarantee must hold per stream: probe it with the write path
+    // sharded wider than the default.
+    config.write_streams = 4;
     let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
     let high_water = Arc::new(AtomicU64::new(0)); // pages < high_water are acknowledged
                                                   // Distinct fresh pages (the sharpest probe for the visibility window), sized to a
@@ -424,6 +427,54 @@ impl SegmentDevice for CrashDevice {
     }
     fn segment_writes(&self) -> u64 {
         self.inner.segment_writes()
+    }
+}
+
+/// A transient device failure during a seal must not let a *later* flush report
+/// durability falsely: the failed image is parked as a wounded seal and retried, so the
+/// first successful flush after the device heals really has everything on disk —
+/// proven by recovering from the device image alone.
+#[test]
+fn failed_seal_is_retried_and_later_flush_is_truthful() {
+    let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Greedy);
+    let device = CrashDevice::new(config.segment_bytes, config.num_segments);
+    let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+
+    // Enough pages that the flush must seal several segments.
+    let pages = 4 * config.pages_per_segment() as u64;
+    for p in 0..pages {
+        store.put(p, &payload(p, 1, config.page_bytes)).unwrap();
+    }
+
+    // Device down: the flush must fail, not fake success.
+    device.fail_after(0);
+    assert!(
+        store.flush().is_err(),
+        "flush must surface the seal failure"
+    );
+    // While wounded, the data is still readable from the in-memory builders.
+    for p in 0..pages {
+        assert_eq!(
+            decode_payload(&store.get(p).unwrap().unwrap()),
+            (p, 1),
+            "page {p} unreadable while its seal is wounded"
+        );
+    }
+
+    // Device heals: the next flush retries the parked images and succeeds.
+    device.heal();
+    store.flush().expect("flush after heal must succeed");
+
+    // The durability claim must hold from the device image alone.
+    drop(store);
+    let recovered = LogStore::recover_with_device(config, Box::new(device.clone())).unwrap();
+    assert_eq!(recovered.live_pages() as u64, pages);
+    for p in 0..pages {
+        assert_eq!(
+            decode_payload(&recovered.get(p).unwrap().unwrap()),
+            (p, 1),
+            "page {p} lost despite a successful post-heal flush"
+        );
     }
 }
 
