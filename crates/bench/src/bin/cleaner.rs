@@ -1,0 +1,239 @@
+//! Cleaner scaling benchmark: reclaim throughput and foreground interference at
+//! 1/2/4 concurrent cleaning cycles (`cleaner_threads`).
+//!
+//! Two phases per thread count:
+//!
+//! * **reclaim** — the store is preloaded and overwritten into a live/dead
+//!   checkerboard, then `cleaner_threads` threads drain all reclaimable segments with
+//!   back-to-back cycles: segments reclaimed per second is the cleaner's scaling
+//!   metric (cycles run on disjoint victim sets and pipeline their victim reads
+//!   across `gc_read_pool` I/O workers).
+//! * **interference** — 8 writer threads run a hot overwrite workload against a store
+//!   whose background cleaner pool has `cleaner_threads` threads: foreground puts/s
+//!   must hold up (compare BENCH_concurrency.json's put scaling) while the pool keeps
+//!   up with the garbage.
+//!
+//! Emits `BENCH_cleaner.json`. Run with:
+//! `cargo run --release -p lss-bench --bin cleaner [--quick|--full]`
+
+use lss_bench::Scale;
+use lss_core::policy::PolicyKind;
+use lss_core::{LogStore, SharedLogStore, StoreConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured point: cleaner behaviour at a given pool size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CleanerPoint {
+    cleaner_threads: usize,
+    /// Segments reclaimed per second while draining a fully checkerboarded store.
+    reclaim_segments_per_sec: f64,
+    /// Segments the reclaim phase cleaned (work-capped at 4 × num_segments).
+    reclaim_segments_cleaned: u64,
+    /// Pages the reclaim phase relocated.
+    reclaim_pages_moved: u64,
+    /// Foreground puts/s with 8 writer threads and the background pool running.
+    foreground_puts_per_sec: f64,
+    /// Write amplification observed during the interference phase.
+    interference_write_amplification: f64,
+    /// Cleaning cycles the pool ran during the interference phase.
+    interference_cleaning_cycles: u64,
+}
+
+/// The full benchmark record written to `BENCH_cleaner.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CleanerReport {
+    benchmark: String,
+    policy: String,
+    page_bytes: usize,
+    segment_bytes: usize,
+    num_segments: usize,
+    write_streams: usize,
+    gc_read_pool: usize,
+    foreground_threads: usize,
+    ops_per_thread: u64,
+    results: Vec<CleanerPoint>,
+}
+
+const FOREGROUND_THREADS: usize = 8;
+
+fn store_config(scale: Scale, cleaner_threads: usize) -> StoreConfig {
+    let mut c = StoreConfig::paper_default().with_policy(PolicyKind::Mdc);
+    c.segment_bytes = 256 * 1024;
+    c.num_segments = match scale {
+        Scale::Quick => 128,
+        Scale::Default => 512,
+        Scale::Full => 1024,
+    };
+    c.sort_buffer_segments = 4;
+    c.cleaner_threads = cleaner_threads;
+    c.gc_read_pool = 4;
+    c.write_streams = std::env::var("LSS_WRITE_STREAMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    c
+}
+
+fn ops_per_thread(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 20_000,
+        Scale::Default => 200_000,
+        Scale::Full => 1_000_000,
+    }
+}
+
+/// Cheap deterministic page scrambler (splitmix64 finalizer).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Preload to a 0.5 fill and overwrite a scrambled full pass so every sealed segment
+/// decays into a live/dead checkerboard (the cleaner must relocate, not just free).
+fn checkerboard(store: &SharedLogStore, config: &StoreConfig, payload: &[u8]) -> u64 {
+    let pages = config.logical_pages_for_fill_factor(0.5) as u64;
+    for p in 0..pages {
+        store.put(p, payload).unwrap();
+    }
+    for i in 0..pages {
+        store.put(mix(i) % pages, payload).unwrap();
+    }
+    store.flush().unwrap();
+    pages
+}
+
+/// Phase 1: how fast `threads` concurrent cycles chew through reclaimable segments.
+/// The metric is cleaning-machinery throughput (victims processed per second):
+/// concurrent cycles may re-clean each other's partially filled outputs, so the phase
+/// is bounded by a fixed work cap to keep runs comparable.
+fn measure_reclaim(threads: usize, scale: Scale) -> (f64, u64, u64) {
+    let config = store_config(scale, threads);
+    let payload = vec![0xA5u8; config.page_bytes];
+    // No background pool: the measurement threads drive the cycles themselves.
+    let store = SharedLogStore::without_background_cleaner(
+        LogStore::open_in_memory(config.clone()).unwrap(),
+    );
+    checkerboard(&store, &config, &payload);
+    store.with_store(|s| s.reset_stats());
+
+    let work_cap = 4 * config.num_segments as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let store = store.clone();
+            scope.spawn(move || {
+                // Drain until the work cap, or until cycles run dry (claims make
+                // empty results possible while peers still hold victims, so require
+                // two consecutive empty cycles before giving up).
+                let mut dry = 0;
+                while dry < 2 && store.stats().segments_cleaned < work_cap {
+                    match store.clean_now() {
+                        Ok(report) if report.segments_freed() == 0 => dry += 1,
+                        Ok(_) => dry = 0,
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    (
+        stats.segments_cleaned as f64 / elapsed,
+        stats.segments_cleaned,
+        stats.gc_pages_written,
+    )
+}
+
+/// Phase 2: foreground put throughput with the background pool of `threads` cleaners.
+fn measure_interference(threads: usize, scale: Scale) -> (f64, f64, u64) {
+    let config = store_config(scale, threads);
+    let payload = vec![0xA5u8; config.page_bytes];
+    let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
+    let pages = checkerboard(&store, &config, &payload);
+    store.with_store(|s| s.reset_stats());
+
+    let ops = ops_per_thread(scale);
+    let start = Instant::now();
+    let total = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..FOREGROUND_THREADS {
+            let store = store.clone();
+            let payload = &payload;
+            let total = Arc::clone(&total);
+            scope.spawn(move || {
+                for i in 0..ops {
+                    let page = mix(t as u64 * ops + i) % pages;
+                    store.put(page, payload).unwrap();
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+    });
+    let puts_per_sec = total.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    (
+        puts_per_sec,
+        stats.write_amplification(),
+        stats.cleaning_cycles,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = store_config(scale, 1);
+    println!(
+        "cleaner scaling: MDC, {} x {} KiB segments, {} write streams, gc_read_pool {}, {} ops/thread",
+        config.num_segments,
+        config.segment_bytes / 1024,
+        config.write_streams,
+        config.gc_read_pool,
+        ops_per_thread(scale)
+    );
+    println!(
+        "{:>8} {:>16} {:>10} {:>12} {:>14} {:>8} {:>10}",
+        "cleaners", "reclaim seg/s", "segments", "pages", "fg puts/s", "Wamp", "cycles"
+    );
+
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (reclaim_rate, cleaned, moved) = measure_reclaim(threads, scale);
+        let (puts, wamp, cycles) = measure_interference(threads, scale);
+        println!(
+            "{:>8} {:>16.1} {:>10} {:>12} {:>14.0} {:>8.3} {:>10}",
+            threads, reclaim_rate, cleaned, moved, puts, wamp, cycles
+        );
+        results.push(CleanerPoint {
+            cleaner_threads: threads,
+            reclaim_segments_per_sec: reclaim_rate,
+            reclaim_segments_cleaned: cleaned,
+            reclaim_pages_moved: moved,
+            foreground_puts_per_sec: puts,
+            interference_write_amplification: wamp,
+            interference_cleaning_cycles: cycles,
+        });
+    }
+
+    let report = CleanerReport {
+        benchmark: "cleaner_scaling".to_string(),
+        policy: "MDC".to_string(),
+        page_bytes: config.page_bytes,
+        segment_bytes: config.segment_bytes,
+        num_segments: config.num_segments,
+        write_streams: config.write_streams,
+        gc_read_pool: config.gc_read_pool,
+        foreground_threads: FOREGROUND_THREADS,
+        ops_per_thread: ops_per_thread(scale),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_cleaner.json", &json).unwrap();
+    println!("#json {}", serde_json::to_string(&report).unwrap());
+    println!("wrote BENCH_cleaner.json");
+}

@@ -71,13 +71,15 @@ pub struct Checkpoint {
 
 /// Serialize a store's metadata to a checkpoint JSON string.
 pub fn to_json(store: &LogStore) -> Result<String> {
-    // Snapshot the mapping *before* reading the counters: writers racing this
-    // checkpoint only increase `next_write_seq`, so sampling it afterwards guarantees
-    // the recorded counter is >= every write sequence reachable from the snapshot —
-    // a restore can then never re-issue a sequence number that is already on disk.
-    let snapshot = store.mapping_snapshot();
-    let (unow, next_write_seq) = store.counters();
+    // One coherent snapshot: mapping, segment records and counters are captured in a
+    // single quiesced critical section, so a cleaning cycle can never reap a victim
+    // between the page snapshot and the segment records (which would leave pages
+    // referencing a segment the checkpoint does not describe), and the recorded
+    // `next_write_seq` is >= every write sequence reachable from the snapshot — a
+    // restore can never re-issue a sequence number that is already on disk.
+    let snapshot = store.checkpoint_snapshot();
     let pages = snapshot
+        .pages
         .into_iter()
         .map(|(page, loc)| PageRecord {
             page,
@@ -86,8 +88,8 @@ pub fn to_json(store: &LogStore) -> Result<String> {
             len: loc.len,
         })
         .collect();
-    let (sealed, next_seal_seq) = store.sealed_segment_records();
-    let segments = sealed
+    let segments = snapshot
+        .sealed
         .into_iter()
         .map(|s| SegmentRecord {
             id: s.id.0,
@@ -102,9 +104,9 @@ pub fn to_json(store: &LogStore) -> Result<String> {
         .collect();
     let cp = Checkpoint {
         version: CHECKPOINT_VERSION,
-        unow,
-        next_write_seq,
-        next_seal_seq,
+        unow: snapshot.unow,
+        next_write_seq: snapshot.next_write_seq,
+        next_seal_seq: snapshot.next_seal_seq,
         pages,
         segments,
     };

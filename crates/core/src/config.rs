@@ -78,7 +78,10 @@ pub struct CleaningConfig {
     /// [`crate::policy::CleaningPolicy::preferred_batch`].
     pub segments_per_cycle: usize,
     /// Number of free segments that must always remain available as the destination of
-    /// GC relocations; allocation for user data never dips into this reserve.
+    /// GC relocations; allocation for user data never dips into this reserve. With
+    /// concurrent cleaning ([`StoreConfig::cleaner_threads`] > 1) every in-flight cycle
+    /// may hold one reserve segment as its output, so keeping this at least as large as
+    /// `cleaner_threads` avoids cycles abandoning victims under distress.
     pub reserved_free_segments: usize,
 }
 
@@ -130,6 +133,21 @@ pub struct StoreConfig {
     /// `1` reproduces the single-write-mutex behaviour of earlier versions. Writes to
     /// the *same* page always hit the same stream, preserving per-page ordering.
     pub write_streams: usize,
+    /// Maximum number of cleaning cycles that may run concurrently (and the size of the
+    /// [`crate::shared::BackgroundCleaner`] thread pool a `SharedLogStore` spawns).
+    ///
+    /// Cycles run on **disjoint victim sets**: victims are claimed atomically in the
+    /// segment table at selection time, so two cycles can never pick the same slot, and
+    /// relocations commit by per-page compare-and-swap, so concurrent commits are safe.
+    /// `1` reproduces the strictly serialised single-cycle behaviour of earlier
+    /// versions. Writers that lend their own thread to a synchronous cycle count
+    /// against the same limit.
+    pub cleaner_threads: usize,
+    /// Number of I/O workers a cleaning cycle pipelines its phase-2 victim-image reads
+    /// across. The reads (the dominant cost of cleaning) are prefetched with a bounded
+    /// lookahead window while earlier victims are being relocated; `1` reads images one
+    /// at a time as earlier versions did.
+    pub gc_read_pool: usize,
     /// If true, a second write to a page that is still sitting in the (unflushed) sort
     /// buffer overwrites it in place instead of appending a new copy. Real systems do
     /// this; the paper's simulator does not (every user write is a page write), so the
@@ -155,6 +173,8 @@ impl StoreConfig {
             sort_buffer_segments: 16,
             up2_mode: Up2Mode::default(),
             write_streams: 4,
+            cleaner_threads: 2,
+            gc_read_pool: 4,
             absorb_updates_in_buffer: true,
             verify_checksums_on_read: true,
         }
@@ -177,6 +197,10 @@ impl StoreConfig {
             sort_buffer_segments: 2,
             up2_mode: Up2Mode::default(),
             write_streams: 2,
+            // Serialised cycles by default so existing tests stay deterministic; the
+            // concurrency suites opt into 2 or 4 explicitly.
+            cleaner_threads: 1,
+            gc_read_pool: 2,
             absorb_updates_in_buffer: false,
             verify_checksums_on_read: true,
         }
@@ -221,6 +245,19 @@ impl StoreConfig {
     /// Builder-style: set the number of independent write streams.
     pub fn with_write_streams(mut self, n: usize) -> Self {
         self.write_streams = n;
+        self
+    }
+
+    /// Builder-style: set the maximum number of concurrent cleaning cycles (and the
+    /// background-cleaner pool size).
+    pub fn with_cleaner_threads(mut self, n: usize) -> Self {
+        self.cleaner_threads = n;
+        self
+    }
+
+    /// Builder-style: set the per-cycle victim-read I/O pool size.
+    pub fn with_gc_read_pool(mut self, n: usize) -> Self {
+        self.gc_read_pool = n;
         self
     }
 
@@ -286,6 +323,21 @@ impl StoreConfig {
                 self.write_streams
             )));
         }
+        // Bounded so a runaway configuration cannot spawn an unbounded cleaner pool or
+        // pin an unbounded number of claimed victims; 8 concurrent cycles saturate any
+        // device this store targets.
+        if self.cleaner_threads == 0 || self.cleaner_threads > 8 {
+            return Err(Error::InvalidConfig(format!(
+                "cleaner_threads must be in 1..=8, got {}",
+                self.cleaner_threads
+            )));
+        }
+        if self.gc_read_pool == 0 || self.gc_read_pool > 16 {
+            return Err(Error::InvalidConfig(format!(
+                "gc_read_pool must be in 1..=16, got {}",
+                self.gc_read_pool
+            )));
+        }
         if self.write_streams * 2 >= self.num_segments {
             return Err(Error::InvalidConfig(format!(
                 "num_segments ({}) must exceed 2 * write_streams ({}): every stream \
@@ -345,6 +397,18 @@ mod tests {
         c.num_segments = 20;
         c.write_streams = 10; // 2 * 10 >= 20 segments
         assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.cleaner_threads = 0;
+        assert!(c.validate().is_err());
+        c.cleaner_threads = 9; // above the concurrent-cycle cap
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.gc_read_pool = 0;
+        assert!(c.validate().is_err());
+        c.gc_read_pool = 17;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -370,13 +434,18 @@ mod tests {
             .with_sort_buffer_segments(4)
             .with_separation(SeparationConfig::none())
             .with_up2_mode(Up2Mode::CarryForwardOnly)
-            .with_write_streams(8);
+            .with_write_streams(8)
+            .with_cleaner_threads(4)
+            .with_gc_read_pool(8);
         assert_eq!(c.policy, PolicyKind::Greedy);
         assert_eq!(c.num_segments, 128);
         assert_eq!(c.sort_buffer_segments, 4);
         assert!(!c.separation.separate_user_writes);
         assert_eq!(c.up2_mode, Up2Mode::CarryForwardOnly);
         assert_eq!(c.write_streams, 8);
+        assert_eq!(c.cleaner_threads, 4);
+        assert_eq!(c.gc_read_pool, 8);
+        c.validate().unwrap();
     }
 
     #[test]

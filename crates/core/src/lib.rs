@@ -82,5 +82,5 @@ pub use error::{Error, Result};
 pub use policy::{CleaningPolicy, PolicyKind};
 pub use shared::SharedLogStore;
 pub use stats::StoreStats;
-pub use store::LogStore;
+pub use store::{GcPhase, GcPhaseHook, LogStore};
 pub use types::{PageId, SegmentId};

@@ -162,6 +162,30 @@ impl SegmentState {
     }
 }
 
+/// Owner token for quarantine entries whose cleaning cycle aborted: the next
+/// sync point that seals the orphaned GC output builders adopts them (see
+/// [`SegmentTable::quarantine_orphan`]). Live cycles use tokens starting at 1.
+pub const ORPHAN_CYCLE: u64 = 0;
+
+/// One victim parked in the reclamation quarantine, with the state machine that gates
+/// its reuse: `parked` (relocations may still sit in the owning cycle's in-memory GC
+/// builders) → `sealed` (every relocated copy has been written to the device) →
+/// `synced` (a device sync has landed *after* those writes). Only synced entries with
+/// no reader pins are reaped back to the free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QuarantineEntry {
+    id: SegmentId,
+    /// Token of the cleaning cycle that released this victim ([`ORPHAN_CYCLE`] after
+    /// that cycle aborted and handed its output builders to the orphan pool).
+    owner: u64,
+    /// True once every relocated copy of this victim's live pages has been written to
+    /// the device (the owning cycle sealed its GC outputs, or the orphan pool was
+    /// sealed on its behalf).
+    sealed: bool,
+    /// True once a device sync has landed after the entry was sealed.
+    synced: bool,
+}
+
 /// Table of all physical segments plus the free list, the reclamation quarantine and
 /// the seal-sequence counter.
 #[derive(Debug)]
@@ -169,12 +193,17 @@ pub struct SegmentTable {
     states: Vec<SegmentState>,
     free: Vec<SegmentId>,
     /// Segments released by the cleaner but not yet eligible for reuse: their slots must
-    /// stay untouched until (a) the cleaning cycle that emptied them has synced its GC
-    /// output segments to the device (crash safety: the old copies are the only durable
-    /// ones until then — tracked by the per-entry `synced` flag) and (b) no in-flight
-    /// reader still holds the slot pinned (read safety: a ranged read may be in progress
-    /// against the old image).
-    quarantine: Vec<(SegmentId, bool)>,
+    /// stay untouched until (a) the relocated copies of their live pages are durable on
+    /// the device (crash safety: the old copies are the only durable ones until then —
+    /// tracked by the per-entry `sealed`/`synced` state, see [`QuarantineEntry`]) and
+    /// (b) no in-flight reader still holds the slot pinned (read safety: a ranged read
+    /// may be in progress against the old image).
+    quarantine: Vec<QuarantineEntry>,
+    /// Victims claimed by an in-flight cleaning cycle. Claimed segments stay `Sealed`
+    /// (their accounting keeps updating) but are hidden from
+    /// [`SegmentTable::sealed_stats`], so two concurrent cycles can never select the
+    /// same victim: selection and claiming happen in one central-lock critical section.
+    cleaning: Vec<SegmentId>,
     /// Segments whose metadata says `Sealed` but whose image is still being written to
     /// the device. In the sharded write path the (large) device write of a seal happens
     /// *outside* the coordination lock, so there is a window in which a segment is
@@ -196,6 +225,7 @@ impl SegmentTable {
             states: vec![SegmentState::Free; num_segments],
             free,
             quarantine: Vec::new(),
+            cleaning: Vec::new(),
             image_pending: Vec::new(),
             next_seal_seq: 1,
         }
@@ -242,14 +272,44 @@ impl SegmentTable {
         self.free.push(id);
     }
 
-    /// Release a cleaned victim into the quarantine instead of the free list. The slot
-    /// becomes allocatable only after [`SegmentTable::mark_quarantine_synced`] (a device
-    /// sync has made the relocated copies durable) and a subsequent
-    /// [`SegmentTable::reap_quarantine`] confirming no reader pins remain.
-    pub fn release_quarantined(&mut self, id: SegmentId) {
+    /// Claim a sealed segment as a cleaning victim. Returns false if the segment is not
+    /// sealed or is already claimed by another cycle. Call under the same central-lock
+    /// critical section as the victim selection, so claims are atomic with the pick.
+    pub fn claim_for_cleaning(&mut self, id: SegmentId) -> bool {
+        if !self.states[id.index()].is_sealed() || self.cleaning.contains(&id) {
+            return false;
+        }
+        self.cleaning.push(id);
+        true
+    }
+
+    /// Drop a victim claim without cleaning the segment (the cycle skipped or aborted
+    /// it); the segment becomes selectable again. No-op if the claim is already gone.
+    pub fn unclaim(&mut self, id: SegmentId) {
+        self.cleaning.retain(|&s| s != id);
+    }
+
+    /// Number of victims currently claimed by in-flight cleaning cycles.
+    pub fn claimed_count(&self) -> usize {
+        self.cleaning.len()
+    }
+
+    /// Release a cleaned victim into the quarantine instead of the free list, recording
+    /// which cycle owns it, and drop its cleaning claim. The slot becomes allocatable
+    /// only after the owner seals its GC outputs
+    /// ([`SegmentTable::quarantine_mark_sealed`]), a device sync lands
+    /// ([`SegmentTable::mark_quarantine_synced`]) and a subsequent
+    /// [`SegmentTable::reap_quarantine`] confirms no reader pins remain.
+    pub fn release_quarantined(&mut self, id: SegmentId, owner: u64) {
         debug_assert!(!self.states[id.index()].is_free(), "double free of {id}");
         self.states[id.index()] = SegmentState::Free;
-        self.quarantine.push((id, false));
+        self.cleaning.retain(|&s| s != id);
+        self.quarantine.push(QuarantineEntry {
+            id,
+            owner,
+            sealed: false,
+            synced: false,
+        });
     }
 
     /// Number of segments parked in the quarantine.
@@ -257,11 +317,58 @@ impl SegmentTable {
         self.quarantine.len()
     }
 
-    /// Record that a device sync has happened: every quarantined victim's relocated
-    /// pages are now durable, so the victims become candidates for reaping.
-    pub fn mark_quarantine_synced(&mut self) {
-        for (_, synced) in &mut self.quarantine {
-            *synced = true;
+    /// Record that `owner`'s relocated copies are all on the device (its GC output
+    /// streams were sealed): its quarantine entries now only await a sync.
+    pub fn quarantine_mark_sealed(&mut self, owner: u64) {
+        for e in &mut self.quarantine {
+            if e.owner == owner {
+                e.sealed = true;
+            }
+        }
+    }
+
+    /// Hand an aborted cycle's quarantine entries to the orphan owner
+    /// ([`ORPHAN_CYCLE`]): the next sync point that seals the orphaned GC output
+    /// builders marks them sealed on the dead cycle's behalf.
+    pub fn quarantine_orphan(&mut self, owner: u64) {
+        for e in &mut self.quarantine {
+            if e.owner == owner {
+                e.owner = ORPHAN_CYCLE;
+            }
+        }
+    }
+
+    /// Number of quarantine entries an orphan-seal + sync + reap pass could make
+    /// progress on: entries already sealed (a sync or a pin-free reap can free them)
+    /// and orphan-owned entries (the pass seals the orphan builders on their behalf).
+    /// Entries still parked under a *live* cycle are excluded — only that cycle's own
+    /// phase 4 can move them forward.
+    pub fn quarantine_reclaimable(&self) -> usize {
+        self.quarantine
+            .iter()
+            .filter(|e| e.sealed || e.owner == ORPHAN_CYCLE)
+            .count()
+    }
+
+    /// Sealed-but-unsynced quarantine entries: the candidates a sync point snapshots
+    /// *before* issuing the device sync (entries sealed after the snapshot may have
+    /// writes the sync does not cover, so they wait for the next one).
+    pub fn quarantine_sealed_unsynced(&self) -> Vec<SegmentId> {
+        self.quarantine
+            .iter()
+            .filter(|e| e.sealed && !e.synced)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Record that a device sync has landed for the given previously sealed entries
+    /// (the snapshot taken by [`SegmentTable::quarantine_sealed_unsynced`]): their
+    /// relocated pages are now durable, so they become candidates for reaping.
+    pub fn mark_quarantine_synced(&mut self, ids: &[SegmentId]) {
+        for e in &mut self.quarantine {
+            if ids.contains(&e.id) {
+                e.synced = true;
+            }
         }
     }
 
@@ -271,10 +378,10 @@ impl SegmentTable {
         let mut freed = 0;
         let mut i = 0;
         while i < self.quarantine.len() {
-            let (id, synced) = self.quarantine[i];
-            if synced && unpinned(id) {
+            let e = self.quarantine[i];
+            if e.synced && unpinned(e.id) {
                 self.quarantine.swap_remove(i);
-                self.free.push(id);
+                self.free.push(e.id);
                 freed += 1;
             } else {
                 i += 1;
@@ -311,7 +418,8 @@ impl SegmentTable {
         self.next_seal_seq = self.next_seal_seq.max(meta.seal_seq + 1);
         self.states[id.index()] = SegmentState::Sealed(meta);
         self.free.retain(|&s| s != id);
-        self.quarantine.retain(|&(s, _)| s != id);
+        self.quarantine.retain(|e| e.id != id);
+        self.cleaning.retain(|&s| s != id);
         self.image_pending.retain(|&s| s != id);
     }
 
@@ -348,9 +456,29 @@ impl SegmentTable {
         self.image_pending.contains(&id)
     }
 
-    /// Snapshots of every sealed segment whose image is on the device, for the cleaning
-    /// policies (segments mid-seal are excluded; see [`SegmentTable::set_image_pending`]).
+    /// Snapshots of every sealed segment that is *available as a cleaning victim*:
+    /// segments mid-seal (see [`SegmentTable::set_image_pending`]) and victims already
+    /// claimed by an in-flight cycle (see [`SegmentTable::claim_for_cleaning`]) are
+    /// excluded.
     pub fn sealed_stats(&self) -> Vec<SegmentStats> {
+        self.states
+            .iter()
+            .filter_map(|s| match s {
+                SegmentState::Sealed(m)
+                    if !self.image_pending.contains(&m.id) && !self.cleaning.contains(&m.id) =>
+                {
+                    Some(m.stats())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Snapshots of every sealed segment whose image is on the device, *including*
+    /// victims claimed by in-flight cycles (a claimed victim still holds durable data
+    /// until it is actually released). Used by checkpointing, which must not drop
+    /// segment records just because a cycle happened to be selecting at that moment.
+    pub fn sealed_stats_including_claimed(&self) -> Vec<SegmentStats> {
         self.states
             .iter()
             .filter_map(|s| match s {
@@ -358,6 +486,26 @@ impl SegmentTable {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Live fragmentation picture: bucket every sealed segment's emptiness `E` into
+    /// `bins` equal-width bins over `[0, 1]` (the last bin is closed at 1.0). Returns
+    /// the histogram plus the sealed-segment count and their total live bytes, so
+    /// callers can cross-check the histogram against the accounting ledger's totals.
+    pub fn emptiness_histogram(&self, bins: usize) -> (Vec<u64>, u64, u64) {
+        let bins = bins.max(1);
+        let mut hist = vec![0u64; bins];
+        let mut sealed = 0u64;
+        let mut live_bytes = 0u64;
+        for s in &self.states {
+            if let SegmentState::Sealed(m) = s {
+                let bin = ((m.emptiness() * bins as f64) as usize).min(bins - 1);
+                hist[bin] += 1;
+                sealed += 1;
+                live_bytes += m.live_bytes;
+            }
+        }
+        (hist, sealed, live_bytes)
     }
 
     /// Iterate over metadata of all non-free segments.
@@ -477,26 +625,102 @@ mod tests {
     }
 
     #[test]
-    fn quarantine_defers_reuse_until_reaped() {
+    fn quarantine_defers_reuse_until_sealed_synced_and_reaped() {
         let mut t = SegmentTable::new(4);
         let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
         t.seal(a, 10, 5, Up2Mode::OnOverwrite);
         assert_eq!(t.free_count(), 3);
-        t.release_quarantined(a);
+        t.release_quarantined(a, 7);
         // Quarantined: state is free but the slot is not allocatable yet.
         assert!(t.state(a).is_free());
         assert_eq!(t.free_count(), 3);
         assert_eq!(t.quarantine_len(), 1);
-        // Not synced yet: reaping skips it even when unpinned.
+        // Not sealed yet: it is not even a sync candidate.
+        assert!(t.quarantine_sealed_unsynced().is_empty());
         assert_eq!(t.reap_quarantine(|_| true), 0);
-        t.mark_quarantine_synced();
+        // Sealing a *different* owner's entries changes nothing.
+        t.quarantine_mark_sealed(9);
+        assert!(t.quarantine_sealed_unsynced().is_empty());
+        // The owner seals its GC outputs: the entry becomes a sync candidate, but is
+        // still not reapable before the sync lands.
+        t.quarantine_mark_sealed(7);
+        let candidates = t.quarantine_sealed_unsynced();
+        assert_eq!(candidates, vec![a]);
+        assert_eq!(t.reap_quarantine(|_| true), 0);
+        t.mark_quarantine_synced(&candidates);
         // A pinned segment survives reaping.
         assert_eq!(t.reap_quarantine(|id| id != a), 0);
         assert_eq!(t.quarantine_len(), 1);
-        // Synced and unpinned: it re-enters the free pool.
+        // Sealed, synced and unpinned: it re-enters the free pool.
         assert_eq!(t.reap_quarantine(|_| true), 1);
         assert_eq!(t.quarantine_len(), 0);
         assert_eq!(t.free_count(), 4);
+    }
+
+    #[test]
+    fn claims_hide_victims_from_selection_until_unclaimed() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let b = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        t.seal(b, 11, 6, Up2Mode::OnOverwrite);
+        assert!(t.claim_for_cleaning(a));
+        // Double claims and claims of non-sealed slots are rejected.
+        assert!(!t.claim_for_cleaning(a));
+        assert!(!t.claim_for_cleaning(SegmentId(3)));
+        assert_eq!(t.claimed_count(), 1);
+        // A claimed victim disappears from victim selection, but not from the
+        // checkpoint view.
+        let stats = t.sealed_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].id, b);
+        assert_eq!(t.sealed_stats_including_claimed().len(), 2);
+        // Unclaiming makes it selectable again.
+        t.unclaim(a);
+        assert_eq!(t.claimed_count(), 0);
+        assert_eq!(t.sealed_stats().len(), 2);
+        // Releasing a claimed victim into the quarantine also drops the claim.
+        assert!(t.claim_for_cleaning(b));
+        t.release_quarantined(b, 1);
+        assert_eq!(t.claimed_count(), 0);
+    }
+
+    #[test]
+    fn orphaned_quarantine_entries_are_adopted_by_the_orphan_owner() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        t.release_quarantined(a, 3);
+        // The owning cycle dies before sealing its outputs; its entries move to the
+        // orphan owner and are sealed by the next orphan-seal pass.
+        t.quarantine_orphan(3);
+        t.quarantine_mark_sealed(3); // the dead token no longer matches anything
+        assert!(t.quarantine_sealed_unsynced().is_empty());
+        t.quarantine_mark_sealed(ORPHAN_CYCLE);
+        let candidates = t.quarantine_sealed_unsynced();
+        assert_eq!(candidates, vec![a]);
+        t.mark_quarantine_synced(&candidates);
+        assert_eq!(t.reap_quarantine(|_| true), 1);
+        assert_eq!(t.free_count(), 4);
+    }
+
+    #[test]
+    fn emptiness_histogram_buckets_sealed_segments_and_sums_live_bytes() {
+        let mut t = SegmentTable::new(4);
+        let a = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let b = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        let open = t.allocate(CAP, 0, Up2Mode::OnOverwrite).unwrap();
+        t.meta_mut(a).unwrap().on_page_added(900, None); // E = 0.1
+        t.meta_mut(b).unwrap().on_page_added(200, None); // E = 0.8
+        t.meta_mut(open).unwrap().on_page_added(500, None); // stays open: excluded
+        t.seal(a, 10, 5, Up2Mode::OnOverwrite);
+        t.seal(b, 11, 6, Up2Mode::OnOverwrite);
+        let (hist, sealed, live) = t.emptiness_histogram(10);
+        assert_eq!(sealed, 2);
+        assert_eq!(live, 1100);
+        assert_eq!(hist.iter().sum::<u64>(), sealed);
+        assert_eq!(hist[1], 1); // E = 0.1
+        assert_eq!(hist[8], 1); // E = 0.8
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //! mutex like the pre-refactor design. Reads from any number of handles proceed in
 //! parallel with writes and with cleaning.
 //!
-//! Creating a `SharedLogStore` also spawns a [`BackgroundCleaner`]: a thread that wakes
-//! when writers signal free-space pressure (or on a periodic poll), selects victims,
-//! relocates their live pages and commits the remaps with a conflict check — so the
-//! cleaning cost leaves the foreground write path. Writers fall back to lending their
-//! own thread to a synchronous cycle only at the hard reserve floor, and the plain
-//! (un-shared) `LogStore` still cleans synchronously, so nothing requires the thread.
+//! Creating a `SharedLogStore` also spawns a [`BackgroundCleaner`]: a pool of
+//! [`StoreConfig::cleaner_threads`](crate::StoreConfig::cleaner_threads) threads that
+//! wake when writers signal free-space pressure (or on a periodic poll), select
+//! victims, relocate their live pages and commit the remaps with a conflict check — so
+//! the cleaning cost leaves the foreground write path. With more than one thread the
+//! pool runs that many **concurrent cleaning cycles on disjoint victim sets**, scaling
+//! reclamation the way the sharded write path scales ingestion. Writers fall back to
+//! lending their own thread to a synchronous cycle only at the hard reserve floor, and
+//! the plain (un-shared) `LogStore` still cleans synchronously, so nothing requires the
+//! pool.
 //!
-//! The cleaner thread holds only a `Weak` reference: dropping the last handle shuts it
-//! down, and [`SharedLogStore::try_into_inner`] can recover the owned store.
+//! The cleaner threads hold only `Weak` references: dropping the last handle shuts
+//! them down, and [`SharedLogStore::try_into_inner`] can recover the owned store.
 
 use crate::cleaner::CleaningReport;
 use crate::error::Result;
@@ -29,13 +33,14 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub struct SharedLogStore {
     // Declared before `store` so that when the last handle drops, the cleaner shuts
-    // down (its Drop joins the thread) while the store is still alive.
+    // down (its Drop joins the pool threads) while the store is still alive.
     cleaner: Arc<BackgroundCleaner>,
     store: Arc<LogStore>,
 }
 
 impl SharedLogStore {
-    /// Wrap a store and spawn its background cleaner.
+    /// Wrap a store and spawn its background cleaner pool
+    /// ([`StoreConfig::cleaner_threads`](crate::StoreConfig::cleaner_threads) threads).
     pub fn new(store: LogStore) -> Self {
         let store = Arc::new(store);
         let cleaner = Arc::new(BackgroundCleaner::spawn(&store));
@@ -122,16 +127,18 @@ impl SharedLogStore {
     }
 }
 
-/// The background cleaning thread: wakes on writer pressure signals (or a periodic
-/// poll), then runs cleaning cycles until the free pool is back above the trigger.
+/// The background cleaning pool: [`StoreConfig::cleaner_threads`](crate::StoreConfig::cleaner_threads)
+/// threads that wake on writer pressure signals (or a periodic poll), then run cleaning
+/// cycles — concurrently, on disjoint victim sets — until the free pool is back above
+/// the trigger.
 ///
-/// Owns nothing but a `Weak` reference to the store; the thread exits when the store is
+/// Owns nothing but `Weak` references to the store; the threads exit when the store is
 /// dropped or a shutdown is signalled. Dropping the `BackgroundCleaner` signals shutdown
-/// and joins the thread.
+/// and joins every thread.
 #[derive(Debug)]
 pub struct BackgroundCleaner {
     store: Weak<LogStore>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 /// How often the cleaner polls the watermark even without a kick. Kicks make the common
@@ -143,21 +150,25 @@ impl BackgroundCleaner {
     fn detached() -> Self {
         Self {
             store: Weak::new(),
-            thread: None,
+            threads: Vec::new(),
         }
     }
 
     fn spawn(store: &Arc<LogStore>) -> Self {
         store.gc.set_background_attached(true);
         let weak = Arc::downgrade(store);
-        let thread_weak = weak.clone();
-        let thread = std::thread::Builder::new()
-            .name("lss-background-cleaner".into())
-            .spawn(move || cleaner_loop(thread_weak))
-            .expect("spawning the background cleaner thread");
+        let threads = (0..store.config().cleaner_threads.max(1))
+            .map(|i| {
+                let thread_weak = weak.clone();
+                std::thread::Builder::new()
+                    .name(format!("lss-cleaner-{i}"))
+                    .spawn(move || cleaner_loop(thread_weak))
+                    .expect("spawning a background cleaner thread")
+            })
+            .collect();
         Self {
             store: weak,
-            thread: Some(thread),
+            threads,
         }
     }
 }
@@ -168,7 +179,7 @@ impl Drop for BackgroundCleaner {
             store.gc.set_background_attached(false);
             store.gc.shutdown();
         }
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }

@@ -8,6 +8,10 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of equal-width bins in [`StoreStats::emptiness_histogram`] (bin `i` covers
+/// emptiness `[i/10, (i+1)/10)`, with the last bin closed at 1.0).
+pub const EMPTINESS_HISTOGRAM_BINS: usize = 10;
+
 /// Counters accumulated by a [`crate::LogStore`] (or the simulator) during operation.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreStats {
@@ -36,6 +40,19 @@ pub struct StoreStats {
     /// User writes absorbed while still sitting in the sort buffer (never reached a
     /// segment). Zero when buffer absorption is disabled.
     pub absorbed_in_buffer: u64,
+    /// Live fragmentation picture at snapshot time: sealed segments bucketed by their
+    /// emptiness `E` into [`EMPTINESS_HISTOGRAM_BINS`] equal-width bins over `[0, 1]`.
+    /// Unlike the counters above this is a *gauge*, sampled from the segment table by
+    /// [`crate::LogStore::stats`] (the simulator and plain [`Default`] leave it empty).
+    /// The bins sum to [`StoreStats::sealed_segments`].
+    pub emptiness_histogram: Vec<u64>,
+    /// Sealed segments on the device at snapshot time (gauge; see
+    /// [`StoreStats::emptiness_histogram`]).
+    pub sealed_segments: u64,
+    /// Total live payload bytes accounted to sealed segments at snapshot time (gauge).
+    /// After a `flush` — when no data sits in buffers or open segments — this equals
+    /// the page table's total live bytes, which tests use as a ledger cross-check.
+    pub sealed_live_bytes: u64,
 }
 
 impl StoreStats {
@@ -92,6 +109,15 @@ impl StoreStats {
         self.pages_read += other.pages_read;
         self.device_page_reads += other.device_page_reads;
         self.absorbed_in_buffer += other.absorbed_in_buffer;
+        if self.emptiness_histogram.len() < other.emptiness_histogram.len() {
+            self.emptiness_histogram
+                .resize(other.emptiness_histogram.len(), 0);
+        }
+        for (bin, n) in other.emptiness_histogram.iter().enumerate() {
+            self.emptiness_histogram[bin] += n;
+        }
+        self.sealed_segments += other.sealed_segments;
+        self.sealed_live_bytes += other.sealed_live_bytes;
     }
 
     /// Reset all counters to zero (used after a load phase so the measurement phase
@@ -181,6 +207,11 @@ impl AtomicStats {
             pages_read: self.pages_read.load(Ordering::Relaxed),
             device_page_reads: self.device_page_reads.load(Ordering::Relaxed),
             absorbed_in_buffer: self.absorbed_in_buffer.load(Ordering::Relaxed),
+            // Gauges sampled from the segment table, not counters: the store facade
+            // fills them in (`LogStore::stats`); a bare snapshot leaves them empty.
+            emptiness_histogram: Vec::new(),
+            sealed_segments: 0,
+            sealed_live_bytes: 0,
         }
     }
 

@@ -1,35 +1,70 @@
-//! The cleaning driver: victim selection, live-page relocation and remap commit.
+//! The cleaning driver: victim selection, live-page relocation and remap commit —
+//! running as up to [`StoreConfig::cleaner_threads`](crate::StoreConfig::cleaner_threads)
+//! **concurrent cycles on disjoint victim sets**.
+//!
+//! ### One cycle's life
 //!
 //! A cycle is structured so that the expensive work — reading and parsing whole victim
 //! segment images from the device, and copying live payloads into GC output builders —
-//! happens with **no store lock** held (only the cycle lock, which foreground traffic
-//! never takes):
+//! happens with **no store lock** held:
 //!
-//! 1. **Select** (short central lock): the policy picks up to `segments_per_cycle`
-//!    victims from the sealed-segment snapshots; their emptiness/`up2` are recorded.
-//! 2. **Collect** (no locks): each victim's image is read from the device and its entry
+//! 1. **Claim** (short central lock): the policy picks up to `segments_per_cycle`
+//!    victims from the sealed-segment snapshots and the cycle *claims* them in the same
+//!    critical section ([`crate::segment::SegmentTable::claim_for_cleaning`]). Claimed
+//!    victims are hidden from selection, so two concurrent cycles can never pick the
+//!    same slot; their emptiness/`up2` are recorded.
+//! 2. **Read** (no locks): each victim's image is read from the device and its entry
 //!    table decoded; entries that are no longer current are pre-filtered against the
-//!    sharded page table.
-//! 3. **Stage & commit** (per victim): still-current pages are appended to the cycle's
-//!    GC output segments (no store lock; allocation and seals touch the central lock
-//!    briefly), *keeping their original per-page write sequences*. Then, under one
-//!    short central section, each staged page is committed with an atomic
+//!    sharded page table. Reads are **pipelined across a small I/O pool**
+//!    ([`StoreConfig::gc_read_pool`](crate::StoreConfig::gc_read_pool)): workers
+//!    prefetch the next images (bounded lookahead) while the cycle relocates the
+//!    current victim's pages.
+//! 3. **Relocate & commit** (per victim): still-current pages are appended to the
+//!    cycle's *own* GC output segments (no store lock; allocation and seals touch the
+//!    central lock briefly), *keeping their original per-page write sequences*. Then,
+//!    under one short central section, each staged page is committed with an atomic
 //!    *compare-and-swap* on the page table
 //!    ([`crate::mapping::ShardedPageTable::replace_if_current`]): a page the user
 //!    rewrote since staging fails the swap and its stale copy is abandoned (the original
 //!    write sequence guarantees the abandoned copy can also never win during recovery).
-//!    The victim is then released into the quarantine (remap-before-release: by the time
-//!    a victim is released, none of its pages are referenced by the mapping).
-//! 4. **Seal + sync + reap**: GC output streams are sealed, the device is synced, and
-//!    only then do quarantined victims with no reader pins return to the free list.
+//!    The victim is then released into the quarantine tagged with this cycle's token
+//!    (remap-before-release: by the time a victim is released, none of its pages are
+//!    referenced by the mapping).
+//! 4. **Seal + sync + reap**: the cycle's GC output streams are sealed, its quarantine
+//!    entries are marked *sealed*, the device is synced, and quarantined victims whose
+//!    seal preceded the sync — this cycle's and any other's — return to the free list
+//!    once no reader pins remain.
 //!
-//! Unlike the pre-sharding design, committing relocations takes no write lock at all —
-//! writers on every stream keep appending while a cycle runs; they only contend with the
-//! cleaner on the short central-lock sections.
+//! ### Why overlapping cycles are safe
 //!
-//! Cycles are serialised by the cycle lock ([`GcControl::lock_cycle`]); they are started
-//! by the [`crate::shared::BackgroundCleaner`] thread, by writers at the free-segment
-//! watermark, or explicitly via [`crate::LogStore::clean_now`].
+//! * **Disjoint victims** — claims make victim sets disjoint by construction, so two
+//!   cycles never stage the same page from the same location, and the per-victim
+//!   release/accounting paths never touch the same slot.
+//! * **CAS commits** — relocation commits are per-page compare-and-swaps against the
+//!   observed victim location; they are already safe against racing user writes and are
+//!   equally safe against another cycle (which, by disjointness, can only be moving
+//!   *other* pages).
+//! * **Per-entry quarantine state** — each quarantine entry carries its owning cycle's
+//!   token and a `parked → sealed → synced` state machine
+//!   ([`crate::segment::SegmentTable::quarantine_mark_sealed`]): one cycle's device
+//!   sync can therefore never free another cycle's victim while that cycle's relocated
+//!   copies still sit in unsealed in-memory builders.
+//! * **Crash safety at every boundary** — a victim's slot is untouched until its
+//!   relocated copies are durable, and relocated copies keep their original write
+//!   sequences, so recovery after a crash at any phase boundary reconstructs exactly
+//!   the last flushed state no matter how many cycles were in flight.
+//!
+//! A cycle that aborts (I/O error) *orphans* its state: leftover GC output builders go
+//! to the store's orphan pool and its quarantine entries are re-tagged
+//! [`crate::segment::ORPHAN_CYCLE`], so the next flush or reclaim pass seals and frees
+//! them on the dead cycle's behalf; its unprocessed victim claims are dropped so the
+//! victims become selectable again.
+//!
+//! Cycles are started by the [`crate::shared::BackgroundCleaner`] pool, by writers at
+//! the free-segment watermark, or explicitly via [`crate::LogStore::clean_now`]; all of
+//! them acquire a cycle slot from [`GcControl`], which caps concurrency at
+//! `cleaner_threads` (with `cleaner_threads = 1` cycles serialise exactly as in the
+//! pre-concurrent design).
 
 use super::write_path::{self, MetaLedger};
 use super::{CentralState, GcStreams, LogStore, OpenSegment};
@@ -38,25 +73,61 @@ use crate::error::{Error, Result};
 use crate::freq::Up2Average;
 use crate::layout::{self, decode_segment, SegmentBuilder};
 use crate::policy::PolicyContext;
+use crate::segment::ORPHAN_CYCLE;
 use crate::stats::AtomicStats;
 use crate::types::{PageId, PageLocation, SegmentId, UpdateTick};
 use crate::write_buffer::sort_by_separation_key;
-use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Coordination state for cleaning: cycle serialisation and background-cleaner wakeup.
+/// Externally observable phase boundaries of one cleaning cycle, in the order they are
+/// crossed: `Claimed* → (VictimRead → Relocated)* → Sealed → Synced`.
+///
+/// Exposed for test instrumentation via [`LogStore::set_gc_phase_hook`]: a hook that
+/// blocks pauses the cycle at exactly that boundary (no store lock is held while the
+/// hook runs), which is what makes deterministic cleaner-race and crash-matrix tests
+/// possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcPhase {
+    /// A victim was claimed in the segment table (fired once per victim, after the
+    /// selection critical section and before any image read).
+    Claimed,
+    /// One victim's image has been read and its live pages collected.
+    VictimRead,
+    /// One victim's relocations are committed and it entered the quarantine.
+    Relocated,
+    /// All of the cycle's GC output segments are sealed (device writes issued).
+    Sealed,
+    /// The cycle's device sync landed; its victims are reusable once unpinned.
+    Synced,
+}
+
+/// Test/diagnostic instrumentation callback: `(cycle token, phase, victim)`.
+/// The victim is present for the per-victim phases, absent for `Sealed`/`Synced`.
+pub type GcPhaseHook = Arc<dyn Fn(u64, GcPhase, Option<SegmentId>) + Send + Sync>;
+
+/// Coordination state for cleaning: the concurrent-cycle gate and slots, cycle tokens,
+/// and background-cleaner wakeup.
 pub(crate) struct GcControl {
-    /// Serialises whole cleaning cycles (one at a time, whoever runs them). Also taken
-    /// by `flush` and the emergency reclaim path before syncing + marking the
-    /// quarantine, so quarantine durability transitions are totally ordered against
-    /// in-flight cycles.
-    cycle_lock: Mutex<()>,
-    /// Wakeup flag for the background cleaner, guarded with [`GcControl::kick_cond`].
+    /// Running cycles hold this shared; checkpoint snapshots and the straggler reclaim
+    /// hold it exclusive to wait out every in-flight cycle. Never acquired while
+    /// holding a stream lock (a checkpoint holds it exclusive *and then* takes the
+    /// stream locks).
+    cycle_gate: RwLock<()>,
+    /// Number of cycles currently running, bounded by `max_cycles`.
+    active_cycles: Mutex<usize>,
+    slot_cond: Condvar,
+    /// Concurrency cap ([`crate::StoreConfig::cleaner_threads`]).
+    max_cycles: usize,
+    /// Next cycle token; starts above [`ORPHAN_CYCLE`], which is reserved for the
+    /// quarantine entries of aborted cycles.
+    next_token: AtomicU64,
+    /// Wakeup flag for the background cleaner pool, guarded with [`GcControl::kick_cond`].
     kick: Mutex<KickState>,
     kick_cond: Condvar,
-    /// True while a [`crate::shared::BackgroundCleaner`] thread is attached; writers
+    /// True while a [`crate::shared::BackgroundCleaner`] pool is attached; writers
     /// then kick it instead of cleaning inline.
     background_attached: AtomicBool,
 }
@@ -67,34 +138,72 @@ struct KickState {
     shutdown: bool,
 }
 
+/// Permission to run one cleaning cycle: holds the shared cycle gate plus one of the
+/// `cleaner_threads` cycle slots, and carries the cycle's token. Dropping it frees the
+/// slot.
+pub(crate) struct CyclePermit<'a> {
+    control: &'a GcControl,
+    _gate: RwLockReadGuard<'a, ()>,
+    token: u64,
+}
+
+impl Drop for CyclePermit<'_> {
+    fn drop(&mut self) {
+        let mut active = self.control.active_cycles.lock();
+        *active -= 1;
+        self.control.slot_cond.notify_one();
+    }
+}
+
 impl GcControl {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(max_cycles: usize) -> Self {
         Self {
-            cycle_lock: Mutex::new(()),
+            cycle_gate: RwLock::new(()),
+            active_cycles: Mutex::new(0),
+            slot_cond: Condvar::new(),
+            max_cycles: max_cycles.max(1),
+            next_token: AtomicU64::new(ORPHAN_CYCLE + 1),
             kick: Mutex::new(KickState::default()),
             kick_cond: Condvar::new(),
             background_attached: AtomicBool::new(false),
         }
     }
 
-    /// Acquire the cycle lock (blocks while a cycle, flush tail or reclaim runs).
-    pub(crate) fn lock_cycle(&self) -> MutexGuard<'_, ()> {
-        self.cycle_lock.lock()
+    /// Acquire a cycle slot (blocks while `cleaner_threads` cycles are already in
+    /// flight, or while a [`GcControl::quiesce`] holder drains the gate).
+    pub(crate) fn begin_cycle(&self) -> CyclePermit<'_> {
+        let gate = self.cycle_gate.read();
+        let mut active = self.active_cycles.lock();
+        while *active >= self.max_cycles {
+            self.slot_cond.wait(&mut active);
+        }
+        *active += 1;
+        drop(active);
+        CyclePermit {
+            control: self,
+            _gate: gate,
+            token: self.next_token.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
-    /// Acquire the cycle lock without blocking, if free.
-    pub(crate) fn try_lock_cycle(&self) -> Option<MutexGuard<'_, ()>> {
-        self.cycle_lock.try_lock()
+    /// Wait out every in-flight cleaning cycle and hold new ones off while the guard
+    /// lives. Used by checkpoint snapshots (a stable mapping needs no concurrent GC
+    /// remaps) and by the last-resort straggler reclaim (an in-flight cycle's own
+    /// phase 4 is what frees its victims). Must not be called while holding a stream
+    /// lock.
+    pub(crate) fn quiesce(&self) -> RwLockWriteGuard<'_, ()> {
+        self.cycle_gate.write()
     }
 
-    /// Wake the background cleaner (writers call this at the free-segment watermark).
+    /// Wake the background cleaner pool (writers call this at the free-segment
+    /// watermark).
     pub(crate) fn kick(&self) {
         let mut k = self.kick.lock();
         k.pending = true;
-        self.kick_cond.notify_one();
+        self.kick_cond.notify_all();
     }
 
-    /// Ask the background cleaner to exit.
+    /// Ask the background cleaner pool to exit.
     pub(crate) fn shutdown(&self) {
         let mut k = self.kick.lock();
         k.shutdown = true;
@@ -154,8 +263,34 @@ struct GcItem {
     key: Option<f64>,
 }
 
-/// Run one full cleaning cycle with the configured policy. Serialised against other
-/// cycles; safe to call from any thread, with no store locks held.
+/// The private state of one in-flight cycle: its token, its own GC output streams
+/// (no lock needed — nobody else can reach them) and the victims it has claimed but not
+/// yet released.
+struct CycleCtx {
+    token: u64,
+    gcs: GcStreams,
+    claimed: Vec<SegmentId>,
+}
+
+/// One victim with its image read and live pages collected (the output of the phase-2
+/// read pipeline).
+struct PreparedVictim {
+    victim: SegmentId,
+    emptiness: f64,
+    candidates: Vec<LivePage>,
+}
+
+/// Invoke the store's phase hook, if installed, with no lock held.
+fn fire_phase_hook(store: &LogStore, token: u64, phase: GcPhase, victim: Option<SegmentId>) {
+    let hook = store.gc_phase_hook();
+    if let Some(h) = hook {
+        h(token, phase, victim);
+    }
+}
+
+/// Run one full cleaning cycle with the configured policy. Takes one of the
+/// `cleaner_threads` cycle slots; safe to call from any thread, with no store locks
+/// held.
 pub(crate) fn run_cleaning_cycle(store: &LogStore) -> Result<CleaningReport> {
     run_cleaning_cycle_with(store, SelectionMode::Policy)
 }
@@ -165,19 +300,26 @@ pub(crate) fn run_cleaning_cycle_with(
     store: &LogStore,
     mode: SelectionMode,
 ) -> Result<CleaningReport> {
-    let _cycle = store.gc.lock_cycle();
+    let permit = store.gc.begin_cycle();
+    let token = permit.token;
     let stats = store.atomic_stats();
     AtomicStats::bump(&stats.cleaning_cycles);
     let unow = store.unow();
 
-    // Phase 1: select victims under a short central lock.
+    // Phase 1: select victims and claim them, in one short central critical section —
+    // the claims are what make concurrent cycles' victim sets disjoint.
     let victims: Vec<(SegmentId, f64, UpdateTick)> = {
         let mut central = store.central().lock();
         let CentralState { segments, policy } = &mut *central;
-        let batch = policy
-            .preferred_batch()
-            .unwrap_or(store.config().cleaning.segments_per_cycle)
-            .max(1);
+        // The configured batch is an *aggregate* in-flight budget: divide it across
+        // the concurrent cycles, or K cycles would claim K × segments_per_cycle
+        // victims at once and could park most of a small device in claims +
+        // quarantine while writers starve. With cleaner_threads = 1 this is exactly
+        // the paper's serialised batch.
+        let share = (store.config().cleaning.segments_per_cycle
+            / store.config().cleaner_threads.max(1))
+        .max(1);
+        let batch = policy.preferred_batch().unwrap_or(share).max(1);
         let sealed = segments.sealed_stats();
         let ctx = PolicyContext {
             unow,
@@ -186,7 +328,7 @@ pub(crate) fn run_cleaning_cycle_with(
         let mut picked = match mode {
             SelectionMode::Policy => policy.select_victims(&ctx, batch),
             SelectionMode::ForceGreedy => {
-                let want = batch.max(store.config().cleaning.segments_per_cycle);
+                let want = batch.max(share);
                 let mut greedy = crate::policy::GreedyPolicy::new();
                 crate::policy::CleaningPolicy::select_victims(&mut greedy, &ctx, want)
             }
@@ -201,148 +343,79 @@ pub(crate) fn run_cleaning_cycle_with(
         }
         picked
             .into_iter()
-            .filter_map(|v| segments.meta(v).map(|m| (v, m.emptiness(), m.freq.up2())))
+            .filter_map(|v| {
+                let m = segments.meta(v)?;
+                let entry = (v, m.emptiness(), m.freq.up2());
+                segments.claim_for_cleaning(v).then_some(entry)
+            })
             .collect()
     };
     if victims.is_empty() {
         return Ok(CleaningReport::default());
     }
+    for &(v, _, _) in &victims {
+        fire_phase_hook(store, token, GcPhase::Claimed, Some(v));
+    }
 
-    // The GC output streams belong to this cycle (we hold the cycle lock).
-    let mut gcs = store.gc_streams().lock();
+    let mut cycle = CycleCtx {
+        token,
+        gcs: GcStreams::default(),
+        claimed: victims.iter().map(|&(v, _, _)| v).collect(),
+    };
+    let result = run_claimed_victims(store, &mut cycle, &victims, unow);
+    finish_cycle(store, cycle, result)
+}
+
+/// Phases 2–4 over an already claimed victim set. Any error leaves `cycle` holding
+/// whatever claims and GC output builders are still outstanding, for
+/// [`finish_cycle`] to orphan.
+fn run_claimed_victims(
+    store: &LogStore,
+    cycle: &mut CycleCtx,
+    victims: &[(SegmentId, f64, UpdateTick)],
+    unow: UpdateTick,
+) -> Result<CleaningReport> {
     let mut report = CleaningReport::default();
     let mut emptiness_sum = 0.0;
     let mut released: Vec<SegmentId> = Vec::with_capacity(victims.len());
-    'victims: for &(victim, emptiness, up2) in &victims {
-        // Phase 2: read and parse the victim image without any store lock — foreground
-        // reads and writes proceed while this (the dominant cost of cleaning) runs.
-        let image = store.device().read_segment(victim)?;
-        let parsed = decode_segment(victim, &image)?.ok_or_else(|| Error::CorruptSegment {
-            segment: victim,
-            detail: "sealed segment has a blank image".into(),
-        })?;
-        // Lock-free pre-filter against the sharded page table; the authoritative
-        // conflict check is the compare-and-swap at commit time.
-        let candidates = collect_live_pages(
-            victim,
-            &image,
-            &parsed,
-            |p, l| store.mapping().is_current(p, l),
-            up2,
-        )
-        .pages;
 
-        // Route every candidate to an output log and fetch separation keys, under one
-        // short central acquisition (the policy lives there). Same routing helper as
-        // the user drain, so user and GC placement can never diverge.
-        let separate = store.config().separation.separate_gc_writes;
-        let mut items: Vec<GcItem> = {
-            let mut central = store.central().lock();
-            let CentralState { policy, .. } = &mut *central;
-            candidates
-                .into_iter()
-                .map(|live| {
-                    let (log, key) =
-                        write_path::route_page(policy, unow, separate, &live.pending.info);
-                    GcItem { live, log, key }
-                })
-                .collect()
-        };
-        if separate {
-            sort_by_separation_key(&mut items, |it: &GcItem| it.key);
+    // Phase 2 runs as a pipeline: a small pool prefetches and pre-filters victim
+    // images while this thread relocates earlier victims' pages.
+    for_each_prepared_victim(store, victims, |prepared| {
+        fire_phase_hook(
+            store,
+            cycle.token,
+            GcPhase::VictimRead,
+            Some(prepared.victim),
+        );
+        if relocate_victim(
+            store,
+            cycle,
+            prepared,
+            unow,
+            &mut report,
+            &mut emptiness_sum,
+        )? {
+            released.push(prepared.victim);
+            fire_phase_hook(
+                store,
+                cycle.token,
+                GcPhase::Relocated,
+                Some(prepared.victim),
+            );
         }
+        Ok(())
+    })?;
 
-        // Phase 3a: stage — copy still-current pages into the GC output builders. No
-        // store lock; the occasional seal/allocation touches the central lock briefly.
-        // The ledger only satisfies `seal_open`'s batching interface and stays empty
-        // here: GC accounting is applied directly at commit (phase 3b), in the same
-        // central section as the page-table swap.
-        let mut staged: Vec<StagedRelocation> = Vec::with_capacity(items.len());
-        let mut ledger = MetaLedger::default();
-        for item in items {
-            let info = &item.live.pending.info;
-            if !store.mapping().is_current(info.page, &item.live.loc) {
-                // Rewritten or deleted since collection; skip before wasting output
-                // space. The commit-time compare-and-swap below remains authoritative.
-                continue;
-            }
-            let data = item
-                .live
-                .pending
-                .data
-                .as_ref()
-                .expect("GC relocation always carries a payload");
-            let Some(log) = ensure_gc_open(store, &mut gcs, &mut ledger, item.log, data.len())?
-            else {
-                // No output space for this victim even after the distress fallbacks:
-                // abandon it *gracefully*. Nothing of it has been committed — its pages
-                // are still mapped into the sealed victim image, which stays exactly
-                // where it is — and the few copies already staged into builders are
-                // never swapped in, so they are recovery-safe garbage. Move on to the
-                // remaining victims rather than giving up on the cycle: a later victim
-                // may be fully dead (needing no output space at all) and releasing it
-                // is exactly what relieves the pressure. The writers' escalation
-                // ladder (greedy cycles, quarantine sweeps) decides whether the store
-                // is genuinely full.
-                continue 'victims;
-            };
-            let open = gcs
-                .open
-                .get_mut(&log)
-                .expect("ensure_gc_open just installed this log");
-            // The relocated copy keeps the original write sequence: it is the same
-            // version of the page, just at a new address (see `LivePage::write_seq`).
-            let offset = open
-                .builder
-                .write()
-                .push_page(info.page, item.live.write_seq, data);
-            open.up2_avg.add(info.up2);
-            staged.push(StagedRelocation {
-                page: info.page,
-                old: item.live.loc,
-                new: PageLocation {
-                    segment: open.id,
-                    offset,
-                    len: data.len() as u32,
-                },
-            });
-        }
-
-        // Phase 3b: commit under one short central section. The swap and the output
-        // segment's accounting land in the same critical section, so any later death of
-        // the relocated copy (recorded by a writer only after it observes the new
-        // location) is applied after this `on_page_added`, never before.
-        {
-            let mut central = store.central().lock();
-            for s in staged {
-                if store.mapping().replace_if_current(s.page, &s.old, s.new) {
-                    if let Some(meta) = central.segments.meta_mut(s.new.segment) {
-                        meta.on_page_added(s.new.len, None);
-                    }
-                    AtomicStats::bump(&stats.gc_pages_written);
-                    AtomicStats::add(&stats.gc_bytes_written, s.new.len as u64);
-                    report.pages_moved += 1;
-                    report.bytes_moved += s.new.len as u64;
-                }
-                // A failed swap means the user rewrote the page after staging: the
-                // stale copy in the output builder is dead on arrival and is simply
-                // never accounted live (it will be reclaimed when that segment is
-                // eventually cleaned).
-            }
-            // Remap-before-release now holds for every live page of this victim; park
-            // the slot until the relocated copies are durable and no reader pins
-            // remain.
-            central.segments.release_quarantined(victim);
-            released.push(victim);
-            AtomicStats::bump(&stats.segments_cleaned);
-            stats.add_emptiness(emptiness);
-            emptiness_sum += emptiness;
-            store.publish_free(&central.segments);
-        }
+    // Phase 4: make the relocated pages durable and recycle this cycle's victims.
+    write_path::seal_streams(store, &mut cycle.gcs)?;
+    fire_phase_hook(store, cycle.token, GcPhase::Sealed, None);
+    {
+        let mut central = store.central().lock();
+        central.segments.quarantine_mark_sealed(cycle.token);
     }
-
-    // Phase 4: make the relocated pages durable and recycle the victims.
-    write_path::seal_gc_and_reap(store, &mut gcs)?;
+    write_path::sync_and_reap(store)?;
+    fire_phase_hook(store, cycle.token, GcPhase::Synced, None);
 
     if !released.is_empty() {
         report.mean_emptiness = emptiness_sum / released.len() as f64;
@@ -351,10 +424,293 @@ pub(crate) fn run_cleaning_cycle_with(
     Ok(report)
 }
 
-/// Make sure a GC output segment with room for `len` bytes exists, preferably for
-/// `log`, sealing the full one and allocating a fresh segment if necessary. Returns the
-/// log key of the open segment to append to, or `None` if no output space can be found
-/// (the caller abandons the current victim rather than failing the cycle).
+/// Common cycle epilogue: on success, drop the claims of skipped victims; on error,
+/// orphan the cycle — leftover GC output builders go to the store's orphan pool and the
+/// cycle's quarantine entries are re-tagged [`ORPHAN_CYCLE`] (both under the orphan
+/// lock, so an orphan-seal pass can never adopt entries whose builders it has not yet
+/// received), and unprocessed claims are dropped so the victims become selectable
+/// again.
+fn finish_cycle(
+    store: &LogStore,
+    mut cycle: CycleCtx,
+    result: Result<CleaningReport>,
+) -> Result<CleaningReport> {
+    match result {
+        Ok(report) => {
+            if !cycle.claimed.is_empty() {
+                let mut central = store.central().lock();
+                for v in &cycle.claimed {
+                    central.segments.unclaim(*v);
+                }
+            }
+            Ok(report)
+        }
+        Err(e) => {
+            let mut orphans = store.gc_orphans().lock();
+            orphans.extend(cycle.gcs.open.drain().map(|(_, open)| open));
+            let mut central = store.central().lock();
+            for v in &cycle.claimed {
+                central.segments.unclaim(*v);
+            }
+            central.segments.quarantine_orphan(cycle.token);
+            Err(e)
+        }
+    }
+}
+
+/// Relocate one prepared victim: route and stage its still-current pages into the
+/// cycle's GC outputs, commit the relocations by page-table compare-and-swap, and
+/// release the victim into the quarantine. Returns false if the victim was skipped
+/// because no output space could be found (its claim stays with the cycle and is
+/// dropped at cycle end).
+fn relocate_victim(
+    store: &LogStore,
+    cycle: &mut CycleCtx,
+    prepared: &PreparedVictim,
+    unow: UpdateTick,
+    report: &mut CleaningReport,
+    emptiness_sum: &mut f64,
+) -> Result<bool> {
+    let stats = store.atomic_stats();
+    let victim = prepared.victim;
+
+    // Route every candidate to an output log and fetch separation keys, under one
+    // short central acquisition (the policy lives there). Same routing helper as
+    // the user drain, so user and GC placement can never diverge.
+    let separate = store.config().separation.separate_gc_writes;
+    let mut items: Vec<GcItem> = {
+        let mut central = store.central().lock();
+        let CentralState { policy, .. } = &mut *central;
+        prepared
+            .candidates
+            .iter()
+            .map(|live| {
+                let (log, key) = write_path::route_page(policy, unow, separate, &live.pending.info);
+                GcItem {
+                    live: live.clone(),
+                    log,
+                    key,
+                }
+            })
+            .collect()
+    };
+    if separate {
+        sort_by_separation_key(&mut items, |it: &GcItem| it.key);
+    }
+
+    // Phase 3a: stage — copy still-current pages into the GC output builders. No
+    // store lock; the occasional seal/allocation touches the central lock briefly.
+    // The ledger only satisfies `seal_open`'s batching interface and stays empty
+    // here: GC accounting is applied directly at commit (phase 3b), in the same
+    // central section as the page-table swap.
+    let mut staged: Vec<StagedRelocation> = Vec::with_capacity(items.len());
+    let mut ledger = MetaLedger::default();
+    for item in items {
+        let info = &item.live.pending.info;
+        if !store.mapping().is_current(info.page, &item.live.loc) {
+            // Rewritten or deleted since collection; skip before wasting output
+            // space. The commit-time compare-and-swap below remains authoritative.
+            continue;
+        }
+        let data = item
+            .live
+            .pending
+            .data
+            .as_ref()
+            .expect("GC relocation always carries a payload");
+        let Some(log) = ensure_gc_open(store, cycle, &mut ledger, item.log, data.len())? else {
+            // No output space for this victim even after the distress fallbacks:
+            // abandon it *gracefully*. Nothing of it has been committed — its pages
+            // are still mapped into the sealed victim image, which stays exactly
+            // where it is — and the few copies already staged into builders are
+            // never swapped in, so they are recovery-safe garbage. Move on to the
+            // remaining victims rather than giving up on the cycle: a later victim
+            // may be fully dead (needing no output space at all) and releasing it
+            // is exactly what relieves the pressure. The writers' escalation
+            // ladder (greedy cycles, quarantine sweeps) decides whether the store
+            // is genuinely full.
+            return Ok(false);
+        };
+        let open = cycle
+            .gcs
+            .open
+            .get_mut(&log)
+            .expect("ensure_gc_open just installed this log");
+        // The relocated copy keeps the original write sequence: it is the same
+        // version of the page, just at a new address (see
+        // [`crate::cleaner::LivePage::write_seq`]).
+        let offset = open
+            .builder
+            .write()
+            .push_page(info.page, item.live.write_seq, data);
+        open.up2_avg.add(info.up2);
+        staged.push(StagedRelocation {
+            page: info.page,
+            old: item.live.loc,
+            new: PageLocation {
+                segment: open.id,
+                offset,
+                len: data.len() as u32,
+            },
+        });
+    }
+
+    // Phase 3b: commit under one short central section. The swap and the output
+    // segment's accounting land in the same critical section, so any later death of
+    // the relocated copy (recorded by a writer only after it observes the new
+    // location) is applied after this `on_page_added`, never before.
+    {
+        let mut central = store.central().lock();
+        for s in staged {
+            if store.mapping().replace_if_current(s.page, &s.old, s.new) {
+                if let Some(meta) = central.segments.meta_mut(s.new.segment) {
+                    meta.on_page_added(s.new.len, None);
+                }
+                AtomicStats::bump(&stats.gc_pages_written);
+                AtomicStats::add(&stats.gc_bytes_written, s.new.len as u64);
+                report.pages_moved += 1;
+                report.bytes_moved += s.new.len as u64;
+            }
+            // A failed swap means the user rewrote the page after staging: the
+            // stale copy in the output builder is dead on arrival and is simply
+            // never accounted live (it will be reclaimed when that segment is
+            // eventually cleaned).
+        }
+        // Remap-before-release now holds for every live page of this victim; park
+        // the slot — tagged with this cycle's token — until the relocated copies are
+        // durable and no reader pins remain.
+        central.segments.release_quarantined(victim, cycle.token);
+        AtomicStats::bump(&stats.segments_cleaned);
+        stats.add_emptiness(prepared.emptiness);
+        *emptiness_sum += prepared.emptiness;
+        store.publish_free(&central.segments);
+    }
+    cycle.claimed.retain(|&s| s != victim);
+    Ok(true)
+}
+
+/// Read one victim's image, decode it and pre-filter its live pages (the unit of work
+/// of the phase-2 read pipeline; touches only the device and the lock-free page table).
+fn prepare_victim(
+    store: &LogStore,
+    victim: SegmentId,
+    emptiness: f64,
+    up2: UpdateTick,
+) -> Result<PreparedVictim> {
+    let image = store.device().read_segment(victim)?;
+    let parsed = decode_segment(victim, &image)?.ok_or_else(|| Error::CorruptSegment {
+        segment: victim,
+        detail: "sealed segment has a blank image".into(),
+    })?;
+    // Lock-free pre-filter against the sharded page table; the authoritative
+    // conflict check is the compare-and-swap at commit time.
+    let candidates = collect_live_pages(
+        victim,
+        &image,
+        &parsed,
+        |p, l| store.mapping().is_current(p, l),
+        up2,
+    )
+    .pages;
+    Ok(PreparedVictim {
+        victim,
+        emptiness,
+        candidates,
+    })
+}
+
+/// Shared state of the phase-2 read pipeline: an in-order slot per victim, a bounded
+/// prefetch window, and a cancellation flag for early exit.
+struct ReadPipeline {
+    slots: Vec<Option<Result<PreparedVictim>>>,
+    next_fetch: usize,
+    consumed: usize,
+    cancelled: bool,
+}
+
+/// Drive `process` over every victim **in order**, with victim images read and
+/// pre-filtered by up to `gc_read_pool` I/O workers running ahead of the consumer
+/// (bounded lookahead, so at most `2 × pool` images are in memory at once). With a pool
+/// of 1 (or a single victim) this degrades to the plain sequential read-then-process
+/// loop of the pre-concurrent design.
+fn for_each_prepared_victim(
+    store: &LogStore,
+    victims: &[(SegmentId, f64, UpdateTick)],
+    mut process: impl FnMut(&PreparedVictim) -> Result<()>,
+) -> Result<()> {
+    let pool = store.config().gc_read_pool.min(victims.len()).max(1);
+    if pool <= 1 {
+        for &(victim, emptiness, up2) in victims {
+            let prepared = prepare_victim(store, victim, emptiness, up2)?;
+            process(&prepared)?;
+        }
+        return Ok(());
+    }
+
+    let window = pool * 2;
+    let state = Mutex::new(ReadPipeline {
+        slots: victims.iter().map(|_| None).collect(),
+        next_fetch: 0,
+        consumed: 0,
+        cancelled: false,
+    });
+    let space_cond = Condvar::new(); // workers wait here for window space
+    let ready_cond = Condvar::new(); // the consumer waits here for its next slot
+
+    std::thread::scope(|scope| -> Result<()> {
+        for _ in 0..pool {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut st = state.lock();
+                    loop {
+                        if st.cancelled || st.next_fetch >= st.slots.len() {
+                            return;
+                        }
+                        if st.next_fetch < st.consumed + window {
+                            break;
+                        }
+                        space_cond.wait(&mut st);
+                    }
+                    let i = st.next_fetch;
+                    st.next_fetch += 1;
+                    i
+                };
+                let (victim, emptiness, up2) = victims[i];
+                let prepared = prepare_victim(store, victim, emptiness, up2);
+                let mut st = state.lock();
+                st.slots[i] = Some(prepared);
+                ready_cond.notify_all();
+            });
+        }
+
+        let cancel = |err: Error| {
+            let mut st = state.lock();
+            st.cancelled = true;
+            space_cond.notify_all();
+            err
+        };
+        for i in 0..victims.len() {
+            let prepared = {
+                let mut st = state.lock();
+                while st.slots[i].is_none() {
+                    ready_cond.wait(&mut st);
+                }
+                let p = st.slots[i].take().expect("slot just observed filled");
+                st.consumed = i + 1;
+                space_cond.notify_all();
+                p
+            };
+            let prepared = prepared.map_err(&cancel)?;
+            process(&prepared).map_err(&cancel)?;
+        }
+        Ok(())
+    })
+}
+
+/// Make sure the cycle has a GC output segment with room for `len` bytes, preferably
+/// for `log`, sealing the full one and allocating a fresh segment if necessary. Returns
+/// the log key of the open segment to append to, or `None` if no output space can be
+/// found (the caller abandons the current victim rather than failing the cycle).
 ///
 /// GC allocations may dip into the reserve — that is what it is for. Under allocation
 /// distress the cycle degrades gracefully: it first redirects the relocation into *any*
@@ -362,17 +718,17 @@ pub(crate) fn run_cleaning_cycle_with(
 /// output streams and syncs so its already quarantined victims become reusable.
 fn ensure_gc_open(
     store: &LogStore,
-    gcs: &mut GcStreams,
+    cycle: &mut CycleCtx,
     ledger: &mut MetaLedger,
     log: u16,
     len: usize,
 ) -> Result<Option<u16>> {
-    if let Some(open) = gcs.open.get(&log) {
+    if let Some(open) = cycle.gcs.open.get(&log) {
         if open.builder.read().fits(len) {
             return Ok(Some(log));
         }
     }
-    if let Some(full) = gcs.open.remove(&log) {
+    if let Some(full) = cycle.gcs.open.remove(&log) {
         write_path::seal_open(store, full, ledger)?;
     }
     let capacity =
@@ -380,13 +736,18 @@ fn ensure_gc_open(
     let mut allocated = try_allocate_gc(store, capacity, log);
     if allocated.is_none() {
         // Distress fallback 1: reuse another output stream's headroom.
-        if let Some((&l, _)) = gcs.open.iter().find(|(_, o)| o.builder.read().fits(len)) {
+        if let Some((&l, _)) = cycle
+            .gcs
+            .open
+            .iter()
+            .find(|(_, o)| o.builder.read().fits(len))
+        {
             return Ok(Some(l));
         }
         // Distress fallback 2: make this cycle's own relocations durable so its
         // quarantined victims free up (their live pages are all in the builders about
         // to be sealed), then retry the allocation.
-        write_path::seal_gc_and_reap(store, gcs)?;
+        make_own_relocations_durable(store, cycle)?;
         allocated = try_allocate_gc(store, capacity, log);
     }
     let Some((id, gen)) = allocated else {
@@ -396,7 +757,7 @@ fn ensure_gc_open(
         store.config().segment_bytes,
     )));
     store.open_reads().write().insert(id, Arc::clone(&builder));
-    gcs.open.insert(
+    cycle.gcs.open.insert(
         log,
         OpenSegment {
             id,
@@ -409,6 +770,18 @@ fn ensure_gc_open(
     );
     store.note_open_delta(1);
     Ok(Some(log))
+}
+
+/// Mid-cycle durability point (distress only): seal this cycle's own GC outputs, mark
+/// its quarantine entries sealed and run a sync+reap pass, so the victims it has
+/// already emptied re-enter the free pool while the cycle continues.
+fn make_own_relocations_durable(store: &LogStore, cycle: &mut CycleCtx) -> Result<()> {
+    write_path::seal_streams(store, &mut cycle.gcs)?;
+    {
+        let mut central = store.central().lock();
+        central.segments.quarantine_mark_sealed(cycle.token);
+    }
+    write_path::sync_and_reap(store)
 }
 
 fn try_allocate_gc(store: &LogStore, capacity: u64, log: u16) -> Option<(SegmentId, u64)> {

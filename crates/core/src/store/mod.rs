@@ -22,22 +22,31 @@
 //!   happen under the stream lock only. The shared central state (segment table,
 //!   policy, free-space accounting) is touched in short, bounded critical sections:
 //!   segment allocation, seal bookkeeping, and batched per-page accounting.
-//! * **Cleaning** (`gc_driver`) — cycles are serialised by their own lock and run
-//!   either synchronously (allocation pressure, [`LogStore::clean_now`]) or on the
-//!   [`crate::shared::BackgroundCleaner`] thread. Victim images are read and parsed
-//!   with no store lock held; relocations are committed with a per-page atomic
+//! * **Cleaning** (`gc_driver`) — up to
+//!   [`StoreConfig::cleaner_threads`](crate::StoreConfig::cleaner_threads) cycles run
+//!   **concurrently on disjoint victim sets** (victims are claimed atomically in the
+//!   segment table at selection time), either synchronously (allocation pressure,
+//!   [`LogStore::clean_now`]) or on the [`crate::shared::BackgroundCleaner`] pool.
+//!   Victim images are read and parsed with no store lock held — pipelined across a
+//!   small per-cycle I/O pool — and relocations are committed with a per-page atomic
 //!   *compare-and-swap* on the page table ([`crate::mapping::ShardedPageTable::replace_if_current`]),
-//!   so cleaning never stalls the write streams. Victims are quarantined until the
-//!   cycle's device sync lands and no reader pins remain.
+//!   so cleaning never stalls the write streams. Victims are quarantined with a
+//!   per-entry `parked → sealed → synced` state machine, so one cycle's device sync can
+//!   never free another cycle's victims early; a victim returns to the free list only
+//!   after its own relocations are synced and no reader pins remain.
 //!
 //! ### Lock ordering
 //!
 //! To stay deadlock-free, locks nest in this order (any prefix may be skipped, never
-//! reordered): `cycle lock → stream lock → GC-stream lock → wounded-seal lock →
-//! central lock`. The open-segment read index and page-table shards are leaves: no
-//! other lock is acquired while holding them. The one intentional exception is the emergency quarantine reclaim
-//! on the write path, which `try_lock`s the cycle lock while holding a stream lock —
-//! non-blocking, so it cannot deadlock.
+//! reordered): `cycle gate (shared by cycles / exclusive by checkpoint & straggler
+//! reclaim) → cycle slot → stream lock → GC-stream lock (a cycle's own outputs or the
+//! orphan pool) → wounded-seal lock → central lock`. The open-segment read index and
+//! page-table shards are leaves: no other lock is acquired while holding them. The
+//! cycle gate is **never** acquired while holding a stream lock (a quiescing checkpoint
+//! holds it exclusive and then takes the stream locks); the emergency quarantine
+//! reclaim on the allocation path therefore skips the gate entirely — the quarantine's
+//! per-entry state machine, not the gate, is what makes its sync safe against in-flight
+//! cycles.
 //!
 //! ### Durability model
 //!
@@ -56,6 +65,7 @@ mod read_path;
 mod write_path;
 
 pub(crate) use gc_driver::GcControl;
+pub use gc_driver::{GcPhase, GcPhaseHook};
 
 use crate::cleaner::CleaningReport;
 use crate::config::StoreConfig;
@@ -127,16 +137,25 @@ pub(crate) struct WriteStream {
     pub(crate) state: Mutex<StreamState>,
 }
 
-/// The GC output streams: open segments the cleaner relocates live pages into.
-///
-/// Only ever touched while holding the cycle lock (by the cleaning cycle itself, by
-/// `flush`, or by the emergency reclaim path), so the inner mutex is uncontended; it
-/// exists to make the sharing explicit. GC opens normally live only for the duration of
-/// one cycle — a cycle seals its outputs in its final phase — but survive here if a
-/// cycle aborts on an I/O error, so a later flush or cycle can still seal them.
+/// The GC output streams of one cleaning cycle: open segments the cycle relocates live
+/// pages into. Each in-flight cycle owns its own instance (no lock needed — nothing
+/// else can reach it); a cycle seals its outputs in its final phase. If a cycle aborts
+/// on an I/O error, its leftover open segments are pushed into the store's *orphan
+/// pool* ([`LogStore::gc_orphans`]) so a later flush or reclaim pass can still seal
+/// them.
 #[derive(Default)]
 pub(crate) struct GcStreams {
     pub(crate) open: FxHashMap<u16, OpenSegment>,
+}
+
+/// Everything a checkpoint records, captured in one coherent critical section (see
+/// [`LogStore::checkpoint_snapshot`]).
+pub(crate) struct CheckpointSnapshot {
+    pub(crate) pages: Vec<(PageId, PageLocation)>,
+    pub(crate) sealed: Vec<SegmentStats>,
+    pub(crate) next_seal_seq: SealSeq,
+    pub(crate) unow: UpdateTick,
+    pub(crate) next_write_seq: WriteSeq,
 }
 
 /// The shared coordination layer of the sharded write path, guarded by the central lock.
@@ -161,8 +180,11 @@ pub struct LogStore {
     streams: Box<[WriteStream]>,
     /// The shared coordination layer (see [`CentralState`]).
     central: Mutex<CentralState>,
-    /// GC output streams (see [`GcStreams`]); access requires the cycle lock.
-    gc_streams: Mutex<GcStreams>,
+    /// Orphaned GC output segments: leftovers of cleaning cycles that aborted on an
+    /// I/O error, parked here (together with the re-tagging of those cycles' quarantine
+    /// entries to [`crate::segment::ORPHAN_CYCLE`], under this same lock) so the next
+    /// flush or emergency reclaim can seal them and free the victims they relocated.
+    gc_orphans: Mutex<Vec<OpenSegment>>,
     /// Sealed segments whose finished image failed to reach the device (an I/O error
     /// during the seal's device write). The rendered image is parked here and retried
     /// before every sync point; until it lands, the segment stays image-pending (never
@@ -193,8 +215,11 @@ pub struct LogStore {
     /// cleaning trigger is raised when many output streams are open (multi-log keeps up
     /// to 32) so partially filled open segments never starve allocation.
     open_count: AtomicUsize,
-    /// Cleaning coordination: cycle serialisation, background-cleaner wakeup.
+    /// Cleaning coordination: concurrent-cycle gate and slots, background wakeup.
     pub(crate) gc: GcControl,
+    /// Test/diagnostic instrumentation invoked at every cleaning-cycle phase boundary
+    /// (see [`GcPhase`]); `None` in production.
+    gc_phase_hook: RwLock<Option<GcPhaseHook>>,
 }
 
 impl std::fmt::Debug for LogStore {
@@ -249,7 +274,7 @@ impl LogStore {
                 segments: SegmentTable::new(num_segments),
                 policy,
             }),
-            gc_streams: Mutex::new(GcStreams::default()),
+            gc_orphans: Mutex::new(Vec::new()),
             wounded_seals: Mutex::new(Vec::new()),
             open_reads: RwLock::new(FxHashMap::default()),
             pins: (0..num_segments).map(|_| AtomicU32::new(0)).collect(),
@@ -259,7 +284,8 @@ impl LogStore {
             next_write_seq: AtomicU64::new(1),
             approx_free: AtomicUsize::new(num_segments),
             open_count: AtomicUsize::new(0),
-            gc: GcControl::new(),
+            gc: GcControl::new(config.cleaner_threads),
+            gc_phase_hook: RwLock::new(None),
             device,
             config,
         })
@@ -345,13 +371,35 @@ impl LogStore {
 
     /// Run one cleaning cycle right now, regardless of the free-segment trigger.
     /// Returns what was accomplished.
+    ///
+    /// Up to [`StoreConfig::cleaner_threads`] cycles may run concurrently (on disjoint
+    /// victim sets); beyond that, this call waits for a cycle slot.
     pub fn clean_now(&self) -> Result<CleaningReport> {
         gc_driver::run_cleaning_cycle(self)
     }
 
-    /// Snapshot of the operational statistics accumulated so far.
+    /// Install (or clear, with `None`) a hook invoked at every phase boundary of every
+    /// cleaning cycle. **Test/diagnostic instrumentation**: a blocking hook pauses the
+    /// cycle at exactly that boundary, which is how the deterministic cleaner-race
+    /// tests interleave cycles and foreground traffic at precise points. No store lock
+    /// is held while the hook runs.
+    pub fn set_gc_phase_hook(&self, hook: Option<GcPhaseHook>) {
+        *self.gc_phase_hook.write() = hook;
+    }
+
+    /// Snapshot of the operational statistics accumulated so far, including the live
+    /// per-segment emptiness histogram (see
+    /// [`StoreStats::emptiness_histogram`](crate::StoreStats::emptiness_histogram)).
     pub fn stats(&self) -> StoreStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        let central = self.central.lock();
+        let (hist, sealed, live) = central
+            .segments
+            .emptiness_histogram(crate::stats::EMPTINESS_HISTOGRAM_BINS);
+        stats.emptiness_histogram = hist;
+        stats.sealed_segments = sealed;
+        stats.sealed_live_bytes = live;
+        stats
     }
 
     /// Reset statistics (e.g. after a load phase, so that a measurement phase starts
@@ -459,8 +507,14 @@ impl LogStore {
         &self.central
     }
 
-    pub(crate) fn gc_streams(&self) -> &Mutex<GcStreams> {
-        &self.gc_streams
+    pub(crate) fn gc_orphans(&self) -> &Mutex<Vec<OpenSegment>> {
+        &self.gc_orphans
+    }
+
+    /// The installed cleaning-phase hook, if any (cloned out so it is invoked with no
+    /// lock held).
+    pub(crate) fn gc_phase_hook(&self) -> Option<GcPhaseHook> {
+        self.gc_phase_hook.read().clone()
     }
 
     pub(crate) fn wounded_seals(&self) -> &Mutex<Vec<(SegmentId, Vec<u8>)>> {
@@ -555,22 +609,37 @@ impl LogStore {
         )
     }
 
-    /// Coherent snapshot of the page table for checkpointing.
-    pub(crate) fn mapping_snapshot(&self) -> Vec<(PageId, PageLocation)> {
-        // Hold the cycle lock (no GC remaps) and every stream lock (no drains) so shard
-        // reads are stable — the read path never mutates the mapping.
-        let _cycle = self.gc.lock_cycle();
+    /// One coherent snapshot of everything a checkpoint needs: the page table, the
+    /// sealed-segment records (including victims claimed by a cycle that was in flight
+    /// when we started quiescing — until actually released they still hold durable
+    /// data), the next seal sequence and the counters.
+    ///
+    /// All of it is taken under a single quiesce of the cycle gate (waits out every
+    /// in-flight cleaning cycle, so no GC remaps and no victim reaps) while holding
+    /// every stream lock (no drains) — taking the pieces under separate critical
+    /// sections would let a cycle slip between them and reap a victim that the page
+    /// snapshot still references but the segment records would omit. The counters are
+    /// read last so the recorded `next_write_seq` is `>=` every write sequence
+    /// reachable from the snapshot.
+    pub(crate) fn checkpoint_snapshot(&self) -> CheckpointSnapshot {
+        let _quiesced = self.gc.quiesce();
         let _streams: Vec<_> = self.streams.iter().map(|s| s.state.lock()).collect();
-        self.mapping.snapshot()
-    }
-
-    /// Sealed-segment snapshots plus the next seal sequence, for checkpointing.
-    pub(crate) fn sealed_segment_records(&self) -> (Vec<SegmentStats>, SealSeq) {
-        let central = self.central.lock();
-        (
-            central.segments.sealed_stats(),
-            central.segments.next_seal_seq(),
-        )
+        let pages = self.mapping.snapshot();
+        let (sealed, next_seal_seq) = {
+            let central = self.central.lock();
+            (
+                central.segments.sealed_stats_including_claimed(),
+                central.segments.next_seal_seq(),
+            )
+        };
+        let (unow, next_write_seq) = self.counters();
+        CheckpointSnapshot {
+            pages,
+            sealed,
+            next_seal_seq,
+            unow,
+            next_write_seq,
+        }
     }
 
     pub(crate) fn install_recovered_state(

@@ -196,6 +196,7 @@ pub(crate) fn submit(store: &LogStore, pending: PendingPage) -> Result<()> {
 /// Drain every stream, seal every open segment, sync the device and reap the
 /// quarantine: the durability point.
 pub(crate) fn flush(store: &LogStore) -> Result<()> {
+    let mut stalled = 0;
     'retry: for attempt in 0..MAX_CLEAN_RETRIES {
         for stream in store.streams() {
             let mut ss = stream.state.lock();
@@ -223,31 +224,34 @@ pub(crate) fn flush(store: &LogStore) -> Result<()> {
                     };
                     let report = gc_driver::run_cleaning_cycle_with(store, mode)?;
                     if report.segments_freed() == 0 && !reclaim_stragglers(store)? {
-                        return Err(out_of_space(store));
+                        // Tolerate transient no-progress rounds under concurrent
+                        // cleaning (see `drain_with_cleaning`).
+                        stalled += 1;
+                        if stalled >= MAX_STALLED_ROUNDS {
+                            return Err(out_of_space(store));
+                        }
+                    } else {
+                        stalled = 0;
                     }
                     continue 'retry;
                 }
             }
         }
-        // Every stream is drained and sealed. Holding the cycle lock while syncing and
-        // marking the quarantine orders this against an in-flight cleaning cycle: a
-        // cycle seals its GC outputs and syncs in its own final phase before releasing
-        // the lock, so the quarantine entries marked here can never belong to a victim
-        // whose relocated copies are still sitting in an unsealed builder.
-        let _cycle = store.gc.lock_cycle();
-        let mut gcs = store.gc_streams().lock();
-        seal_gc_and_reap(store, &mut gcs)?;
+        // Every stream is drained and sealed. The tail seals any orphaned GC output
+        // builders (left behind by aborted cycles) and syncs: quarantine entries whose
+        // owning cycle has not yet sealed its outputs stay *parked* — the per-entry
+        // sealed/synced state machine, not a lock, is what keeps this sync from
+        // prematurely freeing a concurrent cycle's victims.
+        seal_orphans_and_reap(store)?;
         return Ok(());
     }
     Err(out_of_space(store))
 }
 
-/// Seal every GC output stream (leftovers exist only after a cycle aborted on an I/O
-/// error), sync the device, and reap quarantined victims without reader pins. The one
-/// place the seal-streams → sync → mark-synced → reap durability sequence is spelled
-/// out; callers must hold the cycle lock (which totally orders these transitions
-/// against in-flight cycles).
-pub(crate) fn seal_gc_and_reap(store: &LogStore, gcs: &mut GcStreams) -> Result<()> {
+/// Seal every GC output stream of a cycle (used by the cycle's own phase 4 and by the
+/// mid-cycle distress durability point). Device writes happen here; the caller marks
+/// the matching quarantine entries sealed afterwards.
+pub(crate) fn seal_streams(store: &LogStore, gcs: &mut GcStreams) -> Result<()> {
     let mut ledger = MetaLedger::default();
     let logs: Vec<u16> = gcs.open.keys().copied().collect();
     for log in logs {
@@ -256,10 +260,23 @@ pub(crate) fn seal_gc_and_reap(store: &LogStore, gcs: &mut GcStreams) -> Result<
         }
     }
     ledger.flush_to_central(store);
+    Ok(())
+}
+
+/// The durability tail every sync point shares: retry wounded seals, snapshot the
+/// quarantine entries that are already *sealed* (their relocations' device writes were
+/// issued before this sync), sync the device, mark exactly that snapshot synced, and
+/// reap synced victims without reader pins.
+///
+/// Entries sealed concurrently *after* the snapshot may have writes the sync does not
+/// cover; they simply wait for the next sync point. This is what makes the sequence
+/// safe to run concurrently with in-flight cleaning cycles.
+pub(crate) fn sync_and_reap(store: &LogStore) -> Result<()> {
     retry_wounded_seals(store)?;
+    let candidates = store.central().lock().segments.quarantine_sealed_unsynced();
     store.device().sync()?;
     let mut central = store.central().lock();
-    central.segments.mark_quarantine_synced();
+    central.segments.mark_quarantine_synced(&candidates);
     central
         .segments
         .reap_quarantine(|id| store.pin_count(id) == 0);
@@ -267,10 +284,39 @@ pub(crate) fn seal_gc_and_reap(store: &LogStore, gcs: &mut GcStreams) -> Result<
     Ok(())
 }
 
+/// Seal the orphaned GC output builders of aborted cycles, adopt their quarantine
+/// entries (mark them sealed once every orphan builder and wounded seal has reached the
+/// device), then sync and reap. The orphan lock is held across seal + adopt so a
+/// concurrently aborting cycle either hands over its builders *and* entries before this
+/// pass (both get processed) or after it (both wait for the next pass) — never one
+/// without the other.
+pub(crate) fn seal_orphans_and_reap(store: &LogStore) -> Result<()> {
+    {
+        let mut orphans = store.gc_orphans().lock();
+        let mut ledger = MetaLedger::default();
+        while let Some(open) = orphans.pop() {
+            seal_open(store, open, &mut ledger)?;
+        }
+        ledger.flush_to_central(store);
+        retry_wounded_seals(store)?;
+        let mut central = store.central().lock();
+        central
+            .segments
+            .quarantine_mark_sealed(crate::segment::ORPHAN_CYCLE);
+    }
+    sync_and_reap(store)
+}
+
 /// Maximum clean-and-retry iterations before reporting out-of-space. Each iteration
 /// requires the preceding cycle to have freed at least one segment, so this bound is
 /// only reached on pathological configurations.
 const MAX_CLEAN_RETRIES: usize = 64;
+
+/// How many *consecutive* rounds of "cycle freed nothing and the straggler sweep did
+/// not grow the pool" a writer tolerates before declaring out-of-space. Under
+/// concurrent cleaning a single such round is routinely transient (victims claimed by
+/// peers, freed segments raced away by other writers).
+const MAX_STALLED_ROUNDS: usize = 3;
 
 fn out_of_space(store: &LogStore) -> Error {
     if std::env::var("LSS_DEBUG_OOS").is_ok() {
@@ -279,9 +325,10 @@ fn out_of_space(store: &LogStore) -> Error {
         let meta_live: u64 = central.segments.iter_meta().map(|m| m.live_bytes).sum();
         let sealed_free: u64 = sealed.iter().map(|s| s.free_bytes).sum();
         eprintln!(
-            "OOS: free={} quarantine={} sealed={} sealed_free_bytes={} meta_live={} map_live={} map_pages={}",
+            "OOS: free={} quarantine={} claimed={} sealed={} sealed_free_bytes={} meta_live={} map_live={} map_pages={}",
             central.segments.free_count(),
             central.segments.quarantine_len(),
+            central.segments.claimed_count(),
             sealed.len(),
             sealed_free,
             meta_live,
@@ -331,14 +378,17 @@ pub(crate) fn ensure_headroom(store: &LogStore) -> Result<()> {
 
 /// Last line of defence before declaring out-of-space: dead space can be parked in the
 /// quarantine — either stragglers whose reap was skipped because a reader happened to
-/// hold a pin at the wrong instant, or a whole batch of victims a *concurrent* cycle is
-/// about to recycle. Neither is visible to victim selection, so a cycle that frees
-/// nothing does not prove the store is full. This waits for any in-flight cycle (no
-/// stream lock is held here, so blocking on the cycle lock is safe), then forces a
-/// sync+mark+reap pass. Returns true if the free pool grew — from the concurrent
-/// cycle's own reap or from ours — meaning the caller should retry instead of erroring.
+/// hold a pin at the wrong instant, or whole batches of victims that *concurrent*
+/// cycles are about to recycle, or victims those cycles have claimed. None of that is
+/// visible to victim selection, so a cycle that frees nothing does not prove the store
+/// is full. This quiesces the cycle gate — waiting out every in-flight cycle, whose own
+/// phase 4 reaps its victims (no stream lock is held here, so blocking is safe) — then
+/// forces a seal-orphans + sync + reap pass. Returns true if the free pool grew — from
+/// the concurrent cycles' own reaps or from ours — meaning the caller should retry
+/// instead of erroring.
 fn reclaim_stragglers(store: &LogStore) -> Result<bool> {
     let before = store.approx_free_segments();
+    drop(store.gc.quiesce());
     emergency_reclaim(store, true)?;
     Ok(store.approx_free_segments() > before)
 }
@@ -351,6 +401,7 @@ fn reclaim_stragglers(store: &LogStore) -> Result<bool> {
 /// reclaimable. Out-of-space is reported only once even a greedy cycle plus a
 /// quarantine sweep ([`reclaim_stragglers`]) free nothing.
 fn drain_with_cleaning(store: &LogStore, stream: &WriteStream) -> Result<()> {
+    let mut stalled = 0;
     for attempt in 0..MAX_CLEAN_RETRIES {
         let mode = if attempt < 2 {
             gc_driver::SelectionMode::Policy
@@ -362,10 +413,23 @@ fn drain_with_cleaning(store: &LogStore, stream: &WriteStream) -> Result<()> {
         match drain_stream(store, stream, &mut ss)? {
             DrainOutcome::Done => return Ok(()),
             DrainOutcome::NeedsCleaning => {
-                if report.segments_freed() == 0 {
+                if report.segments_freed() > 0 {
+                    stalled = 0;
+                } else {
                     drop(ss);
-                    if !reclaim_stragglers(store)? {
-                        return Err(out_of_space(store));
+                    if reclaim_stragglers(store)? {
+                        stalled = 0;
+                    } else {
+                        // With concurrent cleaners, one empty round proves little:
+                        // our cycle can find everything claimed by peers, and the
+                        // segments a straggler sweep frees can be snapped up by
+                        // other writers before we re-observe the pool. Only
+                        // *consecutive* no-progress rounds — each having waited out
+                        // every in-flight cycle — demonstrate genuine exhaustion.
+                        stalled += 1;
+                        if stalled >= MAX_STALLED_ROUNDS {
+                            return Err(out_of_space(store));
+                        }
                     }
                 }
             }
@@ -821,30 +885,34 @@ fn allocate_user_segment(
     Ok(None)
 }
 
-/// Escape hatch under allocation pressure: make relocated pages durable right now (sync
-/// the device) so quarantined victims become reusable.
+/// Escape hatch under allocation pressure: make already-sealed relocated pages durable
+/// right now (sync the device) so quarantined victims become reusable, sealing any
+/// orphaned GC output builders along the way.
 ///
-/// When `blocking` is false this `try_lock`s the cycle lock and no-ops if a cleaning
-/// cycle is in flight: the allocation path calls it while holding a stream lock, where
-/// blocking on a whole cycle is not acceptable — and marking an in-progress cycle's
-/// quarantine entries synced would be wrong anyway (their relocated copies may still
-/// sit in unsealed GC builders). Callers that hold no stream lock pass `blocking =
-/// true` to wait the cycle out (see [`reclaim_stragglers`]).
+/// Safe to run concurrently with in-flight cleaning cycles: the per-entry quarantine
+/// state machine guarantees this pass can only free victims whose relocations are
+/// already on the device — a live cycle's still-parked entries are untouched. The
+/// allocation path calls it with `blocking = false` while holding a stream lock (it
+/// must never touch the cycle gate there — a quiescing checkpoint acquires the gate
+/// first and the stream locks second); `blocking = true` callers hold no stream lock
+/// and additionally retry pin-skipped reaps (see [`reclaim_stragglers`]).
 fn emergency_reclaim(store: &LogStore, blocking: bool) -> Result<()> {
-    let guard = if blocking {
-        Some(store.gc.lock_cycle())
-    } else {
-        store.gc.try_lock_cycle()
-    };
-    let Some(_cycle) = guard else {
-        return Ok(());
-    };
-    let mut gcs = store.gc_streams().lock();
-    if gcs.open.is_empty() && store.central().lock().segments.quarantine_len() == 0 {
-        // Nothing to seal and nothing parked: skip the pointless device sync.
-        return Ok(());
+    {
+        let orphans_empty = store.gc_orphans().lock().is_empty();
+        let wounded_empty = store.wounded_seals().lock().is_empty();
+        if orphans_empty
+            && wounded_empty
+            && store.central().lock().segments.quarantine_reclaimable() == 0
+        {
+            // Nothing this pass could free: no orphan builders to seal, no wounded
+            // images to retry, and every quarantined victim (if any) is still parked
+            // under a live cycle whose own phase 4 is the only thing that can move it
+            // forward. Skip the pointless device sync — the non-blocking caller holds
+            // a stream lock, and an fsync there would stall the stream for nothing.
+            return Ok(());
+        }
     }
-    seal_gc_and_reap(store, &mut gcs)?;
+    seal_orphans_and_reap(store)?;
     if blocking {
         // Quarantine entries can survive the reap only because a reader happened to
         // hold a pin at that instant — pins last microseconds. When the caller is

@@ -1,0 +1,525 @@
+//! Deterministic cleaner-race tests: concurrent cleaning cycles on disjoint victims,
+//! interleaved with foreground traffic at **exact phase boundaries**, plus a
+//! crash-recovery matrix that kills the store mid-cycle at every phase with two cycles
+//! in flight.
+//!
+//! The store exposes a test hook ([`LogStore::set_gc_phase_hook`]) invoked at every
+//! phase boundary of every cleaning cycle with no store lock held; the [`PhaseGate`]
+//! harness below turns it into a controllable barrier — tests pause any cycle at any
+//! boundary (`Claimed → VictimRead → Relocated → Sealed → Synced`), run foreground
+//! writers or a second cycle while it is parked, and then release it. This is the
+//! `GatedDevice` idea from `tests/concurrency.rs` generalised from "block inside one
+//! device read" to "block at any point of the cycle state machine".
+
+use lss::core::device::{DeviceGeometry, MemDevice, SegmentDevice};
+use lss::core::policy::PolicyKind;
+use lss::core::{
+    Error, GcPhase, GcPhaseHook, LogStore, Result, SegmentId, SharedLogStore, StoreConfig,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+mod common;
+use common::apply_env_concurrency;
+
+/// Self-describing page payload: `[page_id, version, filler...]`.
+fn payload(page: u64, version: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![(page ^ version) as u8; len.max(16)];
+    v[..8].copy_from_slice(&page.to_le_bytes());
+    v[8..16].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn decode(bytes: &[u8]) -> (u64, u64) {
+    (
+        u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+        u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+    )
+}
+
+const GATE_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Default)]
+struct GateInner {
+    /// Phases at which the first arrival of each cycle pauses.
+    pause_at: HashSet<GcPhase>,
+    /// How many pauses may still happen: once spent, later cycles pass through freely
+    /// (so a test can park N cycles and still run further cycles to completion).
+    pause_budget: usize,
+    /// Every hook invocation, in arrival order.
+    events: Vec<(u64, GcPhase, Option<SegmentId>)>,
+    /// `(cycle, phase)` pairs currently parked inside the hook.
+    paused: HashSet<(u64, GcPhase)>,
+    /// `(cycle, phase)` pairs allowed through.
+    released: HashSet<(u64, GcPhase)>,
+    /// Pairs that already took their one pause (later arrivals pass straight through,
+    /// so e.g. only the *first* `Claimed` of a cycle pauses it).
+    seen: HashSet<(u64, GcPhase)>,
+}
+
+/// A controllable barrier over the cleaning-cycle state machine (see module docs).
+#[derive(Default)]
+struct PhaseGate {
+    inner: Mutex<GateInner>,
+    cond: Condvar,
+}
+
+impl PhaseGate {
+    /// A gate pausing the first arrival of up to `budget` cycles at each given phase.
+    fn new(pause_at: &[GcPhase], budget: usize) -> Arc<Self> {
+        let gate = Arc::new(Self::default());
+        {
+            let mut g = gate.inner.lock().unwrap();
+            g.pause_at = pause_at.iter().copied().collect();
+            g.pause_budget = budget;
+        }
+        gate
+    }
+
+    /// The hook to install via [`LogStore::set_gc_phase_hook`].
+    fn hook(self: &Arc<Self>) -> GcPhaseHook {
+        let gate = Arc::clone(self);
+        Arc::new(move |cycle, phase, victim| gate.on_phase(cycle, phase, victim))
+    }
+
+    fn on_phase(&self, cycle: u64, phase: GcPhase, victim: Option<SegmentId>) {
+        let mut g = self.inner.lock().unwrap();
+        g.events.push((cycle, phase, victim));
+        self.cond.notify_all();
+        if g.pause_budget > 0 && g.pause_at.contains(&phase) && g.seen.insert((cycle, phase)) {
+            g.pause_budget -= 1;
+            g.paused.insert((cycle, phase));
+            self.cond.notify_all();
+            let deadline = Instant::now() + GATE_TIMEOUT;
+            while !g.released.contains(&(cycle, phase)) {
+                let (ng, timeout) = self
+                    .cond
+                    .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
+                    .unwrap();
+                g = ng;
+                assert!(
+                    !timeout.timed_out(),
+                    "cycle {cycle} stuck paused at {phase:?} (test forgot to release?)"
+                );
+            }
+            g.paused.remove(&(cycle, phase));
+            self.cond.notify_all();
+        }
+    }
+
+    /// Block until `n` distinct cycles are parked at `phase`; returns their tokens.
+    fn wait_paused_at(&self, phase: GcPhase, n: usize) -> Vec<u64> {
+        let deadline = Instant::now() + GATE_TIMEOUT;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let cycles: Vec<u64> = g
+                .paused
+                .iter()
+                .filter(|(_, p)| *p == phase)
+                .map(|&(c, _)| c)
+                .collect();
+            if cycles.len() >= n {
+                return cycles;
+            }
+            let (ng, timeout) = self
+                .cond
+                .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
+                .unwrap();
+            g = ng;
+            assert!(
+                !timeout.timed_out(),
+                "only {} of {n} cycles reached {phase:?}",
+                g.paused.iter().filter(|(_, p)| *p == phase).count()
+            );
+        }
+    }
+
+    /// Release one parked `(cycle, phase)` pair.
+    fn release(&self, cycle: u64, phase: GcPhase) {
+        let mut g = self.inner.lock().unwrap();
+        g.released.insert((cycle, phase));
+        self.cond.notify_all();
+    }
+
+    /// Stop pausing anywhere and release everything parked now or later.
+    fn open_wide(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.pause_at.clear();
+        let parked: Vec<_> = g.paused.iter().copied().collect();
+        g.released.extend(parked);
+        // Also pre-release pairs that paused once already but might re-arrive.
+        let seen: Vec<_> = g.seen.iter().copied().collect();
+        g.released.extend(seen);
+        self.cond.notify_all();
+    }
+
+    /// The victims a cycle claimed, from its `Claimed` events.
+    fn victims_of(&self, cycle: u64) -> Vec<SegmentId> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|(c, p, _)| *c == cycle && *p == GcPhase::Claimed)
+            .filter_map(|(_, _, v)| *v)
+            .collect()
+    }
+}
+
+/// A cloneable device with a kill switch: once killed, every write and sync fails (the
+/// process "dies" mid-cycle) while the durable contents survive for recovery, which
+/// only needs reads.
+#[derive(Clone)]
+struct KillSwitchDevice {
+    inner: Arc<MemDevice>,
+    dead: Arc<AtomicBool>,
+}
+
+impl KillSwitchDevice {
+    fn new(segment_bytes: usize, num_segments: usize) -> Self {
+        Self {
+            inner: Arc::new(MemDevice::new(segment_bytes, num_segments)),
+            dead: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    fn revive_for_recovery(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+    }
+}
+
+impl SegmentDevice for KillSwitchDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.inner.geometry()
+    }
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
+        self.inner.read_segment(seg)
+    }
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        self.inner.read_range(seg, offset, len)
+    }
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(Error::Io(std::io::Error::other("killed mid-cycle")));
+        }
+        self.inner.write_segment(seg, image)
+    }
+    fn sync(&self) -> Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(Error::Io(std::io::Error::other("killed mid-cycle")));
+        }
+        self.inner.sync()
+    }
+    fn segment_writes(&self) -> u64 {
+        self.inner.segment_writes()
+    }
+}
+
+/// A store primed with reclaimable segments: `pages` pages at version 1, a scrambled
+/// half overwritten to version 2 (checkerboarding the sealed segments so cleaning must
+/// actually relocate), everything flushed. Returns the expected page → version model.
+fn prime_store(store: &LogStore, config: &StoreConfig, pages: u64) -> HashMap<u64, u64> {
+    let mut model = HashMap::new();
+    for p in 0..pages {
+        store.put(p, &payload(p, 1, config.page_bytes)).unwrap();
+        model.insert(p, 1);
+    }
+    for n in 0..pages / 2 {
+        let p = (n * 11 + 3) % pages;
+        store.put(p, &payload(p, 2, config.page_bytes)).unwrap();
+        model.insert(p, 2);
+    }
+    // A few deletions, so the matrix also proves tombstoned pages are never
+    // resurrected by a half-finished cycle.
+    for p in (0..pages).step_by(17) {
+        store.delete(p).unwrap();
+        model.remove(&p);
+    }
+    store.flush().unwrap();
+    model
+}
+
+fn assert_matches_model(store: &LogStore, model: &HashMap<u64, u64>, pages: u64, ctx: &str) {
+    assert_eq!(store.live_pages(), model.len(), "{ctx}: live-page count");
+    for p in 0..pages {
+        match model.get(&p) {
+            Some(&version) => {
+                let got = store
+                    .get(p)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{ctx}: page {p} lost"));
+                assert_eq!(decode(&got), (p, version), "{ctx}: page {p}");
+            }
+            None => assert!(
+                store.get(p).unwrap().is_none(),
+                "{ctx}: deleted page {p} resurrected"
+            ),
+        }
+    }
+}
+
+fn race_config(cleaner_threads: usize) -> StoreConfig {
+    let mut config = StoreConfig::small_for_tests()
+        .with_policy(PolicyKind::Greedy)
+        .with_cleaner_threads(cleaner_threads);
+    // Plenty of headroom so foreground writes issued while cycles are paused never
+    // trigger inline cleaning (which would wait for a cycle slot held by a paused
+    // cycle and deadlock the test).
+    config.num_segments = 128;
+    config
+}
+
+/// Two cycles run concurrently, pause after reading their first victim, and their
+/// claimed victim sets are provably disjoint; foreground reads and writes complete
+/// while both are parked, and no data is lost or corrupted by the overlap.
+#[test]
+fn concurrent_cycles_claim_disjoint_victims_while_foreground_progresses() {
+    let config = race_config(2);
+    let store = Arc::new(LogStore::open_in_memory(config.clone()).unwrap());
+    let pages = 512u64;
+    let model = prime_store(&store, &config, pages);
+
+    let gate = PhaseGate::new(&[GcPhase::VictimRead], 2);
+    store.set_gc_phase_hook(Some(gate.hook()));
+
+    let cleaners: Vec<_> = (0..2)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.clean_now().unwrap())
+        })
+        .collect();
+    let tokens = gate.wait_paused_at(GcPhase::VictimRead, 2);
+
+    // Both cycles are mid-flight with victims claimed: the claims must be disjoint.
+    let a: HashSet<SegmentId> = gate.victims_of(tokens[0]).into_iter().collect();
+    let b: HashSet<SegmentId> = gate.victims_of(tokens[1]).into_iter().collect();
+    assert!(!a.is_empty() && !b.is_empty(), "a cycle claimed nothing");
+    assert!(
+        a.is_disjoint(&b),
+        "cycles claimed overlapping victims: {a:?} vs {b:?}"
+    );
+
+    // Foreground traffic completes while two cycles are provably in flight.
+    let probe = *model.keys().next().unwrap();
+    assert_eq!(
+        decode(&store.get(probe).unwrap().unwrap()).0,
+        probe,
+        "read stalled behind paused cycles"
+    );
+    store
+        .put(9_999, &payload(9_999, 7, config.page_bytes))
+        .expect("write stalled behind paused cycles");
+
+    gate.open_wide();
+    let mut freed = 0;
+    for c in cleaners {
+        freed += c.join().unwrap().segments_freed();
+    }
+    assert!(freed > 0, "two gated cycles reclaimed nothing");
+
+    store.set_gc_phase_hook(None);
+    assert_matches_model(&store, &model, pages, "after concurrent cycles");
+    assert_eq!(decode(&store.get(9_999).unwrap().unwrap()), (9_999, 7));
+}
+
+/// A user rewrite that lands between a cycle's victim read and its commit must win:
+/// the cycle's staged copy fails the page-table compare-and-swap and is abandoned.
+#[test]
+fn user_rewrite_during_paused_cycle_beats_the_relocation() {
+    let config = race_config(2);
+    let store = Arc::new(LogStore::open_in_memory(config.clone()).unwrap());
+    let pages = 512u64;
+    let model = prime_store(&store, &config, pages);
+
+    let gate = PhaseGate::new(&[GcPhase::VictimRead], 1);
+    store.set_gc_phase_hook(Some(gate.hook()));
+    let cleaner = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || store.clean_now().unwrap())
+    };
+    gate.wait_paused_at(GcPhase::VictimRead, 1);
+
+    // The cycle has read images of claimed victims but committed nothing. Overwrite
+    // every live page so every staged relocation it goes on to attempt is stale.
+    let mut rewritten = HashMap::new();
+    for p in model.keys() {
+        store.put(*p, &payload(*p, 50, config.page_bytes)).unwrap();
+        rewritten.insert(*p, 50u64);
+    }
+    gate.open_wide();
+    cleaner.join().unwrap();
+    store.set_gc_phase_hook(None);
+
+    assert_matches_model(&store, &rewritten, pages, "after racing rewrites");
+    store.flush().unwrap();
+    assert_matches_model(&store, &rewritten, pages, "after flush");
+}
+
+/// Walk one cycle through every phase boundary: at each pause a second cycle runs to
+/// completion and foreground reads/writes complete, proving no boundary holds a lock
+/// that foreground traffic or another cycle needs.
+#[test]
+fn every_phase_boundary_overlaps_a_full_cycle_and_foreground_traffic() {
+    for phase in [
+        GcPhase::Claimed,
+        GcPhase::VictimRead,
+        GcPhase::Relocated,
+        GcPhase::Sealed,
+        GcPhase::Synced,
+    ] {
+        let config = race_config(2);
+        let store = Arc::new(LogStore::open_in_memory(config.clone()).unwrap());
+        let pages = 512u64;
+        let mut model = prime_store(&store, &config, pages);
+
+        let gate = PhaseGate::new(&[phase], 1);
+        store.set_gc_phase_hook(Some(gate.hook()));
+        let paused = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.clean_now().unwrap())
+        };
+        let token = gate.wait_paused_at(phase, 1)[0];
+
+        // A full second cycle completes while the first is parked at `phase`...
+        let report = store.clean_now().unwrap();
+        if phase != GcPhase::Synced {
+            // (once the first cycle is fully done, the second may find nothing left)
+            assert!(
+                report.segments_freed() > 0 || report.pages_moved == 0,
+                "phase {phase:?}: second cycle wedged"
+            );
+        }
+        // ...and so does foreground traffic.
+        let probe = *model.keys().next().unwrap();
+        assert!(store.get(probe).unwrap().is_some());
+        store
+            .put(10_000, &payload(10_000, 3, config.page_bytes))
+            .unwrap();
+        model.insert(10_000, 3);
+
+        gate.release(token, phase);
+        paused.join().unwrap();
+        store.set_gc_phase_hook(None);
+        store.flush().unwrap();
+        assert_matches_model(&store, &model, 10_001, &format!("phase {phase:?}"));
+    }
+}
+
+/// The crash-recovery matrix: with **two concurrent cycles** parked at each phase
+/// boundary (victims claimed / images read / first victim's relocations committed /
+/// outputs sealed / synced-but-not-reaped), the device dies, the process "restarts",
+/// and recovery from the device image alone must reproduce exactly the flushed state —
+/// no lost pages, no resurrected pages, for any combination of cycle progress.
+#[test]
+fn crash_matrix_recovers_flushed_state_at_every_phase_with_two_cycles() {
+    for phase in [
+        GcPhase::Claimed,
+        GcPhase::VictimRead,
+        GcPhase::Relocated,
+        GcPhase::Sealed,
+        GcPhase::Synced,
+    ] {
+        let config = race_config(2);
+        let device = KillSwitchDevice::new(config.segment_bytes, config.num_segments);
+        let store =
+            Arc::new(LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap());
+        let pages = 512u64;
+        let model = prime_store(&store, &config, pages);
+
+        let gate = PhaseGate::new(&[phase], 2);
+        store.set_gc_phase_hook(Some(gate.hook()));
+        let cleaners: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || store.clean_now())
+            })
+            .collect();
+        // Both cycles in flight at the same boundary. (At `Relocated` each cycle has
+        // committed its first victim's relocations but not the rest — the "half the
+        // relocations committed" point of the matrix.)
+        let _tokens = gate.wait_paused_at(phase, 2);
+
+        // Kill the device, then let the cycles run into the dead device and finish
+        // however they finish (errors are expected and fine — the store is doomed).
+        device.kill();
+        gate.open_wide();
+        for c in cleaners {
+            let _ = c.join().unwrap();
+        }
+        drop(store); // the process dies; all in-memory state is gone
+
+        // Restart: recovery reads the durable image only.
+        device.revive_for_recovery();
+        let recovered =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        assert_matches_model(
+            &recovered,
+            &model,
+            pages,
+            &format!("crash at {phase:?} with 2 cycles"),
+        );
+        // The recovered store must still write, clean and flush.
+        recovered
+            .put(0, &payload(0, 77, config.page_bytes))
+            .unwrap();
+        recovered.clean_now().unwrap();
+        recovered.flush().unwrap();
+        assert_eq!(decode(&recovered.get(0).unwrap().unwrap()), (0, 77));
+    }
+}
+
+/// Flake-catcher: a background cleaner pool (LSS_CLEANER_THREADS, default 2) races
+/// several writers over a hot overwrite workload; every page must hold its final
+/// version and live accounting must match. Run 10× in release by the CI stress job.
+#[test]
+fn cleaner_pool_races_writers_without_losing_data() {
+    let mut config = apply_env_concurrency(
+        StoreConfig::small_for_tests()
+            .with_policy(PolicyKind::Mdc)
+            .with_cleaner_threads(2)
+            .with_gc_read_pool(2),
+    );
+    config.num_segments = 128;
+    let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
+
+    let writers = 4u64;
+    let pages_per_writer = 120u64;
+    let rounds = 30u64;
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let store = store.clone();
+        let len = config.page_bytes;
+        handles.push(std::thread::spawn(move || {
+            for round in 1..=rounds {
+                for i in 0..pages_per_writer {
+                    let i = (i * 13 + round) % pages_per_writer;
+                    let page = w * 10_000 + i;
+                    store.put(page, &payload(page, round, len)).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    store.flush().unwrap();
+    let stats = store.stats();
+    assert!(stats.cleaning_cycles > 0, "the pool never cleaned");
+    for w in 0..writers {
+        for i in 0..pages_per_writer {
+            let page = w * 10_000 + i;
+            let got = store
+                .get(page)
+                .unwrap()
+                .unwrap_or_else(|| panic!("page {page} lost under cleaner-pool races"));
+            assert_eq!(decode(&got), (page, rounds));
+        }
+    }
+    assert_eq!(store.live_pages() as u64, writers * pages_per_writer);
+}

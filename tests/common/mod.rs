@@ -1,0 +1,24 @@
+//! Helpers shared by the integration-test binaries (each `tests/*.rs` file compiles
+//! separately and pulls this in via `mod common;`).
+
+use lss::core::StoreConfig;
+
+/// Apply the concurrency knobs the CI stress job cranks via the environment
+/// (`LSS_WRITE_STREAMS`, `LSS_CLEANER_THREADS`) on top of a test's base config,
+/// clamped to the ranges config validation accepts.
+#[allow(dead_code)] // not every test binary uses it
+pub fn apply_env_concurrency(mut config: StoreConfig) -> StoreConfig {
+    if let Some(n) = std::env::var("LSS_WRITE_STREAMS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        config.write_streams = n.clamp(1, 16);
+    }
+    if let Some(n) = std::env::var("LSS_CLEANER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        config.cleaner_threads = n.clamp(1, 8);
+    }
+    config
+}

@@ -18,6 +18,9 @@ use lss::core::{Error, LogStore, Result, SegmentId, SharedLogStore, StoreConfig}
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+mod common;
+use common::apply_env_concurrency;
+
 /// Self-describing page payload: `[page_id, version, filler...]`, so readers can detect
 /// torn or misdirected reads no matter when they interleave with writers.
 fn payload(page: u64, version: u64, len: usize) -> Vec<u8> {
@@ -39,7 +42,7 @@ fn decode_payload(bytes: &[u8]) -> (u64, u64) {
 #[test]
 fn stress_readers_writers_and_background_cleaner_under_every_policy() {
     for kind in PolicyKind::ALL {
-        let mut config = StoreConfig::small_for_tests().with_policy(kind);
+        let mut config = apply_env_concurrency(StoreConfig::small_for_tests().with_policy(kind));
         config.num_segments = 128;
         config.sort_buffer_segments = 2;
         let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
@@ -150,6 +153,7 @@ fn acknowledged_writes_never_transiently_disappear() {
     // The visibility guarantee must hold per stream: probe it with the write path
     // sharded wider than the default.
     config.write_streams = 4;
+    let config = apply_env_concurrency(config);
     let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
     let high_water = Arc::new(AtomicU64::new(0)); // pages < high_water are acknowledged
                                                   // Distinct fresh pages (the sharpest probe for the visibility window), sized to a

@@ -10,9 +10,9 @@
 //! run explores the same operation sequences and failures reproduce deterministically.
 
 use lss::btree::{BTree, BufferPool, MemPageStore};
-use lss::core::layout::{decode_segment, SegmentBuilder};
+use lss::core::layout::{self, decode_segment, SegmentBuilder};
 use lss::core::policy::PolicyKind;
-use lss::core::{LogStore, SegmentId, StoreConfig};
+use lss::core::{LogStore, SegmentId, SharedLogStore, StoreConfig};
 use lss::workload::{PageWorkload, WriteTrace, ZipfianWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -237,6 +237,136 @@ fn zipfian_frequencies_are_normalised() {
         let sum: f64 = (0..n).map(|p| w.update_frequency(p).unwrap()).sum();
         assert!((sum / n as f64 - 1.0).abs() < 1e-6, "n={n} theta={theta}");
     }
+}
+
+/// Seeded random workloads against a store with a live background cleaner pool at
+/// `cleaner_threads ∈ {1, 2, 4}`:
+///
+/// * **get-after-put linearizability** — every acknowledged `put` is immediately and
+///   thereafter readable with exactly the written bytes (concurrent cycles relocate
+///   pages under the reader, so this exercises the CAS-commit and pin protocols);
+/// * **capacity invariant** — total live bytes never exceed the device's payload
+///   capacity, no matter how the cleaner interleaves;
+/// * the final state matches the model, survives a flush, and recovers from the
+///   device alone.
+#[test]
+fn store_matches_model_under_concurrent_cleaners() {
+    for &cleaner_threads in &[1usize, 2, 4] {
+        let mut config = StoreConfig::small_for_tests()
+            .with_policy(PolicyKind::Mdc)
+            .with_cleaner_threads(cleaner_threads)
+            .with_gc_read_pool(2);
+        config.num_segments = 96;
+        let capacity = config.num_segments as u64
+            * layout::payload_capacity(config.segment_bytes, config.page_bytes) as u64;
+        let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        let mut rng = StdRng::seed_from_u64(4242 + cleaner_threads as u64);
+        let max_page = config.logical_pages_for_fill_factor(0.5) as u64;
+        let ops = random_ops(&mut rng, 4_000, max_page, config.page_bytes);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Put { page, len, fill } => {
+                    let payload = expected_payload(len, fill);
+                    store.put(page, &payload).unwrap();
+                    model.insert(page, payload);
+                }
+                Op::Delete { page } => {
+                    store.delete(page).unwrap();
+                    model.remove(&page);
+                }
+            }
+            // Get-after-put: the op just acknowledged must be visible right now, even
+            // with cleaning cycles in flight.
+            if let Op::Put { page, .. } = *op {
+                let got = store.get(page).unwrap();
+                assert_eq!(
+                    got.as_deref(),
+                    model.get(&page).map(|v| v.as_slice()),
+                    "cleaner_threads={cleaner_threads}: op {i} not visible after ack"
+                );
+            }
+            if i % 256 == 0 {
+                assert!(
+                    store.with_store(|s| s.live_bytes()) <= capacity,
+                    "cleaner_threads={cleaner_threads}: live bytes exceed device capacity"
+                );
+            }
+        }
+
+        store.flush().unwrap();
+        assert!(
+            store.with_store(|s| s.live_bytes()) <= capacity,
+            "cleaner_threads={cleaner_threads}: live bytes exceed capacity after flush"
+        );
+        assert_eq!(store.live_pages(), model.len());
+        for (&page, value) in &model {
+            assert_eq!(
+                store.get(page).unwrap().as_deref(),
+                Some(value.as_slice()),
+                "cleaner_threads={cleaner_threads} page {page}"
+            );
+        }
+
+        // Shut the pool down, recover from the device image, and re-verify.
+        let inner = store.try_into_inner().expect("sole handle");
+        let recovered = LogStore::recover_with_device(config.clone(), inner.into_device()).unwrap();
+        assert_eq!(recovered.live_pages(), model.len());
+        for (&page, value) in &model {
+            assert_eq!(
+                recovered.get(page).unwrap().as_deref(),
+                Some(value.as_slice()),
+                "cleaner_threads={cleaner_threads} page {page} after recovery"
+            );
+        }
+    }
+}
+
+/// The live emptiness histogram exported through `StoreStats` must agree with the
+/// accounting ledger: bins sum to the sealed-segment count, and after a flush (nothing
+/// buffered, nothing open) the sealed live bytes equal the page table's live bytes.
+#[test]
+fn emptiness_histogram_sums_to_the_ledger_totals() {
+    let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Greedy);
+    let store = LogStore::open_in_memory(config.clone()).unwrap();
+    let pages = config.logical_pages_for_fill_factor(0.6) as u64;
+    let payload = vec![9u8; config.page_bytes];
+    for i in 0..(config.physical_pages() as u64 * 4) {
+        store
+            .put(lss::core::util::mix64(i) % pages, &payload)
+            .unwrap();
+    }
+    store.flush().unwrap();
+
+    let stats = store.stats();
+    assert!(stats.cleaning_cycles > 0, "cleaning never participated");
+    assert_eq!(
+        stats.emptiness_histogram.len(),
+        lss::core::stats::EMPTINESS_HISTOGRAM_BINS
+    );
+    assert_eq!(
+        stats.emptiness_histogram.iter().sum::<u64>(),
+        stats.sealed_segments,
+        "histogram bins must sum to the sealed-segment count"
+    );
+    assert!(stats.sealed_segments > 0);
+    // After a flush every live page sits in a sealed segment, so the ledger's sealed
+    // live bytes must equal the page table's aggregate exactly.
+    assert_eq!(stats.sealed_live_bytes, store.live_bytes());
+
+    // The histogram is a gauge: overwriting everything shifts mass toward emptier
+    // bins, and the identity keeps holding.
+    for i in 0..pages / 2 {
+        store.put(i, &payload).unwrap();
+    }
+    store.flush().unwrap();
+    let stats = store.stats();
+    assert_eq!(
+        stats.emptiness_histogram.iter().sum::<u64>(),
+        stats.sealed_segments
+    );
+    assert_eq!(stats.sealed_live_bytes, store.live_bytes());
 }
 
 /// Deterministic long-run companion: heavy overwrites so cleaning definitely
