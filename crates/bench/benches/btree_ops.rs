@@ -17,7 +17,7 @@ fn bench_btree(c: &mut Criterion) {
     group.bench_function("insert_10k", |b| {
         b.iter(|| {
             let pool = BufferPool::new(MemPageStore::new(4096), 1024);
-            let mut tree = BTree::open(pool).unwrap();
+            let tree = BTree::open(pool).unwrap();
             for i in 0..batch {
                 let k = (i.wrapping_mul(2654435761)) % batch;
                 tree.insert(&key(k), b"value-payload-of-a-realistic-size-123456")
@@ -29,7 +29,7 @@ fn bench_btree(c: &mut Criterion) {
 
     group.bench_function("get_10k", |b| {
         let pool = BufferPool::new(MemPageStore::new(4096), 1024);
-        let mut tree = BTree::open(pool).unwrap();
+        let tree = BTree::open(pool).unwrap();
         for i in 0..batch {
             tree.insert(&key(i), b"value-payload-of-a-realistic-size-123456")
                 .unwrap();

@@ -1,0 +1,345 @@
+//! KV-layer benchmark: multi-threaded ops/s and **index write amplification** for the
+//! paged B+-tree index vs the legacy JSON index, at 1/2/4/8 threads.
+//!
+//! Each measured point preloads a key population, then runs a mixed workload
+//! (50% get / 40% put / 10% delete+reinsert) from N threads on disjoint key ranges,
+//! committing the index every `ops/8` operations per thread 0 — the checkpoint cadence
+//! is what exposes the index formats' very different persistence costs: the paged
+//! index writes only dirty tree pages (plus their root path), the JSON format rewrites
+//! every chunk on every flush.
+//!
+//! Environment:
+//! * `LSS_KV_INDEX=paged|json` restricts the run to one format (default: both);
+//! * `LSS_WRITE_STREAMS` overrides the store's write-stream count (default 8).
+//!
+//! Emits `BENCH_kv.json`. Run with:
+//! `cargo run --release -p lss-bench --bin kv [--quick|--full]`
+
+use lss_bench::Scale;
+use lss_btree::kv::{KvOptions, KvStats, KvStore};
+use lss_btree::LegacyJsonKvStore;
+use lss_core::policy::PolicyKind;
+use lss_core::util::mix64 as mix;
+use lss_core::{LogStore, StoreConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One measured point: a format at a thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KvPoint {
+    /// `"paged"` or `"json"`.
+    format: String,
+    threads: usize,
+    /// Mixed workload (50% get / 40% put / 10% delete+reinsert, with periodic
+    /// commits) throughput.
+    ops_per_sec: f64,
+    /// Pure point-read throughput at the same thread count (read-latch scaling).
+    get_ops_per_sec: f64,
+    total_ops: u64,
+    /// Index bytes written per user value byte written.
+    index_write_amplification: f64,
+    index_pages_written: u64,
+    index_bytes_written: u64,
+    value_bytes_written: u64,
+    /// Index commits (superblock flips / JSON index flushes) during the run.
+    index_commits: u64,
+    /// Buffer-pool hit ratio for the paged index (0 for JSON — it has no pool).
+    pool_hit_ratio: f64,
+    /// Store-level write amplification (GC pages per user page) during the run.
+    store_write_amplification: f64,
+}
+
+/// The full benchmark record written to `BENCH_kv.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KvReport {
+    benchmark: String,
+    policy: String,
+    page_bytes: usize,
+    segment_bytes: usize,
+    num_segments: usize,
+    write_streams: usize,
+    keys_per_thread: u64,
+    value_bytes: usize,
+    ops_per_thread: u64,
+    results: Vec<KvPoint>,
+}
+
+/// Either index format behind one face, so the workload driver is shared.
+enum AnyKv {
+    Paged(Box<KvStore>),
+    Json(LegacyJsonKvStore),
+}
+
+impl AnyKv {
+    fn put(&self, k: &[u8], v: &[u8]) -> lss_core::Result<()> {
+        match self {
+            AnyKv::Paged(kv) => kv.put(k, v),
+            AnyKv::Json(kv) => kv.put(k, v),
+        }
+    }
+    fn get(&self, k: &[u8]) -> lss_core::Result<Option<bytes::Bytes>> {
+        match self {
+            AnyKv::Paged(kv) => kv.get(k),
+            AnyKv::Json(kv) => kv.get(k),
+        }
+    }
+    fn delete(&self, k: &[u8]) -> lss_core::Result<bool> {
+        match self {
+            AnyKv::Paged(kv) => kv.delete(k),
+            AnyKv::Json(kv) => kv.delete(k),
+        }
+    }
+    fn flush(&self) -> lss_core::Result<()> {
+        match self {
+            AnyKv::Paged(kv) => kv.flush(),
+            AnyKv::Json(kv) => kv.flush(),
+        }
+    }
+    fn stats(&self) -> KvStats {
+        match self {
+            AnyKv::Paged(kv) => kv.stats(),
+            AnyKv::Json(kv) => kv.stats(),
+        }
+    }
+    fn store_stats(&self) -> lss_core::StoreStats {
+        match self {
+            AnyKv::Paged(kv) => kv.store().stats(),
+            AnyKv::Json(kv) => kv.store().stats(),
+        }
+    }
+    fn reset_store_stats(&self) {
+        match self {
+            AnyKv::Paged(kv) => kv.store().reset_stats(),
+            AnyKv::Json(kv) => kv.store().reset_stats(),
+        }
+    }
+}
+
+fn store_config(scale: Scale) -> StoreConfig {
+    let mut c = StoreConfig::paper_default().with_policy(PolicyKind::Mdc);
+    c.segment_bytes = 256 * 1024;
+    c.num_segments = match scale {
+        Scale::Quick => 320,
+        Scale::Default => 768,
+        Scale::Full => 1536,
+    };
+    c.page_bytes = 1024;
+    c.sort_buffer_segments = 4;
+    c.write_streams = std::env::var("LSS_WRITE_STREAMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    c
+}
+
+fn ops_per_thread(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 10_000,
+        Scale::Default => 60_000,
+        Scale::Full => 250_000,
+    }
+}
+
+/// Keys per thread: sized so the index is big enough that persisting it matters (the
+/// legacy JSON format rewrites all of it on every commit).
+fn keys_per_thread(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 5_000,
+        Scale::Default => 15_000,
+        Scale::Full => 40_000,
+    }
+}
+
+const VALUE_BYTES: usize = 200;
+
+fn key(t: usize, i: u64) -> Vec<u8> {
+    format!("bench:t{t}:k{i:08}").into_bytes()
+}
+
+fn open(format: &str, scale: Scale) -> AnyKv {
+    let config = store_config(scale);
+    let store = LogStore::open_in_memory(config).unwrap();
+    match format {
+        "paged" => AnyKv::Paged(Box::new(
+            KvStore::open_with(
+                store,
+                KvOptions {
+                    pool_pages: 2048,
+                    tree_page_bytes: None,
+                },
+            )
+            .unwrap(),
+        )),
+        _ => AnyKv::Json(LegacyJsonKvStore::new(store)),
+    }
+}
+
+fn measure(format: &str, threads: usize, scale: Scale) -> KvPoint {
+    let kv = open(format, scale);
+    let value = vec![0xABu8; VALUE_BYTES];
+    let keys = keys_per_thread(scale);
+
+    // Preload every thread's key population and commit it, so the measured phase is
+    // steady-state (overwrites + checkpoints, not first-touch growth).
+    for t in 0..threads {
+        for i in 0..keys {
+            kv.put(&key(t, i), &value).unwrap();
+        }
+    }
+    kv.flush().unwrap();
+    kv.reset_store_stats();
+    let base = kv.stats();
+
+    let ops = ops_per_thread(scale);
+    let flush_every = (ops / 8).max(1);
+    let total = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let kv = &kv;
+            let value = &value;
+            let total = &total;
+            scope.spawn(move || {
+                for n in 0..ops {
+                    // Hot/cold skew (the paper's workload shape): 80% of operations
+                    // hit the hottest 10% of each thread's keys. This is exactly
+                    // where a dirty-page index commit beats rewriting the index:
+                    // most tree pages stay clean across an epoch.
+                    let r = mix(t as u64 * ops + n);
+                    let i = if r % 10 < 8 {
+                        (r >> 8) % (keys / 10).max(1)
+                    } else {
+                        (r >> 8) % keys
+                    };
+                    let k = key(t, i);
+                    match mix(n * 31 + t as u64) % 10 {
+                        0..=4 => {
+                            let _ = kv.get(&k).unwrap();
+                        }
+                        5..=8 => kv.put(&k, value).unwrap(),
+                        _ => {
+                            kv.delete(&k).unwrap();
+                            kv.put(&k, value).unwrap();
+                        }
+                    }
+                    // Thread 0 is the checkpointer: periodic index commits are part
+                    // of the measured workload for both formats.
+                    if t == 0 && n % flush_every == flush_every - 1 {
+                        kv.flush().unwrap();
+                    }
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    kv.flush().unwrap();
+
+    let stats = kv.stats();
+    let store = kv.store_stats();
+    let index_bytes = stats.index_bytes_written - base.index_bytes_written;
+    let value_bytes = stats.value_bytes_written - base.value_bytes_written;
+
+    // Pure point-read phase: read-side scaling with no writer in sight.
+    let get_total = AtomicU64::new(0);
+    let get_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let kv = &kv;
+            let get_total = &get_total;
+            scope.spawn(move || {
+                for n in 0..ops {
+                    let i = mix(0xDEAD_0000 + t as u64 * ops + n) % keys;
+                    let _ = kv.get(&key(t, i)).unwrap();
+                }
+                get_total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+    });
+    let get_elapsed = get_start.elapsed().as_secs_f64();
+
+    KvPoint {
+        format: format.to_string(),
+        threads,
+        ops_per_sec: total.load(Ordering::Relaxed) as f64 / elapsed,
+        get_ops_per_sec: get_total.load(Ordering::Relaxed) as f64 / get_elapsed,
+        total_ops: total.load(Ordering::Relaxed),
+        index_write_amplification: if value_bytes == 0 {
+            0.0
+        } else {
+            index_bytes as f64 / value_bytes as f64
+        },
+        index_pages_written: stats.index_pages_written - base.index_pages_written,
+        index_bytes_written: index_bytes,
+        value_bytes_written: value_bytes,
+        index_commits: stats.superblock_commits - base.superblock_commits,
+        pool_hit_ratio: stats.pool.hit_ratio(),
+        store_write_amplification: store.write_amplification(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = store_config(scale);
+    let formats: Vec<&str> = match std::env::var("LSS_KV_INDEX").as_deref() {
+        Ok("paged") => vec!["paged"],
+        Ok("json") => vec!["json"],
+        _ => vec!["paged", "json"],
+    };
+    println!(
+        "kv scaling: MDC, {} x {} KiB segments, {} write streams, {} keys/thread, {} ops/thread",
+        config.num_segments,
+        config.segment_bytes / 1024,
+        config.write_streams,
+        keys_per_thread(scale),
+        ops_per_thread(scale)
+    );
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "format",
+        "threads",
+        "mixed ops/s",
+        "gets/s",
+        "idx Wamp",
+        "idx pages",
+        "commits",
+        "pool hit"
+    );
+
+    let mut results = Vec::new();
+    for format in &formats {
+        for threads in [1usize, 2, 4, 8] {
+            let point = measure(format, threads, scale);
+            println!(
+                "{:>6} {:>8} {:>12.0} {:>12.0} {:>12.5} {:>12} {:>10} {:>10.3}",
+                point.format,
+                point.threads,
+                point.ops_per_sec,
+                point.get_ops_per_sec,
+                point.index_write_amplification,
+                point.index_pages_written,
+                point.index_commits,
+                point.pool_hit_ratio
+            );
+            results.push(point);
+        }
+    }
+
+    let report = KvReport {
+        benchmark: "kv_scaling".to_string(),
+        policy: "MDC".to_string(),
+        page_bytes: config.page_bytes,
+        segment_bytes: config.segment_bytes,
+        num_segments: config.num_segments,
+        write_streams: config.write_streams,
+        keys_per_thread: keys_per_thread(scale),
+        value_bytes: VALUE_BYTES,
+        ops_per_thread: ops_per_thread(scale),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_kv.json", &json).unwrap();
+    println!("#json {}", serde_json::to_string(&report).unwrap());
+    println!("wrote BENCH_kv.json");
+}

@@ -1,20 +1,41 @@
-//! A fixed-capacity buffer pool with CLOCK (second-chance) eviction and dirty-page
-//! write-back.
+//! A fixed-capacity buffer pool with CLOCK (second-chance) eviction, dirty-page
+//! tracking and ordered write-back — internally synchronised behind sharded latches.
 //!
 //! The pool sits between the B+-tree and a [`crate::page_store::PageStore`]. Only dirty
-//! evictions and explicit flushes reach the store — exactly the behaviour that shapes the
-//! page-write I/O trace the paper's Figure 6 experiment replays (the authors used a 4 GiB
-//! buffer cache; the capacity here is configurable and scaled down together with the
-//! workload).
+//! evictions and explicit write-backs reach the store — exactly the behaviour that
+//! shapes the page-write I/O trace the paper's Figure 6 experiment replays (the authors
+//! used a 4 GiB buffer cache; the capacity here is configurable and scaled down together
+//! with the workload).
+//!
+//! Since the shared-handle refactor every method takes `&self`: frames are partitioned
+//! into up to 16 shards by page-id hash, each shard guarded by its own mutex with its
+//! own CLOCK hand, so concurrent readers of a shared [`crate::BTree`] touch disjoint
+//! latches. A shard latch is a leaf lock: no other lock is ever acquired while one is
+//! held (the underlying [`PageStore`] is `&self` and internally synchronised).
+//! Statistics are lock-free atomics.
+//!
+//! Write-back discipline: [`BufferPool::write_back`] flushes dirty pages in ascending
+//! page-id order (ordered write-back — sequential-friendly for the store underneath and
+//! deterministic for tests), marks each frame clean only after its store write
+//! succeeded, and does *not* sync; [`BufferPool::flush_all`] adds the sync. The
+//! crash-consistency protocol of the KV layer (see `kv`) relies on this split: dirty
+//! index pages are written and synced (barrier 1) strictly before the superblock flip
+//! (barrier 2).
 
 use crate::page_store::PageStore;
+use lss_core::util::mix64;
 use lss_core::Result;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Frame {
     page_id: u64,
-    data: Vec<u8>,
+    /// Shared with readers: a pool hit hands out a clone of the `Arc`, so the page
+    /// bytes are never copied under the shard latch (the latch hold is O(1)).
+    data: Arc<Vec<u8>>,
     dirty: bool,
     referenced: bool,
 }
@@ -30,7 +51,7 @@ pub struct BufferPoolStats {
     pub dirty_evictions: u64,
     /// Clean pages dropped on eviction.
     pub clean_evictions: u64,
-    /// Pages written back by explicit flushes.
+    /// Pages written back by explicit flushes / write-backs.
     pub flush_writes: u64,
 }
 
@@ -46,28 +67,50 @@ impl BufferPoolStats {
     }
 }
 
-/// A CLOCK buffer pool over a [`PageStore`].
+/// Lock-free counters behind [`BufferPoolStats`].
+#[derive(Debug, Default)]
+struct AtomicPoolStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dirty_evictions: AtomicU64,
+    clean_evictions: AtomicU64,
+    flush_writes: AtomicU64,
+}
+
+/// One latch-guarded slice of the pool: its own frames, lookup index and CLOCK hand.
+#[derive(Debug, Default)]
+struct Shard {
+    frames: Vec<Frame>,
+    index: HashMap<u64, usize>,
+    clock_hand: usize,
+}
+
+/// A sharded CLOCK buffer pool over a [`PageStore`].
 #[derive(Debug)]
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
-    frames: Vec<Frame>,
-    index: HashMap<u64, usize>,
-    clock_hand: usize,
-    stats: BufferPoolStats,
+    shard_capacity: usize,
+    shards: Box<[Mutex<Shard>]>,
+    stats: AtomicPoolStats,
 }
 
 impl<S: PageStore> BufferPool<S> {
     /// Create a pool holding up to `capacity` pages.
     pub fn new(store: S, capacity: usize) -> Self {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
+        // Small pools stay single-sharded so their capacity (and eviction order) is
+        // exact; larger pools spread across up to 16 latches with >= 4 frames each.
+        let num_shards = (capacity / 4).clamp(1, 16);
+        let shard_capacity = capacity.div_ceil(num_shards);
         Self {
             store,
             capacity,
-            frames: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
-            clock_hand: 0,
-            stats: BufferPoolStats::default(),
+            shard_capacity,
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            stats: AtomicPoolStats::default(),
         }
     }
 
@@ -76,14 +119,33 @@ impl<S: PageStore> BufferPool<S> {
         self.capacity
     }
 
+    /// Number of latch shards the frames are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+
+    /// Number of dirty pages currently cached (gauge).
+    pub fn dirty_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().frames.iter().filter(|f| f.dirty).count())
+            .sum()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> BufferPoolStats {
-        self.stats
+        BufferPoolStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            dirty_evictions: self.stats.dirty_evictions.load(Ordering::Relaxed),
+            clean_evictions: self.stats.clean_evictions.load(Ordering::Relaxed),
+            flush_writes: self.stats.flush_writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Page size of the underlying store.
@@ -91,17 +153,28 @@ impl<S: PageStore> BufferPool<S> {
         self.store.page_size()
     }
 
-    /// Read a page through the pool. Returns `None` if the page does not exist.
-    pub fn read(&mut self, page_id: u64) -> Result<Option<Vec<u8>>> {
-        if let Some(&idx) = self.index.get(&page_id) {
-            self.stats.hits += 1;
-            self.frames[idx].referenced = true;
-            return Ok(Some(self.frames[idx].data.clone()));
+    fn shard(&self, page_id: u64) -> &Mutex<Shard> {
+        &self.shards[(mix64(page_id) as usize) % self.shards.len()]
+    }
+
+    /// Read a page through the pool. Returns `None` if the page does not exist. A hit
+    /// clones only the frame's `Arc`, so concurrent readers of hot pages (every
+    /// descent touches the root) do not serialise on a byte copy.
+    pub fn read(&self, page_id: u64) -> Result<Option<Arc<Vec<u8>>>> {
+        let mut shard = self.shard(page_id).lock();
+        if let Some(&idx) = shard.index.get(&page_id) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            shard.frames[idx].referenced = true;
+            return Ok(Some(Arc::clone(&shard.frames[idx].data)));
         }
-        self.stats.misses += 1;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // The store read happens under the shard latch: this serialises misses within a
+        // shard but guarantees a page is installed at most once and that no thread can
+        // observe the store image of a page another thread is concurrently evicting.
         match self.store.read_page(page_id)? {
             Some(data) => {
-                self.install(page_id, data.clone(), false)?;
+                let data = Arc::new(data);
+                self.install(&mut shard, page_id, Arc::clone(&data), false)?;
                 Ok(Some(data))
             }
             None => Ok(None),
@@ -109,39 +182,72 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Write a page through the pool (kept dirty until evicted or flushed).
-    pub fn write(&mut self, page_id: u64, data: Vec<u8>) -> Result<()> {
+    pub fn write(&self, page_id: u64, data: Vec<u8>) -> Result<()> {
         assert_eq!(
             data.len(),
             self.store.page_size(),
             "page {page_id} has the wrong size"
         );
-        if let Some(&idx) = self.index.get(&page_id) {
-            self.stats.hits += 1;
-            let f = &mut self.frames[idx];
+        let data = Arc::new(data);
+        let mut shard = self.shard(page_id).lock();
+        if let Some(&idx) = shard.index.get(&page_id) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            let f = &mut shard.frames[idx];
             f.data = data;
             f.dirty = true;
             f.referenced = true;
             return Ok(());
         }
-        self.stats.misses += 1;
-        self.install(page_id, data, true)?;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.install(&mut shard, page_id, data, true)?;
         Ok(())
     }
 
-    /// Write every dirty page back to the store and sync it.
-    pub fn flush_all(&mut self) -> Result<()> {
-        for f in self.frames.iter_mut() {
-            if f.dirty {
-                self.store.write_page(f.page_id, &f.data)?;
-                f.dirty = false;
-                self.stats.flush_writes += 1;
+    /// Write every dirty page back to the store in ascending page-id order, marking
+    /// each frame clean only after its store write succeeded. Does **not** sync the
+    /// store; callers that need durability follow with [`PageStore::sync`] (or use
+    /// [`BufferPool::flush_all`]).
+    ///
+    /// Callers must prevent concurrent `write`s for the write-back to be exhaustive
+    /// (the B+-tree holds its exclusive latch across checkpoints); concurrent reads are
+    /// harmless.
+    ///
+    /// Returns the page ids written, in write order.
+    pub fn write_back(&self) -> Result<Vec<u64>> {
+        let mut dirty: Vec<(u64, Arc<Vec<u8>>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for f in shard.frames.iter().filter(|f| f.dirty) {
+                dirty.push((f.page_id, Arc::clone(&f.data)));
             }
         }
+        dirty.sort_by_key(|(id, _)| *id);
+        let mut written = Vec::with_capacity(dirty.len());
+        for (page_id, data) in dirty {
+            self.store.write_page(page_id, &data)?;
+            self.stats.flush_writes.fetch_add(1, Ordering::Relaxed);
+            written.push(page_id);
+            let mut shard = self.shard(page_id).lock();
+            if let Some(&idx) = shard.index.get(&page_id) {
+                // Only clear the flag if the frame still holds what we wrote (a
+                // concurrent writer may have re-dirtied it; its data is newer).
+                let f = &mut shard.frames[idx];
+                if Arc::ptr_eq(&f.data, &data) {
+                    f.dirty = false;
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    /// Write every dirty page back to the store (ordered) and sync it.
+    pub fn flush_all(&self) -> Result<()> {
+        self.write_back()?;
         self.store.sync()
     }
 
     /// Flush and return the underlying store.
-    pub fn into_store(mut self) -> Result<S> {
+    pub fn into_store(self) -> Result<S> {
         self.flush_all()?;
         Ok(self.store)
     }
@@ -151,49 +257,58 @@ impl<S: PageStore> BufferPool<S> {
         &self.store
     }
 
-    fn install(&mut self, page_id: u64, data: Vec<u8>, dirty: bool) -> Result<()> {
-        if self.frames.len() < self.capacity {
-            let idx = self.frames.len();
-            self.frames.push(Frame {
+    fn install(
+        &self,
+        shard: &mut Shard,
+        page_id: u64,
+        data: Arc<Vec<u8>>,
+        dirty: bool,
+    ) -> Result<()> {
+        if shard.frames.len() < self.shard_capacity {
+            let idx = shard.frames.len();
+            shard.frames.push(Frame {
                 page_id,
                 data,
                 dirty,
                 referenced: true,
             });
-            self.index.insert(page_id, idx);
+            shard.index.insert(page_id, idx);
             return Ok(());
         }
-        let idx = self.evict_one()?;
-        self.index.remove(&self.frames[idx].page_id);
-        self.frames[idx] = Frame {
+        let idx = self.evict_one(shard)?;
+        let old = shard.frames[idx].page_id;
+        shard.index.remove(&old);
+        shard.frames[idx] = Frame {
             page_id,
             data,
             dirty,
             referenced: true,
         };
-        self.index.insert(page_id, idx);
+        shard.index.insert(page_id, idx);
         Ok(())
     }
 
-    /// CLOCK eviction: sweep until an unreferenced frame is found, clearing reference
-    /// bits along the way; write the victim back if dirty. Returns the freed frame index.
-    fn evict_one(&mut self) -> Result<usize> {
+    /// CLOCK eviction within one shard: sweep until an unreferenced frame is found,
+    /// clearing reference bits along the way; write the victim back if dirty (still
+    /// under the shard latch, so no thread can read the store image of a page whose
+    /// write-back is in flight). Returns the freed frame index.
+    fn evict_one(&self, shard: &mut Shard) -> Result<usize> {
         loop {
-            let idx = self.clock_hand;
-            self.clock_hand = (self.clock_hand + 1) % self.frames.len();
-            if self.frames[idx].referenced {
-                self.frames[idx].referenced = false;
+            let idx = shard.clock_hand;
+            shard.clock_hand = (shard.clock_hand + 1) % shard.frames.len();
+            if shard.frames[idx].referenced {
+                shard.frames[idx].referenced = false;
                 continue;
             }
-            if self.frames[idx].dirty {
+            if shard.frames[idx].dirty {
                 let (pid, data) = (
-                    self.frames[idx].page_id,
-                    std::mem::take(&mut self.frames[idx].data),
+                    shard.frames[idx].page_id,
+                    Arc::clone(&shard.frames[idx].data),
                 );
                 self.store.write_page(pid, &data)?;
-                self.stats.dirty_evictions += 1;
+                self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
             } else {
-                self.stats.clean_evictions += 1;
+                self.stats.clean_evictions.fetch_add(1, Ordering::Relaxed);
             }
             return Ok(idx);
         }
@@ -213,10 +328,10 @@ mod tests {
 
     #[test]
     fn read_write_hit_miss_accounting() {
-        let mut pool = BufferPool::new(MemPageStore::new(PS), 4);
+        let pool = BufferPool::new(MemPageStore::new(PS), 4);
         assert!(pool.read(1).unwrap().is_none());
         pool.write(1, page(1)).unwrap();
-        assert_eq!(pool.read(1).unwrap().unwrap(), page(1));
+        assert_eq!(*pool.read(1).unwrap().unwrap(), page(1));
         let s = pool.stats();
         assert_eq!(s.hits, 1); // the read-after-write
         assert!(s.misses >= 2); // the initial missing read and the write install
@@ -225,21 +340,23 @@ mod tests {
     #[test]
     fn dirty_pages_reach_the_store_only_on_eviction_or_flush() {
         let store = TracingPageStore::new(MemPageStore::new(PS));
-        let mut pool = BufferPool::new(store, 4);
+        let pool = BufferPool::new(store, 4);
         for i in 0..4u64 {
             pool.write(i, page(i as u8)).unwrap();
         }
         assert_eq!(
-            pool.store().trace().len(),
+            pool.store().trace_len(),
             0,
             "nothing should reach the store yet"
         );
+        assert_eq!(pool.dirty_pages(), 4);
         // Overflow the pool: evictions must write dirty pages back.
         for i in 4..10u64 {
             pool.write(i, page(i as u8)).unwrap();
         }
-        assert!(!pool.store().trace().is_empty());
+        assert!(pool.store().trace_len() > 0);
         pool.flush_all().unwrap();
+        assert_eq!(pool.dirty_pages(), 0);
         let (trace, inner) = pool.into_store().unwrap().into_parts();
         // Every written page is durable in the inner store.
         assert_eq!(inner.distinct_pages(), 10);
@@ -249,7 +366,7 @@ mod tests {
     #[test]
     fn repeated_access_to_hot_pages_is_absorbed() {
         let store = TracingPageStore::new(MemPageStore::new(PS));
-        let mut pool = BufferPool::new(store, 8);
+        let pool = BufferPool::new(store, 8);
         // A working set that fits: repeatedly rewrite the same 4 pages.
         for round in 0..100u64 {
             for i in 0..4u64 {
@@ -257,19 +374,19 @@ mod tests {
             }
         }
         // No evictions were needed, so the store saw nothing.
-        assert_eq!(pool.store().trace().len(), 0);
+        assert_eq!(pool.store().trace_len(), 0);
         assert!(pool.stats().hit_ratio() > 0.9);
     }
 
     #[test]
     fn evicted_then_reread_pages_survive() {
-        let mut pool = BufferPool::new(MemPageStore::new(PS), 4);
+        let pool = BufferPool::new(MemPageStore::new(PS), 4);
         for i in 0..32u64 {
             pool.write(i, page(i as u8)).unwrap();
         }
         for i in 0..32u64 {
             assert_eq!(
-                pool.read(i).unwrap().unwrap(),
+                *pool.read(i).unwrap().unwrap(),
                 page(i as u8),
                 "page {i} lost"
             );
@@ -277,8 +394,22 @@ mod tests {
     }
 
     #[test]
+    fn write_back_is_ordered_by_page_id() {
+        let store = TracingPageStore::new(MemPageStore::new(PS));
+        let pool = BufferPool::new(store, 64);
+        // Insert in scrambled order; write-back must still be ascending.
+        for i in [9u64, 3, 41, 7, 0, 25, 12] {
+            pool.write(i, page(i as u8)).unwrap();
+        }
+        let written = pool.write_back().unwrap();
+        assert_eq!(written, vec![0, 3, 7, 9, 12, 25, 41]);
+        assert_eq!(pool.store().trace().writes, vec![0, 3, 7, 9, 12, 25, 41]);
+        assert_eq!(pool.dirty_pages(), 0);
+    }
+
+    #[test]
     fn flush_all_clears_dirty_state() {
-        let mut pool = BufferPool::new(MemPageStore::new(PS), 4);
+        let pool = BufferPool::new(MemPageStore::new(PS), 4);
         pool.write(1, page(9)).unwrap();
         pool.flush_all().unwrap();
         let before = pool.stats().flush_writes;
@@ -288,6 +419,36 @@ mod tests {
             before,
             "second flush had nothing to do"
         );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_on_a_shared_pool() {
+        let pool = std::sync::Arc::new(BufferPool::new(MemPageStore::new(PS), 128));
+        for i in 0..256u64 {
+            pool.write(i, page((i % 250) as u8)).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for round in 0..500u64 {
+                        let i = (t * 97 + round) % 256;
+                        let got = pool.read(i).unwrap().unwrap();
+                        assert_eq!(*got, page((i % 250) as u8), "page {i} corrupted");
+                    }
+                });
+            }
+            let pool = pool.clone();
+            scope.spawn(move || {
+                // Rewrite pages with their same canonical contents while readers run.
+                for round in 0..500u64 {
+                    let i = (round * 31) % 256;
+                    pool.write(i, page((i % 250) as u8)).unwrap();
+                }
+            });
+        });
+        pool.flush_all().unwrap();
+        assert_eq!(pool.store().distinct_pages(), 256);
     }
 
     #[test]

@@ -1,0 +1,925 @@
+//! [`KvStore`]: an ordered key-value store whose index is a durable **paged B+-tree
+//! living in the same log-structured store as the values** — the paper's Figure 6
+//! layering (a B+-tree storage engine running *on* the log store), promoted from a
+//! trace generator to the actual experimental substrate.
+//!
+//! ## Page-id space partitioning
+//!
+//! One [`lss_core::LogStore`] holds three disjoint page-id ranges:
+//!
+//! ```text
+//! [0, META_BASE)                   user value pages, one value per page
+//! [META_BASE, META_BASE + 2)       the two alternating superblock slots
+//! [META_BASE + 2, TREE_BASE)       legacy JSON chunk remnants only (swept on open)
+//! [TREE_BASE, ...)                 B+-tree index pages (tree-local id + TREE_BASE)
+//! ```
+//!
+//! Keys map to user page ids through the tree (values stay in the log — KV
+//! separation); the tree's own pages are written through a [`BufferPool`] into the
+//! reserved range, so index I/O and value I/O share the store's segments, cleaner and
+//! write streams.
+//!
+//! ## Crash consistency: shadow epochs + superblock flip
+//!
+//! The tree runs in shadow (copy-on-write) mode ([`BTree::open_shadow`]): committed
+//! pages are never overwritten, and every `put` relocates the value to a *fresh* user
+//! page instead of updating the old one in place. [`KvStore::flush`] commits an epoch
+//! with two barriers:
+//!
+//! 1. write back all dirty index pages (fresh ids only) and flush the store —
+//!    **barrier 1**: the new tree and values are durable but unreferenced;
+//! 2. write a versioned, checksummed [`Superblock`] into the alternating slot
+//!    `META_BASE + epoch % 2` and flush again — **barrier 2**: the single page write
+//!    that atomically flips the committed state.
+//!
+//! Only after barrier 2 are the epoch's superseded pages deleted and their ids
+//! recycled. A crash anywhere in this protocol reopens to exactly the last committed
+//! index: the old superblock still describes a fully intact tree whose pages nobody
+//! touched. Reopen additionally runs a reachability sweep that reclaims pages a
+//! crashed epoch left behind and reconstructs both free lists.
+//!
+//! ## Concurrency and lock order
+//!
+//! Everything takes `&self`. Value writes (the heavy I/O) happen *outside* the tree
+//! latch on the store's sharded write streams; only the index update itself serialises
+//! on the tree's exclusive latch. Point reads and scans read the value pages **inside**
+//! the tree's shared latch ([`BTree::get_map`] / [`BTree::scan_map`]), which is what
+//! makes them stable: reclaiming a superseded value page requires the exclusive latch
+//! (a flush), so no latched reader can observe a vanishing value. Lock order:
+//! `tree latch → pool shard latch`; the user-page allocator mutex is taken either
+//! alone or (during a flush's commit phase) inside the tree latch.
+
+use crate::buffer_pool::{BufferPool, BufferPoolStats};
+use crate::kv_legacy::{classify_slot, read_legacy_index, LegacyChunk, SlotState, Superblock};
+use crate::node::Node;
+use crate::page_store::PageStore;
+use crate::tree::BTree;
+use bytes::Bytes;
+use lss_core::error::{Error, Result};
+use lss_core::{LogStore, PageId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Page ids at and above this value are reserved for the KV layer's own metadata.
+pub const META_BASE: PageId = 1 << 62;
+/// Exclusive upper bound of the user value page range (== [`META_BASE`]: the capacity
+/// guard that keeps user values out of the reserved range).
+pub const USER_PAGE_LIMIT: PageId = META_BASE;
+/// First page id of legacy JSON chunk remnants (chunk 1 coincides with superblock
+/// slot B and is overwritten by the migration commit; chunks ≥ 2 start here).
+const LEGACY_REMNANT_BASE: PageId = META_BASE + 2;
+/// Base of the B+-tree index page range: tree-local page id `t` lives at
+/// `TREE_BASE + t`. Far above any plausible legacy chunk count, so the ranges never
+/// collide.
+const TREE_BASE: PageId = META_BASE + (1 << 32);
+
+/// The superblock slot an epoch commits into (alternating shadow-meta flip).
+fn superblock_slot(epoch: u64) -> PageId {
+    META_BASE + (epoch % 2)
+}
+
+/// Decode a tree value (an 8-byte LE user page id).
+fn decode_user_page(v: &[u8]) -> Result<PageId> {
+    let bytes: [u8; 8] = v.try_into().map_err(|_| {
+        Error::CorruptCheckpoint(format!(
+            "kv index value is {} bytes, expected an 8-byte page id",
+            v.len()
+        ))
+    })?;
+    Ok(PageId::from_le_bytes(bytes))
+}
+
+/// Options for opening a [`KvStore`].
+#[derive(Debug, Clone)]
+pub struct KvOptions {
+    /// Buffer-pool capacity for index pages, in pages.
+    pub pool_pages: usize,
+    /// Index page size in bytes; defaults to the store's configured page size
+    /// (clamped to at least 64, the tree's minimum).
+    pub tree_page_bytes: Option<usize>,
+}
+
+impl Default for KvOptions {
+    fn default() -> Self {
+        Self {
+            pool_pages: 256,
+            tree_page_bytes: None,
+        }
+    }
+}
+
+/// Lock-free operation counters of the KV layer (`StoreStats`-style; shared shape with
+/// the legacy JSON store so the bench can A/B the two formats).
+#[derive(Debug, Default)]
+pub(crate) struct KvCounters {
+    pub(crate) puts: AtomicU64,
+    pub(crate) gets: AtomicU64,
+    pub(crate) deletes: AtomicU64,
+    pub(crate) range_scans: AtomicU64,
+    pub(crate) index_pages_written: AtomicU64,
+    pub(crate) index_bytes_written: AtomicU64,
+    pub(crate) value_pages_written: AtomicU64,
+    pub(crate) value_bytes_written: AtomicU64,
+    pub(crate) superblock_commits: AtomicU64,
+}
+
+impl KvCounters {
+    pub(crate) fn snapshot(&self, pool: BufferPoolStats, epoch: u64, keys: u64) -> KvStats {
+        KvStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            range_scans: self.range_scans.load(Ordering::Relaxed),
+            index_pages_written: self.index_pages_written.load(Ordering::Relaxed),
+            index_bytes_written: self.index_bytes_written.load(Ordering::Relaxed),
+            value_pages_written: self.value_pages_written.load(Ordering::Relaxed),
+            value_bytes_written: self.value_bytes_written.load(Ordering::Relaxed),
+            superblock_commits: self.superblock_commits.load(Ordering::Relaxed),
+            epoch,
+            keys,
+            pool,
+        }
+    }
+}
+
+/// A snapshot of the KV layer's operational statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct KvStats {
+    /// `put` operations.
+    pub puts: u64,
+    /// `get` operations.
+    pub gets: u64,
+    /// `delete` operations.
+    pub deletes: u64,
+    /// `range` scans.
+    pub range_scans: u64,
+    /// Index (B+-tree or legacy JSON chunk) pages written into the log store.
+    pub index_pages_written: u64,
+    /// Bytes of index pages written into the log store.
+    pub index_bytes_written: u64,
+    /// User value pages written into the log store.
+    pub value_pages_written: u64,
+    /// Bytes of user values written into the log store.
+    pub value_bytes_written: u64,
+    /// Committed epochs (superblock flips; legacy: JSON index flushes).
+    pub superblock_commits: u64,
+    /// Current committed epoch (0 = nothing committed yet; legacy stores report 0).
+    pub epoch: u64,
+    /// Number of live keys at snapshot time.
+    pub keys: u64,
+    /// Buffer-pool gauges for the index pages (hit ratio, evictions; zeroed for the
+    /// legacy JSON store, which has no pool).
+    pub pool: BufferPoolStats,
+}
+
+impl KvStats {
+    /// Index write amplification: bytes of index metadata written to the store per
+    /// byte of user value written. The paged index pays only for dirty tree pages and
+    /// their root path; the legacy JSON format rewrote the entire index every flush.
+    pub fn index_write_amplification(&self) -> f64 {
+        if self.value_bytes_written == 0 {
+            0.0
+        } else {
+            self.index_bytes_written as f64 / self.value_bytes_written as f64
+        }
+    }
+}
+
+/// The page store the index tree writes through: tree-local ids offset into the
+/// reserved range of the shared [`LogStore`], with index-write accounting.
+#[derive(Debug)]
+struct KvTreeStore {
+    store: Arc<LogStore>,
+    page_size: usize,
+    counters: Arc<KvCounters>,
+}
+
+impl PageStore for KvTreeStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.store.get(TREE_BASE + id)?.map(|b| b.to_vec()))
+    }
+
+    fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
+        self.counters
+            .index_pages_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .index_bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.store.put(TREE_BASE + id, data)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.store.flush()
+    }
+}
+
+/// The user value page allocator: watermark + free list + this epoch's supersessions.
+#[derive(Debug, Default)]
+struct UserAlloc {
+    /// Next never-used user page id.
+    next: PageId,
+    /// Reusable ids (freed by committed epochs or reconstructed on reopen).
+    free: Vec<PageId>,
+    /// Pages superseded this epoch; released (deleted + reusable) after the next
+    /// superblock commit — never before, because the committed index still maps to
+    /// them until the flip.
+    freed_epoch: Vec<PageId>,
+}
+
+/// An ordered, concurrent, crash-consistent key-value store backed by a [`LogStore`]
+/// with a paged B+-tree index. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct KvStore {
+    store: Arc<LogStore>,
+    tree: BTree<KvTreeStore>,
+    alloc: Mutex<UserAlloc>,
+    /// Last committed epoch.
+    epoch: AtomicU64,
+    counters: Arc<KvCounters>,
+}
+
+impl KvStore {
+    /// Open a key-value store on a [`LogStore`] with default options: load the last
+    /// committed paged index, **migrate** a legacy JSON index in place, or start
+    /// empty on a fresh store. Corrupt metadata is an explicit error — never silently
+    /// treated as empty.
+    pub fn open(store: LogStore) -> Result<Self> {
+        Self::open_with(store, KvOptions::default())
+    }
+
+    /// [`KvStore::open`] with explicit options.
+    pub fn open_with(store: LogStore, opts: KvOptions) -> Result<Self> {
+        let store = Arc::new(store);
+        let slot_a = store.get(META_BASE)?;
+        let slot_b = store.get(META_BASE + 1)?;
+        let a = classify_slot(slot_a.as_ref());
+        let b = classify_slot(slot_b.as_ref());
+
+        // Any valid superblock wins; the newer epoch is the committed state (the other
+        // slot is the previous epoch, a legacy remnant, or a victim of a mid-flip
+        // crash — all fine).
+        let newest = match (&a, &b) {
+            (SlotState::Valid(x), SlotState::Valid(y)) => {
+                Some(if x.epoch >= y.epoch { *x } else { *y })
+            }
+            (SlotState::Valid(x), _) => Some(*x),
+            (_, SlotState::Valid(y)) => Some(*y),
+            _ => None,
+        };
+        if let Some(sb) = newest {
+            let kv = Self::load_committed(store, sb, &opts)?;
+            kv.sweep_legacy_remnants()?;
+            return Ok(kv);
+        }
+        match (a, b) {
+            (SlotState::Legacy(root), _) => Self::migrate_legacy(store, root, &opts),
+            (SlotState::Absent, SlotState::Absent) => Self::fresh(store, &opts),
+            (SlotState::Corrupt(detail), _) => Err(Error::CorruptCheckpoint(format!(
+                "kv metadata slot A is corrupt and no valid superblock exists: {detail}"
+            ))),
+            (SlotState::Absent, SlotState::Corrupt(detail)) => Err(Error::CorruptCheckpoint(
+                format!("kv metadata slot B is corrupt and no valid superblock exists: {detail}"),
+            )),
+            (SlotState::Absent, SlotState::Legacy(_)) => Err(Error::CorruptCheckpoint(
+                "kv metadata slot B holds a legacy chunk but the legacy root is missing".into(),
+            )),
+            (SlotState::Valid(_), _) | (_, SlotState::Valid(_)) => {
+                unreachable!("valid superblocks handled above")
+            }
+        }
+    }
+
+    fn components(
+        store: &Arc<LogStore>,
+        opts: &KvOptions,
+    ) -> Result<(BufferPool<KvTreeStore>, Arc<KvCounters>)> {
+        let max_payload = lss_core::layout::max_single_payload(store.config().segment_bytes);
+        let page_size = opts
+            .tree_page_bytes
+            .unwrap_or(store.config().page_bytes)
+            .max(64);
+        if page_size > max_payload {
+            return Err(Error::InvalidConfig(format!(
+                "kv tree page size {page_size} exceeds the segment payload limit {max_payload}"
+            )));
+        }
+        let counters = Arc::new(KvCounters::default());
+        let tree_store = KvTreeStore {
+            store: Arc::clone(store),
+            page_size,
+            counters: Arc::clone(&counters),
+        };
+        Ok((
+            BufferPool::new(tree_store, opts.pool_pages.max(8)),
+            counters,
+        ))
+    }
+
+    /// A store with no committed KV state at all.
+    fn fresh(store: Arc<LogStore>, opts: &KvOptions) -> Result<Self> {
+        let (pool, counters) = Self::components(&store, opts)?;
+        Ok(Self {
+            store,
+            tree: BTree::open_shadow(pool, None)?,
+            alloc: Mutex::new(UserAlloc::default()),
+            epoch: AtomicU64::new(0),
+            counters,
+        })
+    }
+
+    /// Load the committed state a superblock describes, then sweep pages a crashed
+    /// epoch may have left behind and reconstruct both free lists.
+    fn load_committed(store: Arc<LogStore>, sb: Superblock, opts: &KvOptions) -> Result<Self> {
+        let (pool, counters) = Self::components(&store, opts)?;
+        let tree = BTree::open_shadow(pool, Some((sb.root, sb.tree_next_page, sb.len)))?;
+
+        // Reachability walk: every committed tree page and every referenced user page.
+        let mut reachable_tree: HashSet<u64> = HashSet::new();
+        let mut referenced_user: HashSet<PageId> = HashSet::new();
+        let mut keys = 0u64;
+        let mut bad_value: Option<usize> = None;
+        tree.walk(|id, node| {
+            reachable_tree.insert(id);
+            if let Node::Leaf { entries } = node {
+                keys += entries.len() as u64;
+                for (_, v) in entries {
+                    match decode_user_page(v) {
+                        Ok(p) => {
+                            referenced_user.insert(p);
+                        }
+                        Err(_) => bad_value = Some(v.len()),
+                    }
+                }
+            }
+        })?;
+        if let Some(len) = bad_value {
+            return Err(Error::CorruptCheckpoint(format!(
+                "kv index leaf holds a {len}-byte value, expected an 8-byte page id"
+            )));
+        }
+        if keys != sb.len {
+            return Err(Error::CorruptCheckpoint(format!(
+                "kv superblock records {} keys but the committed tree holds {keys}",
+                sb.len
+            )));
+        }
+
+        // Reachability sweep over the tree range: live pages the committed tree does
+        // not reach are leftovers of a crashed epoch (or releases whose tombstone the
+        // crash lost) — delete them, and recycle the ids below the watermark (ids at
+        // or above it are handed out again by the watermark itself). Enumerating
+        // *live* pages keeps this O(tree size), never O(id-space width).
+        let mut tree_free = Vec::new();
+        for page in store.live_page_ids_in(TREE_BASE, PageId::MAX) {
+            let id = page - TREE_BASE;
+            if !reachable_tree.contains(&id) {
+                store.delete(page)?;
+                if id < sb.tree_next_page {
+                    tree_free.push(id);
+                }
+            }
+        }
+        tree.seed_free_list(tree_free);
+
+        // Same sweep for user value pages: live values the committed index does not
+        // reference were superseded or newly written by an uncommitted epoch.
+        let mut user_free = Vec::new();
+        for page in store.live_page_ids_in(0, USER_PAGE_LIMIT) {
+            if !referenced_user.contains(&page) {
+                store.delete(page)?;
+                if page < sb.user_next_page {
+                    user_free.push(page);
+                }
+            }
+        }
+
+        Ok(Self {
+            store,
+            tree,
+            alloc: Mutex::new(UserAlloc {
+                next: sb.user_next_page,
+                free: user_free,
+                freed_epoch: Vec::new(),
+            }),
+            epoch: AtomicU64::new(sb.epoch),
+            counters,
+        })
+    }
+
+    /// Import a legacy JSON index into a paged tree and commit it as epoch 1.
+    ///
+    /// Restart-safe: nothing the import writes is reachable until the superblock flip
+    /// (tree pages land in their own range, and epoch 1's superblock slot B coincides
+    /// with legacy chunk 1, so even that overwrite is part of the atomic flip). The
+    /// import is deterministic — sorted key order, fresh allocator — so a re-run after
+    /// a mid-migration crash rewrites exactly the same pages.
+    fn migrate_legacy(store: Arc<LogStore>, root: LegacyChunk, opts: &KvOptions) -> Result<Self> {
+        let legacy_chunks = root.chunks;
+        let (index, user_next) = read_legacy_index(&store, root)?;
+        let referenced: HashSet<PageId> = index.values().copied().collect();
+
+        let kv = Self::fresh(store, opts)?;
+        for (key, page) in &index {
+            kv.tree.insert(key, &page.to_le_bytes())?;
+        }
+        {
+            let mut alloc = kv.alloc.lock();
+            alloc.next = user_next;
+            alloc.free = (0..user_next)
+                .filter(|id| !referenced.contains(id))
+                .collect();
+        }
+        // Commit epoch 1: after this superblock flip the JSON index is dead.
+        kv.flush()?;
+        // Release the legacy chunks the flip did not overwrite (chunk 0 — the root
+        // slot — is overwritten by epoch 2; harmless either way, since any valid
+        // superblock outranks a legacy root on open).
+        for c in 2..legacy_chunks {
+            kv.store.delete(META_BASE + c as u64)?;
+        }
+        for id in &kv.alloc.lock().free {
+            kv.store.delete(*id)?;
+        }
+        Ok(kv)
+    }
+
+    /// Delete any legacy JSON chunk remnants left between the superblock slots and the
+    /// tree range (possible if a crash interrupted a migration's post-commit cleanup).
+    fn sweep_legacy_remnants(&self) -> Result<()> {
+        for page in self.store.live_page_ids_in(LEGACY_REMNANT_BASE, TREE_BASE) {
+            self.store.delete(page)?;
+        }
+        Ok(())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.tree.len() as usize
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Insert or overwrite a key.
+    ///
+    /// The value is written to a freshly allocated user page *before* the index is
+    /// updated (outside the tree latch, on the store's concurrent write streams); an
+    /// overwritten key's old page is queued for release at the next commit — never
+    /// touched in place, which is what keeps crashes on the last committed state.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        if key.len() + 8 > self.tree.max_entry_size() {
+            return Err(Error::PageTooLarge {
+                page: 0,
+                size: key.len() + 8,
+                max: self.tree.max_entry_size(),
+            });
+        }
+        let page = {
+            let mut alloc = self.alloc.lock();
+            match alloc.free.pop() {
+                Some(id) => id,
+                None => {
+                    if alloc.next >= USER_PAGE_LIMIT {
+                        // The capacity/overlap guard: user values must never cross
+                        // into the reserved metadata range.
+                        return Err(Error::PageRangeExhausted {
+                            next: alloc.next,
+                            limit: USER_PAGE_LIMIT,
+                        });
+                    }
+                    let id = alloc.next;
+                    alloc.next += 1;
+                    id
+                }
+            }
+        };
+        if let Err(e) = self.store.put(page, value) {
+            self.alloc.lock().free.push(page);
+            return Err(e);
+        }
+        self.counters
+            .value_pages_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .value_bytes_written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        match self.tree.insert_returning(key, &page.to_le_bytes()) {
+            Ok(Some(old)) => {
+                let old_page = decode_user_page(&old)?;
+                self.alloc.lock().freed_epoch.push(old_page);
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => {
+                // The value page is durable-but-unreferenced; release it with the
+                // epoch (or, if we crash first, the reopen sweep reclaims it).
+                self.alloc.lock().freed_epoch.push(page);
+                Err(e)
+            }
+        }
+    }
+
+    /// Read a key. The value page is read under the tree's shared latch, so a
+    /// concurrent flush cannot release it mid-read.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        let got = self
+            .tree
+            .get_map(key, |v| self.store.get(decode_user_page(v)?))?;
+        Ok(got.flatten())
+    }
+
+    /// Delete a key. Returns true if it existed. The old value page is released at
+    /// the next commit.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        match self.tree.delete_returning(key)? {
+            Some(old) => {
+                let old_page = decode_user_page(&old)?;
+                self.alloc.lock().freed_epoch.push(old_page);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Iterate keys in `[start, end)` in order, reading each value. The whole scan —
+    /// including the value reads — runs under the tree's shared latch, so it observes
+    /// one consistent index snapshot.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        self.counters.range_scans.fetch_add(1, Ordering::Relaxed);
+        self.tree.scan_map(start, end, |k, v| {
+            Ok(self
+                .store
+                .get(decode_user_page(v)?)?
+                .map(|bytes| (k.to_vec(), bytes)))
+        })
+    }
+
+    /// Commit the current epoch: the durability point.
+    ///
+    /// Two barriers — dirty index pages first, then the superblock flip — then the
+    /// superseded pages of the epoch are released. See the module docs; a crash at any
+    /// point leaves the last committed epoch intact.
+    pub fn flush(&self) -> Result<()> {
+        let mut ck = self.tree.begin_checkpoint();
+        ck.write_back()?;
+        self.store.flush()?; // barrier 1: new tree pages + values durable
+
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        let user_next = self.alloc.lock().next;
+        let sb = Superblock {
+            epoch,
+            root: ck.root(),
+            tree_next_page: ck.next_page_id(),
+            user_next_page: user_next,
+            len: ck.len(),
+        };
+        self.store.put(superblock_slot(epoch), &sb.encode())?;
+        self.store.flush()?; // barrier 2: the atomic flip — this epoch is committed
+
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.counters
+            .superblock_commits
+            .fetch_add(1, Ordering::Relaxed);
+
+        // Snapshot the user pages this epoch superseded *while the checkpoint guard
+        // still holds the tree latch*: every entry was pushed by a mutation that
+        // completed before this checkpoint began, so the superblock just committed
+        // provably does not reference it. A mutation that slips in once the latch
+        // drops frees a page the committed index may still map — that entry lands
+        // after this take() and waits for the next epoch.
+        let freed_user = std::mem::take(&mut self.alloc.lock().freed_epoch);
+        // Post-commit: release the superseded pages (no longer referenced by the
+        // committed index, hence unreachable by any reader), and only *then* recycle
+        // their ids — recycling first would let a concurrent writer re-allocate an id
+        // whose lagging release then tombstones the new page.
+        let freed_tree = ck.commit();
+        for &id in &freed_tree {
+            self.store.delete(TREE_BASE + id)?;
+        }
+        self.tree.seed_free_list(freed_tree);
+        for &id in &freed_user {
+            self.store.delete(id)?;
+        }
+        self.alloc.lock().free.extend(freed_user);
+        Ok(())
+    }
+
+    /// Operational statistics of the KV layer, including the index buffer pool's
+    /// hit-rate gauges.
+    pub fn stats(&self) -> KvStats {
+        self.counters.snapshot(
+            self.tree.pool_stats(),
+            self.epoch.load(Ordering::Relaxed),
+            self.tree.len(),
+        )
+    }
+
+    /// Buffer-pool statistics for the index pages.
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.tree.pool_stats()
+    }
+
+    /// Access the underlying page store (e.g. for statistics).
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Consume the wrapper and return the underlying page store.
+    ///
+    /// Uncommitted state (anything since the last [`KvStore::flush`]) is discarded
+    /// exactly as a crash would discard it.
+    pub fn into_inner(self) -> LogStore {
+        let KvStore { store, tree, .. } = self;
+        drop(tree);
+        Arc::try_unwrap(store).unwrap_or_else(|_| unreachable!("KvStore never leaks store handles"))
+    }
+
+    /// Test hook: force the user-page allocation watermark (regression tests for the
+    /// reserved-range capacity guard).
+    #[doc(hidden)]
+    pub fn set_next_user_page_for_tests(&self, next: PageId) {
+        self.alloc.lock().next = next;
+    }
+
+    /// Build the key → user-page map the committed tree describes (test helper for
+    /// migration equivalence checks).
+    #[doc(hidden)]
+    pub fn index_snapshot_for_tests(&self) -> Result<BTreeMap<Vec<u8>, PageId>> {
+        let pairs = self.tree.scan_map(b"", &[0xFFu8; 64], |k, v| {
+            Ok(Some((k.to_vec(), decode_user_page(v)?)))
+        })?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv_legacy::LegacyJsonKvStore;
+    use lss_core::policy::PolicyKind;
+    use lss_core::StoreConfig;
+
+    fn config() -> StoreConfig {
+        let mut c = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
+        c.num_segments = 128;
+        c
+    }
+
+    fn kv() -> KvStore {
+        KvStore::open(LogStore::open_in_memory(config()).unwrap()).unwrap()
+    }
+
+    /// Flush, drop, recover the log store from its device and reopen the KV store —
+    /// a clean restart.
+    fn restart(kv: KvStore) -> KvStore {
+        let store = kv.into_inner();
+        let cfg = store.config().clone();
+        let device = store.into_device();
+        let recovered = LogStore::recover_with_device(cfg, device).unwrap();
+        KvStore::open(recovered).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let kv = kv();
+        assert!(kv.is_empty());
+        kv.put(b"alpha", b"1").unwrap();
+        kv.put(b"beta", b"2").unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get(b"alpha").unwrap().unwrap().as_ref(), b"1");
+        assert!(kv.get(b"gamma").unwrap().is_none());
+        assert!(kv.delete(b"alpha").unwrap());
+        assert!(!kv.delete(b"alpha").unwrap());
+        assert!(kv.get(b"alpha").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrite_updates_value_not_key_count() {
+        let kv = kv();
+        kv.put(b"k", b"v1").unwrap();
+        kv.put(b"k", b"v2").unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"k").unwrap().unwrap().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_half_open() {
+        let kv = kv();
+        for k in ["a", "b", "c", "d", "e"] {
+            kv.put(k.as_bytes(), k.to_uppercase().as_bytes()).unwrap();
+        }
+        let out = kv.range(b"b", b"e").unwrap();
+        let keys: Vec<&[u8]> = out.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(
+            keys,
+            vec![b"b".as_slice(), b"c".as_slice(), b"d".as_slice()]
+        );
+        assert_eq!(out[0].1.as_ref(), b"B");
+    }
+
+    #[test]
+    fn flush_and_reopen_preserves_contents() {
+        let kv = kv();
+        for i in 0..300u32 {
+            kv.put(
+                format!("key-{i:04}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        kv.delete(b"key-0007").unwrap();
+        kv.flush().unwrap();
+        assert!(
+            kv.stats().index_write_amplification() > 0.0,
+            "index writes must be accounted"
+        );
+
+        let kv2 = restart(kv);
+        assert_eq!(kv2.len(), 299);
+        assert!(kv2.get(b"key-0007").unwrap().is_none());
+        assert_eq!(
+            kv2.get(b"key-0123").unwrap().unwrap().as_ref(),
+            b"value-123"
+        );
+        // New writes keep working after reopen.
+        kv2.put(b"key-new", b"fresh").unwrap();
+        assert_eq!(kv2.get(b"key-new").unwrap().unwrap().as_ref(), b"fresh");
+        kv2.flush().unwrap();
+        let kv3 = restart(kv2);
+        assert_eq!(kv3.len(), 300);
+    }
+
+    #[test]
+    fn reopen_of_never_flushed_store_is_empty() {
+        let store = LogStore::open_in_memory(config()).unwrap();
+        let kv = KvStore::open(store).unwrap();
+        kv.put(b"never", b"flushed").unwrap();
+        let kv = restart(kv);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn persistence_path_is_binary_not_json() {
+        // The superblock a flush writes must be the binary format — not serde_json —
+        // and must decode as such.
+        let kv = kv();
+        kv.put(b"k", b"v").unwrap();
+        kv.flush().unwrap();
+        let epoch = kv.stats().epoch;
+        let slot = kv.store().get(superblock_slot(epoch)).unwrap().unwrap();
+        let sb = Superblock::decode(&slot).expect("superblock must be binary");
+        assert_eq!(sb.epoch, epoch);
+        assert_eq!(sb.len, 1);
+        assert_ne!(slot.first(), Some(&b'{'), "persistence path wrote JSON");
+    }
+
+    #[test]
+    fn alternating_superblock_slots_are_used() {
+        let kv = kv();
+        kv.put(b"a", b"1").unwrap();
+        kv.flush().unwrap(); // epoch 1 → slot B
+        kv.put(b"b", b"2").unwrap();
+        kv.flush().unwrap(); // epoch 2 → slot A
+        let a = Superblock::decode(&kv.store().get(META_BASE).unwrap().unwrap()).unwrap();
+        let b = Superblock::decode(&kv.store().get(META_BASE + 1).unwrap().unwrap()).unwrap();
+        assert_eq!(a.epoch, 2);
+        assert_eq!(b.epoch, 1);
+    }
+
+    #[test]
+    fn user_page_allocation_guard_rejects_reserved_range() {
+        let kv = kv();
+        kv.set_next_user_page_for_tests(USER_PAGE_LIMIT - 1);
+        // The last id below the limit still works…
+        kv.put(b"edge", b"fits").unwrap();
+        // …and the next allocation must be refused, not silently collide with
+        // META_BASE (which would overwrite the superblock slot).
+        let err = kv.put(b"overflow", b"nope").unwrap_err();
+        assert!(
+            matches!(err, Error::PageRangeExhausted { next, limit }
+                if next == USER_PAGE_LIMIT && limit == USER_PAGE_LIMIT),
+            "got {err}"
+        );
+        // The reserved slots were not clobbered: a flush + reopen still works.
+        kv.flush().unwrap();
+        let kv = restart(kv);
+        assert_eq!(kv.get(b"edge").unwrap().unwrap().as_ref(), b"fits");
+        assert!(kv.get(b"overflow").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_metadata_is_an_explicit_error_not_an_empty_store() {
+        let store = LogStore::open_in_memory(config()).unwrap();
+        store
+            .put(META_BASE, b"\x42 definitely not metadata")
+            .unwrap();
+        store.flush().unwrap();
+        let err = KvStore::open(store).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "got {err}");
+        assert!(err.to_string().contains("slot A"), "got {err}");
+    }
+
+    #[test]
+    fn migrates_a_legacy_json_store_on_first_open() {
+        let legacy = LegacyJsonKvStore::new(LogStore::open_in_memory(config()).unwrap());
+        for i in 0..250u32 {
+            legacy
+                .put(
+                    format!("user:{i:05}").as_bytes(),
+                    format!("profile-{i}").as_bytes(),
+                )
+                .unwrap();
+        }
+        legacy.delete(b"user:00013").unwrap();
+        legacy.flush().unwrap();
+        let store = legacy.into_inner();
+
+        let kv = KvStore::open(store).unwrap();
+        assert_eq!(kv.len(), 249);
+        assert!(kv.get(b"user:00013").unwrap().is_none());
+        assert_eq!(
+            kv.get(b"user:00100").unwrap().unwrap().as_ref(),
+            b"profile-100"
+        );
+        assert!(kv.stats().epoch >= 1, "migration must commit an epoch");
+
+        // The migrated store restarts through the superblock path (no legacy JSON).
+        let kv = restart(kv);
+        assert_eq!(kv.len(), 249);
+        let out = kv.range(b"user:00200", b"user:00205").unwrap();
+        assert_eq!(out.len(), 5);
+        // And keeps working.
+        kv.put(b"user:new", b"post-migration").unwrap();
+        kv.flush().unwrap();
+        let kv = restart(kv);
+        assert_eq!(kv.len(), 250);
+    }
+
+    #[test]
+    fn heavy_churn_with_cleaning_survives_restart() {
+        // Overwrite far more than the device could hold without cleaning: CoW value
+        // pages + CoW index pages + periodic commits must all stay consistent while
+        // the cleaner relocates them.
+        let kv = kv();
+        let keys = 400u32;
+        for round in 0..12u32 {
+            for i in 0..keys {
+                kv.put(
+                    format!("k{i:05}").as_bytes(),
+                    format!("r{round}-{i}").as_bytes(),
+                )
+                .unwrap();
+            }
+            kv.flush().unwrap();
+        }
+        assert!(
+            kv.store().stats().cleaning_cycles > 0,
+            "workload too small to exercise the cleaner"
+        );
+        let kv = restart(kv);
+        assert_eq!(kv.len() as u32, keys);
+        for i in (0..keys).step_by(37) {
+            assert_eq!(
+                kv.get(format!("k{i:05}").as_bytes())
+                    .unwrap()
+                    .unwrap()
+                    .as_ref(),
+                format!("r11-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_through_shared_reference() {
+        let kv = std::sync::Arc::new(kv());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let kv = kv.clone();
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let key = format!("t{t}-k{i:04}");
+                        let val = format!("t{t}-v{i}");
+                        kv.put(key.as_bytes(), val.as_bytes()).unwrap();
+                        let got = kv.get(key.as_bytes()).unwrap().expect("get-after-put");
+                        assert_eq!(got.as_ref(), val.as_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 800);
+        kv.flush().unwrap();
+        assert_eq!(kv.stats().keys, 800);
+    }
+}

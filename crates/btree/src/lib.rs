@@ -1,25 +1,31 @@
-//! # lss-btree — a page-based B+-tree storage engine substrate
+//! # lss-btree — a page-based B+-tree storage engine on the log-structured store
 //!
 //! The paper's Figure 6 experiment replays *"I/O traces collected from running the TPC-C
 //! benchmark on a B+-tree-based storage engine"* through the cleaning simulator. This
-//! crate is that storage engine, built from scratch so the whole experiment can be
-//! regenerated:
+//! crate is that storage engine — and, since the paged-index refactor, also the
+//! workspace's real KV substrate: everything is internally synchronised (`&self`), so
+//! trees and KV stores compose with [`lss_core::SharedLogStore`]-style shared handles:
 //!
 //! * [`page_store`] — where pages live: in memory, in an [`lss_core::LogStore`], or
 //!   wrapped by a tracer that records the page-write I/O stream;
-//! * [`buffer_pool`] — a CLOCK buffer cache, so only evictions and flushes reach storage
-//!   (this is what gives the trace its skew and its shifting hot/cold pattern);
-//! * [`node`] / [`tree`] — the B+-tree itself: byte-string keys and values, node splits,
-//!   range scans via leaf links.
+//! * [`buffer_pool`] — a sharded CLOCK buffer cache with dirty-page tracking and
+//!   ordered write-back, so only evictions and checkpoints reach storage (this is what
+//!   gives the trace its skew and its shifting hot/cold pattern);
+//! * [`node`] / [`tree`] — the B+-tree itself: byte-string keys and values, node
+//!   splits, successor-descent range scans, concurrent access behind a tree latch, and
+//!   an optional shadow (copy-on-write) mode for crash-consistent checkpoints;
+//! * [`kv`] — [`kv::KvStore`]: an ordered key-value store whose paged index *and*
+//!   values live in one log-structured store, committed by an atomic superblock flip;
+//! * [`kv_legacy`] — the retired JSON index format: detection, migration support and
+//!   a legacy writer for A/B benchmarks.
 //!
-//! It doubles as an example application of the log-structured store: see
-//! `examples/btree_on_lss.rs` at the workspace root.
+//! See `examples/btree_on_lss.rs` and `examples/kv_on_lss.rs` at the workspace root.
 //!
 //! ```
 //! use lss_btree::{BTree, BufferPool, MemPageStore};
 //!
 //! let pool = BufferPool::new(MemPageStore::new(4096), 256);
-//! let mut tree = BTree::open(pool).unwrap();
+//! let tree = BTree::open(pool).unwrap();
 //! tree.insert(b"hello", b"world").unwrap();
 //! assert_eq!(tree.get(b"hello").unwrap().unwrap(), b"world");
 //! ```
@@ -28,10 +34,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffer_pool;
+pub mod kv;
+pub mod kv_legacy;
 pub mod node;
 pub mod page_store;
 pub mod tree;
 
 pub use buffer_pool::{BufferPool, BufferPoolStats};
+pub use kv::{KvOptions, KvStats, KvStore};
+pub use kv_legacy::LegacyJsonKvStore;
 pub use page_store::{LssPageStore, MemPageStore, PageStore, TracingPageStore};
-pub use tree::BTree;
+pub use tree::{BTree, TreeCheckpoint};

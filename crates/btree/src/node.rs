@@ -3,14 +3,19 @@
 //! Every node occupies exactly one fixed-size page:
 //!
 //! ```text
-//! leaf:     [ 1u8 | nkeys u16 | next_leaf u64 | (klen u16, vlen u16, key, value)* ]
-//! internal: [ 2u8 | nkeys u16 | child0 u64   | (klen u16, key, child u64)*        ]
-//! meta:     [ 3u8 | root u64  | next_page u64 ]
+//! leaf:     [ 1u8 | nkeys u16 | (klen u16, vlen u16, key, value)* ]
+//! internal: [ 2u8 | nkeys u16 | child0 u64 | (klen u16, key, child u64)* ]
+//! meta:     [ 3u8 | root u64  | next_page u64 | len u64 ]
 //! ```
 //!
 //! Keys and values are arbitrary byte strings. An internal node with `nkeys` separator
 //! keys has `nkeys + 1` children; separator `keys[i]` is the smallest key reachable via
 //! `children[i + 1]`.
+//!
+//! Leaves carry **no sibling links**: range scans walk the tree by successor descent
+//! (see `tree`). This is what lets the shadow (copy-on-write) mode relocate any single
+//! page without rewriting its left neighbour — with persistent `next` pointers, moving
+//! one leaf would cascade through the entire leaf chain.
 
 use lss_core::error::{Error, Result};
 
@@ -19,13 +24,14 @@ const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
 const TAG_META: u8 = 3;
 
+/// Bytes of the fixed leaf header (tag + entry count).
+pub(crate) const LEAF_HEADER_BYTES: usize = 1 + 2;
+
 /// A decoded B+-tree node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Node {
-    /// A leaf node holding key/value pairs in sorted order plus a right-sibling link.
+    /// A leaf node holding key/value pairs in sorted order.
     Leaf {
-        /// Page id of the next leaf (0 = none).
-        next: u64,
         /// Sorted `(key, value)` entries.
         entries: Vec<(Vec<u8>, Vec<u8>)>,
     },
@@ -38,13 +44,16 @@ pub enum Node {
     },
 }
 
-/// The tree's metadata page (always page 0).
+/// The tree's metadata page (page 0 in stand-alone mode; shadow-mode trees keep this
+/// state in an external superblock instead — see the `kv` module).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaPage {
     /// Page id of the root node.
     pub root: u64,
     /// Next page id to allocate.
     pub next_page_id: u64,
+    /// Number of live keys.
+    pub len: u64,
 }
 
 fn corrupt(detail: &str) -> Error {
@@ -58,7 +67,6 @@ impl Node {
     /// An empty leaf.
     pub fn empty_leaf() -> Self {
         Node::Leaf {
-            next: 0,
             entries: Vec::new(),
         }
     }
@@ -71,9 +79,8 @@ impl Node {
     /// Number of bytes the encoded node occupies (must stay ≤ the page size).
     pub fn encoded_size(&self) -> usize {
         match self {
-            Node::Leaf { entries, .. } => {
-                1 + 2
-                    + 8
+            Node::Leaf { entries } => {
+                LEAF_HEADER_BYTES
                     + entries
                         .iter()
                         .map(|(k, v)| 4 + k.len() + v.len())
@@ -89,10 +96,9 @@ impl Node {
     pub fn encode(&self, page_size: usize) -> Result<Vec<u8>> {
         let mut buf = Vec::with_capacity(page_size);
         match self {
-            Node::Leaf { next, entries } => {
+            Node::Leaf { entries } => {
                 buf.push(TAG_LEAF);
                 buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
-                buf.extend_from_slice(&next.to_le_bytes());
                 for (k, v) in entries {
                     buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
                     buf.extend_from_slice(&(v.len() as u16).to_le_bytes());
@@ -157,7 +163,6 @@ impl Node {
         match data[0] {
             TAG_LEAF => {
                 let nkeys = read_u16(data, &mut pos)? as usize;
-                let next = read_u64(data, &mut pos)?;
                 let mut entries = Vec::with_capacity(nkeys);
                 for _ in 0..nkeys {
                     let klen = read_u16(data, &mut pos)? as usize;
@@ -166,7 +171,7 @@ impl Node {
                     let v = read_bytes(data, &mut pos, vlen)?;
                     entries.push((k, v));
                 }
-                Ok(Node::Leaf { next, entries })
+                Ok(Node::Leaf { entries })
             }
             TAG_INTERNAL => {
                 let nkeys = read_u16(data, &mut pos)? as usize;
@@ -192,18 +197,20 @@ impl MetaPage {
         buf.push(TAG_META);
         buf.extend_from_slice(&self.root.to_le_bytes());
         buf.extend_from_slice(&self.next_page_id.to_le_bytes());
+        buf.extend_from_slice(&self.len.to_le_bytes());
         buf.resize(page_size, 0);
         buf
     }
 
     /// Decode the meta page.
     pub fn decode(data: &[u8]) -> Result<MetaPage> {
-        if data.len() < 17 || data[0] != TAG_META {
+        if data.len() < 25 || data[0] != TAG_META {
             return Err(corrupt("not a meta page"));
         }
         Ok(MetaPage {
             root: u64::from_le_bytes(data[1..9].try_into().unwrap()),
             next_page_id: u64::from_le_bytes(data[9..17].try_into().unwrap()),
+            len: u64::from_le_bytes(data[17..25].try_into().unwrap()),
         })
     }
 }
@@ -215,7 +222,6 @@ mod tests {
     #[test]
     fn leaf_roundtrip() {
         let node = Node::Leaf {
-            next: 42,
             entries: vec![
                 (b"alpha".to_vec(), b"1".to_vec()),
                 (b"beta".to_vec(), b"two".to_vec()),
@@ -241,6 +247,7 @@ mod tests {
         let m = MetaPage {
             root: 7,
             next_page_id: 99,
+            len: 12345,
         };
         let enc = m.encode(64);
         assert_eq!(MetaPage::decode(&enc).unwrap(), m);
@@ -250,7 +257,6 @@ mod tests {
     #[test]
     fn oversized_node_is_rejected() {
         let node = Node::Leaf {
-            next: 0,
             entries: vec![(vec![1u8; 100], vec![2u8; 100])],
         };
         assert!(node.encode(64).is_err());
@@ -279,13 +285,12 @@ mod tests {
     #[test]
     fn encoded_size_matches_actual_encoding_for_leaves() {
         let node = Node::Leaf {
-            next: 1,
             entries: vec![
                 (b"key".to_vec(), b"value".to_vec()),
                 (b"k2".to_vec(), b"v2".to_vec()),
             ],
         };
-        let exact: usize = 1 + 2 + 8 + (4 + 3 + 5) + (4 + 2 + 2);
+        let exact: usize = 1 + 2 + (4 + 3 + 5) + (4 + 2 + 2);
         assert_eq!(node.encoded_size(), exact);
     }
 }

@@ -1,11 +1,17 @@
 //! Page stores: where the B+-tree's fixed-size pages live.
 //!
-//! The tree only needs `read_page` / `write_page`. Three implementations are provided:
+//! The tree only needs `read_page` / `write_page`, and — since the shared-handle
+//! refactor — every method takes `&self`: implementations are internally synchronised so
+//! a [`crate::BufferPool`] and [`crate::BTree`] built on top can themselves be shared
+//! across threads the way [`lss_core::LogStore`] already is. Three implementations are
+//! provided:
 //!
-//! * [`MemPageStore`] — a hash map; used when collecting TPC-C page-write traces (the
-//!   trace is about *which* pages are written, not where they land).
+//! * [`MemPageStore`] — a hash map behind a `RwLock`; used when collecting TPC-C
+//!   page-write traces (the trace is about *which* pages are written, not where they
+//!   land).
 //! * [`LssPageStore`] — pages stored in an [`lss_core::LogStore`], demonstrating the
-//!   B+-tree running directly on the log-structured store.
+//!   B+-tree running directly on the log-structured store (the store is already `&self`
+//!   everywhere, so this is a thin shim).
 //! * [`TracingPageStore`] — a wrapper recording every page write into an
 //!   [`lss_workload::WriteTrace`]; placed *below* the buffer pool it captures the I/O
 //!   stream an actual storage device would see, which is exactly what the paper replays
@@ -13,21 +19,26 @@
 
 use lss_core::{LogStore, Result};
 use lss_workload::WriteTrace;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Storage abstraction for fixed-size B+-tree pages.
-pub trait PageStore {
+///
+/// Implementations must be internally synchronised: the buffer pool calls them from any
+/// thread, holding at most one of its own shard latches.
+pub trait PageStore: Send + Sync {
     /// Size of every page in bytes.
     fn page_size(&self) -> usize;
 
     /// Read a page; `None` if it was never written.
-    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>>;
+    fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>>;
 
     /// Write (or overwrite) a page. `data` must be exactly `page_size` bytes.
-    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()>;
+    fn write_page(&self, id: u64, data: &[u8]) -> Result<()>;
 
     /// Flush any buffering to the underlying medium.
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         Ok(())
     }
 }
@@ -36,8 +47,8 @@ pub trait PageStore {
 #[derive(Debug)]
 pub struct MemPageStore {
     page_size: usize,
-    pages: HashMap<u64, Vec<u8>>,
-    writes: u64,
+    pages: RwLock<HashMap<u64, Vec<u8>>>,
+    writes: AtomicU64,
 }
 
 impl MemPageStore {
@@ -45,19 +56,19 @@ impl MemPageStore {
     pub fn new(page_size: usize) -> Self {
         Self {
             page_size,
-            pages: HashMap::new(),
-            writes: 0,
+            pages: RwLock::new(HashMap::new()),
+            writes: AtomicU64::new(0),
         }
     }
 
     /// Number of distinct pages stored.
     pub fn distinct_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.read().len()
     }
 
     /// Number of page writes performed.
     pub fn writes(&self) -> u64 {
-        self.writes
+        self.writes.load(Ordering::Relaxed)
     }
 }
 
@@ -66,14 +77,14 @@ impl PageStore for MemPageStore {
         self.page_size
     }
 
-    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
-        Ok(self.pages.get(&id).cloned())
+    fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.pages.read().get(&id).cloned())
     }
 
-    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+    fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
         assert_eq!(data.len(), self.page_size, "page {id} has the wrong size");
-        self.pages.insert(id, data.to_vec());
-        self.writes += 1;
+        self.pages.write().insert(id, data.to_vec());
+        self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -108,15 +119,15 @@ impl PageStore for LssPageStore {
         self.page_size
     }
 
-    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+    fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
         Ok(self.store.get(id)?.map(|b| b.to_vec()))
     }
 
-    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
+    fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
         self.store.put(id, data)
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         self.store.flush()
     }
 }
@@ -125,7 +136,7 @@ impl PageStore for LssPageStore {
 #[derive(Debug)]
 pub struct TracingPageStore<S: PageStore> {
     inner: S,
-    trace: WriteTrace,
+    trace: Mutex<WriteTrace>,
 }
 
 impl<S: PageStore> TracingPageStore<S> {
@@ -133,18 +144,23 @@ impl<S: PageStore> TracingPageStore<S> {
     pub fn new(inner: S) -> Self {
         Self {
             inner,
-            trace: WriteTrace::new(),
+            trace: Mutex::new(WriteTrace::new()),
         }
     }
 
-    /// The trace recorded so far.
-    pub fn trace(&self) -> &WriteTrace {
-        &self.trace
+    /// A snapshot of the trace recorded so far.
+    pub fn trace(&self) -> WriteTrace {
+        self.trace.lock().clone()
+    }
+
+    /// Number of writes recorded so far (cheaper than cloning the whole trace).
+    pub fn trace_len(&self) -> usize {
+        self.trace.lock().len()
     }
 
     /// Consume the wrapper, returning the trace and the inner store.
     pub fn into_parts(self) -> (WriteTrace, S) {
-        (self.trace, self.inner)
+        (self.trace.into_inner(), self.inner)
     }
 }
 
@@ -153,16 +169,16 @@ impl<S: PageStore> PageStore for TracingPageStore<S> {
         self.inner.page_size()
     }
 
-    fn read_page(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+    fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
         self.inner.read_page(id)
     }
 
-    fn write_page(&mut self, id: u64, data: &[u8]) -> Result<()> {
-        self.trace.record(id);
+    fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
+        self.trace.lock().record(id);
         self.inner.write_page(id, data)
     }
 
-    fn sync(&mut self) -> Result<()> {
+    fn sync(&self) -> Result<()> {
         self.inner.sync()
     }
 }
@@ -174,7 +190,7 @@ mod tests {
 
     #[test]
     fn mem_store_roundtrip() {
-        let mut s = MemPageStore::new(128);
+        let s = MemPageStore::new(128);
         assert!(s.read_page(1).unwrap().is_none());
         s.write_page(1, &[7u8; 128]).unwrap();
         assert_eq!(s.read_page(1).unwrap().unwrap(), vec![7u8; 128]);
@@ -185,8 +201,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong size")]
     fn mem_store_rejects_wrong_size() {
-        let mut s = MemPageStore::new(128);
+        let s = MemPageStore::new(128);
         s.write_page(1, &[0u8; 64]).unwrap();
+    }
+
+    #[test]
+    fn mem_store_is_shareable_across_threads() {
+        let s = std::sync::Arc::new(MemPageStore::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        s.write_page(t * 1000 + i, &[t as u8; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.distinct_pages(), 200);
+        assert_eq!(s.writes(), 200);
     }
 
     #[test]
@@ -194,7 +227,7 @@ mod tests {
         let store =
             LogStore::open_in_memory(StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc))
                 .unwrap();
-        let mut ps = LssPageStore::new(store, 256);
+        let ps = LssPageStore::new(store, 256);
         assert_eq!(ps.page_size(), 256);
         ps.write_page(5, &[3u8; 256]).unwrap();
         ps.sync().unwrap();
@@ -205,12 +238,13 @@ mod tests {
 
     #[test]
     fn tracing_store_records_writes_only() {
-        let mut s = TracingPageStore::new(MemPageStore::new(64));
+        let s = TracingPageStore::new(MemPageStore::new(64));
         s.write_page(10, &[0u8; 64]).unwrap();
         s.write_page(11, &[0u8; 64]).unwrap();
         s.write_page(10, &[1u8; 64]).unwrap();
         let _ = s.read_page(10).unwrap();
         assert_eq!(s.trace().writes, vec![10, 11, 10]);
+        assert_eq!(s.trace_len(), 3);
         let (trace, inner) = s.into_parts();
         assert_eq!(trace.len(), 3);
         assert_eq!(inner.distinct_pages(), 2);

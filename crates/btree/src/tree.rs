@@ -1,42 +1,80 @@
 //! The B+-tree itself: ordered byte-string keys and values over fixed-size pages served
-//! by a [`BufferPool`].
+//! by a [`BufferPool`] — internally synchronised, so a shared tree serves concurrent
+//! readers and writers through `&self`.
 //!
 //! Features: point lookups, inserts/updates with recursive node splits, deletes (without
-//! rebalancing — pages may become underfull, which is harmless for the workloads here and
-//! documented in DESIGN.md), and ordered range scans via leaf sibling links.
+//! rebalancing — pages may become underfull, which is harmless for the workloads here),
+//! and ordered range scans. Scans walk the tree by **successor descent** rather than
+//! leaf sibling links: the descent to a leaf remembers the smallest separator to the
+//! right of its path, which is exactly the first key of the next leaf — so no persistent
+//! `next` pointers are needed. That matters for shadow mode (below): with on-page links,
+//! relocating one leaf would force rewriting its left neighbour, cascading through the
+//! whole chain.
+//!
+//! ## Concurrency
+//!
+//! One tree-level `RwLock` orders operations: lookups and scans share it, mutations and
+//! checkpoints take it exclusively. Page frames live in the [`BufferPool`]'s sharded
+//! latches underneath, so concurrent readers touch disjoint locks on the hot path. Lock
+//! order: tree latch → pool shard latch (a leaf — the pool never takes the tree latch).
+//!
+//! ## Shadow (copy-on-write) mode
+//!
+//! A tree opened with [`BTree::open_shadow`] never overwrites a *committed* page: the
+//! first time an epoch modifies a node, the node is relocated to a freshly allocated
+//! page id and the old id is queued on a freed list (path copying — the parent is being
+//! rewritten anyway to repoint at the relocated child, all the way to the root). Pages
+//! allocated since the last commit are "fresh" and are updated in place. A
+//! [`TreeCheckpoint`] then makes the epoch durable: write back the dirty pages (all of
+//! them fresh ids), let the caller place a commit record (the KV layer's superblock)
+//! pointing at the new root, and only then release the freed ids for reuse. Crash at
+//! any point and the previously committed root still describes a fully intact tree.
+//! Stand-alone trees ([`BTree::open`]) skip all of this and update pages in place,
+//! which keeps the TPC-C page-write traces of the Figure 6 experiment faithful.
 
 use crate::buffer_pool::BufferPool;
-use crate::node::{MetaPage, Node};
+use crate::node::{MetaPage, Node, LEAF_HEADER_BYTES};
 use crate::page_store::PageStore;
 use lss_core::error::{Error, Result};
+use parking_lot::{RwLock, RwLockWriteGuard};
+use std::collections::HashSet;
 
-/// Outcome of a recursive insert: whether a new key was added, plus the
-/// `(separator, right page)` of a node split when one propagated upward.
-type InsertOutcome = (bool, Option<(Vec<u8>, u64)>);
-
-/// Page id of the metadata page.
+/// Page id of the metadata page (stand-alone mode only; never allocated to nodes).
 const META_PAGE: u64 = 0;
+
+/// The latch-guarded mutable state of a tree.
+#[derive(Debug)]
+struct TreeState {
+    /// Page id of the root node.
+    root: u64,
+    /// Next never-used page id (the allocation watermark).
+    next_page_id: u64,
+    /// Number of live keys.
+    len: u64,
+    /// Shadow mode: pages allocated since the last commit — safe to update in place.
+    fresh: HashSet<u64>,
+    /// Shadow mode: committed pages superseded this epoch; reusable after commit.
+    freed: Vec<u64>,
+    /// Shadow mode: page ids free for reuse (freed by previously committed epochs).
+    free: Vec<u64>,
+}
 
 /// An ordered key/value B+-tree over a page store.
 #[derive(Debug)]
 pub struct BTree<S: PageStore> {
     pool: BufferPool<S>,
     page_size: usize,
-    meta: MetaPage,
-    /// Number of live keys (maintained incrementally; informational).
-    len: u64,
+    /// Copy-on-write mode (see the module docs).
+    shadow: bool,
+    state: RwLock<TreeState>,
 }
 
 impl<S: PageStore> BTree<S> {
-    /// Open (or initialise) a tree on a buffer pool. If the store already contains a
-    /// tree (its meta page decodes), it is reused.
-    pub fn open(mut pool: BufferPool<S>) -> Result<Self> {
-        let page_size = pool.page_size();
-        if page_size < 64 {
-            return Err(Error::InvalidConfig(format!(
-                "page size {page_size} too small for a B+-tree"
-            )));
-        }
+    /// Open (or initialise) a stand-alone tree on a buffer pool: pages are updated in
+    /// place and the tree's metadata lives in page 0, written by [`BTree::flush`]. If
+    /// the store already contains a tree (its meta page decodes), it is reused.
+    pub fn open(pool: BufferPool<S>) -> Result<Self> {
+        let page_size = Self::check_page_size(&pool)?;
         let meta = match pool.read(META_PAGE)? {
             Some(bytes) => MetaPage::decode(&bytes)?,
             None => {
@@ -44,21 +82,75 @@ impl<S: PageStore> BTree<S> {
                 let meta = MetaPage {
                     root: 1,
                     next_page_id: 2,
+                    len: 0,
                 };
-                let root = Node::empty_leaf().encode(page_size)?;
-                pool.write(1, root)?;
+                pool.write(1, Node::empty_leaf().encode(page_size)?)?;
                 pool.write(META_PAGE, meta.encode(page_size))?;
                 meta
             }
         };
-        let mut tree = Self {
+        Ok(Self {
             pool,
             page_size,
-            meta,
-            len: 0,
+            shadow: false,
+            state: RwLock::new(TreeState {
+                root: meta.root,
+                next_page_id: meta.next_page_id,
+                len: meta.len,
+                fresh: HashSet::new(),
+                freed: Vec::new(),
+                free: Vec::new(),
+            }),
+        })
+    }
+
+    /// Open a tree in shadow (copy-on-write) mode.
+    ///
+    /// `frontier` is the last committed `(root, next_page_id, len)` — recorded by the
+    /// caller's commit record (e.g. the KV superblock) — or `None` to initialise a
+    /// fresh empty tree whose first pages materialise only at the first checkpoint.
+    /// Shadow trees never touch page 0 and never overwrite a committed page; see the
+    /// module docs for the epoch protocol.
+    pub fn open_shadow(pool: BufferPool<S>, frontier: Option<(u64, u64, u64)>) -> Result<Self> {
+        let page_size = Self::check_page_size(&pool)?;
+        let (root, next_page_id, len, fresh) = match frontier {
+            Some((root, next_page_id, len)) => {
+                if root == META_PAGE || root >= next_page_id {
+                    return Err(Error::CorruptCheckpoint(format!(
+                        "btree frontier root {root} outside (0, {next_page_id})"
+                    )));
+                }
+                (root, next_page_id, len, HashSet::new())
+            }
+            None => {
+                // Fresh tree: root leaf at page 1, fresh (dirty in the pool only).
+                pool.write(1, Node::empty_leaf().encode(page_size)?)?;
+                (1, 2, 0, HashSet::from([1]))
+            }
         };
-        tree.len = tree.count_keys()?;
-        Ok(tree)
+        Ok(Self {
+            pool,
+            page_size,
+            shadow: true,
+            state: RwLock::new(TreeState {
+                root,
+                next_page_id,
+                len,
+                fresh,
+                freed: Vec::new(),
+                free: Vec::new(),
+            }),
+        })
+    }
+
+    fn check_page_size(pool: &BufferPool<S>) -> Result<usize> {
+        let page_size = pool.page_size();
+        if page_size < 64 {
+            return Err(Error::InvalidConfig(format!(
+                "page size {page_size} too small for a B+-tree"
+            )));
+        }
+        Ok(page_size)
     }
 
     /// Largest key+value payload the tree accepts (a quarter page, so that any two
@@ -69,12 +161,12 @@ impl<S: PageStore> BTree<S> {
 
     /// Number of keys in the tree.
     pub fn len(&self) -> u64 {
-        self.len
+        self.state.read().len
     }
 
     /// True if the tree holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Buffer-pool statistics (hit ratio, evictions).
@@ -82,13 +174,30 @@ impl<S: PageStore> BTree<S> {
         self.pool.stats()
     }
 
+    /// The buffer pool (e.g. for dirty-page gauges).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
     /// The underlying page store (without flushing; dirty pages may still be cached).
     pub fn store(&self) -> &S {
         self.pool.store()
     }
 
+    /// Seed the reusable-page-id list (shadow mode; used when reopening a tree whose
+    /// free list was reconstructed by a reachability sweep).
+    pub fn seed_free_list(&self, ids: impl IntoIterator<Item = u64>) {
+        let mut st = self.state.write();
+        st.free.extend(ids);
+    }
+
     /// Insert or overwrite a key.
-    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.insert_returning(key, value).map(|_| ())
+    }
+
+    /// Insert or overwrite a key, returning the previous value if the key existed.
+    pub fn insert_returning(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
         if key.len() + value.len() > self.max_entry_size() {
             return Err(Error::PageTooLarge {
                 page: 0,
@@ -96,116 +205,192 @@ impl<S: PageStore> BTree<S> {
                 max: self.max_entry_size(),
             });
         }
-        let root = self.meta.root;
-        let (inserted_new, split) = self.insert_rec(root, key, value)?;
-        if inserted_new {
-            self.len += 1;
+        let mut st = self.state.write();
+        let root = st.root;
+        let (new_root, old, split) = self.insert_rec(&mut st, root, key, value)?;
+        st.root = new_root;
+        if old.is_none() {
+            st.len += 1;
         }
         if let Some((sep, right)) = split {
             // The root split: create a new internal root.
-            let new_root_id = self.allocate_page();
+            let new_root_id = self.alloc_page(&mut st);
             let new_root = Node::Internal {
                 keys: vec![sep],
-                children: vec![root, right],
+                children: vec![st.root, right],
             };
             self.write_node(new_root_id, &new_root)?;
-            self.meta.root = new_root_id;
-            self.write_meta()?;
+            st.root = new_root_id;
         }
-        Ok(())
+        Ok(old)
     }
 
     /// Look up a key.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let mut page = self.meta.root;
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_map(key, |v| Ok(v.to_vec()))
+    }
+
+    /// Look up a key and transform the value **under the tree's shared latch**: while
+    /// `f` runs, no mutation or checkpoint can commit, so whatever the value references
+    /// (e.g. a KV value page in the log store) cannot be reclaimed underneath it.
+    pub fn get_map<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> Result<R>) -> Result<Option<R>> {
+        let st = self.state.read();
+        let mut page = st.root;
         loop {
             match self.read_node(page)? {
                 Node::Internal { keys, children } => {
                     page = children[child_index(&keys, key)];
                 }
-                Node::Leaf { entries, .. } => {
-                    return Ok(entries
-                        .iter()
-                        .find(|(k, _)| k.as_slice() == key)
-                        .map(|(_, v)| v.clone()));
+                Node::Leaf { entries } => {
+                    return match entries.iter().find(|(k, _)| k.as_slice() == key) {
+                        Some((_, v)) => f(v).map(Some),
+                        None => Ok(None),
+                    };
                 }
             }
         }
     }
 
     /// Delete a key. Returns true if it existed.
-    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
-        let mut page = self.meta.root;
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.delete_returning(key).map(|old| old.is_some())
+    }
+
+    /// Delete a key, returning its value if it existed.
+    pub fn delete_returning(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut st = self.state.write();
+        // Read-only probe first: a miss must not churn shadow pages.
+        let mut page = st.root;
         loop {
             match self.read_node(page)? {
-                Node::Internal { keys, children } => {
-                    page = children[child_index(&keys, key)];
-                }
-                Node::Leaf { next, mut entries } => {
-                    let before = entries.len();
-                    entries.retain(|(k, _)| k.as_slice() != key);
-                    let removed = entries.len() < before;
-                    if removed {
-                        self.write_node(page, &Node::Leaf { next, entries })?;
-                        self.len -= 1;
+                Node::Internal { keys, children } => page = children[child_index(&keys, key)],
+                Node::Leaf { entries } => {
+                    if !entries.iter().any(|(k, _)| k.as_slice() == key) {
+                        return Ok(None);
                     }
-                    return Ok(removed);
+                    break;
                 }
             }
         }
+        let root = st.root;
+        let (new_root, old) = self.delete_rec(&mut st, root, key)?;
+        st.root = new_root;
+        st.len -= 1;
+        Ok(old)
     }
 
     /// Ordered scan of all `(key, value)` pairs with `start <= key < end`.
-    pub fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_map(start, end, |k, v| Ok(Some((k.to_vec(), v.to_vec()))))
+    }
+
+    /// Ordered scan of `start <= key < end`, applying `f` to each entry **under the
+    /// tree's shared latch** (see [`BTree::get_map`]); entries for which `f` returns
+    /// `Ok(None)` are skipped.
+    pub fn scan_map<R>(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]) -> Result<Option<R>>,
+    ) -> Result<Vec<R>> {
+        let st = self.state.read();
         let mut out = Vec::new();
-        // Descend to the leaf that would contain `start`.
-        let mut page = self.meta.root;
-        while let Node::Internal { keys, children } = self.read_node(page)? {
-            page = children[child_index(&keys, start)];
-        }
-        // Walk the leaf chain.
+        let mut cursor = start.to_vec();
         loop {
-            let Node::Leaf { next, entries } = self.read_node(page)? else {
-                return Err(Error::InvalidConfig(
-                    "leaf chain reached an internal node".into(),
-                ));
-            };
-            for (k, v) in entries {
+            let (entries, upper) = self.find_leaf(&st, &cursor)?;
+            for (k, v) in &entries {
                 if k.as_slice() >= end {
                     return Ok(out);
                 }
                 if k.as_slice() >= start {
-                    out.push((k, v));
+                    if let Some(r) = f(k, v)? {
+                        out.push(r);
+                    }
                 }
             }
-            if next == 0 {
-                return Ok(out);
+            match upper {
+                // Rightmost leaf: done.
+                None => return Ok(out),
+                Some(u) => {
+                    if u.as_slice() >= end {
+                        return Ok(out);
+                    }
+                    // `u` is the smallest key of the next leaf; descending for it
+                    // lands exactly there.
+                    cursor = u;
+                }
             }
-            page = next;
         }
     }
 
-    /// Flush all dirty pages (and the meta page) to the underlying store.
-    pub fn flush(&mut self) -> Result<()> {
-        self.write_meta()?;
+    /// Visit every reachable node (pre-order), e.g. for reachability sweeps after a
+    /// restart. Runs under the shared latch.
+    pub fn walk(&self, mut f: impl FnMut(u64, &Node)) -> Result<()> {
+        let st = self.state.read();
+        self.walk_rec(st.root, &mut f)
+    }
+
+    /// Flush all dirty pages (and, for stand-alone trees, the meta page) to the
+    /// underlying store and sync it.
+    ///
+    /// Shadow trees get no crash-consistency guarantee from this alone — that is what
+    /// [`BTree::begin_checkpoint`] and the caller's commit record are for.
+    pub fn flush(&self) -> Result<()> {
+        let st = self.state.write();
+        if !self.shadow {
+            let meta = MetaPage {
+                root: st.root,
+                next_page_id: st.next_page_id,
+                len: st.len,
+            };
+            self.pool.write(META_PAGE, meta.encode(self.page_size))?;
+        }
         self.pool.flush_all()
     }
 
     /// Flush and return the underlying page store.
-    pub fn into_store(mut self) -> Result<S> {
+    pub fn into_store(self) -> Result<S> {
         self.flush()?;
         self.pool.into_store()
     }
 
+    /// Take the tree's exclusive latch for a checkpoint: no mutation can run until the
+    /// returned guard is committed or dropped. See [`TreeCheckpoint`].
+    pub fn begin_checkpoint(&self) -> TreeCheckpoint<'_, S> {
+        TreeCheckpoint {
+            tree: self,
+            st: self.state.write(),
+        }
+    }
+
     // ------------------------------------------------------------------
 
-    fn allocate_page(&mut self) -> u64 {
-        let id = self.meta.next_page_id;
-        self.meta.next_page_id += 1;
+    fn alloc_page(&self, st: &mut TreeState) -> u64 {
+        let id = st.free.pop().unwrap_or_else(|| {
+            let id = st.next_page_id;
+            st.next_page_id += 1;
+            id
+        });
+        if self.shadow {
+            st.fresh.insert(id);
+        }
         id
     }
 
-    fn read_node(&mut self, page: u64) -> Result<Node> {
+    /// The page id a modification of `page` must be written to: the page itself when it
+    /// may be updated in place (stand-alone mode, or fresh this epoch), otherwise a
+    /// newly allocated shadow id, with `page` queued for post-commit release. The
+    /// caller writes the modified node to the returned id and repoints the parent.
+    fn shadow_id(&self, st: &mut TreeState, page: u64) -> u64 {
+        if !self.shadow || st.fresh.contains(&page) {
+            return page;
+        }
+        let id = self.alloc_page(st);
+        st.freed.push(page);
+        id
+    }
+
+    fn read_node(&self, page: u64) -> Result<Node> {
         let bytes = self
             .pool
             .read(page)?
@@ -213,125 +398,245 @@ impl<S: PageStore> BTree<S> {
         Node::decode(&bytes)
     }
 
-    fn write_node(&mut self, page: u64, node: &Node) -> Result<()> {
+    fn write_node(&self, page: u64, node: &Node) -> Result<()> {
         self.pool.write(page, node.encode(self.page_size)?)
     }
 
-    fn write_meta(&mut self) -> Result<()> {
-        self.pool.write(META_PAGE, self.meta.encode(self.page_size))
+    /// Descend to the leaf that would hold `key`, returning its entries together with
+    /// the leaf's exclusive upper bound: the innermost separator to the right of the
+    /// descent path (`None` on the rightmost spine). The upper bound is the smallest
+    /// key of the *next* leaf, which is how scans walk leaves without sibling links.
+    #[allow(clippy::type_complexity)]
+    fn find_leaf(
+        &self,
+        st: &TreeState,
+        key: &[u8],
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<Vec<u8>>)> {
+        let mut page = st.root;
+        let mut upper: Option<Vec<u8>> = None;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    let idx = child_index(&keys, key);
+                    if idx < keys.len() {
+                        // Deeper separators are tighter than inherited ones.
+                        upper = Some(keys[idx].clone());
+                    }
+                    page = children[idx];
+                }
+                Node::Leaf { entries } => return Ok((entries, upper)),
+            }
+        }
     }
 
-    /// Recursive insert. Returns (inserted_new_key, optional split (separator, right page)).
-    fn insert_rec(&mut self, page: u64, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+    fn walk_rec(&self, page: u64, f: &mut impl FnMut(u64, &Node)) -> Result<()> {
+        let node = self.read_node(page)?;
+        f(page, &node);
+        if let Node::Internal { children, .. } = &node {
+            for &c in children {
+                self.walk_rec(c, f)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive insert. Returns the node's (possibly relocated) page id, the previous
+    /// value of the key if it existed, and the `(separator, right page)` of a node
+    /// split when one propagated upward.
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &self,
+        st: &mut TreeState,
+        page: u64,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(u64, Option<Vec<u8>>, Option<(Vec<u8>, u64)>)> {
         match self.read_node(page)? {
-            Node::Leaf { next, mut entries } => {
-                let inserted_new = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                    Ok(i) => {
-                        entries[i].1 = value.to_vec();
-                        false
-                    }
+            Node::Leaf { mut entries } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
                     Err(i) => {
                         entries.insert(i, (key.to_vec(), value.to_vec()));
-                        true
+                        None
                     }
                 };
-                let node = Node::Leaf { next, entries };
+                let page = self.shadow_id(st, page);
+                let node = Node::Leaf { entries };
                 if node.encoded_size() <= self.page_size {
                     self.write_node(page, &node)?;
-                    return Ok((inserted_new, None));
+                    return Ok((page, old, None));
                 }
                 // Split the leaf: move the upper half to a new page.
-                let Node::Leaf { next, entries } = node else {
+                let Node::Leaf { entries } = node else {
                     unreachable!()
                 };
                 let split_at = split_point(&entries, self.page_size);
                 let right_entries = entries[split_at..].to_vec();
                 let left_entries = entries[..split_at].to_vec();
                 let sep = right_entries[0].0.clone();
-                let right_page = self.allocate_page();
+                let right_page = self.alloc_page(st);
                 self.write_node(
                     right_page,
                     &Node::Leaf {
-                        next,
                         entries: right_entries,
                     },
                 )?;
                 self.write_node(
                     page,
                     &Node::Leaf {
-                        next: right_page,
                         entries: left_entries,
                     },
                 )?;
-                self.write_meta()?;
-                Ok((inserted_new, Some((sep, right_page))))
+                Ok((page, old, Some((sep, right_page))))
             }
             Node::Internal {
                 mut keys,
                 mut children,
             } => {
                 let idx = child_index(&keys, key);
-                let (inserted_new, split) = self.insert_rec(children[idx], key, value)?;
+                let child = children[idx];
+                let (new_child, old, split) = self.insert_rec(st, child, key, value)?;
+                if new_child == child && split.is_none() {
+                    // Nothing about this node changed (the child was updated in
+                    // place): leave it untouched so in-place trees write only what
+                    // they modify and shadow trees stop the path copy here.
+                    return Ok((page, old, None));
+                }
+                children[idx] = new_child;
+                let page = self.shadow_id(st, page);
                 if let Some((sep, right)) = split {
                     keys.insert(idx, sep);
                     children.insert(idx + 1, right);
                     let node = Node::Internal { keys, children };
-                    if node.encoded_size() <= self.page_size {
-                        self.write_node(page, &node)?;
-                        return Ok((inserted_new, None));
+                    if node.encoded_size() > self.page_size {
+                        // Split the internal node: the middle key moves up.
+                        let Node::Internal { keys, children } = node else {
+                            unreachable!()
+                        };
+                        let mid = keys.len() / 2;
+                        let up_key = keys[mid].clone();
+                        let right_keys = keys[mid + 1..].to_vec();
+                        let right_children = children[mid + 1..].to_vec();
+                        let left_keys = keys[..mid].to_vec();
+                        let left_children = children[..mid + 1].to_vec();
+                        let right_page = self.alloc_page(st);
+                        self.write_node(
+                            right_page,
+                            &Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
+                        )?;
+                        self.write_node(
+                            page,
+                            &Node::Internal {
+                                keys: left_keys,
+                                children: left_children,
+                            },
+                        )?;
+                        return Ok((page, old, Some((up_key, right_page))));
                     }
-                    // Split the internal node: the middle key moves up.
-                    let Node::Internal { keys, children } = node else {
-                        unreachable!()
-                    };
-                    let mid = keys.len() / 2;
-                    let up_key = keys[mid].clone();
-                    let right_keys = keys[mid + 1..].to_vec();
-                    let right_children = children[mid + 1..].to_vec();
-                    let left_keys = keys[..mid].to_vec();
-                    let left_children = children[..mid + 1].to_vec();
-                    let right_page = self.allocate_page();
-                    self.write_node(
-                        right_page,
-                        &Node::Internal {
-                            keys: right_keys,
-                            children: right_children,
-                        },
-                    )?;
-                    self.write_node(
-                        page,
-                        &Node::Internal {
-                            keys: left_keys,
-                            children: left_children,
-                        },
-                    )?;
-                    self.write_meta()?;
-                    return Ok((inserted_new, Some((up_key, right_page))));
+                    self.write_node(page, &node)?;
+                    return Ok((page, old, None));
                 }
-                Ok((inserted_new, None))
+                self.write_node(page, &Node::Internal { keys, children })?;
+                Ok((page, old, None))
             }
         }
     }
 
-    fn count_keys(&mut self) -> Result<u64> {
-        // Walk the leftmost spine to the first leaf, then the leaf chain.
-        let mut page = self.meta.root;
-        while let Node::Internal { children, .. } = self.read_node(page)? {
-            page = children[0];
-        }
-        let mut count = 0u64;
-        loop {
-            let Node::Leaf { next, entries } = self.read_node(page)? else {
-                return Err(Error::InvalidConfig(
-                    "leaf chain reached an internal node".into(),
-                ));
-            };
-            count += entries.len() as u64;
-            if next == 0 {
-                return Ok(count);
+    /// Recursive delete of a key known to exist. Returns the node's (possibly
+    /// relocated) page id and the removed value.
+    fn delete_rec(
+        &self,
+        st: &mut TreeState,
+        page: u64,
+        key: &[u8],
+    ) -> Result<(u64, Option<Vec<u8>>)> {
+        match self.read_node(page)? {
+            Node::Leaf { mut entries } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(entries.remove(i).1),
+                    Err(_) => None,
+                };
+                if old.is_none() {
+                    return Ok((page, None));
+                }
+                let page = self.shadow_id(st, page);
+                self.write_node(page, &Node::Leaf { entries })?;
+                Ok((page, old))
             }
-            page = next;
+            Node::Internal { keys, mut children } => {
+                let idx = child_index(&keys, key);
+                let child = children[idx];
+                let (new_child, old) = self.delete_rec(st, child, key)?;
+                if new_child == child {
+                    return Ok((page, old));
+                }
+                children[idx] = new_child;
+                let page = self.shadow_id(st, page);
+                self.write_node(page, &Node::Internal { keys, children })?;
+                Ok((page, old))
+            }
         }
+    }
+}
+
+/// An in-progress checkpoint of a shadow-mode tree: holds the tree's exclusive latch so
+/// the epoch's page set is frozen while the caller runs its commit protocol.
+///
+/// Intended sequence (the KV layer's two-barrier superblock flip):
+///
+/// 1. [`TreeCheckpoint::write_back`] — dirty pages (all fresh ids) reach the store;
+/// 2. caller makes them durable (barrier 1), then durably commits a record pointing at
+///    [`TreeCheckpoint::root`] / [`TreeCheckpoint::next_page_id`] (barrier 2);
+/// 3. [`TreeCheckpoint::commit`] — the epoch's freed page ids become reusable and are
+///    returned so the caller can release their storage.
+///
+/// Dropping the guard without committing aborts the epoch bookkeeping-wise: freed pages
+/// stay unreleased and the next checkpoint retries, which is exactly right when a
+/// barrier fails — the previously committed root is still fully intact.
+pub struct TreeCheckpoint<'a, S: PageStore> {
+    tree: &'a BTree<S>,
+    st: RwLockWriteGuard<'a, TreeState>,
+}
+
+impl<S: PageStore> TreeCheckpoint<'_, S> {
+    /// Write all dirty pages back to the store in ascending page-id order (no sync).
+    /// Returns the page ids written.
+    pub fn write_back(&mut self) -> Result<Vec<u64>> {
+        self.tree.pool.write_back()
+    }
+
+    /// The root page id this checkpoint would commit.
+    pub fn root(&self) -> u64 {
+        self.st.root
+    }
+
+    /// The allocation watermark this checkpoint would commit.
+    pub fn next_page_id(&self) -> u64 {
+        self.st.next_page_id
+    }
+
+    /// The key count this checkpoint would commit.
+    pub fn len(&self) -> u64 {
+        self.st.len
+    }
+
+    /// True if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.st.len == 0
+    }
+
+    /// Seal the epoch after the caller's commit record is durable: fresh pages become
+    /// committed. Returns the epoch's freed page ids — no longer referenced by the
+    /// committed tree — **without recycling them**: the caller releases their storage
+    /// first and only then hands them back via [`BTree::seed_free_list`]. Recycling
+    /// before the release is a race: a new page could be allocated at the id and then
+    /// clobbered by the in-flight release of its previous incarnation.
+    pub fn commit(mut self) -> Vec<u64> {
+        self.st.fresh.clear();
+        std::mem::take(&mut self.st.freed)
     }
 }
 
@@ -346,7 +651,7 @@ fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
 /// Where to split a leaf's entries so both halves fit comfortably: the first index where
 /// the accumulated encoded size exceeds half the page.
 fn split_point(entries: &[(Vec<u8>, Vec<u8>)], page_size: usize) -> usize {
-    let mut acc = 11usize; // leaf header
+    let mut acc = LEAF_HEADER_BYTES;
     for (i, (k, v)) in entries.iter().enumerate() {
         acc += 4 + k.len() + v.len();
         if acc > page_size / 2 && i + 1 < entries.len() {
@@ -369,13 +674,17 @@ mod tests {
         BTree::open(BufferPool::new(MemPageStore::new(PAGE), 64)).unwrap()
     }
 
+    fn new_shadow_tree() -> BTree<MemPageStore> {
+        BTree::open_shadow(BufferPool::new(MemPageStore::new(PAGE), 64), None).unwrap()
+    }
+
     fn key(i: u32) -> Vec<u8> {
         format!("key-{i:08}").into_bytes()
     }
 
     #[test]
     fn insert_get_delete_roundtrip() {
-        let mut t = new_tree();
+        let t = new_tree();
         assert!(t.is_empty());
         t.insert(b"b", b"2").unwrap();
         t.insert(b"a", b"1").unwrap();
@@ -391,41 +700,50 @@ mod tests {
     }
 
     #[test]
-    fn overwrite_updates_in_place() {
-        let mut t = new_tree();
-        t.insert(b"k", b"v1").unwrap();
-        t.insert(b"k", b"v2-longer").unwrap();
+    fn overwrite_updates_in_place_and_returns_old_value() {
+        let t = new_tree();
+        assert_eq!(t.insert_returning(b"k", b"v1").unwrap(), None);
+        assert_eq!(
+            t.insert_returning(b"k", b"v2-longer").unwrap(),
+            Some(b"v1".to_vec())
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(b"k").unwrap().unwrap(), b"v2-longer");
+        assert_eq!(
+            t.delete_returning(b"k").unwrap(),
+            Some(b"v2-longer".to_vec())
+        );
     }
 
     #[test]
     fn many_inserts_force_multi_level_splits_and_stay_sorted() {
-        let mut t = new_tree();
-        let n = 5_000u32;
-        // Insert in a scrambled order (a fixed odd multiplier coprime with n makes this a
-        // permutation) to exercise splits at arbitrary positions.
-        for i in 0..n {
-            let k = ((i as u64 * 2654435761) % n as u64) as u32;
-            t.insert(&key(k), format!("value-{k}").as_bytes()).unwrap();
+        for tree in [new_tree(), new_shadow_tree()] {
+            let n = 5_000u32;
+            // Insert in a scrambled order (a fixed odd multiplier coprime with n makes
+            // this a permutation) to exercise splits at arbitrary positions.
+            for i in 0..n {
+                let k = ((i as u64 * 2654435761) % n as u64) as u32;
+                tree.insert(&key(k), format!("value-{k}").as_bytes())
+                    .unwrap();
+            }
+            assert_eq!(tree.len() as u32, n);
+            for i in (0..n).step_by(97) {
+                assert_eq!(
+                    tree.get(&key(i)).unwrap().unwrap(),
+                    format!("value-{i}").as_bytes(),
+                    "key {i} lost"
+                );
+            }
+            // The full range scan returns every key in sorted order.
+            let all = tree.range(b"key-", b"key-99999999~").unwrap();
+            assert_eq!(all.len() as u32, n);
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan not sorted");
         }
-        assert_eq!(t.len() as u32, n);
-        for i in (0..n).step_by(97) {
-            assert_eq!(
-                t.get(&key(i)).unwrap().unwrap(),
-                format!("value-{i}").as_bytes(),
-                "key {i} lost"
-            );
-        }
-        // The full range scan returns every key in sorted order.
-        let all = t.range(b"key-", b"key-99999999~").unwrap();
-        assert_eq!(all.len() as u32, n);
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan not sorted");
     }
 
     #[test]
     fn range_scan_is_half_open_and_ordered() {
-        let mut t = new_tree();
+        let t = new_tree();
         for i in 0..100u32 {
             t.insert(&key(i), b"x").unwrap();
         }
@@ -437,44 +755,208 @@ mod tests {
 
     #[test]
     fn matches_a_model_under_random_operations() {
-        let mut t = new_tree();
-        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        let mut state = 0x12345678u64;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            state >> 33
-        };
-        for _ in 0..3_000 {
-            let k = key((next() % 300) as u32);
-            match next() % 3 {
-                0 | 1 => {
-                    let v = format!("v{}", next() % 1000).into_bytes();
-                    t.insert(&k, &v).unwrap();
-                    model.insert(k, v);
-                }
-                _ => {
-                    let expected = model.remove(&k).is_some();
-                    assert_eq!(t.delete(&k).unwrap(), expected);
+        for tree in [new_tree(), new_shadow_tree()] {
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            let mut state = 0x12345678u64;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _ in 0..3_000 {
+                let k = key((next() % 300) as u32);
+                match next() % 3 {
+                    0 | 1 => {
+                        let v = format!("v{}", next() % 1000).into_bytes();
+                        tree.insert(&k, &v).unwrap();
+                        model.insert(k, v);
+                    }
+                    _ => {
+                        let expected = model.remove(&k).is_some();
+                        assert_eq!(tree.delete(&k).unwrap(), expected);
+                    }
                 }
             }
+            assert_eq!(tree.len() as usize, model.len());
+            for (k, v) in &model {
+                assert_eq!(tree.get(k).unwrap().as_deref(), Some(v.as_slice()));
+            }
+            // Range over everything matches the model's order.
+            let scanned = tree.range(b"", b"~~~~~~~~~~~~~~~~").unwrap();
+            let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(scanned, expected);
         }
-        assert_eq!(t.len() as usize, model.len());
-        for (k, v) in &model {
-            assert_eq!(t.get(k).unwrap().as_deref(), Some(v.as_slice()));
-        }
-        // Range over everything matches the model's order.
-        let scanned = t.range(b"", b"~~~~~~~~~~~~~~~~").unwrap();
-        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        assert_eq!(scanned, expected);
     }
 
     #[test]
     fn oversized_entries_are_rejected() {
-        let mut t = new_tree();
+        let t = new_tree();
         let err = t.insert(b"k", &vec![0u8; PAGE]).unwrap_err();
         assert!(matches!(err, Error::PageTooLarge { .. }));
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_values() {
+        let t = std::sync::Arc::new(new_tree());
+        for i in 0..2_000u32 {
+            t.insert(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for w in 0..2u32 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    // Writers rewrite canonical contents (so readers can assert).
+                    for round in 0..1_000u32 {
+                        let i = (w * 977 + round * 13) % 2_000;
+                        t.insert(&key(i), format!("value-{i}").as_bytes()).unwrap();
+                    }
+                });
+            }
+            for r in 0..3u32 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for round in 0..2_000u32 {
+                        let i = (r * 331 + round * 7) % 2_000;
+                        let got = t.get(&key(i)).unwrap().expect("key must exist");
+                        assert_eq!(got, format!("value-{i}").as_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 2_000);
+    }
+
+    #[test]
+    fn shadow_mode_never_overwrites_committed_pages_and_recycles_after_commit() {
+        let tree = new_shadow_tree();
+        for i in 0..200u32 {
+            tree.insert(&key(i), b"epoch-0").unwrap();
+        }
+        // Commit epoch 1.
+        let (root1, next1) = {
+            let mut ck = tree.begin_checkpoint();
+            ck.write_back().unwrap();
+            let (r, n) = (ck.root(), ck.next_page_id());
+            let freed = ck.commit();
+            // A fresh tree frees nothing on its first commit.
+            assert!(freed.is_empty());
+            (r, n)
+        };
+        // Snapshot the committed pages straight from the store.
+        let committed: Vec<(u64, Vec<u8>)> = (0..next1)
+            .filter_map(|id| tree.store().read_page(id).unwrap().map(|d| (id, d)))
+            .collect();
+        assert!(committed.iter().any(|(id, _)| *id == root1));
+
+        // Epoch 2 modifies heavily but does NOT write back: every committed page image
+        // in the store must be byte-identical (copy-on-write, no in-place overwrite).
+        for i in 0..200u32 {
+            tree.insert(&key(i), b"epoch-1").unwrap();
+        }
+        tree.delete(&key(7)).unwrap();
+        for (id, data) in &committed {
+            assert_eq!(
+                tree.store().read_page(*id).unwrap().as_deref(),
+                Some(data.as_slice()),
+                "committed page {id} overwritten before commit"
+            );
+        }
+
+        // Committing epoch 2 frees superseded pages; once handed back, they recycle.
+        let freed = {
+            let mut ck = tree.begin_checkpoint();
+            ck.write_back().unwrap();
+            ck.commit()
+        };
+        assert!(!freed.is_empty(), "epoch 2 must supersede committed pages");
+        tree.seed_free_list(freed);
+        let watermark_before = {
+            let ck = tree.begin_checkpoint();
+            ck.next_page_id()
+        };
+        for i in 200..260u32 {
+            tree.insert(&key(i), b"epoch-2").unwrap();
+        }
+        let watermark_after = {
+            let ck = tree.begin_checkpoint();
+            ck.next_page_id()
+        };
+        assert!(
+            (watermark_after - watermark_before) < 60,
+            "freed ids were not recycled (watermark grew by {})",
+            watermark_after - watermark_before
+        );
+    }
+
+    #[test]
+    fn shadow_reopen_from_frontier_sees_committed_state_only() {
+        let store = std::sync::Arc::new(MemPageStore::new(PAGE));
+
+        /// Shares one `MemPageStore` across two "incarnations" of a tree.
+        struct SharedStore(std::sync::Arc<MemPageStore>);
+        impl PageStore for SharedStore {
+            fn page_size(&self) -> usize {
+                self.0.page_size()
+            }
+            fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
+                self.0.read_page(id)
+            }
+            fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
+                self.0.write_page(id, data)
+            }
+        }
+
+        let tree =
+            BTree::open_shadow(BufferPool::new(SharedStore(store.clone()), 64), None).unwrap();
+        for i in 0..150u32 {
+            tree.insert(&key(i), format!("v-{i}").as_bytes()).unwrap();
+        }
+        let (root, next, len) = {
+            let mut ck = tree.begin_checkpoint();
+            ck.write_back().unwrap();
+            let frontier = (ck.root(), ck.next_page_id(), ck.len());
+            ck.commit();
+            frontier
+        };
+        // Uncommitted epoch on top: must be invisible to the frontier reopen.
+        for i in 0..150u32 {
+            tree.insert(&key(i), b"uncommitted").unwrap();
+        }
+        drop(tree);
+
+        let reopened = BTree::open_shadow(
+            BufferPool::new(SharedStore(store), 64),
+            Some((root, next, len)),
+        )
+        .unwrap();
+        assert_eq!(reopened.len(), 150);
+        for i in (0..150u32).step_by(13) {
+            assert_eq!(
+                reopened.get(&key(i)).unwrap().unwrap(),
+                format!("v-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn walk_visits_every_reachable_node_exactly_once() {
+        let t = new_tree();
+        for i in 0..1_000u32 {
+            t.insert(&key(i), b"x").unwrap();
+        }
+        let mut ids = Vec::new();
+        let mut leaves = 0u64;
+        t.walk(|id, node| {
+            ids.push(id);
+            if node.is_leaf() {
+                leaves += 1;
+            }
+        })
+        .unwrap();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "a node was visited twice");
+        assert!(leaves > 1, "1000 keys cannot fit one leaf");
     }
 
     #[test]
@@ -482,7 +964,7 @@ mod tests {
         let config = StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc);
         let store = LogStore::open_in_memory(config.clone()).unwrap();
         let pool = BufferPool::new(LssPageStore::new(store, config.page_bytes), 32);
-        let mut tree = BTree::open(pool).unwrap();
+        let tree = BTree::open(pool).unwrap();
         for i in 0..500u32 {
             tree.insert(&key(i), format!("value-{i}").as_bytes())
                 .unwrap();
@@ -493,7 +975,7 @@ mod tests {
         let device = lss.into_device();
         let recovered = LogStore::recover_with_device(config.clone(), device).unwrap();
         let pool = BufferPool::new(LssPageStore::new(recovered, config.page_bytes), 32);
-        let mut tree2 = BTree::open(pool).unwrap();
+        let tree2 = BTree::open(pool).unwrap();
         assert_eq!(tree2.len(), 500);
         for i in (0..500u32).step_by(37) {
             assert_eq!(

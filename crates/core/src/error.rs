@@ -40,6 +40,15 @@ pub enum Error {
     },
     /// The checkpoint file could not be parsed.
     CorruptCheckpoint(String),
+    /// A page-id partition ran out of ids: an allocator's next id reached the end of
+    /// its range (e.g. the KV layer's user-value allocator hitting the reserved
+    /// metadata base — allocating past it would overwrite index metadata).
+    PageRangeExhausted {
+        /// The id the allocator would have handed out.
+        next: PageId,
+        /// Exclusive upper bound of the partition.
+        limit: PageId,
+    },
     /// Configuration rejected at store-open time.
     InvalidConfig(String),
     /// The store was opened against a device whose geometry does not match the config.
@@ -70,6 +79,11 @@ impl fmt::Display for Error {
                 write!(f, "corrupt segment {segment}: {detail}")
             }
             Error::CorruptCheckpoint(detail) => write!(f, "corrupt checkpoint: {detail}"),
+            Error::PageRangeExhausted { next, limit } => write!(
+                f,
+                "page-id partition exhausted: next id {next} has reached the partition \
+                 limit {limit}; the store cannot allocate into a reserved range"
+            ),
             Error::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
             Error::GeometryMismatch { expected, actual } => {
                 write!(
@@ -123,6 +137,13 @@ mod tests {
         };
         assert!(e.to_string().contains("seg#5"));
         assert!(e.to_string().contains("bad magic"));
+
+        let e = Error::PageRangeExhausted {
+            next: 1 << 62,
+            limit: 1 << 62,
+        };
+        assert!(e.to_string().contains("partition exhausted"));
+        assert!(e.to_string().contains("reserved range"));
     }
 
     #[test]

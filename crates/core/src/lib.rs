@@ -36,7 +36,9 @@
 //!   foreground traffic; crash recovery in [`recovery`].
 //! * [`shared`] — [`SharedLogStore`]: cheap cloneable `Arc` handles plus the
 //!   [`shared::BackgroundCleaner`] thread that takes cleaning off the write path.
-//! * [`kv`] — a small ordered key-value convenience layer used by the examples.
+//!
+//! The ordered key-value layer (paged B+-tree index living in the same store) moved to
+//! the `lss-btree` crate (`lss_btree::kv::KvStore`), where it can build on the tree.
 //!
 //! ## Quick example
 //!
@@ -64,7 +66,6 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod freq;
-pub mod kv;
 pub mod layout;
 pub mod mapping;
 pub mod policy;

@@ -438,6 +438,25 @@ impl LogStore {
         self.mapping.len()
     }
 
+    /// Page ids currently live in `[start, end)`, in ascending order.
+    ///
+    /// Cost is proportional to the *live* page count, never to the width of the id
+    /// range — which is what lets layered allocators (e.g. the KV layer's reopen
+    /// sweep) reclaim stragglers from a sparsely used partition of the 2⁶⁴ id space.
+    /// Like any concurrent gauge, the enumeration may miss pages written after the
+    /// call started.
+    pub fn live_page_ids_in(&self, start: PageId, end: PageId) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self
+            .mapping
+            .snapshot()
+            .into_iter()
+            .map(|(page, _)| page)
+            .filter(|page| (start..end).contains(page))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Bytes of live page payloads.
     pub fn live_bytes(&self) -> u64 {
         self.mapping.live_bytes()

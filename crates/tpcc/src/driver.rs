@@ -152,7 +152,7 @@ impl TpccDriver {
     /// Flush the buffer pool and return the page-write trace of the *run* phase only
     /// (the load phase writes are excluded, as in the paper's methodology), together with
     /// the number of distinct pages the whole database occupies.
-    pub fn finish(mut self) -> Result<(WriteTrace, u64)> {
+    pub fn finish(self) -> Result<(WriteTrace, u64)> {
         self.tree.flush()?;
         let load_writes = self.load_writes;
         let store = self.tree.into_store()?;
@@ -203,7 +203,7 @@ impl TpccDriver {
             }
         }
         self.tree.flush()?;
-        self.load_writes = self.tree.store().trace().len();
+        self.load_writes = self.tree.store().trace_len();
         Ok(())
     }
 

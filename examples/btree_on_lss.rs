@@ -21,7 +21,7 @@ fn main() -> lss::core::Result<()> {
 
     let store = LogStore::open_in_memory(config.clone())?;
     let pool = BufferPool::new(LssPageStore::new(store, config.page_bytes), 64);
-    let mut tree = BTree::open(pool)?;
+    let tree = BTree::open(pool)?;
 
     // Insert an ordered data set, then update a hot key range repeatedly — B+-tree page
     // rewrites are exactly the kind of skewed page-write stream MDC is designed for.

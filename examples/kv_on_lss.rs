@@ -1,10 +1,12 @@
 //! A persistent key-value store on the log-structured store: write a few thousand keys
-//! to a file-backed device, flush, then recover the store from the device alone (as a
-//! restart would) and read everything back.
+//! to a file-backed device through the **paged B+-tree index** (values in the log, the
+//! index's own pages in the same log, committed by an atomic superblock flip), flush,
+//! then recover the store from the device alone — as a restart would — and read
+//! everything back.
 //!
 //! Run with: `cargo run --release --example kv_on_lss`
 
-use lss::core::kv::KvStore;
+use lss::btree::kv::KvStore;
 use lss::core::policy::PolicyKind;
 use lss::core::{device::FileDevice, LogStore, StoreConfig};
 
@@ -12,7 +14,7 @@ fn main() -> lss::core::Result<()> {
     // A deliberately small device so the cleaner has real work to do on this data set.
     let mut config = StoreConfig::paper_default().with_policy(PolicyKind::Mdc);
     config.segment_bytes = 16 * 1024;
-    config.num_segments = 48;
+    config.num_segments = 96;
     config.page_bytes = 512;
     config.sort_buffer_segments = 4;
     config.cleaning.trigger_free_segments = 6;
@@ -28,7 +30,7 @@ fn main() -> lss::core::Result<()> {
     {
         let device = FileDevice::create(&path, config.segment_bytes, config.num_segments)?;
         let store = LogStore::open_with_device(config.clone(), Box::new(device))?;
-        let mut kv = KvStore::new(store);
+        let kv = KvStore::open(store)?;
         for i in 0..5_000u32 {
             kv.put(
                 format!("user:{i:06}").as_bytes(),
@@ -36,7 +38,8 @@ fn main() -> lss::core::Result<()> {
             )?;
         }
         // Overwrite keys scattered across the whole data set so segments decay into the
-        // live/dead checkerboard the cleaner exists for.
+        // live/dead checkerboard the cleaner exists for; commit every few rounds the
+        // way a real engine checkpoints.
         for round in 0..40u32 {
             for i in 0..500u32 {
                 let key_id = (round.wrapping_mul(7919).wrapping_add(i * 13)) % 5_000;
@@ -49,14 +52,24 @@ fn main() -> lss::core::Result<()> {
                     .as_bytes(),
                 )?;
             }
+            if round % 8 == 7 {
+                kv.flush()?;
+            }
         }
         kv.delete(b"user:000013")?;
         kv.flush()?;
         let stats = kv.store().stats();
+        let kv_stats = kv.stats();
         println!(
             "loaded 5000 keys (+20000 hot overwrites); cleaning cycles = {}, write amplification = {:.3}",
             stats.cleaning_cycles,
             stats.write_amplification()
+        );
+        println!(
+            "paged index: epoch {}, index W_amp = {:.4}, pool hit ratio = {:.3}",
+            kv_stats.epoch,
+            kv_stats.index_write_amplification(),
+            kv_stats.pool.hit_ratio()
         );
     }
 
@@ -64,7 +77,7 @@ fn main() -> lss::core::Result<()> {
     {
         let device = FileDevice::open(&path, config.segment_bytes, config.num_segments)?;
         let store = LogStore::recover_with_device(config.clone(), Box::new(device))?;
-        let kv = KvStore::reopen(store)?;
+        let kv = KvStore::open(store)?;
         println!("recovered {} keys from {}", kv.len(), path.display());
         assert_eq!(kv.len(), 4_999);
         assert!(

@@ -10,7 +10,8 @@
 //! * [`sim`] — the evaluation simulator used to regenerate the paper's figures.
 //! * [`workload`] — synthetic and trace-driven workload generators.
 //! * [`analysis`] — the closed-form analytical models behind Tables 1 and 2.
-//! * [`btree`] — a B+-tree page storage engine substrate.
+//! * [`btree`] — a B+-tree page storage engine substrate, plus the crash-consistent
+//!   paged key-value layer ([`btree::kv::KvStore`]) built on it.
 //! * [`tpcc`] — a TPC-C-style workload used to produce page-write traces.
 //!
 //! ## Quickstart

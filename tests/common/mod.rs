@@ -1,7 +1,10 @@
 //! Helpers shared by the integration-test binaries (each `tests/*.rs` file compiles
 //! separately and pulls this in via `mod common;`).
 
-use lss::core::StoreConfig;
+use lss::core::device::{DeviceGeometry, MemDevice, SegmentDevice};
+use lss::core::{Error, Result, SegmentId, StoreConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Apply the concurrency knobs the CI stress job cranks via the environment
 /// (`LSS_WRITE_STREAMS`, `LSS_CLEANER_THREADS`) on top of a test's base config,
@@ -21,4 +24,97 @@ pub fn apply_env_concurrency(mut config: StoreConfig) -> StoreConfig {
         config.cleaner_threads = n.clamp(1, 8);
     }
     config
+}
+
+/// A cloneable in-memory device that "dies" at a chosen write boundary: after a budget
+/// of further segment writes, every write and sync fails — while the durable contents
+/// survive for recovery, which only needs reads. Generalises the crash devices of
+/// `tests/concurrency.rs` / `tests/cleaner_races.rs`: `fail_after(n)` sweeps a crash
+/// across every device-write boundary of a protocol (n = 0 kills it immediately), and
+/// `heal` restores the device so the "restarted process" can write again.
+#[derive(Clone)]
+#[allow(dead_code)] // not every test binary uses it
+pub struct CrashPointDevice {
+    inner: Arc<MemDevice>,
+    /// Remaining writes before the device dies; `u64::MAX` means healthy.
+    budget: Arc<AtomicU64>,
+}
+
+#[allow(dead_code)] // not every test binary uses every helper
+impl CrashPointDevice {
+    pub fn new(segment_bytes: usize, num_segments: usize) -> Self {
+        Self {
+            inner: Arc::new(MemDevice::new(segment_bytes, num_segments)),
+            budget: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// Allow `n` more segment writes, then fail every subsequent write and sync.
+    pub fn fail_after(&self, n: u64) {
+        self.budget.store(n, Ordering::SeqCst);
+    }
+
+    /// Kill the device immediately (equivalent to `fail_after(0)`).
+    pub fn kill(&self) {
+        self.fail_after(0);
+    }
+
+    /// Restore the device (the "restarted process" may write again).
+    pub fn heal(&self) {
+        self.budget.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Total segment writes that reached the in-memory medium.
+    pub fn writes(&self) -> u64 {
+        self.inner.segment_writes()
+    }
+
+    fn dead() -> Error {
+        Error::Io(std::io::Error::other("simulated crash: device gone"))
+    }
+
+    /// Spend one unit of write budget, failing once it is exhausted.
+    fn charge(&self) -> Result<()> {
+        loop {
+            let cur = self.budget.load(Ordering::SeqCst);
+            if cur == u64::MAX {
+                return Ok(()); // healthy: unlimited
+            }
+            if cur == 0 {
+                return Err(Self::dead());
+            }
+            if self
+                .budget
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl SegmentDevice for CrashPointDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.inner.geometry()
+    }
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
+        self.inner.read_segment(seg)
+    }
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        self.inner.read_range(seg, offset, len)
+    }
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        self.charge()?;
+        self.inner.write_segment(seg, image)
+    }
+    fn sync(&self) -> Result<()> {
+        if self.budget.load(Ordering::SeqCst) == 0 {
+            return Err(Self::dead());
+        }
+        self.inner.sync()
+    }
+    fn segment_writes(&self) -> u64 {
+        self.inner.segment_writes()
+    }
 }

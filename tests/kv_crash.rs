@@ -1,0 +1,422 @@
+//! Crash matrix for the paged KV layer: the device dies at **every possible
+//! device-write boundary** of the superblock commit protocol — before barrier 1 (dirty
+//! index pages), between the barriers, during the superblock flip itself and after it —
+//! and reopen must always recover exactly a committed index: every key maps to its
+//! committed value, deleted keys stay deleted, and no partial tree page is reachable.
+//! The same sweep is run across the legacy-JSON → paged-index migration.
+//!
+//! The sweep works by counting segment writes with the shared
+//! [`common::CrashPointDevice`]: each iteration rebuilds the same deterministic store,
+//! allows `n` more writes, and kills the device; `n` ranges over one more than the
+//! healthy protocol needs, so every boundary (including "never started" and "fully
+//! finished") is hit.
+
+mod common;
+
+use common::{apply_env_concurrency, CrashPointDevice};
+use lss::btree::kv::KvStore;
+use lss::btree::LegacyJsonKvStore;
+use lss::core::policy::PolicyKind;
+use lss::core::{LogStore, StoreConfig};
+use std::collections::BTreeMap;
+
+type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
+fn config() -> StoreConfig {
+    let mut c = apply_env_concurrency(StoreConfig::small_for_tests().with_policy(PolicyKind::Mdc));
+    c.num_segments = 192;
+    c
+}
+
+fn key(i: u32) -> Vec<u8> {
+    format!("k{i:05}").into_bytes()
+}
+
+/// The committed phase: a mixed load with overwrites and deletions.
+fn phase1(kv: &KvStore, model: &mut Model) {
+    for i in 0..150u32 {
+        let v = format!("p1-{i}").into_bytes();
+        kv.put(&key(i), &v).unwrap();
+        model.insert(key(i), v);
+    }
+    for i in (0..150u32).step_by(11) {
+        kv.delete(&key(i)).unwrap();
+        model.remove(&key(i));
+    }
+}
+
+/// The epoch the crash interrupts: overwrites, fresh keys, deletions.
+fn phase2(kv: &KvStore, model: &mut Model) {
+    for i in (0..150u32).step_by(3) {
+        let v = format!("p2-{i}").into_bytes();
+        kv.put(&key(i), &v).unwrap();
+        model.insert(key(i), v);
+    }
+    for i in 150..190u32 {
+        let v = format!("p2-new-{i}").into_bytes();
+        kv.put(&key(i), &v).unwrap();
+        model.insert(key(i), v);
+    }
+    for i in (1..150u32).step_by(17) {
+        kv.delete(&key(i)).unwrap();
+        model.remove(&key(i));
+    }
+}
+
+/// Full-state equality: key count, an exhaustive ordered scan, and point reads for
+/// every key either model ever held (so resurrections of deleted keys are caught too).
+fn matches_model(kv: &KvStore, model: &Model) -> bool {
+    if kv.len() != model.len() {
+        return false;
+    }
+    let scanned = kv.range(b"", b"~~~~~~~~~~").unwrap();
+    if scanned.len() != model.len() {
+        return false;
+    }
+    for ((sk, sv), (mk, mv)) in scanned.iter().zip(model.iter()) {
+        if sk != mk || sv.as_ref() != mv.as_slice() {
+            return false;
+        }
+    }
+    for i in 0..200u32 {
+        let got = kv.get(&key(i)).unwrap();
+        if got.as_deref() != model.get(&key(i)).map(|v| v.as_slice()) {
+            return false;
+        }
+    }
+    true
+}
+
+fn assert_matches(kv: &KvStore, model: &Model, ctx: &str) {
+    assert_eq!(kv.len(), model.len(), "{ctx}: key count");
+    assert!(
+        matches_model(kv, model),
+        "{ctx}: contents diverge from model"
+    );
+}
+
+/// One crash-matrix iteration: commit phase 1, run phase 2, let the committing flush
+/// die after `budget` more device writes, and reopen from the surviving image.
+/// Returns whether the flush reported success, the reopened store, and both models.
+fn run_with_crash_at(budget: u64) -> (bool, KvStore, Model, Model) {
+    let config = config();
+    let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+    let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+    let kv = KvStore::open(store).unwrap();
+
+    let mut model1 = Model::new();
+    phase1(&kv, &mut model1);
+    kv.flush().unwrap(); // the committed epoch
+
+    let mut model2 = model1.clone();
+    phase2(&kv, &mut model2);
+
+    device.fail_after(budget);
+    let flushed = kv.flush();
+    device.kill();
+    drop(kv.into_inner()); // the "process" dies; only the device image survives
+
+    device.heal();
+    let recovered = LogStore::recover_with_device(config, Box::new(device.clone())).unwrap();
+    let kv = KvStore::open(recovered).expect("reopen after crash must always succeed");
+    (flushed.is_ok(), kv, model1, model2)
+}
+
+/// Kill the device at every write boundary of the commit protocol. Reopen must yield
+/// exactly the pre-crash committed state or exactly the new epoch — never a blend, a
+/// loss, or a partially visible tree.
+#[test]
+fn superblock_flip_crash_matrix_recovers_a_committed_index() {
+    // Dry run: how many device writes does a healthy phase-2 commit need?
+    let healthy_writes = {
+        let config = config();
+        let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+        let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = KvStore::open(store).unwrap();
+        let mut m = Model::new();
+        phase1(&kv, &mut m);
+        kv.flush().unwrap();
+        phase2(&kv, &mut m);
+        let before = device.writes();
+        kv.flush().unwrap();
+        device.writes() - before
+    };
+    assert!(
+        healthy_writes >= 2,
+        "the two-barrier protocol must take at least two device writes, saw {healthy_writes}"
+    );
+
+    let mut old_epoch_outcomes = 0u32;
+    let mut new_epoch_outcomes = 0u32;
+    for budget in 0..=healthy_writes {
+        let (flush_ok, kv, model1, model2) = run_with_crash_at(budget);
+        let ctx = format!("crash after {budget}/{healthy_writes} writes");
+        if flush_ok {
+            // The flush returned success, so the new epoch must be fully there.
+            assert_matches(&kv, &model2, &ctx);
+            new_epoch_outcomes += 1;
+        } else {
+            // The flush died: either epoch may have won (the flip may or may not have
+            // reached the medium before the failure surfaced), but it must be exactly
+            // one of them.
+            let is_old = matches_model(&kv, &model1);
+            let is_new = matches_model(&kv, &model2);
+            assert!(
+                is_old ^ is_new,
+                "{ctx}: recovered state is {} (old={is_old}, new={is_new})",
+                if is_old && is_new {
+                    "ambiguous"
+                } else {
+                    "neither committed epoch"
+                },
+            );
+            if is_old {
+                old_epoch_outcomes += 1;
+            } else {
+                new_epoch_outcomes += 1;
+            }
+        }
+        // Life goes on after recovery: a fresh epoch commits and survives a restart.
+        kv.put(b"post-crash", b"alive").unwrap();
+        kv.flush().unwrap();
+        let store = kv.into_inner();
+        let cfg = store.config().clone();
+        let reopened =
+            KvStore::open(LogStore::recover_with_device(cfg, store.into_device()).unwrap())
+                .unwrap();
+        assert_eq!(
+            reopened.get(b"post-crash").unwrap().unwrap().as_ref(),
+            b"alive",
+            "{ctx}: post-recovery commit lost"
+        );
+    }
+    // The sweep must actually have covered both sides of the flip.
+    assert!(
+        old_epoch_outcomes > 0,
+        "no crash point recovered the old epoch — the sweep missed the pre-flip window"
+    );
+    assert!(
+        new_epoch_outcomes > 0,
+        "no crash point recovered the new epoch — the sweep missed the post-flip window"
+    );
+}
+
+/// The same write-boundary sweep across the legacy-JSON migration: killing the device
+/// anywhere inside the migrating `KvStore::open` must leave the legacy image intact,
+/// and a retry after "restart" must complete the migration with identical contents.
+#[test]
+fn migration_crash_matrix_never_loses_the_legacy_index() {
+    let config = config();
+
+    // Deterministic legacy store builder.
+    let build_legacy = |device: &CrashPointDevice| -> Model {
+        let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let legacy = LegacyJsonKvStore::new(store);
+        let mut model = Model::new();
+        for i in 0..180u32 {
+            let v = format!("legacy-{i}").into_bytes();
+            legacy.put(&key(i), &v).unwrap();
+            model.insert(key(i), v);
+        }
+        for i in (0..180u32).step_by(13) {
+            legacy.delete(&key(i)).unwrap();
+            model.remove(&key(i));
+        }
+        legacy.flush().unwrap();
+        drop(legacy.into_inner());
+        model
+    };
+
+    // Dry run: writes a healthy migration needs.
+    let healthy_writes = {
+        let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+        let model = build_legacy(&device);
+        let before = device.writes();
+        let store =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = KvStore::open(store).unwrap();
+        assert_matches(&kv, &model, "healthy migration");
+        device.writes() - before
+    };
+    assert!(
+        healthy_writes >= 2,
+        "migration must hit the device, saw {healthy_writes}"
+    );
+
+    for budget in 0..=healthy_writes {
+        let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+        let model = build_legacy(&device);
+        device.fail_after(budget);
+        let ctx = format!("migration crash after {budget}/{healthy_writes} writes");
+
+        let store =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        match KvStore::open(store) {
+            Ok(kv) => {
+                // Migration completed within the budget: contents must be exact.
+                assert_matches(&kv, &model, &ctx);
+                drop(kv.into_inner());
+            }
+            Err(_) => {
+                // Migration died mid-flight. Retry from the surviving image.
+                device.heal();
+                let store = LogStore::recover_with_device(config.clone(), Box::new(device.clone()))
+                    .unwrap();
+                let kv =
+                    KvStore::open(store).unwrap_or_else(|e| panic!("{ctx}: retry failed: {e}"));
+                assert_matches(&kv, &model, &format!("{ctx} (after retry)"));
+                // The retried migration committed a real superblock: restart once
+                // more and make sure we come back through the paged path.
+                kv.put(b"post-migration", b"alive").unwrap();
+                kv.flush().unwrap();
+                let store = kv.into_inner();
+                let cfg = store.config().clone();
+                let kv =
+                    KvStore::open(LogStore::recover_with_device(cfg, store.into_device()).unwrap())
+                        .unwrap();
+                assert_eq!(
+                    kv.get(b"post-migration").unwrap().unwrap().as_ref(),
+                    b"alive"
+                );
+            }
+        }
+    }
+}
+
+/// Concurrent writers racing the committing flush, then a crash: the committed index
+/// must never reference a value page the flush's post-commit release reclaimed.
+///
+/// Regression test for a real race: `flush` used to drain the user `freed_epoch` list
+/// *after* the checkpoint guard released the tree latch, so a put that slipped into
+/// that window could queue a page the just-committed superblock still mapped — and
+/// flush would delete it. The fix snapshots the list while the latch is held. The
+/// interleaving is timing-dependent, so this hammers the window across many rounds and
+/// asserts the invariant that must *always* hold after reopen: every key the committed
+/// index holds is readable (no referenced-but-reclaimed value pages).
+#[test]
+fn concurrent_puts_racing_flush_never_corrupt_the_committed_index() {
+    let config = config();
+    for round in 0u64..12 {
+        let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+        let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = std::sync::Arc::new(KvStore::open(store).unwrap());
+        for i in 0..60u32 {
+            kv.put(&key(i), b"seed").unwrap();
+        }
+        kv.flush().unwrap();
+
+        // Two writers overwrite hot keys (every overwrite queues the old page for
+        // release) while a flusher thread commits epochs back to back — every commit
+        // is a shot at the drain-after-latch-release window.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..2u32)
+                .map(|t| {
+                    let kv = kv.clone();
+                    scope.spawn(move || {
+                        for n in 0..600u64 {
+                            let i = ((n * 7 + t as u64 * 13) % 60) as u32;
+                            kv.put(&key(i), format!("t{t}-n{n}").as_bytes()).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let flusher = {
+                let kv = kv.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        kv.flush().unwrap();
+                    }
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            flusher.join().unwrap();
+        });
+
+        // Crash at a round-dependent boundary of one more racing flush, then reopen.
+        device.fail_after(2 + round % 5);
+        let _ = kv.flush();
+        device.kill();
+        let kv = match std::sync::Arc::try_unwrap(kv) {
+            Ok(kv) => kv,
+            Err(_) => unreachable!("writers joined"),
+        };
+        drop(kv.into_inner());
+        device.heal();
+        let recovered =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = KvStore::open(recovered)
+            .unwrap_or_else(|e| panic!("round {round}: reopen failed: {e}"));
+        // The invariant: index cardinality and readable keys agree exactly — a
+        // committed mapping to a reclaimed page would show up as a scan/len mismatch
+        // or a missing value here.
+        assert_eq!(kv.len(), 60, "round {round}: key count");
+        let scanned = kv.range(b"", b"~~~~~~~~").unwrap();
+        assert_eq!(
+            scanned.len(),
+            60,
+            "round {round}: a committed mapping lost its value"
+        );
+        for i in 0..60u32 {
+            assert!(
+                kv.get(&key(i)).unwrap().is_some(),
+                "round {round}: key {i} referenced by the committed index but unreadable"
+            );
+        }
+    }
+}
+
+/// A crash that loses an *uncommitted* epoch entirely (device killed before any
+/// barrier) must also reclaim that epoch's leaked pages on reopen: the store's live
+/// page count after the sweep equals what the committed state needs.
+#[test]
+fn reopen_sweep_reclaims_uncommitted_epoch_pages() {
+    let config = config();
+    let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+    let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+    let kv = KvStore::open(store).unwrap();
+    let mut model = Model::new();
+    phase1(&kv, &mut model);
+    kv.flush().unwrap();
+
+    // An epoch's worth of churn, flushed to the device but never committed: barrier 1
+    // lands, the flip does not.
+    let mut model2 = model.clone();
+    phase2(&kv, &mut model2);
+    device.fail_after(6); // part of barrier 1 lands; the flip never does
+    let _ = kv.flush();
+    device.kill();
+    drop(kv.into_inner());
+
+    device.heal();
+    let recovered =
+        LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+    let leaked_before = recovered.live_pages();
+    let kv = KvStore::open(recovered).unwrap();
+    // Whichever epoch won the race to the medium, the recovered state is exactly it.
+    let model = if matches_model(&kv, &model) {
+        model
+    } else {
+        model2
+    };
+    assert_matches(&kv, &model, "reopen after losing an uncommitted epoch");
+
+    // The sweep tombstones every page the committed state does not reference; after
+    // one commit the tombstones are durable and the live count is exactly the
+    // committed footprint (keys + reachable tree pages + the superblock slots).
+    kv.flush().unwrap();
+    let live_after = kv.store().live_pages();
+    assert!(
+        live_after <= leaked_before,
+        "sweep must not grow the live set ({leaked_before} -> {live_after})"
+    );
+    let store = kv.into_inner();
+    let cfg = store.config().clone();
+    let kv =
+        KvStore::open(LogStore::recover_with_device(cfg, store.into_device()).unwrap()).unwrap();
+    assert_matches(&kv, &model, "after sweep + commit + restart");
+}

@@ -118,7 +118,7 @@ fn btree_matches_btreemap_model() {
         let count = 1 + rng.gen_range(0..400usize);
         let ops = random_ops(&mut rng, count, 200, 40);
         let pool = BufferPool::new(MemPageStore::new(512), 32);
-        let mut tree = BTree::open(pool).unwrap();
+        let tree = BTree::open(pool).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
         for op in &ops {
