@@ -1,5 +1,6 @@
 //! Cleaner scaling benchmark: reclaim throughput and foreground interference at
-//! 1/2/4 concurrent cleaning cycles (`cleaner_threads`).
+//! 1/2/4 concurrent cleaning cycles (`cleaner_threads`), plus an adaptive-vs-fixed
+//! A/B under a ramping load.
 //!
 //! Two phases per thread count:
 //!
@@ -13,16 +14,23 @@
 //!   must hold up (compare BENCH_concurrency.json's put scaling) while the pool keeps
 //!   up with the garbage.
 //!
+//! Then the **ramp** scenario drives write pressure up and down
+//! (burst → idle → burst → idle) against three cleaner configurations — static 1,
+//! static 4, and `CleanerMode::Adaptive` between those bounds — recording foreground
+//! throughput, cycles started and the controller's concurrency-vs-time per phase: the
+//! adaptive pool should match the best static setting during bursts while starting
+//! measurably fewer cycles than static-max when idle.
+//!
 //! Emits `BENCH_cleaner.json`. Run with:
 //! `cargo run --release -p lss-bench --bin cleaner [--quick|--full]`
 
 use lss_bench::Scale;
 use lss_core::policy::PolicyKind;
-use lss_core::{LogStore, SharedLogStore, StoreConfig};
+use lss_core::{CleanerMode, LogStore, SharedLogStore, StoreConfig};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One measured point: cleaner behaviour at a given pool size.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,6 +50,35 @@ struct CleanerPoint {
     interference_cleaning_cycles: u64,
 }
 
+/// One phase of the ramp scenario, for one cleaner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RampPhase {
+    /// `burst-1` / `idle-1` / `burst-2` / `idle-2`.
+    phase: String,
+    seconds: f64,
+    /// Foreground throughput during burst phases; 0 for idle phases.
+    puts_per_sec: f64,
+    /// Cleaning cycles *started* during the phase (empty cycles included — this is
+    /// the idle-CPU metric: a parked adaptive pool starts almost none).
+    cycles_started: u64,
+    /// Victims processed during the phase (reclaim throughput context).
+    segments_cleaned: u64,
+    /// Mean of the concurrency target sampled every few ms over the phase
+    /// (constant `cleaner_threads` for the fixed configurations).
+    mean_target: f64,
+    /// Largest sampled target.
+    max_target: u64,
+}
+
+/// The ramp scenario for one cleaner configuration (concurrency-vs-time under a
+/// square-wave load).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RampPoint {
+    /// `fixed-1`, `fixed-4` or `adaptive-1-4`.
+    mode: String,
+    phases: Vec<RampPhase>,
+}
+
 /// The full benchmark record written to `BENCH_cleaner.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct CleanerReport {
@@ -55,6 +92,8 @@ struct CleanerReport {
     foreground_threads: usize,
     ops_per_thread: u64,
     results: Vec<CleanerPoint>,
+    /// Adaptive-vs-fixed A/B under the ramping (burst/idle) load.
+    ramp: Vec<RampPoint>,
 }
 
 const FOREGROUND_THREADS: usize = 8;
@@ -185,6 +224,110 @@ fn measure_interference(threads: usize, scale: Scale) -> (f64, f64, u64) {
     )
 }
 
+/// Sample the store's published cycle target every few milliseconds while `f` runs,
+/// returning `(result of f, mean target, max target)`.
+fn with_target_sampler<R>(store: &SharedLogStore, f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let store = store.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut sum, mut n, mut max) = (0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let t = store.with_store(|s| s.gc_target_cycles()) as u64;
+                sum += t;
+                n += 1;
+                max = max.max(t);
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            (sum, n, max)
+        })
+    };
+    let out = f();
+    stop.store(true, Ordering::Relaxed);
+    let (sum, n, max) = sampler.join().unwrap();
+    (out, sum as f64 / n.max(1) as f64, max)
+}
+
+/// The ramp scenario: burst → idle → burst → idle against one cleaner
+/// configuration, recording per-phase foreground throughput, cycles started and the
+/// sampled concurrency target.
+fn measure_ramp(label: &str, mode: CleanerMode, threads: usize, scale: Scale) -> RampPoint {
+    let mut config = store_config(scale, threads);
+    config.cleaner_mode = mode;
+    let payload = vec![0xA5u8; config.page_bytes];
+    let store = SharedLogStore::new(LogStore::open_in_memory(config.clone()).unwrap());
+    let pages = checkerboard(&store, &config, &payload);
+    store.with_store(|s| s.reset_stats());
+
+    let burst_ops = ops_per_thread(scale) / 2;
+    // The "idle" phase is a single-writer trickle that dips the free pool *just*
+    // below the cleaning trigger a few times and then backs off: the lightest load
+    // that still kicks the pools. A static-max pool answers every kick by waking all
+    // of its threads (each starting a cycle); a narrowed adaptive pool answers with
+    // one or two — the *cycles started while nearly idle* are the idle-CPU metric.
+    let trickle_dips = 6u32;
+    let mut phases = Vec::new();
+    for round in 1..=2u32 {
+        for (name, burst) in [
+            (format!("burst-{round}"), true),
+            (format!("idle-{round}"), false),
+        ] {
+            let before = store.stats();
+            let start = Instant::now();
+            let (puts, mean_target, max_target) = with_target_sampler(&store, || {
+                if !burst {
+                    let trigger = config.cleaning.trigger_free_segments;
+                    let mut i = 0u64;
+                    for _ in 0..trickle_dips {
+                        while store.with_store(|s| s.free_segments()) >= trigger {
+                            let page = mix(0xFEED_0000 + i) % pages;
+                            store.put(page, &payload).unwrap();
+                            i += 1;
+                            if i.is_multiple_of(16) {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    return 0u64;
+                }
+                let total = Arc::new(AtomicU64::new(0));
+                std::thread::scope(|scope| {
+                    for t in 0..FOREGROUND_THREADS {
+                        let store = store.clone();
+                        let payload = &payload;
+                        let total = Arc::clone(&total);
+                        scope.spawn(move || {
+                            for i in 0..burst_ops {
+                                let page = mix(t as u64 * burst_ops + i) % pages;
+                                store.put(page, payload).unwrap();
+                            }
+                            total.fetch_add(burst_ops, Ordering::Relaxed);
+                        });
+                    }
+                });
+                total.load(Ordering::Relaxed)
+            });
+            let seconds = start.elapsed().as_secs_f64();
+            let after = store.stats();
+            phases.push(RampPhase {
+                phase: name,
+                seconds,
+                puts_per_sec: if burst { puts as f64 / seconds } else { 0.0 },
+                cycles_started: after.cleaning_cycles - before.cleaning_cycles,
+                segments_cleaned: after.segments_cleaned - before.segments_cleaned,
+                mean_target,
+                max_target,
+            });
+        }
+    }
+    RampPoint {
+        mode: label.to_string(),
+        phases,
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let config = store_config(scale, 1);
@@ -220,6 +363,36 @@ fn main() {
         });
     }
 
+    println!(
+        "\nramp scenario (burst/idle square wave, {} ops/thread per burst):",
+        ops_per_thread(scale) / 2
+    );
+    println!(
+        "{:>14} {:>8} {:>14} {:>10} {:>10} {:>12} {:>10}",
+        "mode", "phase", "fg puts/s", "cycles", "segments", "mean tgt", "max tgt"
+    );
+    let mut ramp = Vec::new();
+    for (label, mode, threads) in [
+        ("fixed-1", CleanerMode::Fixed, 1usize),
+        ("fixed-4", CleanerMode::Fixed, 4),
+        ("adaptive-1-4", CleanerMode::adaptive(1, 4), 4),
+    ] {
+        let point = measure_ramp(label, mode, threads, scale);
+        for p in &point.phases {
+            println!(
+                "{:>14} {:>8} {:>14.0} {:>10} {:>10} {:>12.2} {:>10}",
+                point.mode,
+                p.phase,
+                p.puts_per_sec,
+                p.cycles_started,
+                p.segments_cleaned,
+                p.mean_target,
+                p.max_target
+            );
+        }
+        ramp.push(point);
+    }
+
     let report = CleanerReport {
         benchmark: "cleaner_scaling".to_string(),
         policy: "MDC".to_string(),
@@ -231,6 +404,7 @@ fn main() {
         foreground_threads: FOREGROUND_THREADS,
         ops_per_thread: ops_per_thread(scale),
         results,
+        ramp,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write("BENCH_cleaner.json", &json).unwrap();

@@ -78,7 +78,9 @@ pub mod types;
 pub mod util;
 pub mod write_buffer;
 
-pub use config::{CleaningConfig, SeparationConfig, StoreConfig, Up2Mode};
+pub use config::{
+    AdaptiveTargets, CleanerMode, CleaningConfig, SeparationConfig, StoreConfig, Up2Mode,
+};
 pub use error::{Error, Result};
 pub use policy::{CleaningPolicy, PolicyKind};
 pub use shared::SharedLogStore;

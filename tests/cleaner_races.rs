@@ -4,25 +4,23 @@
 //! in flight.
 //!
 //! The store exposes a test hook ([`LogStore::set_gc_phase_hook`]) invoked at every
-//! phase boundary of every cleaning cycle with no store lock held; the [`PhaseGate`]
-//! harness below turns it into a controllable barrier — tests pause any cycle at any
-//! boundary (`Claimed → VictimRead → Relocated → Sealed → Synced`), run foreground
-//! writers or a second cycle while it is parked, and then release it. This is the
-//! `GatedDevice` idea from `tests/concurrency.rs` generalised from "block inside one
-//! device read" to "block at any point of the cycle state machine".
+//! phase boundary of every cleaning cycle with no store lock held; the
+//! [`common::PhaseGate`] harness (shared with `tests/gc_controller.rs`) turns it into
+//! a controllable barrier — tests pause any cycle at any boundary
+//! (`Claimed → VictimRead → Relocated → Sealed → Synced`), run foreground writers or
+//! a second cycle while it is parked, and then release it. This is the `GatedDevice`
+//! idea from `tests/concurrency.rs` generalised from "block inside one device read"
+//! to "block at any point of the cycle state machine".
 
 use lss::core::device::{DeviceGeometry, MemDevice, SegmentDevice};
 use lss::core::policy::PolicyKind;
-use lss::core::{
-    Error, GcPhase, GcPhaseHook, LogStore, Result, SegmentId, SharedLogStore, StoreConfig,
-};
+use lss::core::{Error, GcPhase, LogStore, Result, SegmentId, SharedLogStore, StoreConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
 mod common;
-use common::apply_env_concurrency;
+use common::{apply_env_concurrency, PhaseGate};
 
 /// Self-describing page payload: `[page_id, version, filler...]`.
 fn payload(page: u64, version: u64, len: usize) -> Vec<u8> {
@@ -37,135 +35,6 @@ fn decode(bytes: &[u8]) -> (u64, u64) {
         u64::from_le_bytes(bytes[..8].try_into().unwrap()),
         u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
     )
-}
-
-const GATE_TIMEOUT: Duration = Duration::from_secs(30);
-
-#[derive(Default)]
-struct GateInner {
-    /// Phases at which the first arrival of each cycle pauses.
-    pause_at: HashSet<GcPhase>,
-    /// How many pauses may still happen: once spent, later cycles pass through freely
-    /// (so a test can park N cycles and still run further cycles to completion).
-    pause_budget: usize,
-    /// Every hook invocation, in arrival order.
-    events: Vec<(u64, GcPhase, Option<SegmentId>)>,
-    /// `(cycle, phase)` pairs currently parked inside the hook.
-    paused: HashSet<(u64, GcPhase)>,
-    /// `(cycle, phase)` pairs allowed through.
-    released: HashSet<(u64, GcPhase)>,
-    /// Pairs that already took their one pause (later arrivals pass straight through,
-    /// so e.g. only the *first* `Claimed` of a cycle pauses it).
-    seen: HashSet<(u64, GcPhase)>,
-}
-
-/// A controllable barrier over the cleaning-cycle state machine (see module docs).
-#[derive(Default)]
-struct PhaseGate {
-    inner: Mutex<GateInner>,
-    cond: Condvar,
-}
-
-impl PhaseGate {
-    /// A gate pausing the first arrival of up to `budget` cycles at each given phase.
-    fn new(pause_at: &[GcPhase], budget: usize) -> Arc<Self> {
-        let gate = Arc::new(Self::default());
-        {
-            let mut g = gate.inner.lock().unwrap();
-            g.pause_at = pause_at.iter().copied().collect();
-            g.pause_budget = budget;
-        }
-        gate
-    }
-
-    /// The hook to install via [`LogStore::set_gc_phase_hook`].
-    fn hook(self: &Arc<Self>) -> GcPhaseHook {
-        let gate = Arc::clone(self);
-        Arc::new(move |cycle, phase, victim| gate.on_phase(cycle, phase, victim))
-    }
-
-    fn on_phase(&self, cycle: u64, phase: GcPhase, victim: Option<SegmentId>) {
-        let mut g = self.inner.lock().unwrap();
-        g.events.push((cycle, phase, victim));
-        self.cond.notify_all();
-        if g.pause_budget > 0 && g.pause_at.contains(&phase) && g.seen.insert((cycle, phase)) {
-            g.pause_budget -= 1;
-            g.paused.insert((cycle, phase));
-            self.cond.notify_all();
-            let deadline = Instant::now() + GATE_TIMEOUT;
-            while !g.released.contains(&(cycle, phase)) {
-                let (ng, timeout) = self
-                    .cond
-                    .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
-                    .unwrap();
-                g = ng;
-                assert!(
-                    !timeout.timed_out(),
-                    "cycle {cycle} stuck paused at {phase:?} (test forgot to release?)"
-                );
-            }
-            g.paused.remove(&(cycle, phase));
-            self.cond.notify_all();
-        }
-    }
-
-    /// Block until `n` distinct cycles are parked at `phase`; returns their tokens.
-    fn wait_paused_at(&self, phase: GcPhase, n: usize) -> Vec<u64> {
-        let deadline = Instant::now() + GATE_TIMEOUT;
-        let mut g = self.inner.lock().unwrap();
-        loop {
-            let cycles: Vec<u64> = g
-                .paused
-                .iter()
-                .filter(|(_, p)| *p == phase)
-                .map(|&(c, _)| c)
-                .collect();
-            if cycles.len() >= n {
-                return cycles;
-            }
-            let (ng, timeout) = self
-                .cond
-                .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
-                .unwrap();
-            g = ng;
-            assert!(
-                !timeout.timed_out(),
-                "only {} of {n} cycles reached {phase:?}",
-                g.paused.iter().filter(|(_, p)| *p == phase).count()
-            );
-        }
-    }
-
-    /// Release one parked `(cycle, phase)` pair.
-    fn release(&self, cycle: u64, phase: GcPhase) {
-        let mut g = self.inner.lock().unwrap();
-        g.released.insert((cycle, phase));
-        self.cond.notify_all();
-    }
-
-    /// Stop pausing anywhere and release everything parked now or later.
-    fn open_wide(&self) {
-        let mut g = self.inner.lock().unwrap();
-        g.pause_at.clear();
-        let parked: Vec<_> = g.paused.iter().copied().collect();
-        g.released.extend(parked);
-        // Also pre-release pairs that paused once already but might re-arrive.
-        let seen: Vec<_> = g.seen.iter().copied().collect();
-        g.released.extend(seen);
-        self.cond.notify_all();
-    }
-
-    /// The victims a cycle claimed, from its `Claimed` events.
-    fn victims_of(&self, cycle: u64) -> Vec<SegmentId> {
-        self.inner
-            .lock()
-            .unwrap()
-            .events
-            .iter()
-            .filter(|(c, p, _)| *c == cycle && *p == GcPhase::Claimed)
-            .filter_map(|(_, _, v)| *v)
-            .collect()
-    }
 }
 
 /// A cloneable device with a kill switch: once killed, every write and sync fails (the

@@ -2,28 +2,185 @@
 //! separately and pulls this in via `mod common;`).
 
 use lss::core::device::{DeviceGeometry, MemDevice, SegmentDevice};
-use lss::core::{Error, Result, SegmentId, StoreConfig};
+use lss::core::{Error, GcPhase, GcPhaseHook, Result, SegmentId, StoreConfig};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Apply the concurrency knobs the CI stress job cranks via the environment
-/// (`LSS_WRITE_STREAMS`, `LSS_CLEANER_THREADS`) on top of a test's base config,
-/// clamped to the ranges config validation accepts.
+/// (`LSS_WRITE_STREAMS`, `LSS_CLEANER_THREADS`, and the adaptive-cleaner knobs
+/// `LSS_CLEANER_MODE` / `LSS_CLEANER_MIN_CYCLES` / `LSS_CLEANER_MAX_CYCLES`) on top of
+/// a test's base config, clamped to the ranges config validation accepts.
 #[allow(dead_code)] // not every test binary uses it
-pub fn apply_env_concurrency(mut config: StoreConfig) -> StoreConfig {
-    if let Some(n) = std::env::var("LSS_WRITE_STREAMS")
+pub fn apply_env_concurrency(config: StoreConfig) -> StoreConfig {
+    config.with_env_overrides()
+}
+
+/// The seed the CI stress job varies per iteration (`LSS_STRESS_SEED`), so a stress
+/// failure always names the exact seed to replay; tests fall back to `default` for
+/// plain deterministic runs.
+#[allow(dead_code)] // not every test binary uses it
+pub fn stress_seed_or(default: u64) -> u64 {
+    std::env::var("LSS_STRESS_SEED")
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        config.write_streams = n.clamp(1, 16);
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// How long [`PhaseGate`] waits before declaring a cycle stuck.
+#[allow(dead_code)]
+const GATE_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Default)]
+struct GateInner {
+    /// Phases at which the first arrival of each cycle pauses.
+    pause_at: HashSet<GcPhase>,
+    /// How many pauses may still happen: once spent, later cycles pass through freely
+    /// (so a test can park N cycles and still run further cycles to completion).
+    pause_budget: usize,
+    /// Every hook invocation, in arrival order.
+    events: Vec<(u64, GcPhase, Option<SegmentId>)>,
+    /// `(cycle, phase)` pairs currently parked inside the hook.
+    paused: HashSet<(u64, GcPhase)>,
+    /// `(cycle, phase)` pairs allowed through.
+    released: HashSet<(u64, GcPhase)>,
+    /// Pairs that already took their one pause (later arrivals pass straight through,
+    /// so e.g. only the *first* `Claimed` of a cycle pauses it).
+    seen: HashSet<(u64, GcPhase)>,
+}
+
+/// A controllable barrier over the cleaning-cycle state machine: the store's
+/// [`lss::core::LogStore::set_gc_phase_hook`] fires at every phase boundary with no
+/// lock held, and this harness turns it into a pause/release gate — tests park any
+/// cycle at any boundary (including [`GcPhase::ControllerDecision`] ticks), run
+/// foreground traffic or other cycles while it is parked, then release it. Shared by
+/// `tests/cleaner_races.rs` and `tests/gc_controller.rs`.
+#[derive(Default)]
+pub struct PhaseGate {
+    inner: Mutex<GateInner>,
+    cond: Condvar,
+}
+
+#[allow(dead_code)] // not every test binary uses every helper
+impl PhaseGate {
+    /// A gate pausing the first arrival of up to `budget` cycles at each given phase.
+    pub fn new(pause_at: &[GcPhase], budget: usize) -> Arc<Self> {
+        let gate = Arc::new(Self::default());
+        {
+            let mut g = gate.inner.lock().unwrap();
+            g.pause_at = pause_at.iter().copied().collect();
+            g.pause_budget = budget;
+        }
+        gate
     }
-    if let Some(n) = std::env::var("LSS_CLEANER_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        config.cleaner_threads = n.clamp(1, 8);
+
+    /// The hook to install via `LogStore::set_gc_phase_hook`.
+    pub fn hook(self: &Arc<Self>) -> GcPhaseHook {
+        let gate = Arc::clone(self);
+        Arc::new(move |cycle, phase, victim| gate.on_phase(cycle, phase, victim))
     }
-    config
+
+    fn on_phase(&self, cycle: u64, phase: GcPhase, victim: Option<SegmentId>) {
+        let mut g = self.inner.lock().unwrap();
+        g.events.push((cycle, phase, victim));
+        self.cond.notify_all();
+        if g.pause_budget > 0 && g.pause_at.contains(&phase) && g.seen.insert((cycle, phase)) {
+            g.pause_budget -= 1;
+            g.paused.insert((cycle, phase));
+            self.cond.notify_all();
+            let deadline = Instant::now() + GATE_TIMEOUT;
+            while !g.released.contains(&(cycle, phase)) {
+                let (ng, timeout) = self
+                    .cond
+                    .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
+                    .unwrap();
+                g = ng;
+                assert!(
+                    !timeout.timed_out(),
+                    "cycle {cycle} stuck paused at {phase:?} (test forgot to release?)"
+                );
+            }
+            g.paused.remove(&(cycle, phase));
+            self.cond.notify_all();
+        }
+    }
+
+    /// Block until `n` distinct cycles are parked at `phase`; returns their tokens.
+    pub fn wait_paused_at(&self, phase: GcPhase, n: usize) -> Vec<u64> {
+        let deadline = Instant::now() + GATE_TIMEOUT;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let cycles: Vec<u64> = g
+                .paused
+                .iter()
+                .filter(|(_, p)| *p == phase)
+                .map(|&(c, _)| c)
+                .collect();
+            if cycles.len() >= n {
+                return cycles;
+            }
+            let (ng, timeout) = self
+                .cond
+                .wait_timeout(g, deadline.saturating_duration_since(Instant::now()))
+                .unwrap();
+            g = ng;
+            assert!(
+                !timeout.timed_out(),
+                "only {} of {n} cycles reached {phase:?}",
+                g.paused.iter().filter(|(_, p)| *p == phase).count()
+            );
+        }
+    }
+
+    /// Release one parked `(cycle, phase)` pair.
+    pub fn release(&self, cycle: u64, phase: GcPhase) {
+        let mut g = self.inner.lock().unwrap();
+        g.released.insert((cycle, phase));
+        self.cond.notify_all();
+    }
+
+    /// Stop pausing anywhere and release everything parked now or later.
+    pub fn open_wide(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.pause_at.clear();
+        let parked: Vec<_> = g.paused.iter().copied().collect();
+        g.released.extend(parked);
+        // Also pre-release pairs that paused once already but might re-arrive.
+        let seen: Vec<_> = g.seen.iter().copied().collect();
+        g.released.extend(seen);
+        self.cond.notify_all();
+    }
+
+    /// The victims a cycle claimed, from its `Claimed` events.
+    pub fn victims_of(&self, cycle: u64) -> Vec<SegmentId> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|(c, p, _)| *c == cycle && *p == GcPhase::Claimed)
+            .filter_map(|(_, _, v)| *v)
+            .collect()
+    }
+
+    /// Every hook event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<(u64, GcPhase, Option<SegmentId>)> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// The [`GcPhase::ControllerDecision`] targets recorded so far, in arrival order
+    /// (the hook's first parameter carries the decided target for these events).
+    pub fn decisions(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|(_, p, _)| *p == GcPhase::ControllerDecision)
+            .map(|&(t, _, _)| t)
+            .collect()
+    }
 }
 
 /// A cloneable in-memory device that "dies" at a chosen write boundary: after a budget
