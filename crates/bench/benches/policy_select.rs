@@ -19,6 +19,7 @@ fn make_segments(n: usize) -> Vec<SegmentStats> {
                 sealed_at: (i as u64 * 53) % 1_000_000,
                 seal_seq: i as u64,
                 log_id: (i % 8) as u16,
+                temperature: lss_core::freq::TEMPERATURE_UNCLASSIFIED,
                 exact_upf: Some(1.0 + (i % 100) as f64 / 10.0),
             }
         })

@@ -62,9 +62,11 @@ fn main() {
                     trigger_free_segments: 16,
                     segments_per_cycle: 32,
                     reserved_free_segments: 4,
+                    ..CleaningConfig::default()
                 },
                 up2_mode: Default::default(),
                 use_exact_frequencies: None,
+                gc_temperature_classes: 1,
                 seed: 42,
             };
             let mut w = workload.clone();

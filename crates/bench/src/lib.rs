@@ -153,8 +153,77 @@ pub fn sim_config(point: &ExperimentPoint, scale: Scale) -> SimConfig {
         cleaning: Default::default(),
         up2_mode: Default::default(),
         use_exact_frequencies: None,
+        gc_temperature_classes: 1,
         seed: 42,
     }
+}
+
+/// Seed for stress/bench workloads: `LSS_STRESS_SEED` if set, else `default`.
+pub fn stress_seed_or(default: u64) -> u64 {
+    std::env::var("LSS_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A GC tuning recommendation: the knobs the `autotune` binary sweeps and the
+/// skewed cleaner-bench phase can replay. Serialised inside `BENCH_autotune.json`
+/// under `"recommended"`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GcTuning {
+    /// Cleaning policy.
+    pub policy: PolicyKind,
+    /// GC output temperature classes (see `StoreConfig::gc_temperature_classes`).
+    pub gc_temperature_classes: usize,
+    /// Cold-victim ripening bar (see `CleaningConfig::cold_victim_min_emptiness`).
+    pub cold_victim_min_emptiness: f64,
+}
+
+impl GcTuning {
+    /// The untuned baseline: the store's defaults with temperature classes off.
+    pub fn baseline(policy: PolicyKind) -> Self {
+        Self {
+            policy,
+            gc_temperature_classes: 1,
+            cold_victim_min_emptiness: 0.0,
+        }
+    }
+
+    /// A short display label such as `mdc-c2-t0.50`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-c{}-t{:.2}",
+            self.policy.paper_name().to_lowercase(),
+            self.gc_temperature_classes,
+            self.cold_victim_min_emptiness
+        )
+    }
+}
+
+/// The subset of `BENCH_autotune.json` other binaries care about.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AutotuneRecommendation {
+    /// The winning configuration across all workload families.
+    pub recommended: GcTuning,
+}
+
+/// Load an autotune recommendation if the user pointed at one, either with
+/// `--autotune-config <path>` or the `LSS_AUTOTUNE_CONFIG` env var. Returns `None`
+/// when neither is set; panics (with the parse error) when a path is given but
+/// unreadable, so a mis-wired CI step fails loudly instead of silently benching the
+/// defaults.
+pub fn load_autotune_recommendation() -> Option<GcTuning> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--autotune-config")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("LSS_AUTOTUNE_CONFIG").ok())?;
+    let data = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read autotune config {path}: {e}"));
+    let rec: AutotuneRecommendation = serde_json::from_str(&data)
+        .unwrap_or_else(|e| panic!("cannot parse autotune config {path}: {e}"));
+    Some(rec.recommended)
 }
 
 /// Run one experiment point with a freshly built workload.

@@ -2,6 +2,7 @@
 //! options that the paper's breakdown analysis (Figure 3) toggles.
 
 use crate::error::{Error, Result};
+use crate::freq::MAX_TEMPERATURE_CLASSES;
 use crate::policy::PolicyKind;
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -68,7 +69,7 @@ impl SeparationConfig {
 }
 
 /// Parameters controlling when cleaning runs and how much it does per cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CleaningConfig {
     /// Cleaning is triggered when the number of free segments falls below this value
     /// (paper §6.1.1 uses 32).
@@ -83,6 +84,16 @@ pub struct CleaningConfig {
     /// may hold one reserve segment as its output, so keeping this at least as large as
     /// `cleaner_threads` avoids cycles abandoning victims under distress.
     pub reserved_free_segments: usize,
+    /// Fraction of the *current maximum sealed emptiness* a segment tagged with the
+    /// coldest temperature class must reach before policy-driven victim selection will
+    /// consider it (only in effect when [`StoreConfig::gc_temperature_classes`] > 1).
+    /// Cold segments fill with pages that are rarely overwritten, so cleaning them
+    /// early just re-copies the same survivors; a higher dead-fraction bar lets them
+    /// ripen. The bar is relative — `0.75` means "within 75% of the emptiest sealed
+    /// segment" — so cold segments can never be starved out of the victim pool
+    /// entirely (the emptiest segment always qualifies, whatever its class). `0.0`
+    /// disables the filter; the distress (force-greedy) path always ignores it.
+    pub cold_victim_min_emptiness: f64,
 }
 
 impl Default for CleaningConfig {
@@ -91,6 +102,7 @@ impl Default for CleaningConfig {
             trigger_free_segments: 32,
             segments_per_cycle: 64,
             reserved_free_segments: 4,
+            cold_victim_min_emptiness: 0.75,
         }
     }
 }
@@ -287,6 +299,19 @@ pub struct StoreConfig {
     /// lookahead window while earlier victims are being relocated; `1` reads images one
     /// at a time as earlier versions did.
     pub gc_read_pool: usize,
+    /// Number of temperature classes the cleaner splits its relocation output across.
+    ///
+    /// `1` (the default) reproduces the temperature-unaware cleaner bit-for-bit: one GC
+    /// output stream per output log, no survivor classification, no segment temperature
+    /// tags, and no cold-victim filtering. With `N > 1`, each cleaning cycle samples
+    /// every survivor's decayed write count from the store's [`crate::freq::PageHeat`]
+    /// sketch, ranks the batch into `N` classes ([`crate::freq::classify_heat`]) and
+    /// relocates each class into its own open output segment — so cold survivors pack
+    /// together and stop being dragged along every time a hot neighbour dies. Output
+    /// segments inherit their class as a temperature tag, which victim selection uses
+    /// to hold coldest-class segments back until they pass
+    /// [`CleaningConfig::cold_victim_min_emptiness`].
+    pub gc_temperature_classes: usize,
     /// If true, a second write to a page that is still sitting in the (unflushed) sort
     /// buffer overwrites it in place instead of appending a new copy. Real systems do
     /// this; the paper's simulator does not (every user write is a page write), so the
@@ -315,6 +340,7 @@ impl StoreConfig {
             cleaner_threads: 2,
             cleaner_mode: CleanerMode::Fixed,
             gc_read_pool: 4,
+            gc_temperature_classes: 1,
             absorb_updates_in_buffer: true,
             verify_checksums_on_read: true,
         }
@@ -332,6 +358,7 @@ impl StoreConfig {
                 trigger_free_segments: 4,
                 segments_per_cycle: 4,
                 reserved_free_segments: 2,
+                ..CleaningConfig::default()
             },
             separation: SeparationConfig::default(),
             sort_buffer_segments: 2,
@@ -342,6 +369,7 @@ impl StoreConfig {
             cleaner_threads: 1,
             cleaner_mode: CleanerMode::Fixed,
             gc_read_pool: 2,
+            gc_temperature_classes: 1,
             absorb_updates_in_buffer: false,
             verify_checksums_on_read: true,
         }
@@ -408,6 +436,13 @@ impl StoreConfig {
         self
     }
 
+    /// Builder-style: set the number of GC output temperature classes (see
+    /// [`StoreConfig::gc_temperature_classes`]; `1` disables classification).
+    pub fn with_gc_temperature_classes(mut self, n: usize) -> Self {
+        self.gc_temperature_classes = n;
+        self
+    }
+
     /// The hard upper bound on concurrent cleaning cycles this configuration allows:
     /// `cleaner_threads` in [`CleanerMode::Fixed`], the mode's `max_cycles` in
     /// [`CleanerMode::Adaptive`]. This is the background-pool size and the cycle-slot
@@ -437,7 +472,8 @@ impl StoreConfig {
     /// * `LSS_CLEANER_MODE` — `fixed` or `adaptive` (adaptive defaults to bounds
     ///   `1..=max_cleaner_cycles()` of the base config);
     /// * `LSS_CLEANER_MIN_CYCLES` / `LSS_CLEANER_MAX_CYCLES` — adaptive bounds
-    ///   (imply `LSS_CLEANER_MODE=adaptive` when either is set).
+    ///   (imply `LSS_CLEANER_MODE=adaptive` when either is set);
+    /// * `LSS_GC_TEMPERATURE_CLASSES` — GC output temperature classes (1..=8).
     pub fn with_env_overrides(self) -> Self {
         self.with_overrides_from(|name| std::env::var(name).ok())
     }
@@ -453,6 +489,9 @@ impl StoreConfig {
         }
         if let Some(n) = get_usize("LSS_CLEANER_THREADS") {
             self.cleaner_threads = n.clamp(1, 8);
+        }
+        if let Some(n) = get_usize("LSS_GC_TEMPERATURE_CLASSES") {
+            self.gc_temperature_classes = n.clamp(1, MAX_TEMPERATURE_CLASSES);
         }
         let min = get_usize("LSS_CLEANER_MIN_CYCLES");
         let max = get_usize("LSS_CLEANER_MAX_CYCLES");
@@ -568,6 +607,21 @@ impl StoreConfig {
                 self.gc_read_pool
             )));
         }
+        // Bounded so the composite (class, log) GC-stream keys stay within u16 and the
+        // per-class statistics arrays stay fixed-width.
+        if self.gc_temperature_classes == 0 || self.gc_temperature_classes > MAX_TEMPERATURE_CLASSES
+        {
+            return Err(Error::InvalidConfig(format!(
+                "gc_temperature_classes must be in 1..={MAX_TEMPERATURE_CLASSES}, got {}",
+                self.gc_temperature_classes
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.cleaning.cold_victim_min_emptiness) {
+            return Err(Error::InvalidConfig(format!(
+                "cold_victim_min_emptiness must be in [0, 1], got {}",
+                self.cleaning.cold_victim_min_emptiness
+            )));
+        }
         if self.write_streams * 2 >= self.num_segments {
             return Err(Error::InvalidConfig(format!(
                 "num_segments ({}) must exceed 2 * write_streams ({}): every stream \
@@ -639,6 +693,39 @@ mod tests {
         assert!(c.validate().is_err());
         c.gc_read_pool = 17;
         assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.gc_temperature_classes = 0;
+        assert!(c.validate().is_err());
+        c.gc_temperature_classes = MAX_TEMPERATURE_CLASSES + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = StoreConfig::small_for_tests();
+        c.cleaning.cold_victim_min_emptiness = 1.5;
+        assert!(c.validate().is_err());
+        c.cleaning.cold_victim_min_emptiness = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn temperature_class_overrides_and_builder() {
+        let c = StoreConfig::small_for_tests().with_gc_temperature_classes(4);
+        assert_eq!(c.gc_temperature_classes, 4);
+        c.validate().unwrap();
+
+        let c = StoreConfig::small_for_tests().with_overrides_from(|name| {
+            (name == "LSS_GC_TEMPERATURE_CLASSES").then(|| "3".to_string())
+        });
+        assert_eq!(c.gc_temperature_classes, 3);
+        // Clamped into the validated range rather than rejected.
+        let c = StoreConfig::small_for_tests().with_overrides_from(|name| {
+            (name == "LSS_GC_TEMPERATURE_CLASSES").then(|| "99".to_string())
+        });
+        assert_eq!(c.gc_temperature_classes, MAX_TEMPERATURE_CLASSES);
+        let c = StoreConfig::small_for_tests().with_overrides_from(|name| {
+            (name == "LSS_GC_TEMPERATURE_CLASSES").then(|| "0".to_string())
+        });
+        assert_eq!(c.gc_temperature_classes, 1);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //!   the pages written into it.
 
 use crate::config::Up2Mode;
-use crate::types::UpdateTick;
+use crate::types::{PageId, UpdateTick};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Carry-forward rule for a user re-write of an existing page (paper §5.2.2,
 /// "Non-first Write").
@@ -109,6 +110,167 @@ impl SegmentFreq {
     pub fn upf(&self, unow: UpdateTick) -> f64 {
         estimated_upf(self.up2, unow)
     }
+}
+
+/// Upper bound on [`crate::StoreConfig::gc_temperature_classes`] (and the width of the
+/// per-class statistics arrays in [`crate::StoreStats`]).
+pub const MAX_TEMPERATURE_CLASSES: usize = 8;
+
+/// A segment temperature tag meaning "never classified": the segment was filled by a
+/// user stream (or recovered), so the cleaner treats it as hot until its survivors are
+/// classified during a relocation. Class `0` is the coldest class; larger classes are
+/// hotter (see [`classify_heat`]).
+pub const TEMPERATURE_UNCLASSIFIED: u16 = u16::MAX;
+
+/// Number of bits of a [`PageHeat`] slot holding the decayed count (the upper 16 bits
+/// hold the decay epoch the count was last folded to).
+const HEAT_COUNT_BITS: u32 = 48;
+const HEAT_COUNT_MAX: u64 = (1 << HEAT_COUNT_BITS) - 1;
+
+/// Lock-free decayed per-page write-count sketch (the cleaner's "heat" estimate).
+///
+/// A single hash-indexed row of `2^k` atomic slots, each packing `(epoch, count)` into
+/// one `u64`. [`PageHeat::record`] is called on the user write path (one hash, one CAS
+/// on an uncontended-by-design slot) and [`PageHeat::heat`] is sampled by the cleaner
+/// at relocation time with **no lock held** — both are wait-free apart from the CAS
+/// retry under same-slot contention.
+///
+/// Decay is *lazy*: a global epoch advances every `decay_interval` recorded writes, and
+/// a slot touched (or read) `d` epochs later first halves its count `d` times
+/// (`count >> d`). So heat is an exponentially decayed write count with a half-life of
+/// `decay_interval` writes — a page that stops being written fades to 0 instead of
+/// staying hot forever, which is what lets demoted pages re-pack as cold.
+///
+/// Distinct pages may share a slot (it is a sketch, not a map); collisions only ever
+/// *overstate* heat, which merely routes a cold page to a hotter output class — an
+/// efficiency loss, never a correctness issue.
+#[derive(Debug)]
+pub struct PageHeat {
+    slots: Box<[AtomicU64]>,
+    mask: u64,
+    /// Current decay epoch (low 16 bits are stored in the slots).
+    epoch: AtomicU64,
+    /// Writes recorded since the last epoch advance.
+    since_epoch: AtomicU64,
+    decay_interval: u64,
+}
+
+impl PageHeat {
+    /// A sketch with at least `min_slots` slots (rounded up to a power of two and
+    /// clamped to a sane range) decaying every `decay_interval` recorded writes.
+    pub fn new(min_slots: usize, decay_interval: u64) -> Self {
+        let slots = min_slots.clamp(1024, 1 << 16).next_power_of_two();
+        Self {
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            mask: (slots - 1) as u64,
+            epoch: AtomicU64::new(0),
+            since_epoch: AtomicU64::new(0),
+            decay_interval: decay_interval.max(1),
+        }
+    }
+
+    /// Size the sketch for a store that can hold `physical_pages` pages: one slot per
+    /// page up to the clamp, with a half-life of four sketch-fills so steady heat
+    /// ranks stay stable while dead pages fade within a few overwrite passes.
+    pub fn for_physical_pages(physical_pages: usize) -> Self {
+        let slots = physical_pages.clamp(1024, 1 << 16).next_power_of_two();
+        Self::new(slots, 4 * slots as u64)
+    }
+
+    #[inline]
+    fn slot_of(&self, page: PageId) -> &AtomicU64 {
+        &self.slots[(crate::util::mix64(page) & self.mask) as usize]
+    }
+
+    #[inline]
+    fn unpack(packed: u64) -> (u16, u64) {
+        ((packed >> HEAT_COUNT_BITS) as u16, packed & HEAT_COUNT_MAX)
+    }
+
+    #[inline]
+    fn pack(epoch: u16, count: u64) -> u64 {
+        ((epoch as u64) << HEAT_COUNT_BITS) | count.min(HEAT_COUNT_MAX)
+    }
+
+    /// Fold a slot's count forward to `now_epoch`: halve once per elapsed epoch.
+    #[inline]
+    fn decayed(slot_epoch: u16, count: u64, now_epoch: u16) -> u64 {
+        let delta = now_epoch.wrapping_sub(slot_epoch) as u32;
+        if delta >= HEAT_COUNT_BITS {
+            0
+        } else {
+            count >> delta
+        }
+    }
+
+    /// Record one write of `page`. Saturates at the 48-bit count ceiling.
+    pub fn record(&self, page: PageId) {
+        // Advance the global epoch once per `decay_interval` records. The CAS means
+        // exactly one of the racing recorders at the boundary advances it.
+        let n = self.since_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.decay_interval
+            && self
+                .since_epoch
+                .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        let now_epoch = self.epoch.load(Ordering::Relaxed) as u16;
+        let slot = self.slot_of(page);
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let (e, c) = Self::unpack(cur);
+            let next = Self::pack(now_epoch, Self::decayed(e, c, now_epoch).saturating_add(1));
+            match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The decayed write count of `page` right now. One atomic load; never blocks.
+    pub fn heat(&self, page: PageId) -> u64 {
+        let now_epoch = self.epoch.load(Ordering::Relaxed) as u16;
+        let (e, c) = Self::unpack(self.slot_of(page).load(Ordering::Relaxed));
+        Self::decayed(e, c, now_epoch)
+    }
+
+    /// Number of slots in the sketch (diagnostics).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Rank a relocation batch's heats into temperature classes.
+///
+/// Returns one class per input, `0 ..= classes-1`, `0` being coldest:
+///
+/// * `classes <= 1` → everything is class 0 (temperature-unaware behaviour);
+/// * heat 0 → class 0 unconditionally (a page nobody has written since the sketch last
+///   decayed it to nothing is cold in the absolute, not relative to its batch);
+/// * non-zero heats are ranked *within the batch* and split into equal-depth quantiles
+///   over classes `1 ..= classes-1` — relative rank, not absolute thresholds, so the
+///   split adapts to any workload's heat scale without tuning.
+///
+/// Deterministic: ties rank by input position, so equal inputs give equal outputs.
+pub fn classify_heat(heats: &[u64], classes: u16) -> Vec<u16> {
+    let n = heats.len();
+    if classes <= 1 || n == 0 {
+        return vec![0; n];
+    }
+    let mut out = vec![0u16; n];
+    let mut warm: Vec<usize> = (0..n).filter(|&i| heats[i] > 0).collect();
+    if warm.is_empty() {
+        return out;
+    }
+    warm.sort_by_key(|&i| (heats[i], i));
+    let buckets = (classes - 1) as usize;
+    let per = warm.len().div_ceil(buckets);
+    for (rank, &i) in warm.iter().enumerate() {
+        out[i] = 1 + (rank / per) as u16;
+    }
+    out
 }
 
 /// Running mean used to compute a sealed segment's initial `up2` from the pages written

@@ -57,6 +57,11 @@ pub struct SegmentStats {
     /// The output log/stream the segment was written by (0 unless the policy maintains
     /// multiple logs).
     pub log_id: u16,
+    /// Temperature class the segment was filled with (0 = coldest), or
+    /// [`crate::freq::TEMPERATURE_UNCLASSIFIED`] for user-filled / recovered segments.
+    /// Only meaningful when `gc_temperature_classes > 1`; the store uses it to let cold
+    /// segments accumulate more dead space before becoming policy victims.
+    pub temperature: u16,
     /// Exact segment update frequency — the sum of the exact per-page update frequencies
     /// of the live pages — when the embedding system knows it (the simulator's "-opt"
     /// oracle variants). `None` in the real store.
@@ -288,6 +293,7 @@ pub(crate) fn test_segment(
         sealed_at,
         seal_seq: id as u64,
         log_id: 0,
+        temperature: crate::freq::TEMPERATURE_UNCLASSIFIED,
         exact_upf: None,
     }
 }

@@ -2,7 +2,7 @@
 //! (`A`, `C`, `up2`, seal sequence) and the free/open/sealed life-cycle.
 
 use crate::config::Up2Mode;
-use crate::freq::SegmentFreq;
+use crate::freq::{SegmentFreq, TEMPERATURE_UNCLASSIFIED};
 use crate::policy::SegmentStats;
 use crate::types::{SealSeq, SegmentId, UpdateTick};
 
@@ -25,6 +25,13 @@ pub struct SegmentMeta {
     pub sealed_at: UpdateTick,
     /// Output log the segment belongs to.
     pub log_id: u16,
+    /// Temperature class of the segment's contents: set when a cleaning cycle fills a
+    /// GC output segment with survivors of one class (`0` = coldest), and
+    /// [`crate::freq::TEMPERATURE_UNCLASSIFIED`] for user-filled segments. **In-memory
+    /// only** — the tag is a routing hint, not data: it is not persisted in the segment
+    /// footer or checkpoints, so after recovery every segment restarts unclassified
+    /// (treated as hot) and the tags re-form within one cleaning pass.
+    pub temperature: u16,
     /// Sum of exact per-page update frequencies of the live pages, when known.
     pub exact_upf_sum: f64,
     /// Whether `exact_upf_sum` is meaningful (any exact frequency was ever supplied).
@@ -43,6 +50,7 @@ impl SegmentMeta {
             seal_seq: 0,
             sealed_at: 0,
             log_id,
+            temperature: TEMPERATURE_UNCLASSIFIED,
             exact_upf_sum: 0.0,
             has_exact_upf: false,
         }
@@ -114,6 +122,7 @@ impl SegmentMeta {
             sealed_at: self.sealed_at,
             seal_seq: self.seal_seq,
             log_id: self.log_id,
+            temperature: self.temperature,
             exact_upf: if self.has_exact_upf {
                 Some(self.exact_upf_sum)
             } else {
@@ -538,6 +547,25 @@ impl SegmentTable {
             }
         }
         (hist, sealed, live_bytes)
+    }
+
+    /// Sealed-segment count per temperature class (gauge for
+    /// [`crate::StoreStats::gc_class_segments`]): index `0..classes` by class, with
+    /// unclassified (user-filled) segments counted in the final extra bucket.
+    pub fn sealed_counts_by_temperature(&self, classes: usize) -> Vec<u64> {
+        let classes = classes.max(1);
+        let mut counts = vec![0u64; classes + 1];
+        for s in &self.states {
+            if let SegmentState::Sealed(m) = s {
+                let bucket = if m.temperature == TEMPERATURE_UNCLASSIFIED {
+                    classes
+                } else {
+                    (m.temperature as usize).min(classes - 1)
+                };
+                counts[bucket] += 1;
+            }
+        }
+        counts
     }
 
     /// One cheap snapshot of everything the adaptive GC controller scales against

@@ -5,6 +5,7 @@
 //! of §2.1. A `W_amp` of 0 means all I/O bandwidth serves user writes; a `W_amp` of 1
 //! means half of it is spent on cleaning.
 
+use crate::freq::MAX_TEMPERATURE_CLASSES;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,6 +75,27 @@ pub struct StoreStats {
     pub claimed_victims: u64,
     /// Victims currently parked in the reclamation quarantine (gauge).
     pub quarantined_segments: u64,
+    /// Pages relocated by the cleaner into each temperature-classed GC output stream
+    /// (index = class, 0 = coldest). Trailing all-zero classes are trimmed, so a store
+    /// running with `gc_temperature_classes = 1` reports at most one entry. The entries
+    /// sum to [`StoreStats::gc_pages_written`].
+    pub gc_class_pages_written: Vec<u64>,
+    /// Bytes relocated per temperature class (same indexing as
+    /// [`StoreStats::gc_class_pages_written`]; sums to
+    /// [`StoreStats::gc_bytes_written`]).
+    pub gc_class_bytes_written: Vec<u64>,
+    /// Survivors routed to a *hotter* class than the victim segment's temperature tag —
+    /// each one is a misprediction by the earlier classification (the page turned out
+    /// hotter than the segment it was parked in). Only counted for victims that carried
+    /// a classified temperature.
+    pub gc_class_promotions: u64,
+    /// Survivors routed to a *colder* class than the victim segment's tag (the page
+    /// cooled down since it was last classified).
+    pub gc_class_demotions: u64,
+    /// Sealed segments per temperature tag at snapshot time (gauge, like
+    /// [`StoreStats::emptiness_histogram`]): index = class for classified segments, plus
+    /// one final bucket for unclassified (user-filled / recovered) segments.
+    pub gc_class_segments: Vec<u64>,
 }
 
 impl StoreStats {
@@ -149,6 +171,17 @@ impl StoreStats {
         self.gc_target_cycles = self.gc_target_cycles.max(other.gc_target_cycles);
         self.claimed_victims += other.claimed_victims;
         self.quarantined_segments += other.quarantined_segments;
+        merge_class_vec(
+            &mut self.gc_class_pages_written,
+            &other.gc_class_pages_written,
+        );
+        merge_class_vec(
+            &mut self.gc_class_bytes_written,
+            &other.gc_class_bytes_written,
+        );
+        self.gc_class_promotions += other.gc_class_promotions;
+        self.gc_class_demotions += other.gc_class_demotions;
+        merge_class_vec(&mut self.gc_class_segments, &other.gc_class_segments);
     }
 
     /// Reset all counters to zero (used after a load phase so the measurement phase
@@ -156,6 +189,25 @@ impl StoreStats {
     pub fn reset(&mut self) {
         *self = StoreStats::default();
     }
+}
+
+/// Element-wise add of two per-class vectors of possibly different lengths.
+fn merge_class_vec(into: &mut Vec<u64>, other: &[u64]) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (bin, n) in other.iter().enumerate() {
+        into[bin] += n;
+    }
+}
+
+/// Drop trailing all-zero entries so untouched classes don't widen reports (and a
+/// freshly reset snapshot compares equal to [`StoreStats::default`]).
+fn trim_trailing_zeros(mut v: Vec<u64>) -> Vec<u64> {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
 }
 
 /// Lock-free counter set used internally by the concurrent store.
@@ -199,6 +251,15 @@ pub struct AtomicStats {
     pub gc_scale_ups: AtomicU64,
     /// See [`StoreStats::gc_scale_downs`].
     pub gc_scale_downs: AtomicU64,
+    /// See [`StoreStats::gc_class_pages_written`] (fixed-width; classes beyond the
+    /// configured count simply stay zero and are trimmed at snapshot time).
+    pub gc_class_pages_written: [AtomicU64; MAX_TEMPERATURE_CLASSES],
+    /// See [`StoreStats::gc_class_bytes_written`].
+    pub gc_class_bytes_written: [AtomicU64; MAX_TEMPERATURE_CLASSES],
+    /// See [`StoreStats::gc_class_promotions`].
+    pub gc_class_promotions: AtomicU64,
+    /// See [`StoreStats::gc_class_demotions`].
+    pub gc_class_demotions: AtomicU64,
 }
 
 impl AtomicStats {
@@ -212,6 +273,15 @@ impl AtomicStats {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Account one relocated page to its temperature class (out-of-range classes clamp
+    /// into the last slot rather than being dropped, so totals always reconcile).
+    #[inline]
+    pub fn add_class_page(&self, class: u16, bytes: u64) {
+        let slot = (class as usize).min(MAX_TEMPERATURE_CLASSES - 1);
+        self.gc_class_pages_written[slot].fetch_add(1, Ordering::Relaxed);
+        self.gc_class_bytes_written[slot].fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Accumulate a victim's emptiness `E` at cleaning time.
@@ -253,6 +323,20 @@ impl AtomicStats {
             gc_controller_decisions: self.gc_controller_decisions.load(Ordering::Relaxed),
             gc_scale_ups: self.gc_scale_ups.load(Ordering::Relaxed),
             gc_scale_downs: self.gc_scale_downs.load(Ordering::Relaxed),
+            gc_class_pages_written: trim_trailing_zeros(
+                self.gc_class_pages_written
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+            ),
+            gc_class_bytes_written: trim_trailing_zeros(
+                self.gc_class_bytes_written
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+            ),
+            gc_class_promotions: self.gc_class_promotions.load(Ordering::Relaxed),
+            gc_class_demotions: self.gc_class_demotions.load(Ordering::Relaxed),
             // Gauges sampled from the segment table / GC control, not counters: the
             // store facade fills them in (`LogStore::stats`); a bare snapshot leaves
             // them empty.
@@ -262,6 +346,7 @@ impl AtomicStats {
             gc_target_cycles: 0,
             claimed_victims: 0,
             quarantined_segments: 0,
+            gc_class_segments: Vec::new(),
         }
     }
 
@@ -283,6 +368,14 @@ impl AtomicStats {
         self.gc_controller_decisions.store(0, Ordering::Relaxed);
         self.gc_scale_ups.store(0, Ordering::Relaxed);
         self.gc_scale_downs.store(0, Ordering::Relaxed);
+        for c in &self.gc_class_pages_written {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.gc_class_bytes_written {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.gc_class_promotions.store(0, Ordering::Relaxed);
+        self.gc_class_demotions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -382,6 +475,31 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.pages_read, 80_000);
         assert!((s.emptiness_sum_at_clean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_counters_trim_and_merge() {
+        let a = AtomicStats::default();
+        a.add_class_page(0, 100);
+        a.add_class_page(2, 300);
+        a.add_class_page(99, 1); // clamps into the last slot
+        AtomicStats::bump(&a.gc_class_promotions);
+        let s = a.snapshot();
+        assert_eq!(s.gc_class_pages_written, vec![1, 0, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(s.gc_class_bytes_written, vec![100, 0, 300, 0, 0, 0, 0, 1]);
+        assert_eq!(s.gc_class_promotions, 1);
+
+        // Trailing zeros are trimmed, so a cold-only run stays compact...
+        let b = AtomicStats::default();
+        b.add_class_page(0, 7);
+        assert_eq!(b.snapshot().gc_class_pages_written, vec![1]);
+        // ...and merge widens as needed.
+        let mut merged = b.snapshot();
+        merged.merge(&s);
+        assert_eq!(merged.gc_class_pages_written, vec![2, 0, 1, 0, 0, 0, 0, 1]);
+
+        a.reset();
+        assert_eq!(a.snapshot(), StoreStats::default());
     }
 
     #[test]

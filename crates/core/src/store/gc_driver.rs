@@ -84,9 +84,9 @@ use super::{CentralState, GcStreams, LogStore, OpenSegment};
 use crate::cleaner::{collect_live_pages, CleaningReport, LivePage};
 use crate::config::{AdaptiveTargets, CleanerMode, StoreConfig};
 use crate::error::{Error, Result};
-use crate::freq::Up2Average;
+use crate::freq::{classify_heat, Up2Average, TEMPERATURE_UNCLASSIFIED};
 use crate::layout::{self, decode_segment, SegmentBuilder};
-use crate::policy::PolicyContext;
+use crate::policy::{PolicyContext, SegmentStats, MULTILOG_MAX_LOGS};
 use crate::segment::ORPHAN_CYCLE;
 use crate::stats::AtomicStats;
 use crate::types::{PageId, PageLocation, SegmentId, UpdateTick};
@@ -400,13 +400,29 @@ struct StagedRelocation {
     /// Where the relocated copy now lives (`new.segment` is the GC output segment and
     /// the accounting target on commit).
     new: PageLocation,
+    /// Temperature class the page was routed to (for per-class accounting).
+    class: u16,
 }
 
 /// A collected live page plus its routing decisions.
 struct GcItem {
     live: LivePage,
     log: u16,
+    /// Temperature class assigned from the page's decayed heat (0 = coldest; always 0
+    /// with `gc_temperature_classes = 1`).
+    class: u16,
     key: Option<f64>,
+}
+
+/// The composite GC-output stream key: each (temperature class, policy log) pair gets
+/// its own open output segment, so cold survivors pack together instead of sharing
+/// segments with hot ones. `class` is bounded by
+/// [`crate::freq::MAX_TEMPERATURE_CLASSES`] (8) and `log` by [`MULTILOG_MAX_LOGS`]
+/// (32), so the key always fits `u16`; with one temperature class the key collapses to
+/// the plain log id, reproducing the pre-temperature stream layout exactly.
+#[inline]
+fn gc_stream_key(class: u16, log: u16) -> u16 {
+    class * MULTILOG_MAX_LOGS as u16 + log
 }
 
 /// The private state of one in-flight cycle: its token, its own GC output streams
@@ -423,8 +439,16 @@ struct CycleCtx {
 struct PreparedVictim {
     victim: SegmentId,
     emptiness: f64,
+    /// The victim's temperature tag at claim time ([`TEMPERATURE_UNCLASSIFIED`] for
+    /// user-filled segments), compared against each survivor's fresh class to count
+    /// promotions/demotions.
+    temperature: u16,
     candidates: Vec<LivePage>,
 }
+
+/// A claimed victim: `(id, emptiness, up2, temperature)` recorded in the claim
+/// critical section.
+type ClaimedVictim = (SegmentId, f64, UpdateTick, u16);
 
 /// Invoke the store's phase hook, if installed, with no lock held.
 fn fire_phase_hook(store: &LogStore, token: u64, phase: GcPhase, victim: Option<SegmentId>) {
@@ -559,7 +583,7 @@ pub(crate) fn run_cleaning_cycle_with(
 
     // Phase 1: select victims and claim them, in one short central critical section —
     // the claims are what make concurrent cycles' victim sets disjoint.
-    let victims: Vec<(SegmentId, f64, UpdateTick)> = {
+    let victims: Vec<ClaimedVictim> = {
         let mut central = store.central().lock();
         let CentralState { segments, policy } = &mut *central;
         // The configured batch is an *aggregate* in-flight budget: divide it across
@@ -578,7 +602,44 @@ pub(crate) fn run_cleaning_cycle_with(
             segments: &sealed,
         };
         let mut picked = match mode {
-            SelectionMode::Policy => policy.select_victims(&ctx, batch),
+            SelectionMode::Policy => {
+                // Temperature feedback into victim selection: segments filled with the
+                // coldest survivor class decay slowly by construction, so cleaning them
+                // at the usual dead-fraction is pure churn — hide them from the policy
+                // until their emptiness is within `cold_victim_min_emptiness` of the
+                // emptiest sealed segment. The bar is relative so cold segments ripen
+                // at every fill factor instead of being starved out at high fill. The
+                // filter is advisory only: if it empties the candidate set the
+                // unfiltered pick runs, and the distress path (ForceGreedy) never
+                // filters.
+                let threshold = store.config().cleaning.cold_victim_min_emptiness;
+                let use_filter = store.config().gc_temperature_classes > 1 && threshold > 0.0;
+                let filtered: Vec<SegmentStats> = if use_filter {
+                    let max_emptiness = sealed.iter().map(|s| s.emptiness()).fold(0.0f64, f64::max);
+                    let bar = threshold * max_emptiness;
+                    sealed
+                        .iter()
+                        .filter(|s| s.temperature != 0 || s.emptiness() >= bar)
+                        .copied()
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let filtering = use_filter && filtered.len() < sealed.len();
+                let mut p = if filtering {
+                    let fctx = PolicyContext {
+                        unow,
+                        segments: &filtered,
+                    };
+                    policy.select_victims(&fctx, batch)
+                } else {
+                    policy.select_victims(&ctx, batch)
+                };
+                if p.is_empty() && filtering {
+                    p = policy.select_victims(&ctx, batch);
+                }
+                p
+            }
             SelectionMode::ForceGreedy => {
                 let want = batch.max(share);
                 let mut greedy = crate::policy::GreedyPolicy::new();
@@ -597,7 +658,7 @@ pub(crate) fn run_cleaning_cycle_with(
             .into_iter()
             .filter_map(|v| {
                 let m = segments.meta(v)?;
-                let entry = (v, m.emptiness(), m.freq.up2());
+                let entry = (v, m.emptiness(), m.freq.up2(), m.temperature);
                 segments.claim_for_cleaning(v).then_some(entry)
             })
             .collect()
@@ -605,14 +666,14 @@ pub(crate) fn run_cleaning_cycle_with(
     if victims.is_empty() {
         return Ok(CleaningReport::default());
     }
-    for &(v, _, _) in &victims {
+    for &(v, _, _, _) in &victims {
         fire_phase_hook(store, token, GcPhase::Claimed, Some(v));
     }
 
     let mut cycle = CycleCtx {
         token,
         gcs: GcStreams::default(),
-        claimed: victims.iter().map(|&(v, _, _)| v).collect(),
+        claimed: victims.iter().map(|&(v, _, _, _)| v).collect(),
     };
     let result = run_claimed_victims(store, &mut cycle, &victims, unow);
     finish_cycle(store, cycle, result)
@@ -624,7 +685,7 @@ pub(crate) fn run_cleaning_cycle_with(
 fn run_claimed_victims(
     store: &LogStore,
     cycle: &mut CycleCtx,
-    victims: &[(SegmentId, f64, UpdateTick)],
+    victims: &[ClaimedVictim],
     unow: UpdateTick,
 ) -> Result<CleaningReport> {
     let mut report = CleaningReport::default();
@@ -726,6 +787,23 @@ fn relocate_victim(
     let stats = store.atomic_stats();
     let victim = prepared.victim;
 
+    // Classify every candidate's temperature from the decayed heat sketch, sampled
+    // lock-free *before* any central acquisition. Ranking is per victim batch
+    // (equal-depth quantiles), so the split adapts to whatever heat distribution the
+    // victim actually carries. With one class everything is class 0 and the sketch is
+    // never even read.
+    let classes = store.config().gc_temperature_classes as u16;
+    let class_of: Vec<u16> = if classes > 1 {
+        let heats: Vec<u64> = prepared
+            .candidates
+            .iter()
+            .map(|live| store.heat().heat(live.pending.info.page))
+            .collect();
+        classify_heat(&heats, classes)
+    } else {
+        vec![0; prepared.candidates.len()]
+    };
+
     // Route every candidate to an output log and fetch separation keys, under one
     // short central acquisition (the policy lives there). Same routing helper as
     // the user drain, so user and GC placement can never diverge.
@@ -736,11 +814,13 @@ fn relocate_victim(
         prepared
             .candidates
             .iter()
-            .map(|live| {
+            .zip(&class_of)
+            .map(|(live, &class)| {
                 let (log, key) = write_path::route_page(policy, unow, separate, &live.pending.info);
                 GcItem {
                     live: live.clone(),
                     log,
+                    class,
                     key,
                 }
             })
@@ -748,6 +828,12 @@ fn relocate_victim(
     };
     if separate {
         sort_by_separation_key(&mut items, |it: &GcItem| it.key);
+    }
+    if classes > 1 {
+        // Group by class (stable, so the separation order inside each class is kept):
+        // each class fills its own output segments contiguously. A no-op with one
+        // class, preserving the pre-temperature staging order bit for bit.
+        items.sort_by_key(|it| it.class);
     }
 
     // Phase 3a: stage — copy still-current pages into the GC output builders. No
@@ -770,7 +856,18 @@ fn relocate_victim(
             .data
             .as_ref()
             .expect("GC relocation always carries a payload");
-        let Some(log) = ensure_gc_open(store, cycle, &mut ledger, item.log, data.len())? else {
+        if classes > 1 && prepared.temperature != TEMPERATURE_UNCLASSIFIED {
+            // Misprediction accounting: this survivor's fresh class disagrees with
+            // the class its segment was filled as.
+            if item.class > prepared.temperature {
+                AtomicStats::bump(&stats.gc_class_promotions);
+            } else if item.class < prepared.temperature {
+                AtomicStats::bump(&stats.gc_class_demotions);
+            }
+        }
+        let Some(stream) =
+            ensure_gc_open(store, cycle, &mut ledger, item.class, item.log, data.len())?
+        else {
             // No output space for this victim even after the distress fallbacks:
             // abandon it *gracefully*. Nothing of it has been committed — its pages
             // are still mapped into the sealed victim image, which stays exactly
@@ -786,8 +883,8 @@ fn relocate_victim(
         let open = cycle
             .gcs
             .open
-            .get_mut(&log)
-            .expect("ensure_gc_open just installed this log");
+            .get_mut(&stream)
+            .expect("ensure_gc_open just installed this stream");
         // The relocated copy keeps the original write sequence: it is the same
         // version of the page, just at a new address (see
         // [`crate::cleaner::LivePage::write_seq`]).
@@ -804,6 +901,7 @@ fn relocate_victim(
                 offset,
                 len: data.len() as u32,
             },
+            class: item.class,
         });
     }
 
@@ -820,6 +918,7 @@ fn relocate_victim(
                 }
                 AtomicStats::bump(&stats.gc_pages_written);
                 AtomicStats::add(&stats.gc_bytes_written, s.new.len as u64);
+                stats.add_class_page(s.class, s.new.len as u64);
                 report.pages_moved += 1;
                 report.bytes_moved += s.new.len as u64;
             }
@@ -848,6 +947,7 @@ fn prepare_victim(
     victim: SegmentId,
     emptiness: f64,
     up2: UpdateTick,
+    temperature: u16,
 ) -> Result<PreparedVictim> {
     let image = store.device().read_segment(victim)?;
     let parsed = decode_segment(victim, &image)?.ok_or_else(|| Error::CorruptSegment {
@@ -867,6 +967,7 @@ fn prepare_victim(
     Ok(PreparedVictim {
         victim,
         emptiness,
+        temperature,
         candidates,
     })
 }
@@ -887,13 +988,13 @@ struct ReadPipeline {
 /// loop of the pre-concurrent design.
 fn for_each_prepared_victim(
     store: &LogStore,
-    victims: &[(SegmentId, f64, UpdateTick)],
+    victims: &[ClaimedVictim],
     mut process: impl FnMut(&PreparedVictim) -> Result<()>,
 ) -> Result<()> {
     let pool = store.config().gc_read_pool.min(victims.len()).max(1);
     if pool <= 1 {
-        for &(victim, emptiness, up2) in victims {
-            let prepared = prepare_victim(store, victim, emptiness, up2)?;
+        for &(victim, emptiness, up2, temperature) in victims {
+            let prepared = prepare_victim(store, victim, emptiness, up2, temperature)?;
             process(&prepared)?;
         }
         return Ok(());
@@ -927,8 +1028,8 @@ fn for_each_prepared_victim(
                     st.next_fetch += 1;
                     i
                 };
-                let (victim, emptiness, up2) = victims[i];
-                let prepared = prepare_victim(store, victim, emptiness, up2);
+                let (victim, emptiness, up2, temperature) = victims[i];
+                let prepared = prepare_victim(store, victim, emptiness, up2, temperature);
                 let mut st = state.lock();
                 st.slots[i] = Some(prepared);
                 ready_cond.notify_all();
@@ -960,32 +1061,40 @@ fn for_each_prepared_victim(
 }
 
 /// Make sure the cycle has a GC output segment with room for `len` bytes, preferably
-/// for `log`, sealing the full one and allocating a fresh segment if necessary. Returns
-/// the log key of the open segment to append to, or `None` if no output space can be
-/// found (the caller abandons the current victim rather than failing the cycle).
+/// for the `(class, log)` output stream, sealing the full one and allocating a fresh
+/// segment if necessary. Returns the [`gc_stream_key`] of the open segment to append
+/// to, or `None` if no output space can be found (the caller abandons the current
+/// victim rather than failing the cycle).
+///
+/// The open map is keyed by the composite stream key so each temperature class packs
+/// its survivors into its own segments; the segment itself records only the *policy*
+/// log (the persisted footer's routing identity) plus an in-memory temperature tag.
 ///
 /// GC allocations may dip into the reserve — that is what it is for. Under allocation
 /// distress the cycle degrades gracefully: it first redirects the relocation into *any*
-/// of its open outputs with room (sacrificing log purity for progress), then seals its
-/// output streams and syncs so its already quarantined victims become reusable.
+/// of its open outputs with room (sacrificing log and temperature purity for
+/// progress), then seals its output streams and syncs so its already quarantined
+/// victims become reusable.
 fn ensure_gc_open(
     store: &LogStore,
     cycle: &mut CycleCtx,
     ledger: &mut MetaLedger,
+    class: u16,
     log: u16,
     len: usize,
 ) -> Result<Option<u16>> {
-    if let Some(open) = cycle.gcs.open.get(&log) {
+    let stream = gc_stream_key(class, log);
+    if let Some(open) = cycle.gcs.open.get(&stream) {
         if open.builder.read().fits(len) {
-            return Ok(Some(log));
+            return Ok(Some(stream));
         }
     }
-    if let Some(full) = cycle.gcs.open.remove(&log) {
+    if let Some(full) = cycle.gcs.open.remove(&stream) {
         write_path::seal_open(store, full, ledger)?;
     }
     let capacity =
         layout::payload_capacity(store.config().segment_bytes, store.config().page_bytes) as u64;
-    let mut allocated = try_allocate_gc(store, capacity, log);
+    let mut allocated = try_allocate_gc(store, capacity, log, class);
     if allocated.is_none() {
         // Distress fallback 1: reuse another output stream's headroom.
         if let Some((&l, _)) = cycle
@@ -1000,7 +1109,7 @@ fn ensure_gc_open(
         // quarantined victims free up (their live pages are all in the builders about
         // to be sealed), then retry the allocation.
         make_own_relocations_durable(store, cycle)?;
-        allocated = try_allocate_gc(store, capacity, log);
+        allocated = try_allocate_gc(store, capacity, log, class);
     }
     let Some((id, gen)) = allocated else {
         return Ok(None);
@@ -1010,7 +1119,7 @@ fn ensure_gc_open(
     )));
     store.open_reads().write().insert(id, Arc::clone(&builder));
     cycle.gcs.open.insert(
-        log,
+        stream,
         OpenSegment {
             id,
             builder,
@@ -1021,7 +1130,7 @@ fn ensure_gc_open(
         },
     );
     store.note_open_delta(1);
-    Ok(Some(log))
+    Ok(Some(stream))
 }
 
 /// Mid-cycle durability point (distress only): seal this cycle's own GC outputs, mark
@@ -1036,11 +1145,24 @@ fn make_own_relocations_durable(store: &LogStore, cycle: &mut CycleCtx) -> Resul
     write_path::sync_and_reap(store)
 }
 
-fn try_allocate_gc(store: &LogStore, capacity: u64, log: u16) -> Option<(SegmentId, u64)> {
+fn try_allocate_gc(
+    store: &LogStore,
+    capacity: u64,
+    log: u16,
+    class: u16,
+) -> Option<(SegmentId, u64)> {
     let mut central = store.central().lock();
     let id = central
         .segments
         .allocate(capacity, log, store.config().up2_mode)?;
+    if store.config().gc_temperature_classes > 1 {
+        // Tag the output with the class of the survivors it will be filled with, so
+        // victim selection can treat cold segments differently. In-memory only; with
+        // one class the tag stays UNCLASSIFIED exactly as before.
+        if let Some(meta) = central.segments.meta_mut(id) {
+            meta.temperature = class;
+        }
+    }
     store.bump_segment_gen(id);
     let gen = store.segment_gen(id);
     store.publish_free(&central.segments);

@@ -71,7 +71,7 @@ use crate::cleaner::CleaningReport;
 use crate::config::StoreConfig;
 use crate::device::{MemDevice, SegmentDevice};
 use crate::error::{Error, Result};
-use crate::freq::Up2Average;
+use crate::freq::{PageHeat, Up2Average};
 use crate::layout::{self, SegmentBuilder};
 use crate::mapping::{PageTable, ShardedPageTable};
 use crate::policy::{CleaningPolicy, SegmentStats};
@@ -203,6 +203,11 @@ pub struct LogStore {
     seg_gen: Box<[AtomicU64]>,
     /// Lock-free operation counters.
     stats: AtomicStats,
+    /// Decayed per-page write-heat sketch, bumped on every `put`/`delete` and sampled
+    /// by the cleaner (outside any lock) to route survivors into temperature-classed
+    /// GC output streams. Purely advisory: collisions or staleness only cost placement
+    /// efficiency, never correctness.
+    heat: PageHeat,
     /// The update-count clock (one tick per user write or delete).
     unow: AtomicU64,
     /// Next per-page write sequence number. Global and atomic: per-page monotonicity
@@ -280,6 +285,7 @@ impl LogStore {
             pins: (0..num_segments).map(|_| AtomicU32::new(0)).collect(),
             seg_gen: (0..num_segments).map(|_| AtomicU64::new(0)).collect(),
             stats: AtomicStats::default(),
+            heat: PageHeat::for_physical_pages(config.physical_pages()),
             unow: AtomicU64::new(0),
             next_write_seq: AtomicU64::new(1),
             approx_free: AtomicUsize::new(num_segments),
@@ -316,6 +322,11 @@ impl LogStore {
             });
         }
         self.unow.fetch_add(1, Ordering::Relaxed);
+        if self.config.gc_temperature_classes > 1 {
+            // The sketch is only consulted by classed GC output; with one class the
+            // put path stays free of its per-write atomics.
+            self.heat.record(page);
+        }
         AtomicStats::bump(&self.stats.user_pages_written);
         AtomicStats::add(&self.stats.user_bytes_written, data.len() as u64);
         let pending = PendingPage {
@@ -335,6 +346,9 @@ impl LogStore {
     /// becomes reclaimable.
     pub fn delete(&self, page: PageId) -> Result<()> {
         self.unow.fetch_add(1, Ordering::Relaxed);
+        if self.config.gc_temperature_classes > 1 {
+            self.heat.record(page);
+        }
         AtomicStats::bump(&self.stats.user_pages_written);
         let pending = PendingPage {
             info: PageWriteInfo {
@@ -426,6 +440,11 @@ impl LogStore {
         stats.sealed_live_bytes = live;
         stats.claimed_victims = central.segments.claimed_count() as u64;
         stats.quarantined_segments = central.segments.quarantine_len() as u64;
+        if self.config.gc_temperature_classes > 1 {
+            stats.gc_class_segments = central
+                .segments
+                .sealed_counts_by_temperature(self.config.gc_temperature_classes);
+        }
         drop(central);
         stats.gc_target_cycles = self.gc.current_target() as u64;
         stats
@@ -575,6 +594,11 @@ impl LogStore {
 
     pub(crate) fn atomic_stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// The per-page heat sketch (sampled lock-free by the cleaner).
+    pub(crate) fn heat(&self) -> &PageHeat {
+        &self.heat
     }
 
     /// Claim the next per-page write sequence number.

@@ -1,0 +1,257 @@
+//! Tests for the page-heat sketch and the batch temperature classifier
+//! (`lss::core::freq::{PageHeat, classify_heat}`): lazy exponential decay,
+//! saturation at the packed-count ceiling, epoch-wraparound behaviour, and
+//! consistency under concurrent recorders.
+
+use lss::core::freq::{classify_heat, PageHeat, MAX_TEMPERATURE_CLASSES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Basic recording
+// ---------------------------------------------------------------------------
+
+#[test]
+fn heat_counts_writes_within_an_epoch() {
+    // A huge decay interval so no epoch advance happens during the test.
+    let heat = PageHeat::new(1024, u64::MAX);
+    assert_eq!(heat.heat(7), 0, "untouched page must read 0");
+    for _ in 0..25 {
+        heat.record(7);
+    }
+    assert_eq!(heat.heat(7), 25);
+    // An unrelated page that doesn't collide reads 0. Probe a few candidates —
+    // the sketch hashes page ids, so pick one whose slot differs.
+    let other = (1..10_000)
+        .find(|&p| heat.heat(p) == 0)
+        .expect("some page must land in an empty slot");
+    assert_eq!(heat.heat(other), 0);
+}
+
+#[test]
+fn slot_count_is_a_clamped_power_of_two() {
+    assert_eq!(PageHeat::new(1, 16).slot_count(), 1024);
+    assert_eq!(PageHeat::new(3000, 16).slot_count(), 4096);
+    assert_eq!(PageHeat::new(usize::MAX, 16).slot_count(), 1 << 16);
+    let sized = PageHeat::for_physical_pages(100_000);
+    assert_eq!(sized.slot_count(), 1 << 16);
+}
+
+// ---------------------------------------------------------------------------
+// Decay
+// ---------------------------------------------------------------------------
+
+/// Drive the global epoch forward by `epochs` full decay intervals using writes to a
+/// sacrificial page.
+fn advance_epochs(heat: &PageHeat, interval: u64, epochs: u64, filler_page: u64) {
+    for _ in 0..interval * epochs {
+        heat.record(filler_page);
+    }
+}
+
+#[test]
+fn heat_halves_once_per_elapsed_epoch() {
+    let interval = 64;
+    let heat = PageHeat::new(1024, interval);
+    // Find a page that does not share a slot with the filler page we'll use to
+    // advance the epoch, so the filler's own count can't pollute the reading.
+    let filler = 0u64;
+    let page = (1..10_000)
+        .find(|&p| {
+            heat.record(p);
+            let distinct = heat.heat(filler) == 0;
+            // Reset our probe write by checking against a fresh sketch is overkill;
+            // one stray count doesn't change the halving arithmetic below.
+            distinct
+        })
+        .expect("some page must not collide with the filler");
+    for _ in 0..31 {
+        heat.record(page); // 32 total with the probe write above
+    }
+    assert_eq!(heat.heat(page), 32);
+
+    advance_epochs(&heat, interval, 1, filler);
+    assert_eq!(heat.heat(page), 16, "one epoch halves the count once");
+    advance_epochs(&heat, interval, 2, filler);
+    assert_eq!(heat.heat(page), 4, "two more epochs quarter it");
+    advance_epochs(&heat, interval, 3, filler);
+    assert_eq!(heat.heat(page), 0, "a stale page fades to nothing");
+}
+
+#[test]
+fn decay_is_applied_lazily_on_the_next_record() {
+    let interval = 32;
+    let heat = PageHeat::new(1024, interval);
+    let filler = 0u64;
+    let page = (1..10_000)
+        .find(|&p| {
+            heat.record(p);
+            heat.heat(filler) == 0
+        })
+        .expect("non-colliding page");
+    for _ in 0..15 {
+        heat.record(page); // 16 with the probe
+    }
+    advance_epochs(&heat, interval, 1, filler);
+    // Touching the page after the epoch advance folds the decay in *then* adds one.
+    heat.record(page);
+    assert_eq!(heat.heat(page), 16 / 2 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Saturation / overflow
+// ---------------------------------------------------------------------------
+
+#[test]
+fn counts_saturate_instead_of_wrapping_into_the_epoch_bits() {
+    // The packed slot layout is (16-bit epoch | 48-bit count). A count pinned at the
+    // ceiling must stay there rather than carrying into the epoch field (which would
+    // teleport the slot's epoch and corrupt decay).
+    let heat = PageHeat::new(1024, u64::MAX);
+    let page = 42u64;
+    for _ in 0..1000 {
+        heat.record(page);
+    }
+    let observed = heat.heat(page);
+    assert_eq!(observed, 1000);
+    // We can't loop 2^48 times; instead verify the invariant the ceiling protects:
+    // heat() never exceeds the 48-bit count mask no matter what's in the slot.
+    assert!(observed < (1u64 << 48));
+}
+
+#[test]
+fn epoch_counter_wraparound_does_not_resurrect_heat() {
+    // Slot epochs are 16-bit; `decayed` uses wrapping subtraction, so a slot written
+    // `d < 48` epochs ago decays correctly even across the u16 wrap, and anything
+    // older reads 0. Simulate by recording, then racing the epoch far forward.
+    let interval = 8;
+    let heat = PageHeat::new(1024, interval);
+    let filler = 0u64;
+    let page = (1..10_000)
+        .find(|&p| {
+            heat.record(p);
+            heat.heat(filler) == 0
+        })
+        .expect("non-colliding page");
+    for _ in 0..63 {
+        heat.record(page);
+    }
+    // 60 epochs > 48 count bits: the count must shift to exactly 0, never underflow
+    // or wrap back up to a huge value.
+    advance_epochs(&heat, interval, 60, filler);
+    assert_eq!(heat.heat(page), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_recorders_lose_no_counts_without_decay() {
+    // With decay effectively off, record() is a pure saturating increment: N threads
+    // x M records on the same page must read back exactly N*M (CAS loop loses
+    // nothing). This is the strongest consistency claim the sketch makes.
+    let threads = 8usize;
+    let per_thread = 20_000u64;
+    let heat = Arc::new(PageHeat::new(1024, u64::MAX));
+    let page = 99u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let heat = Arc::clone(&heat);
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    heat.record(page);
+                }
+            });
+        }
+    });
+    assert_eq!(heat.heat(page), threads as u64 * per_thread);
+}
+
+#[test]
+fn concurrent_recorders_with_decay_stay_bounded_and_ranked() {
+    // With decay on, exact counts are timing-dependent, but two invariants are not:
+    // (a) a page's heat never exceeds the total writes it received, and (b) a page
+    // written 16x as often as another still reads hotter afterwards.
+    let threads = 8usize;
+    let per_thread = 8_000u64;
+    let heat = Arc::new(PageHeat::new(1024, 1024));
+    let hot = 11u64;
+    // Pick a cold page in a different slot than the hot one.
+    heat.record(hot);
+    let cold = (12..10_000)
+        .find(|&p| heat.heat(p) == 0)
+        .expect("non-colliding cold page");
+    let cold_writes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let heat = Arc::clone(&heat);
+            let cold_writes = Arc::clone(&cold_writes);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    heat.record(hot);
+                    if i % 16 == 0 {
+                        heat.record(cold);
+                        cold_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let (h, c) = (heat.heat(hot), heat.heat(cold));
+    assert!(h <= threads as u64 * per_thread + 1);
+    assert!(c <= cold_writes.load(Ordering::Relaxed));
+    assert!(
+        h > c,
+        "16x hotter page must still rank hotter after concurrent decay (hot {h}, cold {c})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// classify_heat
+// ---------------------------------------------------------------------------
+
+#[test]
+fn classify_single_class_and_empty_batches() {
+    assert!(classify_heat(&[], 4).is_empty());
+    assert_eq!(classify_heat(&[5, 0, 9], 1), vec![0, 0, 0]);
+    assert_eq!(classify_heat(&[5, 0, 9], 0), vec![0, 0, 0]);
+}
+
+#[test]
+fn classify_zero_heat_is_always_cold_and_ranks_are_equal_depth() {
+    let heats = [0, 1, 2, 3, 4, 5, 6, 7, 8, 0];
+    let classes = classify_heat(&heats, 3);
+    assert_eq!(classes[0], 0);
+    assert_eq!(classes[9], 0);
+    // 8 warm pages over classes {1, 2}: the 4 coolest get 1, the 4 hottest get 2.
+    assert_eq!(&classes[1..5], &[1, 1, 1, 1]);
+    assert_eq!(&classes[5..9], &[2, 2, 2, 2]);
+    assert!(classes
+        .iter()
+        .all(|&c| (c as usize) < MAX_TEMPERATURE_CLASSES));
+}
+
+#[test]
+fn classify_is_deterministic_under_ties() {
+    let heats = [3, 3, 3, 3];
+    let a = classify_heat(&heats, 3);
+    let b = classify_heat(&heats, 3);
+    assert_eq!(a, b);
+    // Ties break by position, so equal heats are split but stably so.
+    let mut sorted = a.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        a, sorted,
+        "positional tie-break keeps equal heats in rank order"
+    );
+}
+
+#[test]
+fn classify_adapts_to_any_heat_scale() {
+    // Relative quantiles, not absolute thresholds: scaling all heats by 1000 must not
+    // change the classes.
+    let small = [0u64, 1, 2, 10, 50];
+    let big: Vec<u64> = small.iter().map(|&h| h * 1000).collect();
+    assert_eq!(classify_heat(&small, 4), classify_heat(&big, 4));
+}

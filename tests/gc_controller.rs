@@ -49,6 +49,7 @@ fn adaptive_config(min: usize, max: usize) -> StoreConfig {
         trigger_free_segments: 32,
         segments_per_cycle: 16,
         reserved_free_segments: 2,
+        ..CleaningConfig::default()
     };
     config
 }
