@@ -9,7 +9,13 @@
 //!   run-to-run variance of the quick-scale benches on the CI box);
 //! * any numeric field whose key contains `write_amplification` may not rise more
 //!   than `--max-wamp-rise` (default 20%) plus a small absolute slack of 0.05 (so
-//!   near-zero baselines do not turn noise into failures).
+//!   near-zero baselines do not turn noise into failures);
+//! * any numeric field whose key ends in `_ms` (latencies: checkpoint recovery,
+//!   full-scan recovery) may not rise more than `--max-latency-rise` (default 150%)
+//!   plus an absolute slack of 10 ms — quick-scale recovery times are single-digit
+//!   milliseconds, so the wide relative band plus the absolute floor gates real
+//!   complexity regressions (a bounded replay degrading into a full scan) without
+//!   tripping on scheduler noise.
 //!
 //! The two JSON trees are walked in parallel: identity fields (`threads`,
 //! `cleaner_threads`, `format`, `mode`, `phase`, `benchmark`, `policy`) must match so
@@ -20,7 +26,7 @@
 //!
 //! ```text
 //! bench_gate <baseline_dir> <fresh_dir> <file> [<file>...]
-//!     [--max-throughput-drop 0.30] [--max-wamp-rise 0.20]
+//!     [--max-throughput-drop 0.30] [--max-wamp-rise 0.20] [--max-latency-rise 1.50]
 //! ```
 
 use serde::Value;
@@ -41,7 +47,12 @@ const IDENTITY_KEYS: &[&str] = &[
 struct Gate {
     max_throughput_drop: f64,
     max_wamp_rise: f64,
+    max_latency_rise: f64,
 }
+
+/// Absolute slack for `_ms` latency metrics: below this many milliseconds of rise,
+/// noise on the CI box cannot be told apart from a regression.
+const LATENCY_ABS_SLACK_MS: f64 = 10.0;
 
 fn as_f64(v: &Value) -> Option<f64> {
     match v {
@@ -60,13 +71,21 @@ fn is_wamp_key(key: &str) -> bool {
     key.contains("write_amplification")
 }
 
+fn is_latency_key(key: &str) -> bool {
+    key.ends_with("_ms")
+}
+
+fn is_gated_key(key: &str) -> bool {
+    is_throughput_key(key) || is_wamp_key(key) || is_latency_key(key)
+}
+
 /// True if any key anywhere under `v` is a gated metric (used to decide whether a
 /// structural mismatch matters).
 fn contains_metric(v: &Value) -> bool {
     match v {
         Value::Object(fields) => fields
             .iter()
-            .any(|(k, v)| is_throughput_key(k) || is_wamp_key(k) || contains_metric(v)),
+            .any(|(k, v)| is_gated_key(k) || contains_metric(v)),
         Value::Array(items) => items.iter().any(contains_metric),
         _ => false,
     }
@@ -81,7 +100,7 @@ fn compare(path: &str, key: &str, base: &Value, fresh: &Value, gate: &Gate, out:
     let shape_mismatch = matches!(base, Value::Object(_)) != matches!(fresh, Value::Object(_))
         || matches!(base, Value::Array(_)) != matches!(fresh, Value::Array(_));
     if shape_mismatch {
-        if is_throughput_key(key) || is_wamp_key(key) || contains_metric(base) {
+        if is_gated_key(key) || contains_metric(base) {
             out.push(format!(
                 "{path}: JSON shape changed (baseline {base:?} vs fresh {fresh:?}) — \
                  gated metrics under it are no longer comparable"
@@ -96,7 +115,7 @@ fn compare(path: &str, key: &str, base: &Value, fresh: &Value, gate: &Gate, out:
                 match fresh.get_field(k) {
                     Some(fv) => compare(&child_path, k, bv, fv, gate, out),
                     None => {
-                        if is_throughput_key(k) || is_wamp_key(k) || contains_metric(bv) {
+                        if is_gated_key(k) || contains_metric(bv) {
                             out.push(format!("{child_path}: metric missing from fresh run"));
                         }
                     }
@@ -128,7 +147,7 @@ fn compare(path: &str, key: &str, base: &Value, fresh: &Value, gate: &Gate, out:
                 }
                 return;
             }
-            let gated = is_throughput_key(key) || is_wamp_key(key);
+            let gated = is_gated_key(key);
             let (Some(b), Some(f)) = (as_f64(base), as_f64(fresh)) else {
                 if gated && as_f64(base).is_some() {
                     out.push(format!(
@@ -154,6 +173,14 @@ fn compare(path: &str, key: &str, base: &Value, fresh: &Value, gate: &Gate, out:
                          ceiling {ceiling:.3})"
                     ));
                 }
+            } else if is_latency_key(key) {
+                let ceiling = b * (1.0 + gate.max_latency_rise) + LATENCY_ABS_SLACK_MS;
+                if f > ceiling {
+                    out.push(format!(
+                        "{path}: latency rose (baseline {b:.2} ms, fresh {f:.2} ms, \
+                         ceiling {ceiling:.2} ms)"
+                    ));
+                }
             }
         }
     }
@@ -171,6 +198,7 @@ fn main() {
     let mut gate = Gate {
         max_throughput_drop: 0.30,
         max_wamp_rise: 0.20,
+        max_latency_rise: 1.50,
     };
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -188,13 +216,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-wamp-rise needs a number");
             }
+            "--max-latency-rise" => {
+                gate.max_latency_rise = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-latency-rise needs a number");
+            }
             _ => positional.push(a),
         }
     }
     if positional.len() < 3 {
         eprintln!(
             "usage: bench_gate <baseline_dir> <fresh_dir> <file> [<file>...] \
-             [--max-throughput-drop 0.30] [--max-wamp-rise 0.20]"
+             [--max-throughput-drop 0.30] [--max-wamp-rise 0.20] [--max-latency-rise 1.50]"
         );
         std::process::exit(2);
     }
@@ -224,9 +258,11 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "bench_gate: all files within tolerance (throughput drop <= {:.0}%, W_amp rise <= {:.0}%)",
+        "bench_gate: all files within tolerance (throughput drop <= {:.0}%, W_amp rise <= {:.0}%, \
+         latency rise <= {:.0}%)",
         gate.max_throughput_drop * 100.0,
-        gate.max_wamp_rise * 100.0
+        gate.max_wamp_rise * 100.0,
+        gate.max_latency_rise * 100.0
     );
 }
 
@@ -238,6 +274,7 @@ mod tests {
         Gate {
             max_throughput_drop: 0.30,
             max_wamp_rise: 0.20,
+            max_latency_rise: 1.50,
         }
     }
 
@@ -281,6 +318,24 @@ mod tests {
         // 0.05 absolute slack: 0.05 over a 0.01 baseline is noise, not a regression.
         assert!(check(base, r#"{"write_amplification":0.055}"#).is_empty());
         assert!(!check(base, r#"{"write_amplification":0.2}"#).is_empty());
+    }
+
+    #[test]
+    fn catches_latency_regression_with_absolute_slack() {
+        // 5 ms -> 12 ms: inside 5 * 2.5 + 10 = 22.5 ms ceiling, passes as noise.
+        let base = r#"{"recovery":{"recovery_ms":5.0,"full_scan_ms":40.0}}"#;
+        let noisy = r#"{"recovery":{"recovery_ms":12.0,"full_scan_ms":60.0}}"#;
+        assert!(check(base, noisy).is_empty());
+        // A bounded replay degrading toward a full scan blows through the ceiling.
+        let degraded = r#"{"recovery":{"recovery_ms":40.0,"full_scan_ms":40.0}}"#;
+        let v = check(base, degraded);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("latency rose"), "{v:?}");
+        // A latency metric may not vanish from the fresh schema.
+        let missing = r#"{"recovery":{"full_scan_ms":40.0}}"#;
+        let v = check(base, missing);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("metric missing"), "{v:?}");
     }
 
     #[test]

@@ -28,12 +28,18 @@
 //! (`--autotune-config <path>` or `LSS_AUTOTUNE_CONFIG`) adds one more row with the
 //! recommended knobs. Workload seeds honour `LSS_STRESS_SEED`.
 //!
+//! A final **recovery** phase times reopening the churned store two ways — through an
+//! incremental checkpoint journal (bounded log-tail replay, `recovery_ms`) and with
+//! the raw full-device scan (`full_scan_ms`) — so the CI gate catches a bounded
+//! replay quietly degrading back into a full scan.
+//!
 //! Emits `BENCH_cleaner.json`. Run with:
 //! `cargo run --release -p lss-bench --bin cleaner [--quick|--full]`
 
 use lss_bench::{load_autotune_recommendation, stress_seed_or, GcTuning, Scale};
+use lss_core::device::{DeviceGeometry, MemDevice, SegmentDevice};
 use lss_core::policy::PolicyKind;
-use lss_core::{CleanerMode, LogStore, SharedLogStore, StoreConfig};
+use lss_core::{CleanerMode, LogStore, Result, SegmentId, SharedLogStore, StoreConfig};
 use lss_workload::{HotColdWorkload, PageWorkload, ZipfianWorkload};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -110,6 +116,22 @@ struct SkewPoint {
     gc_class_segments: Vec<u64>,
 }
 
+/// Recovery-latency measurement on the churned store image (one row, appended so the
+/// CI gate's `_ms` rule catches bounded-tail replay degrading into a full scan).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RecoveryPoint {
+    /// Reopen through the incremental checkpoint journal (bounded log-tail replay).
+    recovery_ms: f64,
+    /// Reopen with the raw full-device scan of the same image.
+    full_scan_ms: f64,
+    /// Post-frontier segments the journal reopen actually decoded and replayed.
+    segments_replayed: u64,
+    /// All sealed segments the journal reopen installed (records + tail).
+    segments_sealed: u64,
+    /// Live pages in the recovered store (sanity anchor for the baseline).
+    live_pages: u64,
+}
+
 /// The full benchmark record written to `BENCH_cleaner.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct CleanerReport {
@@ -127,6 +149,8 @@ struct CleanerReport {
     ramp: Vec<RampPoint>,
     /// Skewed-workload W_amp at 1/2/4 temperature classes (plus autotuned, if given).
     skew: Vec<SkewPoint>,
+    /// Reopen latency: checkpoint-journal replay vs raw full-device scan.
+    recovery: RecoveryPoint,
 }
 
 const FOREGROUND_THREADS: usize = 8;
@@ -437,6 +461,106 @@ fn measure_ramp(label: &str, mode: CleanerMode, threads: usize, scale: Scale) ->
     }
 }
 
+/// Cloneable handle over one `MemDevice`, so the same churned image can be
+/// reopened twice (journal replay, then raw scan) after the store is dropped.
+#[derive(Clone)]
+struct SharedDevice(Arc<MemDevice>);
+
+impl SegmentDevice for SharedDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.0.geometry()
+    }
+    fn read_segment(&self, seg: SegmentId) -> Result<Vec<u8>> {
+        self.0.read_segment(seg)
+    }
+    fn read_range(&self, seg: SegmentId, offset: u32, len: u32) -> Result<Vec<u8>> {
+        self.0.read_range(seg, offset, len)
+    }
+    fn write_segment(&self, seg: SegmentId, image: &[u8]) -> Result<()> {
+        self.0.write_segment(seg, image)
+    }
+    fn erase_segment(&self, seg: SegmentId) -> Result<()> {
+        self.0.erase_segment(seg)
+    }
+    fn sync(&self) -> Result<()> {
+        self.0.sync()
+    }
+    fn segment_writes(&self) -> u64 {
+        self.0.segment_writes()
+    }
+}
+
+/// Recovery phase: churn a store (checkerboard + delete stripe + a couple of
+/// cleaning rounds), checkpoint it, append a small log tail, then time the two
+/// reopen paths against the identical device image. No cleaning happens after the
+/// checkpoint, so both reopens must land on the same live-page count — asserted,
+/// since a silently inexact reopen would make the latency numbers meaningless.
+fn measure_recovery(scale: Scale) -> RecoveryPoint {
+    let config = store_config(scale, 2);
+    let payload = vec![0xA5u8; config.page_bytes];
+    let device = SharedDevice(Arc::new(MemDevice::new(
+        config.segment_bytes,
+        config.num_segments,
+    )));
+    let journal = std::env::temp_dir().join(format!(
+        "lss-bench-cleaner-recovery-{}.ckpt",
+        std::process::id()
+    ));
+    let store = SharedLogStore::without_background_cleaner(
+        LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap(),
+    );
+    let pages = checkerboard(&store, &config, &payload);
+    for p in (0..pages).step_by(7) {
+        store.delete(p).unwrap();
+    }
+    store.flush().unwrap();
+    for _ in 0..2 {
+        store.clean_now().unwrap();
+    }
+    store.with_store(|s| s.checkpoint_log_to(&journal)).unwrap();
+    // Post-checkpoint tail: the bounded replay the journal reopen has to do.
+    for i in 0..pages / 20 {
+        store.put(mix(0xDEAD_0000 + i) % pages, &payload).unwrap();
+    }
+    store.flush().unwrap();
+    let live = store.live_pages() as u64;
+    drop(store);
+
+    let start = Instant::now();
+    let (recovered, report) = lss_core::recovery::recover_from_checkpoint_with_report(
+        config.clone(),
+        Box::new(device.clone()),
+        &journal,
+    )
+    .unwrap();
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovered.live_pages() as u64,
+        live,
+        "journal reopen diverged from the pre-crash store"
+    );
+    drop(recovered);
+
+    let start = Instant::now();
+    let scanned = LogStore::recover_with_device(config, Box::new(device)).unwrap();
+    let full_scan_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        scanned.live_pages() as u64,
+        live,
+        "raw scan diverged from the pre-crash store"
+    );
+    drop(scanned);
+    let _ = std::fs::remove_file(&journal);
+
+    RecoveryPoint {
+        recovery_ms,
+        full_scan_ms,
+        segments_replayed: report.replayed_segments as u64,
+        segments_sealed: report.sealed_segments as u64,
+        live_pages: live,
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let config = store_config(scale, 1);
@@ -552,6 +676,17 @@ fn main() {
         }
     }
 
+    println!("\nrecovery phase (journal replay vs raw full scan):");
+    let recovery = measure_recovery(scale);
+    println!(
+        "  journal reopen {:.2} ms ({} of {} sealed segments replayed, {} live pages); raw scan {:.2} ms",
+        recovery.recovery_ms,
+        recovery.segments_replayed,
+        recovery.segments_sealed,
+        recovery.live_pages,
+        recovery.full_scan_ms
+    );
+
     let report = CleanerReport {
         benchmark: "cleaner_scaling".to_string(),
         policy: "MDC".to_string(),
@@ -565,6 +700,7 @@ fn main() {
         results,
         ramp,
         skew,
+        recovery,
     };
     let json = serde_json::to_string_pretty(&report).unwrap();
     std::fs::write("BENCH_cleaner.json", &json).unwrap();

@@ -38,18 +38,18 @@ impl CleaningReport {
 /// One still-live page of a victim: the pending GC write plus the victim location the
 /// page must still occupy when the relocation is committed (the cleaner's conflict
 /// check re-tests `is_current` against this location under the write lock).
+///
+/// `loc.write_seq` is the per-page write sequence of the copy being relocated. A GC
+/// relocation *keeps* this sequence (it moves an existing version, it does not create a
+/// new one), so that after a crash, recovery — which keeps the copy with the largest
+/// `(write_seq, seal_seq)` — can never prefer a relocated stale copy over a user write
+/// that raced the relocation.
 #[derive(Debug, Clone)]
 pub struct LivePage {
     /// The relocation write, carrying the victim's `up2` and the payload copy.
     pub pending: PendingPage,
     /// Where the page lived in the victim when it was collected.
     pub loc: PageLocation,
-    /// The per-page write sequence of the copy being relocated. A GC relocation *keeps*
-    /// this sequence (it moves an existing version, it does not create a new one), so
-    /// that after a crash, recovery — which keeps the copy with the largest
-    /// `(write_seq, seal_seq)` — can never prefer a relocated stale copy over a user
-    /// write that raced the relocation.
-    pub write_seq: WriteSeq,
 }
 
 /// The live pages of one victim segment, ready to be relocated.
@@ -61,6 +61,12 @@ pub struct VictimLivePages {
     pub pages: Vec<LivePage>,
     /// Bytes of live payload found.
     pub live_bytes: u64,
+    /// Tombstones recorded in the victim, deduplicated per page (largest write seq
+    /// kept), in ascending page order. The driver must re-emit each one into a GC output
+    /// stream unless the page has since been recreated: dropping a tombstone while an
+    /// older copy of the page survives in a lower-seal-seq segment would let scan
+    /// recovery resurrect the deleted page once this victim's slot is reused.
+    pub tombstones: Vec<(PageId, WriteSeq)>,
 }
 
 /// Walk a victim segment's entry table and copy out every page that is *still current*
@@ -83,14 +89,20 @@ where
 {
     let mut pages = Vec::new();
     let mut live_bytes = 0u64;
+    let mut tombstones: crate::util::FxHashMap<PageId, WriteSeq> = Default::default();
     for e in &parsed.entries {
         if e.is_tombstone() {
+            // Keep only the newest delete record per page: an older tombstone is
+            // superseded by the newer one within the same segment.
+            let ws = tombstones.entry(e.page_id).or_insert(e.write_seq);
+            *ws = (*ws).max(e.write_seq);
             continue;
         }
         let loc = PageLocation {
             segment: victim,
             offset: e.offset,
             len: e.len,
+            write_seq: e.write_seq,
         };
         if !is_current(e.page_id, &loc) {
             continue;
@@ -109,13 +121,15 @@ where
                 data: Some(Bytes::copy_from_slice(payload)),
             },
             loc,
-            write_seq: e.write_seq,
         });
     }
+    let mut tombstones: Vec<(PageId, WriteSeq)> = tombstones.into_iter().collect();
+    tombstones.sort_unstable_by_key(|&(p, _)| p);
     VictimLivePages {
         victim,
         pages,
         live_bytes,
+        tombstones,
     }
 }
 
@@ -146,6 +160,7 @@ mod tests {
                 segment: SegmentId(7),
                 offset: off_a,
                 len: 4,
+                write_seq: 10,
             },
         );
         mapping.insert(
@@ -154,6 +169,7 @@ mod tests {
                 segment: SegmentId(9),
                 offset: 0,
                 len: 4,
+                write_seq: 20,
             },
         );
         mapping.insert(
@@ -162,6 +178,7 @@ mod tests {
                 segment: SegmentId(7),
                 offset: off_c,
                 len: 6,
+                write_seq: 12,
             },
         );
 
@@ -190,9 +207,14 @@ mod tests {
         assert!(live.pages.iter().all(|p| p.loc.segment == SegmentId(7)));
         // Relocations carry the original write sequences, not fresh ones.
         assert_eq!(
-            live.pages.iter().map(|p| p.write_seq).collect::<Vec<_>>(),
+            live.pages
+                .iter()
+                .map(|p| p.loc.write_seq)
+                .collect::<Vec<_>>(),
             vec![10, 12]
         );
+        // The victim's tombstone surfaces so the driver can preserve the delete fact.
+        assert_eq!(live.tombstones, vec![(4, 13)]);
         assert!(live.pages.iter().all(|p| p.pending.info.up2 == 40));
         assert!(live
             .pages
@@ -217,6 +239,31 @@ mod tests {
         );
         assert!(live.pages.is_empty());
         assert_eq!(live.live_bytes, 0);
+        assert!(live.tombstones.is_empty());
+    }
+
+    /// Delete, recreate, delete again: only the newest tombstone per page survives
+    /// collection, and pages with both a live copy and an older tombstone in the same
+    /// segment report both facts (the driver resolves which one wins at commit time).
+    #[test]
+    fn tombstones_dedupe_to_newest_write_seq() {
+        let mut b = SegmentBuilder::new(4096);
+        b.push_tombstone(5, 2);
+        b.push_page(5, 4, b"back");
+        b.push_tombstone(5, 6);
+        b.push_tombstone(9, 3);
+        let (image, _) = b.finish(2, 50, 10);
+        let parsed = decode_segment(SegmentId(1), &image).unwrap().unwrap();
+        let mapping = PageTable::new();
+        let live = collect_live_pages(
+            SegmentId(1),
+            &image,
+            &parsed,
+            |p, l| mapping.is_current(p, l),
+            10,
+        );
+        assert!(live.pages.is_empty());
+        assert_eq!(live.tombstones, vec![(5, 6), (9, 3)]);
     }
 
     #[test]
@@ -233,6 +280,7 @@ mod tests {
                 segment: SegmentId(3),
                 offset: new,
                 len: 4,
+                write_seq: 2,
             },
         );
         let live = collect_live_pages(

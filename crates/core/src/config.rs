@@ -236,6 +236,31 @@ impl Deserialize for CleanerMode {
     }
 }
 
+/// Checkpoint-journal behaviour (see [`crate::LogStore::checkpoint_log_to`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// If true (the default), repeated checkpoints to the same journal append only the
+    /// page-table shards dirtied since the previous checkpoint; clean shards stay
+    /// covered by their earlier journal entries. If false, every checkpoint rewrites
+    /// all shards (the journal is still append-only; recovery applies the newest
+    /// committed entry per shard either way).
+    pub incremental: bool,
+    /// Update ticks (user writes/deletes) between automatic checkpoints:
+    /// [`crate::LogStore::checkpoint_due`] turns true once this many updates have
+    /// happened since the last journal checkpoint. `0` (the default) disables the
+    /// cadence — checkpoints are taken only when the embedder asks for one.
+    pub cadence_updates: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            incremental: true,
+            cadence_updates: 0,
+        }
+    }
+}
+
 /// Configuration of a [`crate::LogStore`] (and, with the same meaning, of the simulator).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreConfig {
@@ -320,6 +345,8 @@ pub struct StoreConfig {
     /// Verify segment checksums on every read (cheap for the header/entry table; the
     /// payload itself is not checksummed per-read).
     pub verify_checksums_on_read: bool,
+    /// Checkpoint-journal cadence and incrementality (see [`CheckpointConfig`]).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl StoreConfig {
@@ -343,6 +370,7 @@ impl StoreConfig {
             gc_temperature_classes: 1,
             absorb_updates_in_buffer: true,
             verify_checksums_on_read: true,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -372,6 +400,7 @@ impl StoreConfig {
             gc_temperature_classes: 1,
             absorb_updates_in_buffer: false,
             verify_checksums_on_read: true,
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -443,6 +472,19 @@ impl StoreConfig {
         self
     }
 
+    /// Builder-style: set the checkpoint-journal behaviour (see [`CheckpointConfig`]).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Builder-style: set the automatic-checkpoint cadence in update ticks
+    /// (`0` disables it; see [`CheckpointConfig::cadence_updates`]).
+    pub fn with_checkpoint_cadence(mut self, updates: u64) -> Self {
+        self.checkpoint.cadence_updates = updates;
+        self
+    }
+
     /// The hard upper bound on concurrent cleaning cycles this configuration allows:
     /// `cleaner_threads` in [`CleanerMode::Fixed`], the mode's `max_cycles` in
     /// [`CleanerMode::Adaptive`]. This is the background-pool size and the cycle-slot
@@ -473,7 +515,11 @@ impl StoreConfig {
     ///   `1..=max_cleaner_cycles()` of the base config);
     /// * `LSS_CLEANER_MIN_CYCLES` / `LSS_CLEANER_MAX_CYCLES` — adaptive bounds
     ///   (imply `LSS_CLEANER_MODE=adaptive` when either is set);
-    /// * `LSS_GC_TEMPERATURE_CLASSES` — GC output temperature classes (1..=8).
+    /// * `LSS_GC_TEMPERATURE_CLASSES` — GC output temperature classes (1..=8);
+    /// * `LSS_CHECKPOINT_INCREMENTAL` — `1`/`0` to enable/disable incremental
+    ///   checkpoint journalling ([`CheckpointConfig::incremental`]);
+    /// * `LSS_CHECKPOINT_CADENCE` — automatic-checkpoint cadence in update ticks
+    ///   (`0` disables; [`CheckpointConfig::cadence_updates`]).
     pub fn with_env_overrides(self) -> Self {
         self.with_overrides_from(|name| std::env::var(name).ok())
     }
@@ -492,6 +538,12 @@ impl StoreConfig {
         }
         if let Some(n) = get_usize("LSS_GC_TEMPERATURE_CLASSES") {
             self.gc_temperature_classes = n.clamp(1, MAX_TEMPERATURE_CLASSES);
+        }
+        if let Some(n) = get_usize("LSS_CHECKPOINT_INCREMENTAL") {
+            self.checkpoint.incremental = n != 0;
+        }
+        if let Some(n) = lookup("LSS_CHECKPOINT_CADENCE").and_then(|v| v.parse::<u64>().ok()) {
+            self.checkpoint.cadence_updates = n;
         }
         let min = get_usize("LSS_CLEANER_MIN_CYCLES");
         let max = get_usize("LSS_CLEANER_MAX_CYCLES");
@@ -726,6 +778,31 @@ mod tests {
             (name == "LSS_GC_TEMPERATURE_CLASSES").then(|| "0".to_string())
         });
         assert_eq!(c.gc_temperature_classes, 1);
+    }
+
+    #[test]
+    fn checkpoint_knobs_default_build_and_override() {
+        let c = StoreConfig::small_for_tests();
+        assert!(c.checkpoint.incremental);
+        assert_eq!(c.checkpoint.cadence_updates, 0);
+
+        let c = c.with_overrides_from(|name| match name {
+            "LSS_CHECKPOINT_INCREMENTAL" => Some("0".to_string()),
+            "LSS_CHECKPOINT_CADENCE" => Some("5000".to_string()),
+            _ => None,
+        });
+        assert!(!c.checkpoint.incremental);
+        assert_eq!(c.checkpoint.cadence_updates, 5000);
+        c.validate().unwrap();
+
+        let c = StoreConfig::small_for_tests()
+            .with_checkpoint(CheckpointConfig {
+                incremental: false,
+                cadence_updates: 64,
+            })
+            .with_checkpoint_cadence(12);
+        assert!(!c.checkpoint.incremental);
+        assert_eq!(c.checkpoint.cadence_updates, 12);
     }
 
     #[test]

@@ -79,7 +79,8 @@ pub mod util;
 pub mod write_buffer;
 
 pub use config::{
-    AdaptiveTargets, CleanerMode, CleaningConfig, SeparationConfig, StoreConfig, Up2Mode,
+    AdaptiveTargets, CheckpointConfig, CleanerMode, CleaningConfig, SeparationConfig, StoreConfig,
+    Up2Mode,
 };
 pub use error::{Error, Result};
 pub use policy::{CleaningPolicy, PolicyKind};

@@ -101,6 +101,10 @@ pub struct ShardedPageTable {
     shards: Box<[RwLock<FxHashMap<PageId, PageLocation>>]>,
     live_pages: AtomicU64,
     live_bytes: AtomicU64,
+    /// Bitmask of shards mutated since the last [`ShardedPageTable::take_dirty`] — one
+    /// bit per shard (`PAGE_TABLE_SHARDS` must stay ≤ 64). Incremental checkpoints
+    /// re-snapshot only the dirty shards.
+    dirty: AtomicU64,
 }
 
 impl Default for ShardedPageTable {
@@ -118,14 +122,53 @@ impl ShardedPageTable {
                 .collect(),
             live_pages: AtomicU64::new(0),
             live_bytes: AtomicU64::new(0),
+            // A fresh table has never been checkpointed, so every shard starts dirty.
+            dirty: AtomicU64::new(Self::all_dirty_mask()),
         }
+    }
+
+    /// Bitmask with one set bit per shard (the "everything is dirty" mask).
+    #[inline]
+    pub const fn all_dirty_mask() -> u64 {
+        u64::MAX >> (64 - PAGE_TABLE_SHARDS)
+    }
+
+    #[inline]
+    fn shard_index(page: PageId) -> usize {
+        // Mix before masking: page ids are often dense small integers, and the low bits
+        // alone would put striding workloads on a handful of shards.
+        (mix64(page) as usize) & (PAGE_TABLE_SHARDS - 1)
     }
 
     #[inline]
     fn shard(&self, page: PageId) -> &RwLock<FxHashMap<PageId, PageLocation>> {
-        // Mix before masking: page ids are often dense small integers, and the low bits
-        // alone would put striding workloads on a handful of shards.
-        &self.shards[(mix64(page) as usize) & (PAGE_TABLE_SHARDS - 1)]
+        &self.shards[Self::shard_index(page)]
+    }
+
+    #[inline]
+    fn mark_dirty(&self, page: PageId) {
+        self.dirty
+            .fetch_or(1u64 << Self::shard_index(page), Ordering::Relaxed);
+    }
+
+    /// Atomically fetch-and-clear the dirty-shard mask (bit `i` set = shard `i` mutated
+    /// since the previous call). The caller must snapshot the flagged shards before any
+    /// further mutations can occur, or OR the mask back with
+    /// [`ShardedPageTable::mark_dirty_mask`] if the checkpoint attempt fails.
+    pub fn take_dirty(&self) -> u64 {
+        self.dirty.swap(0, Ordering::Relaxed)
+    }
+
+    /// OR bits back into the dirty mask (undo of [`ShardedPageTable::take_dirty`] when a
+    /// checkpoint write fails after the mask was consumed).
+    pub fn mark_dirty_mask(&self, mask: u64) {
+        self.dirty.fetch_or(mask, Ordering::Relaxed);
+    }
+
+    /// Collect the live pages of one shard (incremental checkpointing).
+    pub fn shard_snapshot(&self, shard: usize) -> Vec<(PageId, PageLocation)> {
+        let shard = self.shards[shard].read();
+        shard.iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// Number of live pages.
@@ -152,6 +195,7 @@ impl ShardedPageTable {
     /// was already live.
     pub fn insert(&self, page: PageId, loc: PageLocation) -> Option<PageLocation> {
         let old = self.shard(page).write().insert(page, loc);
+        self.mark_dirty(page);
         self.live_bytes.fetch_add(loc.len as u64, Ordering::Relaxed);
         match old {
             Some(o) => {
@@ -168,6 +212,7 @@ impl ShardedPageTable {
     pub fn remove(&self, page: PageId) -> Option<PageLocation> {
         let old = self.shard(page).write().remove(&page);
         if let Some(o) = old {
+            self.mark_dirty(page);
             self.live_bytes.fetch_sub(o.len as u64, Ordering::Relaxed);
             self.live_pages.fetch_sub(1, Ordering::Relaxed);
         }
@@ -201,6 +246,7 @@ impl ShardedPageTable {
             Some(cur) if *cur == *expected => {
                 *cur = new;
                 drop(shard);
+                self.mark_dirty(page);
                 self.live_bytes.fetch_add(new.len as u64, Ordering::Relaxed);
                 self.live_bytes
                     .fetch_sub(expected.len as u64, Ordering::Relaxed);
@@ -221,6 +267,7 @@ impl ShardedPageTable {
             Some(cur) if *cur == *expected => {
                 shard.remove(&page);
                 drop(shard);
+                self.mark_dirty(page);
                 self.live_bytes
                     .fetch_sub(expected.len as u64, Ordering::Relaxed);
                 self.live_pages.fetch_sub(1, Ordering::Relaxed);
@@ -254,6 +301,8 @@ impl ShardedPageTable {
         }
         self.live_pages.store(pages, Ordering::Relaxed);
         self.live_bytes.store(bytes, Ordering::Relaxed);
+        // Wholesale replacement invalidates any previous checkpoint's notion of "clean".
+        self.dirty.store(Self::all_dirty_mask(), Ordering::Relaxed);
     }
 }
 
@@ -267,7 +316,53 @@ mod tests {
             segment: SegmentId(seg),
             offset,
             len,
+            write_seq: 0,
         }
+    }
+
+    #[test]
+    fn dirty_mask_tracks_mutated_shards() {
+        let t = ShardedPageTable::new();
+        // A fresh table starts fully dirty; draining the mask resets it.
+        assert_eq!(t.take_dirty(), ShardedPageTable::all_dirty_mask());
+        assert_eq!(t.take_dirty(), 0);
+
+        t.insert(1, loc(0, 0, 8));
+        let mask = t.take_dirty();
+        assert_eq!(mask.count_ones(), 1, "one insert dirties exactly one shard");
+        assert_eq!(t.take_dirty(), 0);
+
+        // Failed CAS operations leave the mask clean; successful ones dirty it.
+        assert!(!t.replace_if_current(1, &loc(9, 9, 8), loc(2, 0, 8)));
+        assert_eq!(t.take_dirty(), 0);
+        assert!(t.replace_if_current(1, &loc(0, 0, 8), loc(2, 0, 8)));
+        assert_eq!(t.take_dirty(), mask);
+        assert!(t.remove_if_current(1, &loc(2, 0, 8)));
+        assert_eq!(t.take_dirty(), mask);
+
+        // mark_dirty_mask restores bits after a failed checkpoint write.
+        t.mark_dirty_mask(mask);
+        assert_eq!(t.take_dirty(), mask);
+
+        // install() re-dirties everything.
+        t.install(PageTable::new());
+        assert_eq!(t.take_dirty(), ShardedPageTable::all_dirty_mask());
+    }
+
+    #[test]
+    fn shard_snapshots_cover_exactly_the_table() {
+        let t = ShardedPageTable::new();
+        for i in 0..300u64 {
+            t.insert(i, loc((i % 5) as u32, i as u32, 16));
+        }
+        let mut via_shards: Vec<(PageId, PageLocation)> = (0..PAGE_TABLE_SHARDS)
+            .flat_map(|s| t.shard_snapshot(s))
+            .collect();
+        via_shards.sort_unstable_by_key(|(p, _)| *p);
+        let mut full = t.snapshot();
+        full.sort_unstable_by_key(|(p, _)| *p);
+        assert_eq!(via_shards, full);
+        assert_eq!(via_shards.len(), 300);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Crash recovery by scanning segment images.
+//! Crash recovery: full-device scan, or checkpoint-anchored bounded log-tail replay.
 //!
 //! Because every segment is self-describing (header + entry table, see [`crate::layout`]),
 //! the page table can always be rebuilt from the device alone: replay segments in seal
@@ -6,20 +6,33 @@
 //! honour tombstones. Segment metadata (`A`, `C`, `up2`) is then derived from the final
 //! page table plus the headers.
 //!
-//! ### Known limitation
+//! Deletions are durable under this rule because the cleaner never drops a delete fact
+//! without proof of redundancy: when a victim holding a tombstone is cleaned, the
+//! tombstone is re-emitted into a GC output stream (keeping its write sequence) unless
+//! the page has been recreated or a committed checkpoint's frontier covers the victim —
+//! see `store::gc_driver` — so no segment-slot reuse can leave an older copy of an
+//! ever-deleted page as the newest surviving record. Note the checkpoint-covered drop
+//! is only sound for *checkpoint-anchored* recovery: once such tombstones have been
+//! dropped, a raw full scan of the device may resurrect their pages from older copies,
+//! which is why a store that checkpoints must be reopened through its journal.
 //!
-//! Tombstones are not relocated by the cleaner, so if the segment holding a page's
-//! deletion record is cleaned and later overwritten while an older segment still holds a
-//! stale copy of the page, a crash before the next checkpoint can resurrect the deleted
-//! page. Taking a checkpoint after deletions (or periodically) removes the window. This
-//! trade-off is documented in DESIGN.md.
+//! [`recover_from_checkpoint`] avoids the full scan: a checkpoint journal (see
+//! [`crate::checkpoint`]) carries the page table and the sealed-segment metadata up to a
+//! *seal-sequence frontier*; recovery reads only the fixed-size header of every slot and
+//! fully decodes just the segments sealed *after* the frontier, replaying them on top of
+//! the checkpoint state with the same `(write_seq, seal_seq)` rule. Checkpoint entries
+//! are ranked with their owning segment's seal sequence, so a post-frontier GC copy of a
+//! checkpointed page (same write seq, later seal) correctly supersedes the checkpoint
+//! entry, while a stale post-frontier copy (lower write seq) never does.
 
+use crate::checkpoint::{read_journal, JournalCheckpoint};
 use crate::config::StoreConfig;
 use crate::device::SegmentDevice;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::layout::{self, decode_segment};
 use crate::mapping::PageTable;
 use crate::segment::{SegmentMeta, SegmentTable};
+use crate::stats::AtomicStats;
 use crate::store::LogStore;
 use crate::types::{PageId, PageLocation, SealSeq, SegmentId, WriteSeq};
 use crate::util::FxHashMap;
@@ -35,6 +48,9 @@ pub struct ScanReport {
     pub corrupt_segments: Vec<SegmentId>,
     /// Live pages reconstructed.
     pub live_pages: usize,
+    /// Segments whose entry tables were fully decoded and replayed. A full scan replays
+    /// every sealed segment; checkpoint-anchored recovery only the post-frontier tail.
+    pub replayed_segments: usize,
 }
 
 struct PageVersion {
@@ -98,6 +114,7 @@ pub fn recover_with_report(
                     segment: p.id,
                     offset: e.offset,
                     len: e.payload_len(),
+                    write_seq: e.write_seq,
                 },
                 tombstone: e.is_tombstone(),
             };
@@ -125,13 +142,20 @@ pub fn recover_with_report(
         entry.1 += 1;
     }
     report.live_pages = mapping.len();
+    report.replayed_segments = report.sealed_segments;
 
     let capacity = layout::payload_capacity(config.segment_bytes, config.page_bytes) as u64;
     let mut table = SegmentTable::new(config.num_segments);
     for p in &parsed_segments {
         let (live_bytes, live_pages) = live_per_segment.get(&p.id).copied().unwrap_or((0, 0));
+        // Every tombstone entry (winner or not) re-acquires its space charge, matching
+        // the write path's accounting: until a checkpoint covers it, the delete fact
+        // pins its entry slot and the segment must not look emptier than it is.
+        let tombstone_bytes = p.entries.iter().filter(|e| e.is_tombstone()).count() as u64
+            * layout::ENTRY_SIZE as u64;
         let mut meta = SegmentMeta::new_open(p.id, capacity, p.header.log_id, config.up2_mode);
-        meta.live_bytes = live_bytes;
+        meta.live_bytes = live_bytes + tombstone_bytes;
+        meta.tombstone_bytes = tombstone_bytes;
         meta.live_pages = live_pages;
         meta.seal(
             p.header.seal_seq,
@@ -144,6 +168,225 @@ pub fn recover_with_report(
 
     let mut store = LogStore::open_with_device(config, device)?;
     store.install_recovered_state(mapping, table, max_unow, max_write_seq + 1);
+    Ok((store, report))
+}
+
+/// Rebuild a [`LogStore`] from a checkpoint journal plus the device, replaying only the
+/// bounded log tail sealed after the checkpoint's frontier.
+pub fn recover_from_checkpoint(
+    config: StoreConfig,
+    device: Box<dyn SegmentDevice>,
+    path: &std::path::Path,
+) -> Result<LogStore> {
+    let (store, _report) = recover_from_checkpoint_with_report(config, device, path)?;
+    Ok(store)
+}
+
+/// [`recover_from_checkpoint`] but also returns a [`ScanReport`] describing what was
+/// read: `replayed_segments` counts only the post-frontier tail, while
+/// `sealed_segments` counts everything installed (checkpoint records plus tail).
+pub fn recover_from_checkpoint_with_report(
+    config: StoreConfig,
+    device: Box<dyn SegmentDevice>,
+    path: &std::path::Path,
+) -> Result<(LogStore, ScanReport)> {
+    config.validate()?;
+    let cp: JournalCheckpoint = read_journal(path)?;
+    if cp.num_segments != config.num_segments as u64 {
+        return Err(Error::CorruptCheckpoint(format!(
+            "journal describes a device of {} segments, config says {}",
+            cp.num_segments, config.num_segments
+        )));
+    }
+    let mut records: FxHashMap<SegmentId, crate::checkpoint::SegmentRecord> = FxHashMap::default();
+    for s in &cp.segments {
+        if s.id as usize >= config.num_segments {
+            return Err(Error::CorruptCheckpoint(format!(
+                "segment record {} beyond device size {}",
+                s.id, config.num_segments
+            )));
+        }
+        records.insert(SegmentId(s.id), *s);
+    }
+
+    let mut report = ScanReport::default();
+
+    // Pass 1: sweep only the fixed-size header of every slot; fully decode just the
+    // segments sealed after the checkpoint frontier. A recorded slot whose on-device
+    // header still predates the frontier keeps its checkpoint metadata without any
+    // further I/O; a post-frontier header means the slot was sealed (or reused and
+    // resealed) after the checkpoint and its entries must be replayed.
+    struct Parsed {
+        id: SegmentId,
+        header: layout::SegmentHeader,
+        entries: Vec<layout::SegmentEntry>,
+    }
+    let mut tail: Vec<Parsed> = Vec::new();
+    for i in 0..config.num_segments {
+        let id = SegmentId(i as u32);
+        let head = device.read_range(id, 0, layout::HEADER_SIZE as u32)?;
+        match layout::decode_header(id, &head) {
+            Ok(None) => report.blank_segments += 1,
+            Err(_) => report.corrupt_segments.push(id),
+            Ok(Some((header, _))) => {
+                if header.seal_seq > cp.frontier {
+                    let image = device.read_segment(id)?;
+                    match decode_segment(id, &image) {
+                        Ok(Some(p)) => tail.push(Parsed {
+                            id,
+                            header: p.header,
+                            entries: p.entries,
+                        }),
+                        // The header round-tripped but the full image does not decode:
+                        // torn write of a post-checkpoint segment. Its contents were
+                        // never acknowledged durable, so skipping it is correct.
+                        Ok(None) | Err(_) => report.corrupt_segments.push(id),
+                    }
+                }
+            }
+        }
+    }
+    report.replayed_segments = tail.len();
+
+    // Pass 2: seed the newest-version map from the checkpoint, ranking each entry with
+    // its owning segment's seal sequence, then replay the tail in seal order on top.
+    let mut best: FxHashMap<PageId, PageVersion> = FxHashMap::default();
+    for p in &cp.pages {
+        let seg = SegmentId(p.segment);
+        let Some(owner) = records.get(&seg) else {
+            return Err(Error::CorruptCheckpoint(format!(
+                "page {} references segment {} absent from the checkpoint",
+                p.page, p.segment
+            )));
+        };
+        best.insert(
+            p.page,
+            PageVersion {
+                write_seq: p.write_seq,
+                seal_seq: owner.seal_seq,
+                loc: PageLocation {
+                    segment: seg,
+                    offset: p.offset,
+                    len: p.len,
+                    write_seq: p.write_seq,
+                },
+                tombstone: false,
+            },
+        );
+    }
+    tail.sort_by_key(|p| p.header.seal_seq);
+    let mut max_write_seq: WriteSeq = 0;
+    let mut max_replayed_seal: SealSeq = 0;
+    let mut max_unow = 0;
+    for p in &tail {
+        max_unow = max_unow.max(p.header.sealed_at);
+        max_replayed_seal = max_replayed_seal.max(p.header.seal_seq);
+        for e in &p.entries {
+            max_write_seq = max_write_seq.max(e.write_seq);
+            let candidate = PageVersion {
+                write_seq: e.write_seq,
+                seal_seq: p.header.seal_seq,
+                loc: PageLocation {
+                    segment: p.id,
+                    offset: e.offset,
+                    len: e.payload_len(),
+                    write_seq: e.write_seq,
+                },
+                tombstone: e.is_tombstone(),
+            };
+            match best.get(&e.page_id) {
+                Some(cur)
+                    if (cur.write_seq, cur.seal_seq)
+                        >= (candidate.write_seq, candidate.seal_seq) => {}
+                _ => {
+                    best.insert(e.page_id, candidate);
+                }
+            }
+        }
+    }
+
+    // Pass 3: final page table, and per-segment live stats from the *final* mapping
+    // (a tail segment may have relocated pages away from recorded segments).
+    let mut mapping = PageTable::new();
+    let mut live_per_segment: FxHashMap<SegmentId, (u64, u64)> = FxHashMap::default();
+    for (page, v) in &best {
+        if v.tombstone {
+            continue;
+        }
+        mapping.insert(*page, v.loc);
+        let entry = live_per_segment.entry(v.loc.segment).or_insert((0, 0));
+        entry.0 += v.loc.len as u64;
+        entry.1 += 1;
+    }
+    report.live_pages = mapping.len();
+
+    let capacity = layout::payload_capacity(config.segment_bytes, config.page_bytes) as u64;
+    let mut table = SegmentTable::new(config.num_segments);
+    let mut install = |id: SegmentId,
+                       cap: u64,
+                       log_id: u16,
+                       seal_seq: u64,
+                       sealed_at: u64,
+                       up2: u64,
+                       tombstone_bytes: u64| {
+        let (live_bytes, live_pages) = live_per_segment.get(&id).copied().unwrap_or((0, 0));
+        let mut meta = SegmentMeta::new_open(id, cap, log_id, config.up2_mode);
+        meta.live_bytes = live_bytes + tombstone_bytes;
+        meta.tombstone_bytes = tombstone_bytes;
+        meta.live_pages = live_pages;
+        meta.seal(seal_seq, sealed_at, up2, config.up2_mode);
+        table.install_sealed(meta);
+    };
+    let replayed_ids: std::collections::HashSet<SegmentId> = tail.iter().map(|p| p.id).collect();
+    for p in &tail {
+        // Tail segments recompute their tombstone charge from their entry tables.
+        let tombstone_bytes = p.entries.iter().filter(|e| e.is_tombstone()).count() as u64
+            * layout::ENTRY_SIZE as u64;
+        install(
+            p.id,
+            capacity,
+            p.header.log_id,
+            p.header.seal_seq,
+            p.header.sealed_at,
+            p.header.up2,
+            tombstone_bytes,
+        );
+    }
+    for (id, r) in &records {
+        if replayed_ids.contains(id) {
+            continue; // the slot was resealed after the checkpoint; the header wins
+        }
+        // Every recorded segment was sealed at or before the journal's frontier, so
+        // its tombstones are covered by the very checkpoint we are recovering from
+        // (committing a checkpoint uncharges everything it captured): install it
+        // uncharged, mirroring the in-memory state right after that commit.
+        install(
+            *id,
+            r.capacity_bytes,
+            r.log_id,
+            r.seal_seq,
+            r.sealed_at,
+            r.up2,
+            0,
+        );
+    }
+    report.sealed_segments = report.replayed_segments + records.len()
+        - records
+            .keys()
+            .filter(|id| replayed_ids.contains(id))
+            .count();
+
+    table.set_next_seal_seq(cp.next_seal_seq.max(max_replayed_seal + 1));
+    let next_write_seq = cp.next_write_seq.max(max_write_seq + 1);
+    let unow = cp.unow.max(max_unow);
+
+    let replayed = report.replayed_segments as u64;
+    let mut store = LogStore::open_with_device(config, device)?;
+    store.install_recovered_state(mapping, table, unow, next_write_seq);
+    // The journal we just recovered from is itself a committed checkpoint: seed the
+    // frontier so the cleaner may keep dropping covered tombstones immediately.
+    store.set_checkpoint_frontier(cp.frontier);
+    AtomicStats::add(&store.atomic_stats().recovery_segments_replayed, replayed);
     Ok((store, report))
 }
 
@@ -280,6 +523,143 @@ mod tests {
         let (recovered, _) = recover_with_report(cfg, device).unwrap();
         assert!(recovered.get(1).unwrap().is_some());
         assert!(recovered.get(2).unwrap().is_none());
+    }
+
+    fn temp_journal_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "lss-recovery-{tag}-{}-{n}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    /// Checkpoint, churn, crash-recover from the journal: only the post-frontier tail is
+    /// replayed, and the result is byte-exact — including deletes on both sides of the
+    /// checkpoint staying dead.
+    #[test]
+    fn checkpoint_recovery_replays_bounded_tail_and_is_exact() {
+        let cfg = config();
+        let path = temp_journal_path("tail");
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        let pages = cfg.logical_pages_for_fill_factor(0.4) as u64;
+        let page_bytes = cfg.page_bytes;
+        let payload = move |i: u64, version: u64| {
+            let mut v = vec![0u8; page_bytes];
+            v[..8].copy_from_slice(&i.to_le_bytes());
+            v[8..16].copy_from_slice(&version.to_le_bytes());
+            v
+        };
+        for i in 0..pages {
+            store.put(i, &payload(i, 0)).unwrap();
+        }
+        for i in (0..pages).step_by(17) {
+            store.delete(i).unwrap();
+        }
+        store.flush().unwrap();
+        let stats = store.checkpoint_log_to(&path).unwrap();
+        assert!(stats.shards_written > 0);
+
+        // Post-checkpoint tail: overwrite a slice of pages, delete another stripe.
+        for i in 0..pages / 10 {
+            if i % 17 != 0 {
+                store.put(i, &payload(i, 1)).unwrap();
+            }
+        }
+        for i in (0..pages).step_by(13) {
+            store.delete(i).unwrap();
+        }
+        store.flush().unwrap();
+
+        let device = store.into_device();
+        let (recovered, report) =
+            recover_from_checkpoint_with_report(cfg.clone(), device, &path).unwrap();
+        assert!(
+            report.replayed_segments > 0,
+            "churn must have sealed a tail"
+        );
+        assert!(
+            report.replayed_segments < report.sealed_segments,
+            "replay must be bounded: {} replayed of {} sealed",
+            report.replayed_segments,
+            report.sealed_segments
+        );
+        assert_eq!(
+            recovered.stats().recovery_segments_replayed,
+            report.replayed_segments as u64
+        );
+        for i in 0..pages {
+            let got = recovered.get(i).unwrap();
+            if i % 17 == 0 || i % 13 == 0 {
+                assert!(got.is_none(), "deleted page {i} resurrected after recovery");
+            } else if i < pages / 10 {
+                assert_eq!(got.unwrap().as_ref(), payload(i, 1).as_slice(), "page {i}");
+            } else {
+                assert_eq!(got.unwrap().as_ref(), payload(i, 0).as_slice(), "page {i}");
+            }
+        }
+        // The recovered store keeps working.
+        recovered.put(0, &payload(0, 7)).unwrap();
+        recovered.flush().unwrap();
+        assert_eq!(
+            recovered.get(0).unwrap().unwrap().as_ref(),
+            payload(0, 7).as_slice()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Back-to-back checkpoints into the same journal write only dirtied shards, and the
+    /// merged journal still recovers correctly.
+    #[test]
+    fn incremental_checkpoints_skip_clean_shards() {
+        let cfg = config();
+        assert!(cfg.checkpoint.incremental, "incremental is the default");
+        let path = temp_journal_path("incr");
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        for i in 0..300u64 {
+            store.put(i, format!("v-{i}").as_bytes()).unwrap();
+        }
+        store.flush().unwrap();
+        let first = store.checkpoint_log_to(&path).unwrap();
+        assert!(first.shards_written > 0);
+
+        // Nothing changed: the next checkpoint writes no shards at all.
+        let idle = store.checkpoint_log_to(&path).unwrap();
+        assert_eq!(idle.shards_written, 0);
+        assert_eq!(
+            idle.shards_skipped,
+            crate::mapping::PAGE_TABLE_SHARDS as u64
+        );
+
+        // A single page dirties exactly its shard.
+        store.put(3, b"rewritten").unwrap();
+        store.flush().unwrap();
+        let third = store.checkpoint_log_to(&path).unwrap();
+        assert!(third.shards_written >= 1);
+        assert!(third.shards_written < crate::mapping::PAGE_TABLE_SHARDS as u64);
+
+        let device = store.into_device();
+        let recovered = recover_from_checkpoint(cfg, device, &path).unwrap();
+        assert_eq!(recovered.get(3).unwrap().unwrap().as_ref(), b"rewritten");
+        assert_eq!(recovered.get(7).unwrap().unwrap().as_ref(), b"v-7");
+        assert_eq!(recovered.live_pages(), 300);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_recovery_rejects_wrong_device_size() {
+        let cfg = config();
+        let path = temp_journal_path("size");
+        let store = LogStore::open_in_memory(cfg.clone()).unwrap();
+        store.put(1, b"x").unwrap();
+        store.flush().unwrap();
+        store.checkpoint_log_to(&path).unwrap();
+        let device = store.into_device();
+        let mut wrong = cfg.clone();
+        wrong.num_segments += 1;
+        assert!(recover_from_checkpoint(wrong, device, &path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub struct SegmentMeta {
     pub exact_upf_sum: f64,
     /// Whether `exact_upf_sum` is meaningful (any exact frequency was ever supplied).
     pub has_exact_upf: bool,
+    /// Bytes of `live_bytes` that are tombstone entries rather than page payloads.
+    ///
+    /// A tombstone is a delete fact the cleaner must preserve (re-emit) until it is
+    /// provably redundant, so its entry-table footprint is charged against the segment
+    /// as live space — otherwise a segment full of tombstones ranks as a perfectly
+    /// empty victim and cleaning would relocate the same delete records forever at zero
+    /// net reclaim. The charge is lifted wholesale once a checkpoint commit covers the
+    /// segment's seal sequence (see [`SegmentTable::uncharge_covered_tombstones`]): from
+    /// that point the delete facts are durable in the checkpoint journal and the
+    /// cleaner is allowed to drop them.
+    pub tombstone_bytes: u64,
 }
 
 impl SegmentMeta {
@@ -53,6 +64,7 @@ impl SegmentMeta {
             temperature: TEMPERATURE_UNCLASSIFIED,
             exact_upf_sum: 0.0,
             has_exact_upf: false,
+            tombstone_bytes: 0,
         }
     }
 
@@ -80,6 +92,21 @@ impl SegmentMeta {
             self.exact_upf_sum += f;
             self.has_exact_upf = true;
         }
+    }
+
+    /// Record that a tombstone entry was appended to the segment: its entry-table
+    /// footprint is charged as live space (but not as a live page — the relocation
+    /// cost `C` the policies reason about stays page-based).
+    pub fn on_tombstone_added(&mut self) {
+        self.live_bytes += crate::layout::ENTRY_SIZE as u64;
+        self.tombstone_bytes += crate::layout::ENTRY_SIZE as u64;
+    }
+
+    /// Lift the tombstone charge: the delete facts in this segment are durable
+    /// elsewhere (checkpointed), so their space is reclaimable again.
+    pub fn uncharge_tombstones(&mut self) {
+        self.live_bytes = self.live_bytes.saturating_sub(self.tombstone_bytes);
+        self.tombstone_bytes = 0;
     }
 
     /// Record that a live page of `size` bytes was superseded (overwritten elsewhere or
@@ -527,6 +554,41 @@ impl SegmentTable {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Per-segment tombstone footprint for every sealed segment whose image is on the
+    /// device (same population as [`SegmentTable::sealed_stats_including_claimed`]).
+    /// Only segments with a non-zero charge are reported; the checkpoint records these
+    /// so recovery can rebuild the accounting exactly.
+    pub fn sealed_tombstone_bytes(&self) -> Vec<(SegmentId, u64)> {
+        self.states
+            .iter()
+            .filter_map(|s| match s {
+                SegmentState::Sealed(m)
+                    if m.tombstone_bytes > 0 && !self.image_pending.contains(&m.id) =>
+                {
+                    Some((m.id, m.tombstone_bytes))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Lift the tombstone charge from every sealed segment whose `seal_seq` is covered
+    /// by a committed checkpoint frontier. Once a checkpoint at frontier `F` commits,
+    /// the delete facts in segments sealed at or before `F` are durable in the
+    /// checkpoint itself (checkpointing seals every open segment before reading the
+    /// frontier, so all older copies of a deleted page live at or below `F` too), and
+    /// the cleaner is free to drop those tombstones — so their space stops counting as
+    /// live.
+    pub fn uncharge_covered_tombstones(&mut self, frontier: SealSeq) {
+        for s in &mut self.states {
+            if let SegmentState::Sealed(m) = s {
+                if m.tombstone_bytes > 0 && m.seal_seq <= frontier {
+                    m.uncharge_tombstones();
+                }
+            }
+        }
     }
 
     /// Live fragmentation picture: bucket every sealed segment's emptiness `E` into

@@ -96,6 +96,22 @@ pub struct StoreStats {
     /// [`StoreStats::emptiness_histogram`]): index = class for classified segments, plus
     /// one final bucket for unclassified (user-filled / recovered) segments.
     pub gc_class_segments: Vec<u64>,
+    /// Victim tombstones re-emitted into a GC output stream during cleaning, keeping the
+    /// delete fact durable across segment-slot reuse (see `store::gc_driver`).
+    pub tombstones_retained: u64,
+    /// Victim tombstones dropped during cleaning because the page had been recreated
+    /// (a newer live copy supersedes the delete).
+    pub tombstones_dropped: u64,
+    /// Page-table shards written out by incremental checkpoints (dirty since the
+    /// previous checkpoint).
+    pub checkpoint_shards_written: u64,
+    /// Page-table shards skipped by incremental checkpoints (clean since the previous
+    /// checkpoint, so the prior journal entry still describes them).
+    pub checkpoint_shards_skipped: u64,
+    /// Segments fully decoded and replayed by the last checkpoint-anchored recovery
+    /// (those sealed after the checkpoint frontier). Zero for full-scan recovery and
+    /// for stores that never recovered.
+    pub recovery_segments_replayed: u64,
 }
 
 impl StoreStats {
@@ -182,6 +198,11 @@ impl StoreStats {
         self.gc_class_promotions += other.gc_class_promotions;
         self.gc_class_demotions += other.gc_class_demotions;
         merge_class_vec(&mut self.gc_class_segments, &other.gc_class_segments);
+        self.tombstones_retained += other.tombstones_retained;
+        self.tombstones_dropped += other.tombstones_dropped;
+        self.checkpoint_shards_written += other.checkpoint_shards_written;
+        self.checkpoint_shards_skipped += other.checkpoint_shards_skipped;
+        self.recovery_segments_replayed += other.recovery_segments_replayed;
     }
 
     /// Reset all counters to zero (used after a load phase so the measurement phase
@@ -260,6 +281,16 @@ pub struct AtomicStats {
     pub gc_class_promotions: AtomicU64,
     /// See [`StoreStats::gc_class_demotions`].
     pub gc_class_demotions: AtomicU64,
+    /// See [`StoreStats::tombstones_retained`].
+    pub tombstones_retained: AtomicU64,
+    /// See [`StoreStats::tombstones_dropped`].
+    pub tombstones_dropped: AtomicU64,
+    /// See [`StoreStats::checkpoint_shards_written`].
+    pub checkpoint_shards_written: AtomicU64,
+    /// See [`StoreStats::checkpoint_shards_skipped`].
+    pub checkpoint_shards_skipped: AtomicU64,
+    /// See [`StoreStats::recovery_segments_replayed`].
+    pub recovery_segments_replayed: AtomicU64,
 }
 
 impl AtomicStats {
@@ -337,6 +368,11 @@ impl AtomicStats {
             ),
             gc_class_promotions: self.gc_class_promotions.load(Ordering::Relaxed),
             gc_class_demotions: self.gc_class_demotions.load(Ordering::Relaxed),
+            tombstones_retained: self.tombstones_retained.load(Ordering::Relaxed),
+            tombstones_dropped: self.tombstones_dropped.load(Ordering::Relaxed),
+            checkpoint_shards_written: self.checkpoint_shards_written.load(Ordering::Relaxed),
+            checkpoint_shards_skipped: self.checkpoint_shards_skipped.load(Ordering::Relaxed),
+            recovery_segments_replayed: self.recovery_segments_replayed.load(Ordering::Relaxed),
             // Gauges sampled from the segment table / GC control, not counters: the
             // store facade fills them in (`LogStore::stats`); a bare snapshot leaves
             // them empty.
@@ -376,6 +412,11 @@ impl AtomicStats {
         }
         self.gc_class_promotions.store(0, Ordering::Relaxed);
         self.gc_class_demotions.store(0, Ordering::Relaxed);
+        self.tombstones_retained.store(0, Ordering::Relaxed);
+        self.tombstones_dropped.store(0, Ordering::Relaxed);
+        self.checkpoint_shards_written.store(0, Ordering::Relaxed);
+        self.checkpoint_shards_skipped.store(0, Ordering::Relaxed);
+        self.recovery_segments_replayed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -419,6 +460,11 @@ mod tests {
             gc_pages_written: 20,
             cleaning_cycles: 3,
             emptiness_sum_at_clean: 1.5,
+            tombstones_retained: 4,
+            tombstones_dropped: 2,
+            checkpoint_shards_written: 7,
+            checkpoint_shards_skipped: 57,
+            recovery_segments_replayed: 9,
             ..Default::default()
         };
         a.merge(&b);
@@ -426,6 +472,11 @@ mod tests {
         assert_eq!(a.gc_pages_written, 22);
         assert_eq!(a.cleaning_cycles, 3);
         assert!((a.emptiness_sum_at_clean - 1.5).abs() < 1e-12);
+        assert_eq!(a.tombstones_retained, 4);
+        assert_eq!(a.tombstones_dropped, 2);
+        assert_eq!(a.checkpoint_shards_written, 7);
+        assert_eq!(a.checkpoint_shards_skipped, 57);
+        assert_eq!(a.recovery_segments_replayed, 9);
     }
 
     #[test]

@@ -89,7 +89,7 @@ use crate::layout::{self, decode_segment, SegmentBuilder};
 use crate::policy::{PolicyContext, SegmentStats, MULTILOG_MAX_LOGS};
 use crate::segment::ORPHAN_CYCLE;
 use crate::stats::AtomicStats;
-use crate::types::{PageId, PageLocation, SegmentId, UpdateTick};
+use crate::types::{PageId, PageLocation, SealSeq, SegmentId, UpdateTick, WriteSeq};
 use crate::write_buffer::sort_by_separation_key;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -444,6 +444,16 @@ struct PreparedVictim {
     /// promotions/demotions.
     temperature: u16,
     candidates: Vec<LivePage>,
+    /// The victim's seal sequence, read from its on-device header. Compared against
+    /// the committed checkpoint frontier to decide whether its delete facts are
+    /// already durable in the checkpoint (and so need not be re-emitted).
+    seal_seq: SealSeq,
+    /// Tombstones found in the victim (deduplicated, newest write seq per page). Each
+    /// one is re-emitted into a GC output stream unless the page has been recreated
+    /// or a committed checkpoint covers the victim: the delete fact must survive the
+    /// victim slot's reuse or scan recovery could resurrect the page from an older
+    /// copy in a lower-seal-seq segment.
+    tombstones: Vec<(PageId, WriteSeq)>,
 }
 
 /// A claimed victim: `(id, emptiness, up2, temperature)` recorded in the claim
@@ -641,7 +651,15 @@ pub(crate) fn run_cleaning_cycle_with(
                 p
             }
             SelectionMode::ForceGreedy => {
-                let want = batch.max(share);
+                // Distress cycles take the *full* configured batch, not the per-cycle
+                // share: a 1-victim cycle whose victim carries a tombstone can spend a
+                // whole fresh output segment on one 24-byte delete fact — net-zero
+                // reclaim, forever. A full batch coalesces the tombstones (and the
+                // stragglers' live pages) of many victims into one output, so a greedy
+                // distress cycle is monotonic as the escalation ladder assumes.
+                let want = batch
+                    .max(share)
+                    .max(store.config().cleaning.segments_per_cycle.max(1));
                 let mut greedy = crate::policy::GreedyPolicy::new();
                 crate::policy::CleaningPolicy::select_victims(&mut greedy, &ctx, want)
             }
@@ -887,11 +905,11 @@ fn relocate_victim(
             .expect("ensure_gc_open just installed this stream");
         // The relocated copy keeps the original write sequence: it is the same
         // version of the page, just at a new address (see
-        // [`crate::cleaner::LivePage::write_seq`]).
+        // [`crate::cleaner::LivePage`]).
         let offset = open
             .builder
             .write()
-            .push_page(info.page, item.live.write_seq, data);
+            .push_page(info.page, item.live.loc.write_seq, data);
         open.up2_avg.add(info.up2);
         staged.push(StagedRelocation {
             page: info.page,
@@ -900,9 +918,65 @@ fn relocate_victim(
                 segment: open.id,
                 offset,
                 len: data.len() as u32,
+                write_seq: item.live.loc.write_seq,
             },
             class: item.class,
         });
+    }
+
+    // Phase 3a': preserve the victim's delete facts. A tombstone may only be dropped
+    // once it is provably redundant, by one of two proofs:
+    //
+    //   1. *Superseded* — the page was recreated, so a strictly newer copy exists and
+    //      will shadow every older one during recovery.
+    //   2. *Checkpoint-covered* — a committed checkpoint's frontier is at or past the
+    //      victim's seal seq. Checkpointing seals every open segment before reading
+    //      the frontier, so every older copy of the deleted page also lives at or
+    //      below the frontier and is never replayed by checkpoint-anchored recovery;
+    //      the checkpoint itself records the page as absent.
+    //
+    // Otherwise the tombstone is re-emitted into a GC output stream with its original
+    // write sequence: the re-emitted record rides the exact same seal+sync-before-reap
+    // protocol as the relocated pages, so the delete fact is durable elsewhere before
+    // the victim's slot can be reused. (Re-emitting a tombstone that a racing user
+    // delete has just superseded is harmless — it loses every recovery comparison.)
+    // This must happen before the victim is released below: if no output space can be
+    // found the victim is abandoned intact, never released with its delete facts
+    // dropped.
+    let covered = prepared.seal_seq <= store.checkpoint_frontier();
+    let mut retained_outputs: Vec<SegmentId> = Vec::new();
+    for &(page, write_seq) in &prepared.tombstones {
+        if covered || store.mapping().get(page).is_some() {
+            AtomicStats::bump(&stats.tombstones_dropped);
+            continue;
+        }
+        // A tombstone carries no payload, so *any* output with an entry slot free will
+        // do: prefer one of the cycle's existing outputs over opening a dedicated
+        // stream, so a victim whose only live content is delete facts never spends a
+        // fresh segment on them.
+        let reusable = cycle
+            .gcs
+            .open
+            .iter()
+            .find(|(_, o)| o.builder.read().fits(0))
+            .map(|(&k, _)| k);
+        let stream = match reusable {
+            Some(k) => k,
+            None => match ensure_gc_open(store, cycle, &mut ledger, 0, 0, 0)? {
+                Some(k) => k,
+                // Same graceful abandonment as above: nothing of this victim has been
+                // committed yet, and tombstones already re-emitted for it are harmless.
+                None => return Ok(false),
+            },
+        };
+        let open = cycle
+            .gcs
+            .open
+            .get_mut(&stream)
+            .expect("ensure_gc_open just installed this stream");
+        open.builder.write().push_tombstone(page, write_seq);
+        retained_outputs.push(open.id);
+        AtomicStats::bump(&stats.tombstones_retained);
     }
 
     // Phase 3b: commit under one short central section. The swap and the output
@@ -926,6 +1000,14 @@ fn relocate_victim(
             // stale copy in the output builder is dead on arrival and is simply
             // never accounted live (it will be reclaimed when that segment is
             // eventually cleaned).
+        }
+        // Charge the re-emitted tombstones' entry-table footprint to their output
+        // segments (the cycle owns its outputs, so no generation race is possible
+        // here), mirroring the user write path's tombstone accounting.
+        for seg in retained_outputs {
+            if let Some(meta) = central.segments.meta_mut(seg) {
+                meta.on_tombstone_added();
+            }
         }
         // Remap-before-release now holds for every live page of this victim; park
         // the slot — tagged with this cycle's token — until the relocated copies are
@@ -956,19 +1038,20 @@ fn prepare_victim(
     })?;
     // Lock-free pre-filter against the sharded page table; the authoritative
     // conflict check is the compare-and-swap at commit time.
-    let candidates = collect_live_pages(
+    let collected = collect_live_pages(
         victim,
         &image,
         &parsed,
         |p, l| store.mapping().is_current(p, l),
         up2,
-    )
-    .pages;
+    );
     Ok(PreparedVictim {
         victim,
         emptiness,
         temperature,
-        candidates,
+        candidates: collected.pages,
+        seal_seq: parsed.header.seal_seq,
+        tombstones: collected.tombstones,
     })
 }
 

@@ -151,11 +151,35 @@ pub(crate) struct GcStreams {
 /// Everything a checkpoint records, captured in one coherent critical section (see
 /// [`LogStore::checkpoint_snapshot`]).
 pub(crate) struct CheckpointSnapshot {
-    pub(crate) pages: Vec<(PageId, PageLocation)>,
+    /// Per-shard page-table snapshots, indexed by shard. `None` marks a shard that was
+    /// clean since the previous checkpoint and is omitted from an incremental capture
+    /// (the previous journal entry for it still holds).
+    pub(crate) shards: Vec<Option<Vec<(PageId, PageLocation)>>>,
     pub(crate) sealed: Vec<SegmentStats>,
+    /// Per-segment tombstone space charge (only non-zero entries), captured in the
+    /// same central section as `sealed` so the two are coherent. Recorded in each
+    /// segment's checkpoint record so recovery rebuilds the accounting exactly.
+    pub(crate) tombstone_bytes: Vec<(SegmentId, u64)>,
+    /// Seal-sequence frontier: every segment this snapshot describes — and the home of
+    /// every mapping entry in it — was sealed with `seal_seq <= frontier`, so recovery
+    /// only needs to replay segments sealed after it.
+    pub(crate) frontier: SealSeq,
     pub(crate) next_seal_seq: SealSeq,
     pub(crate) unow: UpdateTick,
     pub(crate) next_write_seq: WriteSeq,
+    /// The page-table dirty bits this capture consumed; re-marked if persisting fails
+    /// so the next checkpoint rewrites the affected shards.
+    pub(crate) dirty_mask: u64,
+}
+
+/// Book-keeping for the incremental checkpoint journal: which file the store has been
+/// checkpointing to, whether its base record is on disk, and the update tick of the
+/// last successful checkpoint (drives [`LogStore::checkpoint_due`]).
+#[derive(Default)]
+struct CheckpointTracker {
+    path: Option<std::path::PathBuf>,
+    base_written: bool,
+    last_unow: u64,
 }
 
 /// The shared coordination layer of the sharded write path, guarded by the central lock.
@@ -225,6 +249,14 @@ pub struct LogStore {
     /// Test/diagnostic instrumentation invoked at every cleaning-cycle phase boundary
     /// (see [`GcPhase`]); `None` in production.
     gc_phase_hook: RwLock<Option<GcPhaseHook>>,
+    /// Incremental-checkpoint journal state (see [`CheckpointTracker`]). Taken *before*
+    /// the cycle gate in [`LogStore::checkpoint_log_to`], serialising checkpoints
+    /// against each other without widening any existing critical section.
+    ckpt: Mutex<CheckpointTracker>,
+    /// Seal-seq frontier of the last *committed* checkpoint (0 = none). The cleaner
+    /// reads it (relaxed; staleness only delays a drop) to decide when a victim's
+    /// tombstones are checkpoint-covered and may be dropped instead of re-emitted.
+    ckpt_frontier: AtomicU64,
 }
 
 impl std::fmt::Debug for LogStore {
@@ -292,6 +324,8 @@ impl LogStore {
             open_count: AtomicUsize::new(0),
             gc: GcControl::new(&config),
             gc_phase_hook: RwLock::new(None),
+            ckpt: Mutex::new(CheckpointTracker::default()),
+            ckpt_frontier: AtomicU64::new(0),
             device,
             config,
         })
@@ -539,6 +573,85 @@ impl LogStore {
         Ok(())
     }
 
+    /// Append a checkpoint to the journal at `path` and return how many page-table
+    /// shards it wrote versus skipped.
+    ///
+    /// Unlike [`LogStore::checkpoint_to`], this does **not** require a prior flush or a
+    /// quiesced store: the capture itself seals every open output segment and syncs the
+    /// device, so everything the journal describes is durable (pages still sitting in
+    /// sort buffers are volatile, exactly as a crash would treat them). The first
+    /// checkpoint to a given path writes the full page table; subsequent checkpoints to
+    /// the *same* path append only the shards dirtied since the previous one (when
+    /// [`crate::CheckpointConfig::incremental`] is on). Reopen with
+    /// [`LogStore::recover_with_checkpoint`], which replays only the segments sealed
+    /// after the journal's frontier instead of scanning the whole device.
+    pub fn checkpoint_log_to<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<crate::checkpoint::CheckpointStats> {
+        let path = path.as_ref();
+        let mut tracker = self.ckpt.lock();
+        let continuing = tracker.base_written && tracker.path.as_deref() == Some(path);
+        let dirty_only = self.config.checkpoint.incremental && continuing;
+        let snapshot = self.checkpoint_snapshot(dirty_only, true)?;
+        match crate::checkpoint::append_to_journal(path, &self.config, &snapshot, !continuing) {
+            Ok(stats) => {
+                tracker.path = Some(path.to_path_buf());
+                tracker.base_written = true;
+                tracker.last_unow = snapshot.unow;
+                AtomicStats::add(&self.stats.checkpoint_shards_written, stats.shards_written);
+                AtomicStats::add(&self.stats.checkpoint_shards_skipped, stats.shards_skipped);
+                // The checkpoint is committed: publish its frontier so the cleaner may
+                // drop (rather than re-emit) tombstones in covered victims, and lift
+                // the tombstone space charge from every covered segment — their delete
+                // facts are durable in the journal now, so those segments are
+                // reclaimable at their true emptiness.
+                self.ckpt_frontier
+                    .store(snapshot.frontier, Ordering::Relaxed);
+                self.central
+                    .lock()
+                    .segments
+                    .uncharge_covered_tombstones(snapshot.frontier);
+                Ok(stats)
+            }
+            Err(e) => {
+                // The shards this capture consumed never reached the journal: re-mark
+                // them dirty so the next checkpoint rewrites them, and recreate the
+                // journal from scratch next time — appending after a torn tail would
+                // hide the new records from the reader, which stops at the first
+                // unparsable line.
+                self.mapping.mark_dirty_mask(snapshot.dirty_mask);
+                tracker.base_written = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// True once [`crate::CheckpointConfig::cadence_updates`] user updates have
+    /// happened since the last successful [`LogStore::checkpoint_log_to`] (always false
+    /// with the cadence at 0). The store never checkpoints by itself; embedders poll
+    /// this from their maintenance loop.
+    pub fn checkpoint_due(&self) -> bool {
+        let cadence = self.config.checkpoint.cadence_updates;
+        if cadence == 0 {
+            return false;
+        }
+        let last = self.ckpt.lock().last_unow;
+        self.unow.load(Ordering::Relaxed).saturating_sub(last) >= cadence
+    }
+
+    /// Rebuild a store from a device plus a checkpoint journal written by
+    /// [`LogStore::checkpoint_log_to`]: bounded log-tail replay instead of the full
+    /// device scan of [`LogStore::recover_with_device`] (see
+    /// [`crate::recovery::recover_from_checkpoint`]).
+    pub fn recover_with_checkpoint<P: AsRef<std::path::Path>>(
+        config: StoreConfig,
+        device: Box<dyn SegmentDevice>,
+        path: P,
+    ) -> Result<Self> {
+        crate::recovery::recover_from_checkpoint(config, device, path.as_ref())
+    }
+
     /// Consume the store and hand back its device (e.g. to reopen it with
     /// [`LogStore::recover_with_device`] in tests that simulate a restart).
     ///
@@ -594,6 +707,19 @@ impl LogStore {
 
     pub(crate) fn atomic_stats(&self) -> &AtomicStats {
         &self.stats
+    }
+
+    /// Seal-seq frontier of the last committed checkpoint (0 = none). Relaxed read:
+    /// a stale value only makes the cleaner re-emit a tombstone it could have
+    /// dropped, never the reverse.
+    pub(crate) fn checkpoint_frontier(&self) -> SealSeq {
+        self.ckpt_frontier.load(Ordering::Relaxed)
+    }
+
+    /// Seed the committed-checkpoint frontier (used by checkpoint-anchored recovery:
+    /// the journal the store was recovered from is itself a committed checkpoint).
+    pub(crate) fn set_checkpoint_frontier(&self, frontier: SealSeq) {
+        self.ckpt_frontier.store(frontier, Ordering::Relaxed);
     }
 
     /// The per-page heat sketch (sampled lock-free by the cleaner).
@@ -681,37 +807,91 @@ impl LogStore {
         )
     }
 
-    /// One coherent snapshot of everything a checkpoint needs: the page table, the
-    /// sealed-segment records (including victims claimed by a cycle that was in flight
-    /// when we started quiescing — until actually released they still hold durable
-    /// data), the next seal sequence and the counters.
+    /// One coherent snapshot of everything a checkpoint needs: the page table (whole or
+    /// only the shards dirtied since the last capture), the sealed-segment records, the
+    /// seal-sequence frontier and the counters.
     ///
     /// All of it is taken under a single quiesce of the cycle gate (waits out every
     /// in-flight cleaning cycle, so no GC remaps and no victim reaps) while holding
     /// every stream lock (no drains) — taking the pieces under separate critical
     /// sections would let a cycle slip between them and reap a victim that the page
-    /// snapshot still references but the segment records would omit. The counters are
-    /// read last so the recorded `next_write_seq` is `>=` every write sequence
-    /// reachable from the snapshot.
-    pub(crate) fn checkpoint_snapshot(&self) -> CheckpointSnapshot {
+    /// snapshot still references but the segment records would omit.
+    ///
+    /// The capture is **self-durable**: with the store quiesced it seals every open
+    /// output segment (user streams and orphaned GC builders), retries wounded seals
+    /// and syncs the device before reading the page table. Skipping that and snapping a
+    /// mapping that points into open, unsealed segments would make the checkpoint
+    /// *worse* than a full scan — a crash would lose the old durable copy of any page
+    /// whose newest copy sat in an open segment the journal already claims to cover.
+    /// Sealing never allocates, so this cannot deadlock with allocation pressure. The
+    /// counters are read last so the recorded `next_write_seq` is `>=` every write
+    /// sequence reachable from the snapshot and the frontier covers every seal the
+    /// snapshot references.
+    ///
+    /// `dirty_only` captures only the page-table shards dirtied since the previous
+    /// capture (incremental journal appends); `consume_dirty` controls whether the
+    /// dirty bits are claimed by this capture (journal checkpoints) or left untouched
+    /// (the monolithic [`LogStore::checkpoint_json`], which must not steal changes out
+    /// from under a concurrent journal sequence).
+    pub(crate) fn checkpoint_snapshot(
+        &self,
+        dirty_only: bool,
+        consume_dirty: bool,
+    ) -> Result<CheckpointSnapshot> {
         let _quiesced = self.gc.quiesce();
-        let _streams: Vec<_> = self.streams.iter().map(|s| s.state.lock()).collect();
-        let pages = self.mapping.snapshot();
-        let (sealed, next_seal_seq) = {
+        let mut streams: Vec<_> = self.streams.iter().map(|s| s.state.lock()).collect();
+        // Seal every open user output segment so no mapping entry points into an
+        // unsealed builder. Empty builders are released, full ones written out; an I/O
+        // failure parks the image as a wounded seal and fails the checkpoint.
+        for ss in streams.iter_mut() {
+            let mut ledger = write_path::MetaLedger::default();
+            let logs: Vec<u16> = ss.open.keys().copied().collect();
+            for log in logs {
+                if let Some(open) = ss.open.remove(&log) {
+                    write_path::seal_open(self, open, &mut ledger)?;
+                }
+            }
+            ledger.flush_to_central(self);
+        }
+        // Seal orphaned GC output builders of aborted cycles, retry wounded seals and
+        // sync: after this, everything the mapping references is durable on the device.
+        write_path::seal_orphans_and_reap(self)?;
+
+        let dirty_mask = if dirty_only {
+            self.mapping.take_dirty()
+        } else if consume_dirty {
+            self.mapping.take_dirty();
+            ShardedPageTable::all_dirty_mask()
+        } else {
+            ShardedPageTable::all_dirty_mask()
+        };
+        let include_mask = if dirty_only {
+            dirty_mask
+        } else {
+            ShardedPageTable::all_dirty_mask()
+        };
+        let shards = (0..crate::mapping::PAGE_TABLE_SHARDS)
+            .map(|i| (include_mask & (1u64 << i) != 0).then(|| self.mapping.shard_snapshot(i)))
+            .collect();
+        let (sealed, tombstone_bytes, next_seal_seq) = {
             let central = self.central.lock();
             (
                 central.segments.sealed_stats_including_claimed(),
+                central.segments.sealed_tombstone_bytes(),
                 central.segments.next_seal_seq(),
             )
         };
         let (unow, next_write_seq) = self.counters();
-        CheckpointSnapshot {
-            pages,
+        Ok(CheckpointSnapshot {
+            shards,
             sealed,
+            tombstone_bytes,
+            frontier: next_seal_seq.saturating_sub(1),
             next_seal_seq,
             unow,
             next_write_seq,
-        }
+            dirty_mask: if consume_dirty { dirty_mask } else { 0 },
+        })
     }
 
     pub(crate) fn install_recovered_state(
@@ -728,6 +908,15 @@ impl LogStore {
         self.next_write_seq.store(next_write_seq, Ordering::Relaxed);
         self.unow.store(unow, Ordering::Relaxed);
         self.approx_free.store(free, Ordering::Relaxed);
+        // A freshly recovered store has no journal continuity: the next checkpoint
+        // rewrites a full base, and the cadence clock starts from the recovered tick.
+        // The committed-frontier also resets — after a full scan there is no journal
+        // backing it (checkpoint-anchored recovery re-seeds it from its journal).
+        *self.ckpt.get_mut() = CheckpointTracker {
+            last_unow: unow,
+            ..CheckpointTracker::default()
+        };
+        *self.ckpt_frontier.get_mut() = 0;
     }
 }
 

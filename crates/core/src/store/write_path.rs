@@ -77,6 +77,10 @@ enum MetaOp {
         at: UpdateTick,
         exact: Option<f64>,
     },
+    /// A tombstone entry was appended to `seg`: its entry-table footprint is charged
+    /// as live space so tombstone-laden segments don't masquerade as empty (see
+    /// [`crate::segment::SegmentMeta::tombstone_bytes`]).
+    TombstoneAdded { seg: SegmentId, gen: u64 },
 }
 
 /// An ordered batch of per-page accounting, applied under one central-lock acquisition.
@@ -119,6 +123,10 @@ impl MetaLedger {
         });
     }
 
+    pub(crate) fn record_tombstone(&mut self, seg: SegmentId, gen: u64) {
+        self.ops.push(MetaOp::TombstoneAdded { seg, gen });
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
@@ -152,6 +160,13 @@ impl MetaLedger {
                     if store.segment_gen(seg) == gen {
                         if let Some(meta) = central.segments.meta_mut(seg) {
                             meta.on_page_dead(len, at, exact);
+                        }
+                    }
+                }
+                MetaOp::TombstoneAdded { seg, gen } => {
+                    if store.segment_gen(seg) == gen {
+                        if let Some(meta) = central.segments.meta_mut(seg) {
+                            meta.on_tombstone_added();
                         }
                     }
                 }
@@ -632,6 +647,7 @@ fn append_page(
         segment: open.id,
         offset,
         len: data.len() as u32,
+        write_seq: seq,
     };
     ledger.record_added(open.id, open.gen, data.len() as u32, p.info.exact_freq);
     commit_user_remap(store, ledger, &p, loc);
@@ -713,6 +729,7 @@ fn append_tombstone(
         .expect("ensure_open just installed this log");
     open.last_used = tick;
     open.builder.write().push_tombstone(page, seq);
+    ledger.record_tombstone(open.id, open.gen);
     Ok(AppendOutcome::Appended)
 }
 

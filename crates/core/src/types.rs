@@ -49,6 +49,12 @@ pub struct PageLocation {
     pub offset: u32,
     /// Length of the payload in bytes.
     pub len: u32,
+    /// Write sequence of the version stored at this location. A GC relocation keeps the
+    /// original write seq, so two copies of the same version compare equal here; carrying
+    /// it in the location (a) makes the page table's compare-and-swap operations immune
+    /// to offset-reuse ABA and (b) lets checkpoints record the ordering information that
+    /// bounded log-tail replay needs to rank checkpoint entries against replayed copies.
+    pub write_seq: WriteSeq,
 }
 
 /// Whether a page write originated from the user or from the cleaner relocating a page.
@@ -115,6 +121,7 @@ mod tests {
             segment: SegmentId(9),
             offset: 4096,
             len: 512,
+            write_seq: 77,
         };
         let json = serde_json::to_string(&loc).unwrap();
         let back: PageLocation = serde_json::from_str(&json).unwrap();

@@ -343,6 +343,86 @@ fn crash_matrix_recovers_flushed_state_at_every_phase_with_two_cycles() {
     }
 }
 
+/// Delete-heavy extension of the crash matrix: most of the store is tombstoned, so
+/// the two parked cycles are mid-way through relocating victims whose entries are
+/// dominated by delete records and stale copies of deleted pages. Killing the device
+/// at every phase boundary must never let recovery revive an ever-deleted page —
+/// whether the cycle died before re-emitting a tombstone, after staging it in an
+/// unsealed output, or after the output was sealed and synced but the victim not yet
+/// reaped (both the delete fact and its doomed older copies coexist on the device).
+#[test]
+fn delete_heavy_crash_matrix_never_resurrects_a_deleted_page() {
+    for phase in [
+        GcPhase::Claimed,
+        GcPhase::VictimRead,
+        GcPhase::Relocated,
+        GcPhase::Sealed,
+        GcPhase::Synced,
+    ] {
+        let config = race_config(2);
+        let device = KillSwitchDevice::new(config.segment_bytes, config.num_segments);
+        let store =
+            Arc::new(LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap());
+        let pages = 512u64;
+
+        // Every page gets an old copy, a third get a newer copy, and then two thirds
+        // of the store is deleted: the sealed segments the greedy cleaner will claim
+        // are mostly dead space, stale copies of deleted pages, and tombstones.
+        let mut model = HashMap::new();
+        let mut deleted_ever = HashSet::new();
+        for p in 0..pages {
+            store.put(p, &payload(p, 1, config.page_bytes)).unwrap();
+            model.insert(p, 1u64);
+        }
+        for p in (0..pages).step_by(3) {
+            store.put(p, &payload(p, 2, config.page_bytes)).unwrap();
+            model.insert(p, 2);
+        }
+        for p in 0..pages {
+            if p % 3 != 1 {
+                store.delete(p).unwrap();
+                model.remove(&p);
+                deleted_ever.insert(p);
+            }
+        }
+        store.flush().unwrap();
+
+        let gate = PhaseGate::new(&[phase], 2);
+        store.set_gc_phase_hook(Some(gate.hook()));
+        let cleaners: Vec<_> = (0..2)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || store.clean_now())
+            })
+            .collect();
+        let _tokens = gate.wait_paused_at(phase, 2);
+
+        device.kill();
+        gate.open_wide();
+        for c in cleaners {
+            let _ = c.join().unwrap();
+        }
+        drop(store);
+
+        device.revive_for_recovery();
+        let recovered =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let ctx = format!("delete-heavy crash at {phase:?}");
+        for &p in &deleted_ever {
+            assert!(
+                recovered.get(p).unwrap().is_none(),
+                "{ctx}: ever-deleted page {p} live after reopen"
+            );
+        }
+        assert_matches_model(&recovered, &model, pages, &ctx);
+
+        // A deleted page must also stay dead through post-recovery cleaning.
+        recovered.clean_now().unwrap();
+        recovered.flush().unwrap();
+        assert_matches_model(&recovered, &model, pages, &format!("{ctx}, after clean"));
+    }
+}
+
 /// Flake-catcher: a background cleaner pool (LSS_CLEANER_THREADS, default 2) races
 /// several writers over a hot overwrite workload; every page must hold its final
 /// version and live accounting must match. Run 10× in release by the CI stress job.

@@ -1,0 +1,131 @@
+//! Seeded durability property: random put/delete/clean/checkpoint interleavings
+//! against a store with a live background cleaner pool, crashed and reopened through
+//! the checkpoint journal several times per run. After every crash the recovered
+//! store must match the model **byte-exactly** — every live page holds its newest
+//! value, every deleted page stays dead (the cleaner's tombstone re-emission and the
+//! checkpoint-covered drop proof both get exercised, because mid-run checkpoints
+//! publish frontiers while cleaning is racing them).
+//!
+//! Runs at `cleaner_threads ∈ {1, 2, 4}` with per-thread-count seeds derived from
+//! `LSS_STRESS_SEED` (default 7700), so the CI stress loop explores a fresh
+//! interleaving per iteration and any hit replays with
+//! `LSS_STRESS_SEED=<seed> cargo test --release --test durability_property`.
+
+mod common;
+
+use common::{apply_env_concurrency, stress_seed_or, CrashPointDevice};
+use lss::core::policy::PolicyKind;
+use lss::core::{LogStore, SharedLogStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn temp_journal(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lss-durability-{tag}-{}.ckpt", std::process::id()))
+}
+
+fn payload(page: u64, version: u64, len: usize) -> Vec<u8> {
+    let len = len.max(16);
+    let mut v = vec![(page ^ version) as u8; len];
+    v[..8].copy_from_slice(&page.to_le_bytes());
+    v[8..16].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+/// One seeded run: four crash generations, each a random interleaving of puts,
+/// deletes, forced cleaning cycles and incremental checkpoints (on top of whatever
+/// the background pool does on its own), ending in flush + checkpoint + device kill.
+/// Reopen goes through the journal and must reproduce the model byte-for-byte.
+fn run_crash_generations(seed: u64, cleaner_threads: usize) {
+    let mut config = apply_env_concurrency(
+        StoreConfig::small_for_tests()
+            .with_policy(PolicyKind::Mdc)
+            .with_cleaner_threads(cleaner_threads)
+            .with_gc_read_pool(2),
+    );
+    config.num_segments = 96;
+    println!(
+        "durability property: seed={seed} cleaner_threads={} write_streams={}",
+        config.cleaner_threads, config.write_streams
+    );
+    let max_page = config.logical_pages_for_fill_factor(0.5) as u64;
+    let max_len = config.page_bytes;
+    let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+    let path = temp_journal(seed);
+    std::fs::remove_file(&path).ok();
+
+    let mut store = SharedLogStore::new(
+        LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap(),
+    );
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for generation in 0..4u32 {
+        for i in 0..1_200u64 {
+            let roll = rng.gen_range(0..100u32);
+            let page = rng.gen_range(0..max_page);
+            if roll < 30 {
+                store.delete(page).unwrap();
+                model.remove(&page);
+            } else if roll < 95 {
+                let version = u64::from(generation) * 10_000 + i;
+                let p = payload(page, version, rng.gen_range(16..=max_len));
+                store.put(page, &p).unwrap();
+                model.insert(page, p);
+            } else if roll < 98 {
+                store.clean_now().unwrap();
+            } else {
+                // A mid-run checkpoint: publishes a frontier the racing cleaners may
+                // use to drop covered tombstones instead of re-emitting them.
+                store.with_store(|s| s.checkpoint_log_to(&path)).unwrap();
+            }
+        }
+
+        // The crash point: everything acknowledged durable, then the device dies
+        // under whatever the background pool still had in flight.
+        store.flush().unwrap();
+        store.with_store(|s| s.checkpoint_log_to(&path)).unwrap();
+        device.kill();
+        let inner = store.try_into_inner().expect("sole handle");
+        drop(inner); // the process dies
+
+        device.heal();
+        let recovered =
+            LogStore::recover_with_checkpoint(config.clone(), Box::new(device.clone()), &path)
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed}, generation {generation}: reopen failed: {e}")
+                });
+        let ctx = format!("seed {seed}, generation {generation}");
+        assert_eq!(
+            recovered.live_pages(),
+            model.len(),
+            "{ctx}: live-page count diverged"
+        );
+        for p in 0..max_page {
+            match model.get(&p) {
+                Some(value) => assert_eq!(
+                    recovered.get(p).unwrap().as_deref(),
+                    Some(value.as_slice()),
+                    "{ctx}: page {p} wrong after recovery"
+                ),
+                None => assert!(
+                    recovered.get(p).unwrap().is_none(),
+                    "{ctx}: page {p} resurrected after recovery"
+                ),
+            }
+        }
+
+        // The next generation continues on the recovered store: churn keeps
+        // compounding across restarts, exactly like a long-lived deployment.
+        store = SharedLogStore::new(recovered);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn random_interleavings_recover_exactly_at_every_crash() {
+    let base = stress_seed_or(7700);
+    for &cleaner_threads in &[1usize, 2, 4] {
+        run_crash_generations(base + cleaner_threads as u64, cleaner_threads);
+    }
+}

@@ -410,17 +410,20 @@ fn scale_down_during_an_inflight_cycle_strands_nothing() {
         );
     }
 
-    // And the store still cleans and recovers with nothing lost. (Recovery may
-    // resurrect a few deleted pages here — the documented scan-recovery limitation
-    // when cleaned tombstone segments are reused without a checkpoint — so the
-    // assertion is exactly "every surviving page is present and current", not
-    // set equality.)
+    // And the store still cleans and recovers *exactly*: with no checkpoint taken, the
+    // cleaner re-emits every delete fact it relocates, so scan recovery reproduces the
+    // model as a set — nothing lost, nothing resurrected.
     store.clean_now().unwrap();
     store.flush().unwrap();
     let Ok(inner) = Arc::try_unwrap(store) else {
         panic!("sole handle expected");
     };
     let recovered = LogStore::recover_with_device(config, inner.into_device()).unwrap();
+    assert_eq!(
+        recovered.live_pages(),
+        model.len(),
+        "recovery must reproduce the model exactly"
+    );
     for (&p, &version) in &model {
         assert_eq!(
             decode(&recovered.get(p).unwrap().expect("page lost in recovery")),

@@ -391,17 +391,17 @@ fn run_concurrent_cleaner_model(seed: u64, cleaner_threads: usize) {
         }
     }
 
-    // Shut the pool down, recover from the device image, and re-verify what scan
-    // recovery actually guarantees: every live (model) page comes back with exactly
-    // its bytes, and no page that was *never deleted* appears from nowhere. A page
-    // that was deleted at some point MAY resurrect — the documented scan-recovery
-    // limitation (see `recovery.rs`): the cleaner drops tombstones, so if a
-    // tombstone's segment is cleaned and its slot reused while an older copy of the
-    // page still sits in a sealed segment, a recovery without a checkpoint revives
-    // it. Whether that window is open at flush time depends on nondeterministic GC
-    // victim timing, which is exactly why the old set-equality assertion flaked
-    // (PR 4's `store_matches_model_under_concurrent_cleaners` note) even on fixed
-    // op seeds.
+    // Shut the pool down, recover from the device image, and require *exact* recovery:
+    // every live (model) page comes back byte-identical, and nothing else exists —
+    // including pages that were deleted at some point. Deletion is durable because the
+    // cleaner never drops a delete fact without proof of redundancy: a victim's
+    // tombstones are re-emitted into the cycle's GC output streams (keeping their
+    // write sequences) unless the page was recreated or a committed checkpoint covers
+    // the victim — and this workload takes no checkpoints, so every delete fact is
+    // still in the log and the scan cannot resurrect anything. (The old tolerated
+    // resurrection window — PR 5's documented limitation — is exactly the bug the
+    // re-emission protocol closes; `tests/tombstone_resurrection.rs` pins the seed
+    // that exposed it.)
     let inner = store.try_into_inner().expect("sole handle");
     let recovered = LogStore::recover_with_device(config.clone(), inner.into_device()).unwrap();
     for (&page, value) in &model {
@@ -417,21 +417,16 @@ fn run_concurrent_cleaner_model(seed: u64, cleaner_threads: usize) {
         }
     }
     for page in 0..max_page {
-        if !model.contains_key(&page)
-            && recovered.get(page).unwrap().is_some()
-            && !deleted_ever.contains(&page)
-        {
-            fail_concurrent_cleaner_model(
-                seed,
-                cleaner_threads,
-                &ops,
-                last,
-                Some(page),
-                format!("page {page} was never written yet exists after recovery"),
-            );
+        if !model.contains_key(&page) && recovered.get(page).unwrap().is_some() {
+            let detail = if deleted_ever.contains(&page) {
+                format!("deleted page {page} resurrected by scan recovery")
+            } else {
+                format!("page {page} was never written yet exists after recovery")
+            };
+            fail_concurrent_cleaner_model(seed, cleaner_threads, &ops, last, Some(page), detail);
         }
     }
-    if recovered.live_pages() < model.len() {
+    if recovered.live_pages() != model.len() {
         fail_concurrent_cleaner_model(
             seed,
             cleaner_threads,
@@ -439,7 +434,7 @@ fn run_concurrent_cleaner_model(seed: u64, cleaner_threads: usize) {
             last,
             None,
             format!(
-                "recovery lost pages: store {} vs model {}",
+                "recovered live-page count diverged: store {} vs model {}",
                 recovered.live_pages(),
                 model.len()
             ),
@@ -455,12 +450,11 @@ fn run_concurrent_cleaner_model(seed: u64, cleaner_threads: usize) {
 ///   pages under the reader, so this exercises the CAS-commit and pin protocols);
 /// * **capacity invariant** — total live bytes never exceed the device's payload
 ///   capacity, no matter how the cleaner interleaves;
-/// * the final state matches the model exactly and survives a flush; scan recovery
-///   from the device alone then returns every live page byte-exact and invents
-///   nothing that was never written (pages deleted at some point may resurrect —
-///   the documented tombstone-drop limitation of checkpoint-free scan recovery,
-///   which GC victim timing opens nondeterministically; see the comment at the
-///   recovery check below).
+/// * **exact recovery** — after a flush, scan recovery from the device alone
+///   reproduces the model byte-for-byte: every live page comes back identical, no
+///   page exists that the model lacks (deleted pages stay dead — the cleaner
+///   re-emits tombstones rather than dropping them, see `store::gc_driver`), and
+///   the live-page count matches exactly.
 ///
 /// The base seed defaults to the historical 4242 and is overridden by
 /// `LSS_STRESS_SEED` (the CI stress job varies it per iteration); any failure prints
