@@ -10,7 +10,9 @@
 //!
 //! Environment:
 //! * `LSS_KV_INDEX=paged|json` restricts the run to one format (default: both);
-//! * `LSS_WRITE_STREAMS` overrides the store's write-stream count (default 8).
+//! * `LSS_WRITE_STREAMS` overrides the store's write-stream count (default 8);
+//! * `LSS_KV_GROUP_COMMIT_US` sets the paged store's group-commit window in
+//!   microseconds (default 0 = per-call commit).
 //!
 //! Emits `BENCH_kv.json`. Run with:
 //! `cargo run --release -p lss-bench --bin kv [--quick|--full]`
@@ -48,6 +50,17 @@ struct KvPoint {
     pool_hit_ratio: f64,
     /// Store-level write amplification (GC pages per user page) during the run.
     store_write_amplification: f64,
+    /// Optimistic-read restarts in the index tree during the run (0 for JSON).
+    index_read_restarts: u64,
+    /// Writer restarts (failed validations/locks) in the index tree (0 for JSON).
+    index_write_restarts: u64,
+    /// Mean version locks per index mutation (crab depth; 0 for JSON).
+    index_avg_crab_depth: f64,
+    /// Mean flush calls absorbed per superblock flip (group-commit batch size;
+    /// 1.0 = no batching, 0 for JSON).
+    commit_batch: f64,
+    /// Flush calls that rode another caller's group-commit flip (0 for JSON).
+    group_commit_riders: u64,
 }
 
 /// The full benchmark record written to `BENCH_kv.json`.
@@ -167,6 +180,10 @@ fn open(format: &str, scale: Scale) -> AnyKv {
                 KvOptions {
                     pool_pages: 2048,
                     tree_page_bytes: None,
+                    group_commit_window_us: std::env::var("LSS_KV_GROUP_COMMIT_US")
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0),
                 },
             )
             .unwrap(),
@@ -276,6 +293,27 @@ fn measure(format: &str, threads: usize, scale: Scale) -> KvPoint {
         index_commits: stats.superblock_commits - base.superblock_commits,
         pool_hit_ratio: stats.pool.hit_ratio(),
         store_write_amplification: store.write_amplification(),
+        index_read_restarts: stats.tree.read_restarts - base.tree.read_restarts,
+        index_write_restarts: stats.tree.write_restarts - base.tree.write_restarts,
+        index_avg_crab_depth: {
+            let ops = stats.tree.writer_ops - base.tree.writer_ops;
+            let locks = stats.tree.writer_locks - base.tree.writer_locks;
+            if ops == 0 {
+                0.0
+            } else {
+                locks as f64 / ops as f64
+            }
+        },
+        commit_batch: {
+            let flips = stats.superblock_commits - base.superblock_commits;
+            let calls = stats.flush_calls - base.flush_calls;
+            if flips == 0 {
+                0.0
+            } else {
+                calls as f64 / flips as f64
+            }
+        },
+        group_commit_riders: stats.group_commit_riders - base.group_commit_riders,
     }
 }
 
@@ -296,7 +334,7 @@ fn main() {
         ops_per_thread(scale)
     );
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>9} {:>6} {:>7}",
         "format",
         "threads",
         "mixed ops/s",
@@ -304,7 +342,11 @@ fn main() {
         "idx Wamp",
         "idx pages",
         "commits",
-        "pool hit"
+        "pool hit",
+        "rd-rstrt",
+        "wr-rstrt",
+        "crab",
+        "batch"
     );
 
     let mut results = Vec::new();
@@ -312,7 +354,7 @@ fn main() {
         for threads in [1usize, 2, 4, 8] {
             let point = measure(format, threads, scale);
             println!(
-                "{:>6} {:>8} {:>12.0} {:>12.0} {:>12.5} {:>12} {:>10} {:>10.3}",
+                "{:>6} {:>8} {:>12.0} {:>12.0} {:>12.5} {:>12} {:>10} {:>10.3} {:>9} {:>9} {:>6.2} {:>7.2}",
                 point.format,
                 point.threads,
                 point.ops_per_sec,
@@ -320,7 +362,11 @@ fn main() {
                 point.index_write_amplification,
                 point.index_pages_written,
                 point.index_commits,
-                point.pool_hit_ratio
+                point.pool_hit_ratio,
+                point.index_read_restarts,
+                point.index_write_restarts,
+                point.index_avg_crab_depth,
+                point.commit_batch
             );
             results.push(point);
         }

@@ -40,20 +40,38 @@
 //!
 //! ## Concurrency and lock order
 //!
-//! Everything takes `&self`. Value writes (the heavy I/O) happen *outside* the tree
-//! latch on the store's sharded write streams; only the index update itself serialises
-//! on the tree's exclusive latch. Point reads and scans read the value pages **inside**
-//! the tree's shared latch ([`BTree::get_map`] / [`BTree::scan_map`]), which is what
-//! makes them stable: reclaiming a superseded value page requires the exclusive latch
-//! (a flush), so no latched reader can observe a vanishing value. Lock order:
-//! `tree latch → pool shard latch`; the user-page allocator mutex is taken either
-//! alone or (during a flush's commit phase) inside the tree latch.
+//! Everything takes `&self`. Value writes (the heavy I/O) happen *outside* the index
+//! entirely, on the store's sharded write streams; index mutations use the tree's
+//! optimistic lock-coupling (see [`crate::tree`]) — readers descend latch-free with
+//! version validation, writers lock only the nodes they rewrite — so concurrent
+//! writers no longer serialise on one tree latch. Point reads and scans read the
+//! value pages inside a version-validated window ([`BTree::get_map`] /
+//! [`BTree::scan_map`]): the leaf that maps a key to its value page is re-validated
+//! *after* the value is read, and reclaiming a superseded value page happens only
+//! after a commit bumped that leaf's version — so a validated value read is proven
+//! not to have raced the page's release. Lock order: `epoch latch → node version
+//! slot → tree allocator → pool shard latch`; the user-page allocator mutex is taken
+//! either alone or (during a flush's commit phase) inside the epoch latch.
+//!
+//! ## Group commit
+//!
+//! With `group_commit_window_us > 0` ([`KvOptions`]), concurrent [`KvStore::flush`]
+//! calls batch into one superblock flip: the first caller becomes the *leader* of a
+//! commit generation, waits out the window while further callers become *riders* of
+//! the same generation, then runs the two-barrier flip once and wakes every rider
+//! with the shared outcome. A rider's mutations are always covered: they completed
+//! before its `flush` call, the generation closes before the flip begins, and the
+//! flip's checkpoint quiesces the tree — so the flipped epoch contains every batched
+//! mutation, and a crash lands on exactly the previous or the batched epoch, never a
+//! partial batch (it is one ordinary epoch). `group_commit_window_us = 0` (the
+//! default) short-circuits straight into the flip — byte-for-byte today's per-call
+//! behaviour.
 
 use crate::buffer_pool::{BufferPool, BufferPoolStats};
 use crate::kv_legacy::{classify_slot, read_legacy_index, LegacyChunk, SlotState, Superblock};
 use crate::node::Node;
 use crate::page_store::PageStore;
-use crate::tree::BTree;
+use crate::tree::{BTree, TreeStats};
 use bytes::Bytes;
 use lss_core::error::{Error, Result};
 use lss_core::{LogStore, PageId};
@@ -99,6 +117,11 @@ pub struct KvOptions {
     /// Index page size in bytes; defaults to the store's configured page size
     /// (clamped to at least 64, the tree's minimum).
     pub tree_page_bytes: Option<usize>,
+    /// Group-commit window in microseconds: how long the leader of a commit
+    /// generation waits for further [`KvStore::flush`] callers to batch into the
+    /// same superblock flip. `0` (the default) commits per call, exactly the
+    /// pre-group-commit behaviour. See the module docs.
+    pub group_commit_window_us: u64,
 }
 
 impl Default for KvOptions {
@@ -106,6 +129,7 @@ impl Default for KvOptions {
         Self {
             pool_pages: 256,
             tree_page_bytes: None,
+            group_commit_window_us: 0,
         }
     }
 }
@@ -123,10 +147,18 @@ pub(crate) struct KvCounters {
     pub(crate) value_pages_written: AtomicU64,
     pub(crate) value_bytes_written: AtomicU64,
     pub(crate) superblock_commits: AtomicU64,
+    pub(crate) flush_calls: AtomicU64,
+    pub(crate) group_commit_riders: AtomicU64,
 }
 
 impl KvCounters {
-    pub(crate) fn snapshot(&self, pool: BufferPoolStats, epoch: u64, keys: u64) -> KvStats {
+    pub(crate) fn snapshot(
+        &self,
+        pool: BufferPoolStats,
+        epoch: u64,
+        keys: u64,
+        tree: TreeStats,
+    ) -> KvStats {
         KvStats {
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -137,9 +169,12 @@ impl KvCounters {
             value_pages_written: self.value_pages_written.load(Ordering::Relaxed),
             value_bytes_written: self.value_bytes_written.load(Ordering::Relaxed),
             superblock_commits: self.superblock_commits.load(Ordering::Relaxed),
+            flush_calls: self.flush_calls.load(Ordering::Relaxed),
+            group_commit_riders: self.group_commit_riders.load(Ordering::Relaxed),
             epoch,
             keys,
             pool,
+            tree,
         }
     }
 }
@@ -165,6 +200,12 @@ pub struct KvStats {
     pub value_bytes_written: u64,
     /// Committed epochs (superblock flips; legacy: JSON index flushes).
     pub superblock_commits: u64,
+    /// [`KvStore::flush`] calls. With group commit, several calls can share one
+    /// superblock flip, so this can exceed [`KvStats::superblock_commits`].
+    pub flush_calls: u64,
+    /// Flush calls that rode another caller's commit generation instead of leading
+    /// their own flip (0 when `group_commit_window_us = 0`).
+    pub group_commit_riders: u64,
     /// Current committed epoch (0 = nothing committed yet; legacy stores report 0).
     pub epoch: u64,
     /// Number of live keys at snapshot time.
@@ -172,6 +213,9 @@ pub struct KvStats {
     /// Buffer-pool gauges for the index pages (hit ratio, evictions; zeroed for the
     /// legacy JSON store, which has no pool).
     pub pool: BufferPoolStats,
+    /// Index-tree concurrency gauges: optimistic-read restarts, writer crab depth,
+    /// quiesced fallbacks (zeroed for the legacy JSON store, which has no tree).
+    pub tree: TreeStats,
 }
 
 impl KvStats {
@@ -183,6 +227,16 @@ impl KvStats {
             0.0
         } else {
             self.index_bytes_written as f64 / self.value_bytes_written as f64
+        }
+    }
+
+    /// Mean number of flush calls a superblock flip absorbed — 1.0 means no
+    /// batching, higher means group commit amortised barriers across callers.
+    pub fn avg_commit_batch(&self) -> f64 {
+        if self.superblock_commits == 0 {
+            0.0
+        } else {
+            self.flush_calls as f64 / self.superblock_commits as f64
         }
     }
 }
@@ -233,6 +287,23 @@ struct UserAlloc {
     freed_epoch: Vec<PageId>,
 }
 
+/// One group-commit generation: the leader publishes the flip's outcome here and
+/// wakes every rider. `None` = the flip has not finished; `Some(None)` = committed;
+/// `Some(Some(msg))` = the flip failed with `msg`.
+#[derive(Debug, Default)]
+struct CommitGeneration {
+    outcome: std::sync::Mutex<Option<Option<String>>>,
+    done: std::sync::Condvar,
+}
+
+/// The group-commit coordinator: at most one *open* generation accepts riders at a
+/// time; it closes the moment its leader starts the flip, so later callers lead a
+/// fresh generation (flips themselves serialise on the tree's epoch latch).
+#[derive(Debug, Default)]
+struct GroupCommit {
+    open: std::sync::Mutex<Option<Arc<CommitGeneration>>>,
+}
+
 /// An ordered, concurrent, crash-consistent key-value store backed by a [`LogStore`]
 /// with a paged B+-tree index. See the module docs for the protocol.
 #[derive(Debug)]
@@ -243,6 +314,9 @@ pub struct KvStore {
     /// Last committed epoch.
     epoch: AtomicU64,
     counters: Arc<KvCounters>,
+    /// Group-commit window (µs); 0 = per-call commit.
+    group_commit_window_us: u64,
+    group_commit: GroupCommit,
 }
 
 impl KvStore {
@@ -331,6 +405,8 @@ impl KvStore {
             alloc: Mutex::new(UserAlloc::default()),
             epoch: AtomicU64::new(0),
             counters,
+            group_commit_window_us: opts.group_commit_window_us,
+            group_commit: GroupCommit::default(),
         })
     }
 
@@ -410,6 +486,8 @@ impl KvStore {
             }),
             epoch: AtomicU64::new(sb.epoch),
             counters,
+            group_commit_window_us: opts.group_commit_window_us,
+            group_commit: GroupCommit::default(),
         })
     }
 
@@ -571,7 +649,67 @@ impl KvStore {
     /// Two barriers — dirty index pages first, then the superblock flip — then the
     /// superseded pages of the epoch are released. See the module docs; a crash at any
     /// point leaves the last committed epoch intact.
+    ///
+    /// With a non-zero `group_commit_window_us`, concurrent callers batch into one
+    /// flip (see the module's *Group commit* section); every caller returns only once
+    /// a superblock covering its mutations is durable.
     pub fn flush(&self) -> Result<()> {
+        self.counters.flush_calls.fetch_add(1, Ordering::Relaxed);
+        if self.group_commit_window_us == 0 {
+            return self.flip();
+        }
+        let (generation, leader) = {
+            let mut open = self
+                .group_commit
+                .open
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match &*open {
+                Some(g) => (Arc::clone(g), false),
+                None => {
+                    let g = Arc::new(CommitGeneration::default());
+                    *open = Some(Arc::clone(&g));
+                    (g, true)
+                }
+            }
+        };
+        if !leader {
+            // Rider: the leader's flip covers our mutations (they completed before
+            // this call; the generation closes before the flip's checkpoint).
+            self.counters
+                .group_commit_riders
+                .fetch_add(1, Ordering::Relaxed);
+            let mut outcome = generation.outcome.lock().unwrap_or_else(|e| e.into_inner());
+            while outcome.is_none() {
+                outcome = generation
+                    .done
+                    .wait(outcome)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            return match outcome.as_ref().expect("loop exits only when published") {
+                None => Ok(()),
+                Some(msg) => Err(Error::Io(std::io::Error::other(msg.clone()))),
+            };
+        }
+        // Leader: wait out the window so concurrent callers can join, close the
+        // generation (later callers lead the next one), flip once, publish.
+        std::thread::sleep(std::time::Duration::from_micros(
+            self.group_commit_window_us,
+        ));
+        *self
+            .group_commit
+            .open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
+        let result = self.flip();
+        let msg = result.as_ref().err().map(|e| e.to_string());
+        *generation.outcome.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
+        generation.done.notify_all();
+        result
+    }
+
+    /// One two-barrier superblock flip (the body of a commit; see [`KvStore::flush`]).
+    fn flip(&self) -> Result<()> {
         let mut ck = self.tree.begin_checkpoint();
         ck.write_back()?;
         self.store.flush()?; // barrier 1: new tree pages + values durable
@@ -623,6 +761,7 @@ impl KvStore {
             self.tree.pool_stats(),
             self.epoch.load(Ordering::Relaxed),
             self.tree.len(),
+            self.tree.stats(),
         )
     }
 

@@ -392,7 +392,7 @@ impl LegacyJsonKvStore {
     /// Operation counters (same shape as the paged store's, pool gauges zeroed).
     pub fn stats(&self) -> KvStats {
         self.counters
-            .snapshot(Default::default(), 0, self.len() as u64)
+            .snapshot(Default::default(), 0, self.len() as u64, Default::default())
     }
 
     /// Access the underlying page store (e.g. for statistics).

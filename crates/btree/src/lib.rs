@@ -12,7 +12,8 @@
 //!   ordered write-back, so only evictions and checkpoints reach storage (this is what
 //!   gives the trace its skew and its shifting hot/cold pattern);
 //! * [`node`] / [`tree`] — the B+-tree itself: byte-string keys and values, node
-//!   splits, successor-descent range scans, concurrent access behind a tree latch, and
+//!   splits, successor-descent range scans, optimistic lock-coupling (version-validated
+//!   latch-free reads via [`latch`], writers locking only the nodes they rewrite), and
 //!   an optional shadow (copy-on-write) mode for crash-consistent checkpoints;
 //! * [`kv`] — [`kv::KvStore`]: an ordered key-value store whose paged index *and*
 //!   values live in one log-structured store, committed by an atomic superblock flip;
@@ -36,6 +37,7 @@
 pub mod buffer_pool;
 pub mod kv;
 pub mod kv_legacy;
+pub mod latch;
 pub mod node;
 pub mod page_store;
 pub mod tree;
@@ -44,4 +46,4 @@ pub use buffer_pool::{BufferPool, BufferPoolStats};
 pub use kv::{KvOptions, KvStats, KvStore};
 pub use kv_legacy::LegacyJsonKvStore;
 pub use page_store::{LssPageStore, MemPageStore, PageStore, TracingPageStore};
-pub use tree::{BTree, TreeCheckpoint};
+pub use tree::{BTree, TreeCheckpoint, TreeStats};

@@ -190,6 +190,111 @@ impl Node {
     }
 }
 
+/// True if the encoded page is a leaf (false = internal). Errors on a non-node page.
+pub fn raw_is_leaf(data: &[u8]) -> Result<bool> {
+    match data.first() {
+        Some(&TAG_LEAF) => Ok(true),
+        Some(&TAG_INTERNAL) => Ok(false),
+        _ => Err(corrupt("not a btree node page")),
+    }
+}
+
+/// Zero-allocation child search of an encoded internal page: returns the child slot
+/// for `key`, its page id, and the separator just right of the slot (`None` on the
+/// rightmost slot) — the tight exclusive upper bound of the chosen subtree. Matches
+/// the decoded-path rule: a key equal to a separator belongs to the right subtree.
+pub fn raw_internal_search<'a>(
+    data: &'a [u8],
+    key: &[u8],
+) -> Result<(usize, u64, Option<&'a [u8]>)> {
+    if data.len() < 11 || data[0] != TAG_INTERNAL {
+        return Err(corrupt("not an internal page"));
+    }
+    let nkeys = u16::from_le_bytes(data[1..3].try_into().unwrap()) as usize;
+    let mut child = u64::from_le_bytes(data[3..11].try_into().unwrap());
+    let mut pos = 11usize;
+    for i in 0..nkeys {
+        if pos + 2 > data.len() {
+            return Err(corrupt("truncated internal entry"));
+        }
+        let klen = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+        pos += 2;
+        if pos + klen + 8 > data.len() {
+            return Err(corrupt("truncated internal entry"));
+        }
+        let sep = &data[pos..pos + klen];
+        pos += klen;
+        if sep > key {
+            return Ok((i, child, Some(sep)));
+        }
+        child = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+    }
+    Ok((nkeys, child, None))
+}
+
+/// Zero-allocation point lookup in an encoded leaf: the value slice for `key`, if
+/// present. Entries are sorted, so the walk stops at the first key past `key`.
+pub fn raw_leaf_search<'a>(data: &'a [u8], key: &[u8]) -> Result<Option<&'a [u8]>> {
+    let mut it = raw_leaf_entries(data)?;
+    for entry in &mut it {
+        let (k, v) = entry?;
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => continue,
+            std::cmp::Ordering::Equal => return Ok(Some(v)),
+            std::cmp::Ordering::Greater => return Ok(None),
+        }
+    }
+    Ok(None)
+}
+
+/// Zero-allocation in-order iterator over an encoded leaf's `(key, value)` slices.
+pub fn raw_leaf_entries(data: &[u8]) -> Result<RawLeafEntries<'_>> {
+    if data.len() < LEAF_HEADER_BYTES || data[0] != TAG_LEAF {
+        return Err(corrupt("not a leaf page"));
+    }
+    Ok(RawLeafEntries {
+        data,
+        pos: LEAF_HEADER_BYTES,
+        remaining: u16::from_le_bytes(data[1..3].try_into().unwrap()) as usize,
+    })
+}
+
+/// Iterator state for [`raw_leaf_entries`].
+pub struct RawLeafEntries<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for RawLeafEntries<'a> {
+    type Item = Result<(&'a [u8], &'a [u8])>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.pos + 4 > self.data.len() {
+            self.remaining = 0;
+            return Some(Err(corrupt("truncated leaf entry")));
+        }
+        let klen =
+            u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().unwrap()) as usize;
+        let vlen =
+            u16::from_le_bytes(self.data[self.pos + 2..self.pos + 4].try_into().unwrap()) as usize;
+        self.pos += 4;
+        if self.pos + klen + vlen > self.data.len() {
+            self.remaining = 0;
+            return Some(Err(corrupt("truncated leaf entry")));
+        }
+        let k = &self.data[self.pos..self.pos + klen];
+        let v = &self.data[self.pos + klen..self.pos + klen + vlen];
+        self.pos += klen + vlen;
+        Some(Ok((k, v)))
+    }
+}
+
 impl MetaPage {
     /// Encode the meta page.
     pub fn encode(&self, page_size: usize) -> Vec<u8> {
@@ -280,6 +385,78 @@ mod tests {
         let mut buf = vec![TAG_LEAF];
         buf.extend_from_slice(&1u16.to_le_bytes());
         assert!(Node::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn raw_internal_search_matches_decoded_child_choice() {
+        let node = Node::Internal {
+            keys: vec![b"f".to_vec(), b"m".to_vec(), b"t".to_vec()],
+            children: vec![10, 20, 30, 40],
+        };
+        let enc = node.encode(256).unwrap();
+        assert!(!raw_is_leaf(&enc).unwrap());
+        // Before the first separator, equal-to-a-separator (right subtree), between,
+        // and past the last.
+        assert_eq!(
+            raw_internal_search(&enc, b"a").unwrap(),
+            (0, 10, Some(&b"f"[..]))
+        );
+        assert_eq!(
+            raw_internal_search(&enc, b"f").unwrap(),
+            (1, 20, Some(&b"m"[..]))
+        );
+        assert_eq!(
+            raw_internal_search(&enc, b"p").unwrap(),
+            (2, 30, Some(&b"t"[..]))
+        );
+        assert_eq!(raw_internal_search(&enc, b"z").unwrap(), (3, 40, None));
+    }
+
+    #[test]
+    fn raw_leaf_search_and_iteration_match_decoded_entries() {
+        let entries = vec![
+            (b"alpha".to_vec(), b"1".to_vec()),
+            (b"beta".to_vec(), b"two".to_vec()),
+            (b"gamma".to_vec(), b"".to_vec()),
+        ];
+        let enc = Node::Leaf {
+            entries: entries.clone(),
+        }
+        .encode(256)
+        .unwrap();
+        assert!(raw_is_leaf(&enc).unwrap());
+        assert_eq!(raw_leaf_search(&enc, b"beta").unwrap(), Some(&b"two"[..]));
+        assert_eq!(raw_leaf_search(&enc, b"gamma").unwrap(), Some(&b""[..]));
+        assert_eq!(raw_leaf_search(&enc, b"aaa").unwrap(), None);
+        assert_eq!(raw_leaf_search(&enc, b"delta").unwrap(), None);
+        assert_eq!(raw_leaf_search(&enc, b"zzz").unwrap(), None);
+        let walked: Vec<(Vec<u8>, Vec<u8>)> = raw_leaf_entries(&enc)
+            .unwrap()
+            .map(|e| e.map(|(k, v)| (k.to_vec(), v.to_vec())))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(walked, entries);
+    }
+
+    #[test]
+    fn raw_accessors_reject_wrong_tags_and_truncation() {
+        let leaf = Node::empty_leaf().encode(64).unwrap();
+        let internal = Node::Internal {
+            keys: vec![],
+            children: vec![7],
+        }
+        .encode(64)
+        .unwrap();
+        assert!(raw_internal_search(&leaf, b"x").is_err());
+        assert!(raw_leaf_entries(&internal).is_err());
+        assert!(raw_is_leaf(&[]).is_err());
+        assert!(raw_is_leaf(&[9u8; 16]).is_err());
+        assert_eq!(raw_internal_search(&internal, b"x").unwrap(), (0, 7, None));
+        assert_eq!(raw_leaf_entries(&leaf).unwrap().count(), 0);
+        // A leaf claiming one entry with no payload errors instead of panicking.
+        let mut bad = vec![TAG_LEAF];
+        bad.extend_from_slice(&1u16.to_le_bytes());
+        assert!(raw_leaf_entries(&bad).unwrap().next().unwrap().is_err());
     }
 
     #[test]

@@ -11,12 +11,37 @@
 //! relocating one leaf would force rewriting its left neighbour, cascading through the
 //! whole chain.
 //!
-//! ## Concurrency
+//! ## Concurrency: optimistic lock-coupling
 //!
-//! One tree-level `RwLock` orders operations: lookups and scans share it, mutations and
-//! checkpoints take it exclusively. Page frames live in the [`BufferPool`]'s sharded
-//! latches underneath, so concurrent readers touch disjoint locks on the hot path. Lock
-//! order: tree latch → pool shard latch (a leaf — the pool never takes the tree latch).
+//! There is no tree-level reader/writer latch on the hot path. Every page id maps to a
+//! version word in a [`VersionTable`]; every node write bumps its page's version.
+//!
+//! * **Readers** descend latch-free: read a page snapshot from the pool, re-check the
+//!   page's version, hand over to the child (validating the parent once more after
+//!   capturing the child's version), and — crucially — re-validate the leaf *after*
+//!   applying the caller's closure to a value, so anything the value references (e.g.
+//!   a KV value page) is proven not to have been superseded mid-read. Any version
+//!   mismatch restarts the descent. Descents search the *encoded* pages directly
+//!   (`node::raw_internal_search` / `raw_leaf_search`) — a validated snapshot is
+//!   parsed in place, never decoded into an owned node, so the read path allocates
+//!   nothing.
+//! * **Writers** descend optimistically recording the path (raw page snapshots, same
+//!   zero-decode search), compute exactly which suffix of the path a mutation
+//!   rewrites (the leaf, plus every ancestor reached by a split or a shadow
+//!   relocation), then try-lock exactly those nodes' version slots
+//!   by CAS-ing the versions observed during the descent — crabbing that takes
+//!   exclusive latches only on nodes that actually change. Any CAS failure releases
+//!   everything and restarts. Writers never block on a version slot while holding
+//!   another, so latch deadlocks are impossible.
+//! * **Checkpoints** (and walks, and flushes) take the tree's *epoch latch*
+//!   exclusively; every mutation holds it shared. This replaces the old exclusive
+//!   tree latch for exactly one job: freezing the epoch's page set while a
+//!   [`TreeCheckpoint`] runs. After `OPT_RETRIES` failed optimistic attempts an
+//!   operation falls back to the epoch latch's exclusive side, which quiesces all
+//!   writers — guaranteed progress, no starvation in either direction.
+//!
+//! Lock order: epoch latch → version slot → allocator mutex → pool shard latch (each
+//! a leaf with respect to the ones after it; the pool never takes a tree lock).
 //!
 //! ## Shadow (copy-on-write) mode
 //!
@@ -27,36 +52,85 @@
 //! allocated since the last commit are "fresh" and are updated in place. A
 //! [`TreeCheckpoint`] then makes the epoch durable: write back the dirty pages (all of
 //! them fresh ids), let the caller place a commit record (the KV layer's superblock)
-//! pointing at the new root, and only then release the freed ids for reuse. Crash at
-//! any point and the previously committed root still describes a fully intact tree.
-//! Stand-alone trees ([`BTree::open`]) skip all of this and update pages in place,
-//! which keeps the TPC-C page-write traces of the Figure 6 experiment faithful.
+//! pointing at the new root, and only then release the freed ids for reuse — bumping
+//! the freed pages' versions first, so optimistic readers still standing on a stale
+//! path restart instead of chasing reclaimed pages. Crash at any point and the
+//! previously committed root still describes a fully intact tree. Stand-alone trees
+//! ([`BTree::open`]) skip all of this and update pages in place, which keeps the TPC-C
+//! page-write traces of the Figure 6 experiment faithful.
 
 use crate::buffer_pool::BufferPool;
-use crate::node::{MetaPage, Node, LEAF_HEADER_BYTES};
+use crate::latch::VersionTable;
+use crate::node::{
+    raw_internal_search, raw_is_leaf, raw_leaf_entries, raw_leaf_search, MetaPage, Node,
+    LEAF_HEADER_BYTES,
+};
 use crate::page_store::PageStore;
 use lss_core::error::{Error, Result};
-use parking_lot::{RwLock, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Page id of the metadata page (stand-alone mode only; never allocated to nodes).
 const META_PAGE: u64 = 0;
 
-/// The latch-guarded mutable state of a tree.
+/// Failed optimistic attempts before an operation falls back to the exclusive side of
+/// the epoch latch (quiescing writers). High enough that the fallback is rare under
+/// ordinary contention, low enough to bound tail latency under pathological aliasing.
+const OPT_RETRIES: u32 = 8;
+
+/// Allocator state: the page-id watermark plus the shadow epoch's page sets.
 #[derive(Debug)]
-struct TreeState {
-    /// Page id of the root node.
-    root: u64,
+struct AllocState {
     /// Next never-used page id (the allocation watermark).
     next_page_id: u64,
-    /// Number of live keys.
-    len: u64,
     /// Shadow mode: pages allocated since the last commit — safe to update in place.
     fresh: HashSet<u64>,
     /// Shadow mode: committed pages superseded this epoch; reusable after commit.
     freed: Vec<u64>,
     /// Shadow mode: page ids free for reuse (freed by previously committed epochs).
     free: Vec<u64>,
+}
+
+/// Lock-free concurrency counters (see [`TreeStats`]).
+#[derive(Debug, Default)]
+struct TreeCounters {
+    read_restarts: AtomicU64,
+    write_restarts: AtomicU64,
+    writer_ops: AtomicU64,
+    writer_locks: AtomicU64,
+    read_fallbacks: AtomicU64,
+    write_fallbacks: AtomicU64,
+}
+
+/// A snapshot of the tree's optimistic-lock-coupling statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Optimistic reader descents that hit a version change and restarted.
+    pub read_restarts: u64,
+    /// Writer attempts that failed validation/locking and restarted.
+    pub write_restarts: u64,
+    /// Mutations (inserts + deletes) that modified the tree or probed it.
+    pub writer_ops: u64,
+    /// Version-slot locks taken by writers (crabbing locks; see
+    /// [`TreeStats::avg_crab_depth`]).
+    pub writer_locks: u64,
+    /// Reads that exhausted their optimistic retries and quiesced the writers.
+    pub read_fallbacks: u64,
+    /// Writes that exhausted their optimistic retries and quiesced the writers.
+    pub write_fallbacks: u64,
+}
+
+impl TreeStats {
+    /// Mean number of version locks a mutation held — 1.0 means pure leaf-only
+    /// crabbing, higher means splits/relocations reached ancestors.
+    pub fn avg_crab_depth(&self) -> f64 {
+        if self.writer_ops == 0 {
+            0.0
+        } else {
+            self.writer_locks as f64 / self.writer_ops as f64
+        }
+    }
 }
 
 /// An ordered key/value B+-tree over a page store.
@@ -66,7 +140,57 @@ pub struct BTree<S: PageStore> {
     page_size: usize,
     /// Copy-on-write mode (see the module docs).
     shadow: bool,
-    state: RwLock<TreeState>,
+    /// Page id of the root node (changes under the root's version lock).
+    root: AtomicU64,
+    /// Number of live keys.
+    len: AtomicU64,
+    alloc: Mutex<AllocState>,
+    versions: VersionTable,
+    /// Shared by every mutation, exclusive for checkpoints/walks/fallbacks.
+    epoch_latch: RwLock<()>,
+    counters: TreeCounters,
+}
+
+/// One step of a writer's recorded descent. The page image is kept as the raw
+/// validated snapshot — internal nodes are only decoded if the mutation actually
+/// rewrites them (most descents never decode anything but the leaf).
+struct PathEntry {
+    page: u64,
+    ver: u64,
+    bytes: std::sync::Arc<Vec<u8>>,
+    /// The child slot the descent took (internal nodes; 0 for the leaf).
+    idx: usize,
+}
+
+/// Per-level decisions of a mutation, computed *exactly* from the descent snapshots
+/// before any lock or allocation, so the apply phase follows the plan verbatim.
+#[derive(Debug, Default, Clone)]
+struct LevelPlan {
+    /// Shadow mode: the node moves to a new page id (it was not fresh this epoch).
+    relocate: bool,
+    /// The rewritten node overflows and splits.
+    split: bool,
+}
+
+/// Outcome of one optimistic attempt.
+enum Attempt<T> {
+    Done(T),
+    Conflict,
+}
+
+/// RAII over a set of locked version slots: always unlocks, even on an error path
+/// (an unlock bumps the version, so observers of a half-applied mutation restart).
+struct SlotLocks<'a> {
+    table: &'a VersionTable,
+    slots: Vec<usize>,
+}
+
+impl Drop for SlotLocks<'_> {
+    fn drop(&mut self) {
+        for &s in &self.slots {
+            self.table.unlock_slot(s);
+        }
+    }
 }
 
 impl<S: PageStore> BTree<S> {
@@ -89,19 +213,7 @@ impl<S: PageStore> BTree<S> {
                 meta
             }
         };
-        Ok(Self {
-            pool,
-            page_size,
-            shadow: false,
-            state: RwLock::new(TreeState {
-                root: meta.root,
-                next_page_id: meta.next_page_id,
-                len: meta.len,
-                fresh: HashSet::new(),
-                freed: Vec::new(),
-                free: Vec::new(),
-            }),
-        })
+        Ok(Self::assemble(pool, page_size, false, meta, HashSet::new()))
     }
 
     /// Open a tree in shadow (copy-on-write) mode.
@@ -113,34 +225,61 @@ impl<S: PageStore> BTree<S> {
     /// module docs for the epoch protocol.
     pub fn open_shadow(pool: BufferPool<S>, frontier: Option<(u64, u64, u64)>) -> Result<Self> {
         let page_size = Self::check_page_size(&pool)?;
-        let (root, next_page_id, len, fresh) = match frontier {
+        let (meta, fresh) = match frontier {
             Some((root, next_page_id, len)) => {
                 if root == META_PAGE || root >= next_page_id {
                     return Err(Error::CorruptCheckpoint(format!(
                         "btree frontier root {root} outside (0, {next_page_id})"
                     )));
                 }
-                (root, next_page_id, len, HashSet::new())
+                (
+                    MetaPage {
+                        root,
+                        next_page_id,
+                        len,
+                    },
+                    HashSet::new(),
+                )
             }
             None => {
                 // Fresh tree: root leaf at page 1, fresh (dirty in the pool only).
                 pool.write(1, Node::empty_leaf().encode(page_size)?)?;
-                (1, 2, 0, HashSet::from([1]))
+                (
+                    MetaPage {
+                        root: 1,
+                        next_page_id: 2,
+                        len: 0,
+                    },
+                    HashSet::from([1]),
+                )
             }
         };
-        Ok(Self {
+        Ok(Self::assemble(pool, page_size, true, meta, fresh))
+    }
+
+    fn assemble(
+        pool: BufferPool<S>,
+        page_size: usize,
+        shadow: bool,
+        meta: MetaPage,
+        fresh: HashSet<u64>,
+    ) -> Self {
+        Self {
             pool,
             page_size,
-            shadow: true,
-            state: RwLock::new(TreeState {
-                root,
-                next_page_id,
-                len,
+            shadow,
+            root: AtomicU64::new(meta.root),
+            len: AtomicU64::new(meta.len),
+            alloc: Mutex::new(AllocState {
+                next_page_id: meta.next_page_id,
                 fresh,
                 freed: Vec::new(),
                 free: Vec::new(),
             }),
-        })
+            versions: VersionTable::new(),
+            epoch_latch: RwLock::new(()),
+            counters: TreeCounters::default(),
+        }
     }
 
     fn check_page_size(pool: &BufferPool<S>) -> Result<usize> {
@@ -161,7 +300,7 @@ impl<S: PageStore> BTree<S> {
 
     /// Number of keys in the tree.
     pub fn len(&self) -> u64 {
-        self.state.read().len
+        self.len.load(Ordering::Acquire)
     }
 
     /// True if the tree holds no keys.
@@ -172,6 +311,18 @@ impl<S: PageStore> BTree<S> {
     /// Buffer-pool statistics (hit ratio, evictions).
     pub fn pool_stats(&self) -> crate::buffer_pool::BufferPoolStats {
         self.pool.stats()
+    }
+
+    /// Optimistic-lock-coupling statistics (restarts, crab depth, fallbacks).
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            read_restarts: self.counters.read_restarts.load(Ordering::Relaxed),
+            write_restarts: self.counters.write_restarts.load(Ordering::Relaxed),
+            writer_ops: self.counters.writer_ops.load(Ordering::Relaxed),
+            writer_locks: self.counters.writer_locks.load(Ordering::Relaxed),
+            read_fallbacks: self.counters.read_fallbacks.load(Ordering::Relaxed),
+            write_fallbacks: self.counters.write_fallbacks.load(Ordering::Relaxed),
+        }
     }
 
     /// The buffer pool (e.g. for dirty-page gauges).
@@ -187,9 +338,236 @@ impl<S: PageStore> BTree<S> {
     /// Seed the reusable-page-id list (shadow mode; used when reopening a tree whose
     /// free list was reconstructed by a reachability sweep).
     pub fn seed_free_list(&self, ids: impl IntoIterator<Item = u64>) {
-        let mut st = self.state.write();
-        st.free.extend(ids);
+        self.alloc.lock().free.extend(ids);
     }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_map(key, |v| Ok(v.to_vec()))
+    }
+
+    /// Look up a key and transform the value under optimistic validation: after `f`
+    /// runs, the leaf's version is re-checked, and on any concurrent change the whole
+    /// lookup restarts (so `f` may run more than once). A validated result proves the
+    /// entry — and whatever the value references (e.g. a KV value page in the log
+    /// store) — was current while `f` read it.
+    pub fn get_map<R>(
+        &self,
+        key: &[u8],
+        mut f: impl FnMut(&[u8]) -> Result<R>,
+    ) -> Result<Option<R>> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > OPT_RETRIES {
+                self.counters.read_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let _quiesced = self.epoch_latch.write();
+                let (entries, _) = self.find_leaf(key)?;
+                return match entries.iter().find(|(k, _)| k.as_slice() == key) {
+                    Some((_, v)) => f(v).map(Some),
+                    None => Ok(None),
+                };
+            }
+            match self.try_get(key, &mut f)? {
+                Attempt::Done(out) => return Ok(out),
+                Attempt::Conflict => {
+                    self.counters.read_restarts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// One optimistic lookup attempt.
+    fn try_get<R>(
+        &self,
+        key: &[u8],
+        f: &mut impl FnMut(&[u8]) -> Result<R>,
+    ) -> Result<Attempt<Option<R>>> {
+        let mut page = self.root.load(Ordering::Acquire);
+        let mut ver = self.versions.stable(page);
+        if self.root.load(Ordering::Acquire) != page {
+            return Ok(Attempt::Conflict);
+        }
+        loop {
+            let Some(bytes) = self.pool.read(page)? else {
+                if self.versions.changed(page, ver) {
+                    return Ok(Attempt::Conflict);
+                }
+                return Err(missing_page(page));
+            };
+            if self.versions.changed(page, ver) {
+                return Ok(Attempt::Conflict);
+            }
+            // The snapshot is consistent (version stable across the read), so the
+            // raw searches below parse committed bytes — no decode, no allocation.
+            if raw_is_leaf(&bytes)? {
+                let Some(v) = raw_leaf_search(&bytes, key)? else {
+                    return Ok(Attempt::Done(None));
+                };
+                let out = f(v);
+                // Validate *after* f: proves the value (and anything it points
+                // at) was still current while f read it. On a change, discard
+                // whatever f produced — including an error — and restart.
+                if self.versions.changed(page, ver) {
+                    return Ok(Attempt::Conflict);
+                }
+                return out.map(|r| Attempt::Done(Some(r)));
+            }
+            let (_, child, _) = raw_internal_search(&bytes, key)?;
+            let child_ver = self.versions.stable(child);
+            if self.versions.changed(page, ver) {
+                return Ok(Attempt::Conflict);
+            }
+            page = child;
+            ver = child_ver;
+        }
+    }
+
+    /// Ordered scan of all `(key, value)` pairs with `start <= key < end`.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_map(start, end, |k, v| Ok(Some((k.to_vec(), v.to_vec()))))
+    }
+
+    /// Ordered scan of `start <= key < end`, applying `f` to each entry under
+    /// optimistic validation; entries for which `f` returns `Ok(None)` are skipped.
+    ///
+    /// Atomicity is per leaf: each emitted entry was validated against its leaf's
+    /// version *after* `f` read it, and a restart resumes just past the last emitted
+    /// key — so the scan observes every key that existed for the scan's whole
+    /// duration exactly once, in order, but concurrent mutations may land between
+    /// leaves (same as any cursor-based scan). `f` may run more than once per entry
+    /// when a conflict forces a restart; only validated results are kept.
+    pub fn scan_map<R>(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]) -> Result<Option<R>>,
+    ) -> Result<Vec<R>> {
+        let mut out = Vec::new();
+        let mut cursor = start.to_vec();
+        let mut attempts = 0u32;
+        loop {
+            if attempts > OPT_RETRIES {
+                // Quiesce writers and finish the remainder of the scan exclusively.
+                self.counters.read_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let _quiesced = self.epoch_latch.write();
+                loop {
+                    let (entries, upper) = self.find_leaf(&cursor)?;
+                    for (k, v) in &entries {
+                        if k.as_slice() >= end {
+                            return Ok(out);
+                        }
+                        if k.as_slice() >= cursor.as_slice() {
+                            if let Some(r) = f(k, v)? {
+                                out.push(r);
+                            }
+                        }
+                    }
+                    match upper {
+                        None => return Ok(out),
+                        Some(u) if u.as_slice() >= end => return Ok(out),
+                        Some(u) => cursor = u,
+                    }
+                }
+            }
+            match self.try_scan_leaf(&mut cursor, end, &mut f, &mut out)? {
+                Attempt::Done(true) => return Ok(out),
+                Attempt::Done(false) => attempts = 0, // progressed to the next leaf
+                Attempt::Conflict => {
+                    self.counters.read_restarts.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// One optimistic scan step: descend to the leaf holding `cursor`, emit its
+    /// validated entries (advancing `cursor` past each), and step `cursor` to the
+    /// next leaf's smallest key. `Done(true)` means the scan is complete.
+    fn try_scan_leaf<R>(
+        &self,
+        cursor: &mut Vec<u8>,
+        end: &[u8],
+        f: &mut impl FnMut(&[u8], &[u8]) -> Result<Option<R>>,
+        out: &mut Vec<R>,
+    ) -> Result<Attempt<bool>> {
+        let mut page = self.root.load(Ordering::Acquire);
+        let mut ver = self.versions.stable(page);
+        if self.root.load(Ordering::Acquire) != page {
+            return Ok(Attempt::Conflict);
+        }
+        let mut upper: Option<Vec<u8>> = None;
+        let (bytes, leaf, leaf_ver) = loop {
+            let Some(bytes) = self.pool.read(page)? else {
+                if self.versions.changed(page, ver) {
+                    return Ok(Attempt::Conflict);
+                }
+                return Err(missing_page(page));
+            };
+            if self.versions.changed(page, ver) {
+                return Ok(Attempt::Conflict);
+            }
+            if raw_is_leaf(&bytes)? {
+                break (bytes, page, ver);
+            }
+            let (_, child, next_upper) = raw_internal_search(&bytes, cursor)?;
+            let next_upper = next_upper.map(<[u8]>::to_vec);
+            let child_ver = self.versions.stable(child);
+            if self.versions.changed(page, ver) {
+                return Ok(Attempt::Conflict);
+            }
+            if let Some(u) = next_upper {
+                // Deeper separators are tighter than inherited ones.
+                upper = Some(u);
+            }
+            page = child;
+            ver = child_ver;
+        };
+        for entry in raw_leaf_entries(&bytes)? {
+            let (k, v) = entry?;
+            if k >= end {
+                return Ok(Attempt::Done(true));
+            }
+            if k < cursor.as_slice() {
+                continue;
+            }
+            let r = f(k, v);
+            // Per-entry validation *after* f (see get_map); a conflict resumes just
+            // past the last key already emitted, never re-emitting it.
+            if self.versions.changed(leaf, leaf_ver) {
+                return Ok(Attempt::Conflict);
+            }
+            if let Some(r) = r? {
+                out.push(r);
+            }
+            *cursor = successor(k);
+        }
+        match upper {
+            None => Ok(Attempt::Done(true)),
+            Some(u) if u.as_slice() >= end => Ok(Attempt::Done(true)),
+            Some(u) => {
+                // `u` is the smallest key of the next leaf; descending for it lands
+                // exactly there.
+                *cursor = u;
+                Ok(Attempt::Done(false))
+            }
+        }
+    }
+
+    /// Visit every reachable node (pre-order), e.g. for reachability sweeps after a
+    /// restart. Quiesces all writers for a stable traversal.
+    pub fn walk(&self, mut f: impl FnMut(u64, &Node)) -> Result<()> {
+        let _quiesced = self.epoch_latch.write();
+        self.walk_rec(self.root.load(Ordering::Acquire), &mut f)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
 
     /// Insert or overwrite a key.
     pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<()> {
@@ -205,50 +583,28 @@ impl<S: PageStore> BTree<S> {
                 max: self.max_entry_size(),
             });
         }
-        let mut st = self.state.write();
-        let root = st.root;
-        let (new_root, old, split) = self.insert_rec(&mut st, root, key, value)?;
-        st.root = new_root;
-        if old.is_none() {
-            st.len += 1;
-        }
-        if let Some((sep, right)) = split {
-            // The root split: create a new internal root.
-            let new_root_id = self.alloc_page(&mut st);
-            let new_root = Node::Internal {
-                keys: vec![sep],
-                children: vec![st.root, right],
-            };
-            self.write_node(new_root_id, &new_root)?;
-            st.root = new_root_id;
-        }
-        Ok(old)
-    }
-
-    /// Look up a key.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.get_map(key, |v| Ok(v.to_vec()))
-    }
-
-    /// Look up a key and transform the value **under the tree's shared latch**: while
-    /// `f` runs, no mutation or checkpoint can commit, so whatever the value references
-    /// (e.g. a KV value page in the log store) cannot be reclaimed underneath it.
-    pub fn get_map<R>(&self, key: &[u8], f: impl FnOnce(&[u8]) -> Result<R>) -> Result<Option<R>> {
-        let st = self.state.read();
-        let mut page = st.root;
-        loop {
-            match self.read_node(page)? {
-                Node::Internal { keys, children } => {
-                    page = children[child_index(&keys, key)];
+        self.counters.writer_ops.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0u32;
+        {
+            let _epoch = self.epoch_latch.read();
+            loop {
+                attempts += 1;
+                if attempts > OPT_RETRIES {
+                    break; // fall through to the quiesced path below
                 }
-                Node::Leaf { entries } => {
-                    return match entries.iter().find(|(k, _)| k.as_slice() == key) {
-                        Some((_, v)) => f(v).map(Some),
-                        None => Ok(None),
-                    };
+                match self.try_mutate(key, Some(value))? {
+                    Attempt::Done(old) => return Ok(old),
+                    Attempt::Conflict => {
+                        self.counters.write_restarts.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
+        self.counters
+            .write_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let _quiesced = self.epoch_latch.write();
+        self.insert_quiesced(key, value)
     }
 
     /// Delete a key. Returns true if it existed.
@@ -258,9 +614,347 @@ impl<S: PageStore> BTree<S> {
 
     /// Delete a key, returning its value if it existed.
     pub fn delete_returning(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let mut st = self.state.write();
+        self.counters.writer_ops.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0u32;
+        {
+            let _epoch = self.epoch_latch.read();
+            loop {
+                attempts += 1;
+                if attempts > OPT_RETRIES {
+                    break;
+                }
+                match self.try_mutate(key, None)? {
+                    Attempt::Done(old) => return Ok(old),
+                    Attempt::Conflict => {
+                        self.counters.write_restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.counters
+            .write_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let _quiesced = self.epoch_latch.write();
+        self.delete_quiesced(key)
+    }
+
+    /// One optimistic mutation attempt: `value = Some(v)` inserts/overwrites,
+    /// `None` deletes. Caller holds the epoch latch shared.
+    fn try_mutate(&self, key: &[u8], value: Option<&[u8]>) -> Result<Attempt<Option<Vec<u8>>>> {
+        // Phase 1: optimistic descent recording (page, version, snapshot, child slot).
+        let Some(path) = self.descend_recording(key)? else {
+            return Ok(Attempt::Conflict);
+        };
+        let leaf_i = path.len() - 1;
+
+        // Phase 2: the new leaf image and the old value. Only the leaf is decoded —
+        // internal snapshots stay raw unless the mutation actually rewrites them.
+        let Node::Leaf { mut entries } = Node::decode(&path[leaf_i].bytes)? else {
+            unreachable!("descent ends at a leaf")
+        };
+        let old = match (
+            entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)),
+            value,
+        ) {
+            (Ok(i), Some(v)) => Some(std::mem::replace(&mut entries[i].1, v.to_vec())),
+            (Err(i), Some(v)) => {
+                entries.insert(i, (key.to_vec(), v.to_vec()));
+                None
+            }
+            (Ok(i), None) => Some(entries.remove(i).1),
+            (Err(_), None) => {
+                // Delete miss: the validated leaf snapshot proves absence — return
+                // without locking anything (a miss must not churn shadow pages).
+                return Ok(Attempt::Done(None));
+            }
+        };
+
+        // Phase 3: the exact per-level plan (what relocates, what splits, where the
+        // rewrite stops). Fresh-ness of a live node only changes under its version
+        // lock, so the snapshot taken here stays valid as long as the CAS below
+        // succeeds.
+        let in_place: Vec<bool> = if !self.shadow {
+            vec![true; path.len()]
+        } else {
+            let a = self.alloc.lock();
+            path.iter().map(|p| a.fresh.contains(&p.page)).collect()
+        };
+        let (anchor, plans) = self.plan(&path, &in_place, &entries)?;
+
+        // Phase 4: crab — try-lock exactly the version slots of path[anchor..] at the
+        // versions the descent observed. Success proves every node we are about to
+        // rewrite (and the root pointer, if anchor == 0) is unchanged since phase 1.
+        let mut lock_set: Vec<(usize, u64)> = path[anchor..]
+            .iter()
+            .map(|p| (self.versions.slot_of(p.page), p.ver))
+            .collect();
+        lock_set.sort_unstable();
+        lock_set.dedup();
+        if lock_set.windows(2).any(|w| w[0].0 == w[1].0) {
+            // Two path pages alias one slot at different versions: unprovable.
+            return Ok(Attempt::Conflict);
+        }
+        let mut locks = SlotLocks {
+            table: &self.versions,
+            slots: Vec::with_capacity(lock_set.len()),
+        };
+        for &(slot, ver) in &lock_set {
+            if !self.versions.try_lock_slot(slot, ver) {
+                return Ok(Attempt::Conflict); // SlotLocks drop releases what we hold
+            }
+            locks.slots.push(slot);
+        }
+        self.counters
+            .writer_locks
+            .fetch_add(lock_set.len() as u64, Ordering::Relaxed);
+
+        // Phase 5: allocate ids per plan in one short allocator hold (skipped when
+        // the whole rewrite is in place — the common steady-state case).
+        let (targets, siblings, new_root_id) =
+            if plans[anchor..].iter().all(|p| !p.relocate && !p.split) {
+                let targets: Vec<u64> = path[anchor..].iter().map(|p| p.page).collect();
+                let siblings = vec![None; targets.len()];
+                (targets, siblings, None)
+            } else {
+                let mut a = self.alloc.lock();
+                let mut targets = Vec::with_capacity(path.len() - anchor);
+                let mut siblings = Vec::with_capacity(path.len() - anchor);
+                for i in anchor..path.len() {
+                    if plans[i].relocate {
+                        targets.push(self.alloc_page_locked(&mut a));
+                        a.freed.push(path[i].page);
+                    } else {
+                        targets.push(path[i].page);
+                    }
+                    siblings.push(plans[i].split.then(|| self.alloc_page_locked(&mut a)));
+                }
+                let new_root_id =
+                    (anchor == 0 && plans[0].split).then(|| self.alloc_page_locked(&mut a));
+                (targets, siblings, new_root_id)
+            };
+
+        // Phase 6: build and write bottom-up (children before parents), following the
+        // plan verbatim. Every write bumps the page's version, so optimistic readers
+        // of any rewritten or stale page restart.
+        let mut child_id = 0u64;
+        let mut carry: Option<(Vec<u8>, u64)> = None; // (separator, right sibling id)
+        for i in (anchor..path.len()).rev() {
+            let li = i - anchor;
+            let target = targets[li];
+            if i == leaf_i {
+                if let Some(right_id) = siblings[li] {
+                    let at = split_point(&entries, self.page_size);
+                    let right = entries.split_off(at);
+                    carry = Some((right[0].0.clone(), right_id));
+                    self.write_node(right_id, &Node::Leaf { entries: right })?;
+                }
+                self.write_node(
+                    target,
+                    &Node::Leaf {
+                        entries: std::mem::take(&mut entries),
+                    },
+                )?;
+            } else {
+                // Rewritten internal level: decode the raw snapshot now (and only
+                // now), mutate the owned node, re-encode.
+                let Node::Internal {
+                    mut keys,
+                    mut children,
+                } = Node::decode(&path[i].bytes)?
+                else {
+                    unreachable!("descent recorded an internal level")
+                };
+                let idx = path[i].idx;
+                children[idx] = child_id;
+                if let Some((sep, right_id)) = carry.take() {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right_id);
+                }
+                if let Some(right_id) = siblings[li] {
+                    // Split the internal node: the middle key moves up.
+                    let mid = keys.len() / 2;
+                    let up_key = keys[mid].clone();
+                    let right = Node::Internal {
+                        keys: keys[mid + 1..].to_vec(),
+                        children: children[mid + 1..].to_vec(),
+                    };
+                    keys.truncate(mid);
+                    children.truncate(mid + 1);
+                    carry = Some((up_key, right_id));
+                    self.write_node(right_id, &right)?;
+                }
+                self.write_node(target, &Node::Internal { keys, children })?;
+            }
+            child_id = target;
+        }
+        if anchor == 0 {
+            if let Some((sep, right_id)) = carry.take() {
+                // The root split: a new internal root above both halves.
+                let id = new_root_id.expect("planned root split allocates a root id");
+                self.write_node(
+                    id,
+                    &Node::Internal {
+                        keys: vec![sep],
+                        children: vec![child_id, right_id],
+                    },
+                )?;
+                child_id = id;
+            }
+            if child_id != path[0].page {
+                // Publish the new root before releasing the old root's lock, so a
+                // restarted descent always finds a consistent entry point.
+                self.root.store(child_id, Ordering::Release);
+            }
+        } else {
+            debug_assert_eq!(child_id, path[anchor].page, "plan stopped mid-propagation");
+            debug_assert!(carry.is_none(), "split escaped the planned lock scope");
+        }
+        match (&old, value) {
+            (None, Some(_)) => {
+                self.len.fetch_add(1, Ordering::AcqRel);
+            }
+            (Some(_), None) => {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+            }
+            _ => {}
+        }
+        drop(locks);
+        Ok(Attempt::Done(old))
+    }
+
+    /// Optimistic descent for a mutation, recording the full path. `None` = conflict.
+    fn descend_recording(&self, key: &[u8]) -> Result<Option<Vec<PathEntry>>> {
+        let mut page = self.root.load(Ordering::Acquire);
+        let mut ver = self.versions.stable(page);
+        if self.root.load(Ordering::Acquire) != page {
+            return Ok(None);
+        }
+        let mut path = Vec::with_capacity(4);
+        loop {
+            let Some(bytes) = self.pool.read(page)? else {
+                if self.versions.changed(page, ver) {
+                    return Ok(None);
+                }
+                return Err(missing_page(page));
+            };
+            if self.versions.changed(page, ver) {
+                return Ok(None);
+            }
+            if raw_is_leaf(&bytes)? {
+                path.push(PathEntry {
+                    page,
+                    ver,
+                    bytes,
+                    idx: 0,
+                });
+                return Ok(Some(path));
+            }
+            let (idx, child, _) = raw_internal_search(&bytes, key)?;
+            let child_ver = self.versions.stable(child);
+            if self.versions.changed(page, ver) {
+                return Ok(None);
+            }
+            path.push(PathEntry {
+                page,
+                ver,
+                bytes,
+                idx,
+            });
+            page = child;
+            ver = child_ver;
+        }
+    }
+
+    /// Compute the mutation's exact rewrite plan from the descent snapshots: which
+    /// suffix of the path is rewritten (`anchor` = the highest rewritten level), and
+    /// per level whether it relocates (shadow path-copy) and/or splits. Sizes are
+    /// computed exactly — including the exact separator each split pushes up — so the
+    /// apply phase can follow the plan without re-deciding anything.
+    fn plan(
+        &self,
+        path: &[PathEntry],
+        in_place: &[bool],
+        new_entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(usize, Vec<LevelPlan>)> {
+        let leaf_i = path.len() - 1;
+        let mut plans = vec![LevelPlan::default(); path.len()];
+        plans[leaf_i].relocate = !in_place[leaf_i];
+        let leaf_size = LEAF_HEADER_BYTES
+            + new_entries
+                .iter()
+                .map(|(k, v)| 4 + k.len() + v.len())
+                .sum::<usize>();
+        plans[leaf_i].split = leaf_size > self.page_size;
+        let mut pending_sep: Option<Vec<u8>> = if plans[leaf_i].split {
+            let at = split_point(new_entries, self.page_size);
+            Some(new_entries[at].0.clone())
+        } else {
+            None
+        };
+
+        let mut anchor = leaf_i;
+        for i in (0..leaf_i).rev() {
+            if !plans[i + 1].relocate && pending_sep.is_none() {
+                break; // the child was rewritten in place without splitting
+            }
+            anchor = i;
+            plans[i].relocate = !in_place[i];
+            if let Some(sep) = pending_sep.take() {
+                // A separator propagates into this level (the child split): decode
+                // the raw snapshot to size the grown node — rare enough that the
+                // decode never shows up on the steady-state path.
+                let node = Node::decode(&path[i].bytes)?;
+                let grown = node.encoded_size() + 2 + sep.len() + 8;
+                if grown > self.page_size {
+                    plans[i].split = true;
+                    // The key the split pushes up: the middle of the keys *after*
+                    // inserting `sep` at the descent's child slot.
+                    let Node::Internal { keys, .. } = &node else {
+                        unreachable!("internal level")
+                    };
+                    let idx = path[i].idx;
+                    let mid = keys.len().div_ceil(2);
+                    let up_key = match mid.cmp(&idx) {
+                        std::cmp::Ordering::Less => keys[mid].clone(),
+                        std::cmp::Ordering::Equal => sep,
+                        std::cmp::Ordering::Greater => keys[mid - 1].clone(),
+                    };
+                    pending_sep = Some(up_key);
+                }
+            }
+        }
+        Ok((anchor, plans))
+    }
+
+    /// Exclusive-fallback insert (caller holds the epoch latch exclusively).
+    fn insert_quiesced(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut alloc = self.alloc.lock();
+        let root = self.root.load(Ordering::Acquire);
+        let (new_root, old, split) = self.insert_rec(&mut alloc, root, key, value)?;
+        let mut root = new_root;
+        if let Some((sep, right)) = split {
+            // The root split: create a new internal root.
+            let new_root_id = self.alloc_page_locked(&mut alloc);
+            self.write_node(
+                new_root_id,
+                &Node::Internal {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                },
+            )?;
+            root = new_root_id;
+        }
+        self.root.store(root, Ordering::Release);
+        if old.is_none() {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(old)
+    }
+
+    /// Exclusive-fallback delete (caller holds the epoch latch exclusively).
+    fn delete_quiesced(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         // Read-only probe first: a miss must not churn shadow pages.
-        let mut page = st.root;
+        let mut page = self.root.load(Ordering::Acquire);
         loop {
             match self.read_node(page)? {
                 Node::Internal { keys, children } => page = children[child_index(&keys, key)],
@@ -272,63 +966,17 @@ impl<S: PageStore> BTree<S> {
                 }
             }
         }
-        let root = st.root;
-        let (new_root, old) = self.delete_rec(&mut st, root, key)?;
-        st.root = new_root;
-        st.len -= 1;
+        let mut alloc = self.alloc.lock();
+        let root = self.root.load(Ordering::Acquire);
+        let (new_root, old) = self.delete_rec(&mut alloc, root, key)?;
+        self.root.store(new_root, Ordering::Release);
+        self.len.fetch_sub(1, Ordering::AcqRel);
         Ok(old)
     }
 
-    /// Ordered scan of all `(key, value)` pairs with `start <= key < end`.
-    pub fn range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.scan_map(start, end, |k, v| Ok(Some((k.to_vec(), v.to_vec()))))
-    }
-
-    /// Ordered scan of `start <= key < end`, applying `f` to each entry **under the
-    /// tree's shared latch** (see [`BTree::get_map`]); entries for which `f` returns
-    /// `Ok(None)` are skipped.
-    pub fn scan_map<R>(
-        &self,
-        start: &[u8],
-        end: &[u8],
-        mut f: impl FnMut(&[u8], &[u8]) -> Result<Option<R>>,
-    ) -> Result<Vec<R>> {
-        let st = self.state.read();
-        let mut out = Vec::new();
-        let mut cursor = start.to_vec();
-        loop {
-            let (entries, upper) = self.find_leaf(&st, &cursor)?;
-            for (k, v) in &entries {
-                if k.as_slice() >= end {
-                    return Ok(out);
-                }
-                if k.as_slice() >= start {
-                    if let Some(r) = f(k, v)? {
-                        out.push(r);
-                    }
-                }
-            }
-            match upper {
-                // Rightmost leaf: done.
-                None => return Ok(out),
-                Some(u) => {
-                    if u.as_slice() >= end {
-                        return Ok(out);
-                    }
-                    // `u` is the smallest key of the next leaf; descending for it
-                    // lands exactly there.
-                    cursor = u;
-                }
-            }
-        }
-    }
-
-    /// Visit every reachable node (pre-order), e.g. for reachability sweeps after a
-    /// restart. Runs under the shared latch.
-    pub fn walk(&self, mut f: impl FnMut(u64, &Node)) -> Result<()> {
-        let st = self.state.read();
-        self.walk_rec(st.root, &mut f)
-    }
+    // ------------------------------------------------------------------
+    // Checkpoint / flush
+    // ------------------------------------------------------------------
 
     /// Flush all dirty pages (and, for stand-alone trees, the meta page) to the
     /// underlying store and sync it.
@@ -336,12 +984,12 @@ impl<S: PageStore> BTree<S> {
     /// Shadow trees get no crash-consistency guarantee from this alone — that is what
     /// [`BTree::begin_checkpoint`] and the caller's commit record are for.
     pub fn flush(&self) -> Result<()> {
-        let st = self.state.write();
+        let _quiesced = self.epoch_latch.write();
         if !self.shadow {
             let meta = MetaPage {
-                root: st.root,
-                next_page_id: st.next_page_id,
-                len: st.len,
+                root: self.root.load(Ordering::Acquire),
+                next_page_id: self.alloc.lock().next_page_id,
+                len: self.len.load(Ordering::Acquire),
             };
             self.pool.write(META_PAGE, meta.encode(self.page_size))?;
         }
@@ -354,65 +1002,65 @@ impl<S: PageStore> BTree<S> {
         self.pool.into_store()
     }
 
-    /// Take the tree's exclusive latch for a checkpoint: no mutation can run until the
-    /// returned guard is committed or dropped. See [`TreeCheckpoint`].
+    /// Take the epoch latch exclusively for a checkpoint: no mutation can run until
+    /// the returned guard is committed or dropped. See [`TreeCheckpoint`].
     pub fn begin_checkpoint(&self) -> TreeCheckpoint<'_, S> {
         TreeCheckpoint {
             tree: self,
-            st: self.state.write(),
+            _quiesced: self.epoch_latch.write(),
         }
     }
 
     // ------------------------------------------------------------------
 
-    fn alloc_page(&self, st: &mut TreeState) -> u64 {
-        let id = st.free.pop().unwrap_or_else(|| {
-            let id = st.next_page_id;
-            st.next_page_id += 1;
+    /// Allocate a page id (the caller holds the allocator mutex).
+    fn alloc_page_locked(&self, a: &mut AllocState) -> u64 {
+        let id = a.free.pop().unwrap_or_else(|| {
+            let id = a.next_page_id;
+            a.next_page_id += 1;
             id
         });
         if self.shadow {
-            st.fresh.insert(id);
+            a.fresh.insert(id);
         }
         id
     }
 
-    /// The page id a modification of `page` must be written to: the page itself when it
-    /// may be updated in place (stand-alone mode, or fresh this epoch), otherwise a
-    /// newly allocated shadow id, with `page` queued for post-commit release. The
-    /// caller writes the modified node to the returned id and repoints the parent.
-    fn shadow_id(&self, st: &mut TreeState, page: u64) -> u64 {
-        if !self.shadow || st.fresh.contains(&page) {
+    /// The page id a quiesced modification of `page` must be written to (see the
+    /// shadow-mode module docs): the page itself when it may be updated in place,
+    /// otherwise a newly allocated shadow id with `page` queued for release.
+    fn shadow_id(&self, a: &mut AllocState, page: u64) -> u64 {
+        if !self.shadow || a.fresh.contains(&page) {
             return page;
         }
-        let id = self.alloc_page(st);
-        st.freed.push(page);
+        let id = self.alloc_page_locked(a);
+        a.freed.push(page);
         id
     }
 
     fn read_node(&self, page: u64) -> Result<Node> {
-        let bytes = self
-            .pool
-            .read(page)?
-            .ok_or_else(|| Error::InvalidConfig(format!("btree references missing page {page}")))?;
+        let bytes = self.pool.read(page)?.ok_or_else(|| missing_page(page))?;
         Node::decode(&bytes)
     }
 
+    /// Write a node and bump its page's version: *every* node write invalidates
+    /// optimistic observers of that page id — in-place rewrites (content changed),
+    /// relocation targets and recycled ids (a reader parked on the id from a stale
+    /// path must not validate against the new incarnation).
     fn write_node(&self, page: u64, node: &Node) -> Result<()> {
-        self.pool.write(page, node.encode(self.page_size)?)
+        self.pool.write(page, node.encode(self.page_size)?)?;
+        self.versions.bump(page);
+        Ok(())
     }
 
     /// Descend to the leaf that would hold `key`, returning its entries together with
     /// the leaf's exclusive upper bound: the innermost separator to the right of the
     /// descent path (`None` on the rightmost spine). The upper bound is the smallest
     /// key of the *next* leaf, which is how scans walk leaves without sibling links.
+    /// Caller must hold the epoch latch exclusively (no validation is performed).
     #[allow(clippy::type_complexity)]
-    fn find_leaf(
-        &self,
-        st: &TreeState,
-        key: &[u8],
-    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<Vec<u8>>)> {
-        let mut page = st.root;
+    fn find_leaf(&self, key: &[u8]) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<Vec<u8>>)> {
+        let mut page = self.root.load(Ordering::Acquire);
         let mut upper: Option<Vec<u8>> = None;
         loop {
             match self.read_node(page)? {
@@ -440,13 +1088,13 @@ impl<S: PageStore> BTree<S> {
         Ok(())
     }
 
-    /// Recursive insert. Returns the node's (possibly relocated) page id, the previous
-    /// value of the key if it existed, and the `(separator, right page)` of a node
-    /// split when one propagated upward.
+    /// Recursive insert for the quiesced path. Returns the node's (possibly
+    /// relocated) page id, the previous value of the key if it existed, and the
+    /// `(separator, right page)` of a node split when one propagated upward.
     #[allow(clippy::type_complexity)]
     fn insert_rec(
         &self,
-        st: &mut TreeState,
+        a: &mut AllocState,
         page: u64,
         key: &[u8],
         value: &[u8],
@@ -460,7 +1108,7 @@ impl<S: PageStore> BTree<S> {
                         None
                     }
                 };
-                let page = self.shadow_id(st, page);
+                let page = self.shadow_id(a, page);
                 let node = Node::Leaf { entries };
                 if node.encoded_size() <= self.page_size {
                     self.write_node(page, &node)?;
@@ -474,7 +1122,7 @@ impl<S: PageStore> BTree<S> {
                 let right_entries = entries[split_at..].to_vec();
                 let left_entries = entries[..split_at].to_vec();
                 let sep = right_entries[0].0.clone();
-                let right_page = self.alloc_page(st);
+                let right_page = self.alloc_page_locked(a);
                 self.write_node(
                     right_page,
                     &Node::Leaf {
@@ -495,7 +1143,7 @@ impl<S: PageStore> BTree<S> {
             } => {
                 let idx = child_index(&keys, key);
                 let child = children[idx];
-                let (new_child, old, split) = self.insert_rec(st, child, key, value)?;
+                let (new_child, old, split) = self.insert_rec(a, child, key, value)?;
                 if new_child == child && split.is_none() {
                     // Nothing about this node changed (the child was updated in
                     // place): leave it untouched so in-place trees write only what
@@ -503,7 +1151,7 @@ impl<S: PageStore> BTree<S> {
                     return Ok((page, old, None));
                 }
                 children[idx] = new_child;
-                let page = self.shadow_id(st, page);
+                let page = self.shadow_id(a, page);
                 if let Some((sep, right)) = split {
                     keys.insert(idx, sep);
                     children.insert(idx + 1, right);
@@ -519,7 +1167,7 @@ impl<S: PageStore> BTree<S> {
                         let right_children = children[mid + 1..].to_vec();
                         let left_keys = keys[..mid].to_vec();
                         let left_children = children[..mid + 1].to_vec();
-                        let right_page = self.alloc_page(st);
+                        let right_page = self.alloc_page_locked(a);
                         self.write_node(
                             right_page,
                             &Node::Internal {
@@ -545,11 +1193,11 @@ impl<S: PageStore> BTree<S> {
         }
     }
 
-    /// Recursive delete of a key known to exist. Returns the node's (possibly
-    /// relocated) page id and the removed value.
+    /// Recursive delete of a key known to exist (quiesced path). Returns the node's
+    /// (possibly relocated) page id and the removed value.
     fn delete_rec(
         &self,
-        st: &mut TreeState,
+        a: &mut AllocState,
         page: u64,
         key: &[u8],
     ) -> Result<(u64, Option<Vec<u8>>)> {
@@ -562,19 +1210,19 @@ impl<S: PageStore> BTree<S> {
                 if old.is_none() {
                     return Ok((page, None));
                 }
-                let page = self.shadow_id(st, page);
+                let page = self.shadow_id(a, page);
                 self.write_node(page, &Node::Leaf { entries })?;
                 Ok((page, old))
             }
             Node::Internal { keys, mut children } => {
                 let idx = child_index(&keys, key);
                 let child = children[idx];
-                let (new_child, old) = self.delete_rec(st, child, key)?;
+                let (new_child, old) = self.delete_rec(a, child, key)?;
                 if new_child == child {
                     return Ok((page, old));
                 }
                 children[idx] = new_child;
-                let page = self.shadow_id(st, page);
+                let page = self.shadow_id(a, page);
                 self.write_node(page, &Node::Internal { keys, children })?;
                 Ok((page, old))
             }
@@ -582,8 +1230,8 @@ impl<S: PageStore> BTree<S> {
     }
 }
 
-/// An in-progress checkpoint of a shadow-mode tree: holds the tree's exclusive latch so
-/// the epoch's page set is frozen while the caller runs its commit protocol.
+/// An in-progress checkpoint of a shadow-mode tree: holds the epoch latch exclusively
+/// so the epoch's page set is frozen while the caller runs its commit protocol.
 ///
 /// Intended sequence (the KV layer's two-barrier superblock flip):
 ///
@@ -598,7 +1246,7 @@ impl<S: PageStore> BTree<S> {
 /// barrier fails — the previously committed root is still fully intact.
 pub struct TreeCheckpoint<'a, S: PageStore> {
     tree: &'a BTree<S>,
-    st: RwLockWriteGuard<'a, TreeState>,
+    _quiesced: RwLockWriteGuard<'a, ()>,
 }
 
 impl<S: PageStore> TreeCheckpoint<'_, S> {
@@ -610,22 +1258,22 @@ impl<S: PageStore> TreeCheckpoint<'_, S> {
 
     /// The root page id this checkpoint would commit.
     pub fn root(&self) -> u64 {
-        self.st.root
+        self.tree.root.load(Ordering::Acquire)
     }
 
     /// The allocation watermark this checkpoint would commit.
     pub fn next_page_id(&self) -> u64 {
-        self.st.next_page_id
+        self.tree.alloc.lock().next_page_id
     }
 
     /// The key count this checkpoint would commit.
     pub fn len(&self) -> u64 {
-        self.st.len
+        self.tree.len.load(Ordering::Acquire)
     }
 
     /// True if the tree holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.st.len == 0
+        self.len() == 0
     }
 
     /// Seal the epoch after the caller's commit record is durable: fresh pages become
@@ -634,10 +1282,33 @@ impl<S: PageStore> TreeCheckpoint<'_, S> {
     /// first and only then hands them back via [`BTree::seed_free_list`]. Recycling
     /// before the release is a race: a new page could be allocated at the id and then
     /// clobbered by the in-flight release of its previous incarnation.
-    pub fn commit(mut self) -> Vec<u64> {
-        self.st.fresh.clear();
-        std::mem::take(&mut self.st.freed)
+    pub fn commit(self) -> Vec<u64> {
+        let mut a = self.tree.alloc.lock();
+        a.fresh.clear();
+        let freed = std::mem::take(&mut a.freed);
+        drop(a);
+        // Invalidate optimistic readers parked on a freed page *before* the caller
+        // deletes its storage or recycles its id: a reader holding a stale path (its
+        // root-to-leaf snapshot predates this epoch) would otherwise validate a page
+        // that is about to vanish or be reborn as a different node.
+        for &id in &freed {
+            self.tree.versions.bump(id);
+        }
+        freed
     }
+}
+
+fn missing_page(page: u64) -> Error {
+    Error::InvalidConfig(format!("btree references missing page {page}"))
+}
+
+/// The smallest byte string strictly greater than `k` (the scan cursor just past an
+/// emitted key).
+fn successor(k: &[u8]) -> Vec<u8> {
+    let mut s = Vec::with_capacity(k.len() + 1);
+    s.extend_from_slice(k);
+    s.push(0);
+    s
 }
 
 /// Index of the child to descend into for `key` given the separator keys.
@@ -660,7 +1331,6 @@ fn split_point(entries: &[(Vec<u8>, Vec<u8>)], page_size: usize) -> usize {
     }
     (entries.len() / 2).max(1)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -957,6 +1627,25 @@ mod tests {
         let unique: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len(), "a node was visited twice");
         assert!(leaves > 1, "1000 keys cannot fit one leaf");
+    }
+
+    #[test]
+    fn stats_track_writer_crabbing_and_fallbacks() {
+        let t = new_tree();
+        for i in 0..500u32 {
+            t.insert(&key(i), b"x").unwrap();
+        }
+        t.get(&key(3)).unwrap();
+        let s = t.stats();
+        assert_eq!(s.writer_ops, 500);
+        assert!(
+            s.writer_locks >= 500,
+            "every mutation locks at least the leaf"
+        );
+        assert!(s.avg_crab_depth() >= 1.0);
+        // Uncontended single-threaded use never needs the quiesced fallback.
+        assert_eq!(s.read_fallbacks, 0);
+        assert_eq!(s.write_fallbacks, 0);
     }
 
     #[test]

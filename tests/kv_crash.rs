@@ -420,3 +420,141 @@ fn reopen_sweep_reclaims_uncommitted_epoch_pages() {
         KvStore::open(LogStore::recover_with_device(cfg, store.into_device()).unwrap()).unwrap();
     assert_matches(&kv, &model, "after sweep + commit + restart");
 }
+
+/// Group-commit crash matrix: N writers finish their mutations, then all request
+/// durability at once — with a wide `group_commit_window_us` those flush calls batch
+/// into one superblock flip. The device dies at every write boundary of that batched
+/// flip; reopen must land on exactly the previous epoch or exactly the batched epoch
+/// (all N writers' mutations), never a partial batch — the batch is one ordinary
+/// shadow epoch, so the two-barrier protocol's all-or-nothing guarantee covers it.
+#[test]
+fn group_commit_crash_matrix_is_all_or_nothing() {
+    const GC_WRITERS: u32 = 3;
+    const KEYS_EACH: u32 = 40;
+    let config = config();
+
+    let gc_key = |t: u32, i: u32| key(300 + t * 100 + i);
+
+    // Build the store, commit a base epoch, run the writers to completion, then fire
+    // `GC_WRITERS` concurrent flushes (optionally with a device-write budget).
+    // Returns (flush successes, base model, batched model, riders, flips).
+    let run = |device: &CrashPointDevice, budget: Option<u64>| {
+        let store = LogStore::open_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = std::sync::Arc::new(
+            KvStore::open_with(
+                store,
+                lss::btree::kv::KvOptions {
+                    // Wide window: concurrent callers reliably join one generation.
+                    group_commit_window_us: 50_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let mut model1 = Model::new();
+        phase1(&kv, &mut model1);
+        kv.flush().unwrap();
+
+        let mut model2 = model1.clone();
+        std::thread::scope(|scope| {
+            for t in 0..GC_WRITERS {
+                let kv = kv.clone();
+                scope.spawn(move || {
+                    for i in 0..KEYS_EACH {
+                        kv.put(&gc_key(t, i), format!("gc-w{t}-{i}").as_bytes())
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..GC_WRITERS {
+            for i in 0..KEYS_EACH {
+                model2.insert(gc_key(t, i), format!("gc-w{t}-{i}").into_bytes());
+            }
+        }
+
+        if let Some(b) = budget {
+            device.fail_after(b);
+        }
+        let base = kv.stats();
+        let oks = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..GC_WRITERS {
+                let kv = kv.clone();
+                let oks = &oks;
+                scope.spawn(move || {
+                    if kv.flush().is_ok() {
+                        oks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let stats = kv.stats();
+        let riders = stats.group_commit_riders - base.group_commit_riders;
+        let flips = stats.superblock_commits - base.superblock_commits;
+        let kv = std::sync::Arc::try_unwrap(kv).unwrap_or_else(|_| unreachable!("all joined"));
+        drop(kv.into_inner());
+        (
+            oks.load(std::sync::atomic::Ordering::Relaxed),
+            model1,
+            model2,
+            riders,
+            flips,
+        )
+    };
+
+    // Healthy dry run: the batched flip's device-write budget, and proof that the
+    // calls actually batched (riders rode, fewer flips than calls).
+    let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+    let before = device.writes();
+    let (oks, _, _, riders, flips) = run(&device, None);
+    let healthy_writes = device.writes() - before;
+    assert_eq!(oks, GC_WRITERS, "healthy group commit must succeed for all");
+    assert!(
+        riders >= 1,
+        "no flush call rode the generation — group commit never batched"
+    );
+    assert!(
+        flips < GC_WRITERS as u64,
+        "{GC_WRITERS} calls took {flips} flips — no batching happened"
+    );
+    assert!(healthy_writes >= 2, "flip must hit the device");
+
+    let mut old_epoch_outcomes = 0u32;
+    let mut new_epoch_outcomes = 0u32;
+    for budget in 0..=healthy_writes {
+        let device = CrashPointDevice::new(config.segment_bytes, config.num_segments);
+        let (oks, model1, model2, _, _) = run(&device, Some(budget));
+        device.kill();
+        device.heal();
+        let recovered =
+            LogStore::recover_with_device(config.clone(), Box::new(device.clone())).unwrap();
+        let kv = KvStore::open(recovered).expect("reopen after crash must always succeed");
+        let ctx = format!("group-commit crash after {budget}/{healthy_writes} writes");
+        if oks > 0 {
+            // Any successful flush call certifies the whole batch durable.
+            assert_matches(&kv, &model2, &ctx);
+            new_epoch_outcomes += 1;
+        } else {
+            let is_old = matches_model(&kv, &model1);
+            let is_new = matches_model(&kv, &model2);
+            assert!(
+                is_old ^ is_new,
+                "{ctx}: recovered a partial batch (old={is_old}, new={is_new})"
+            );
+            if is_old {
+                old_epoch_outcomes += 1;
+            } else {
+                new_epoch_outcomes += 1;
+            }
+        }
+    }
+    assert!(
+        old_epoch_outcomes > 0,
+        "no crash point recovered the pre-batch epoch — sweep missed the pre-flip window"
+    );
+    assert!(
+        new_epoch_outcomes > 0,
+        "no crash point recovered the batched epoch — sweep missed the post-flip window"
+    );
+}

@@ -12,7 +12,7 @@
 
 mod common;
 
-use common::apply_env_concurrency;
+use common::{apply_env_concurrency, stress_seed_or};
 use lss::btree::kv::KvStore;
 use lss::core::policy::PolicyKind;
 use lss::core::{LogStore, StoreConfig};
@@ -85,8 +85,9 @@ fn writer(kv: &KvStore, t: u32, checkpointer: bool) -> BTreeMap<Vec<u8>, Vec<u8>
                 assert_eq!(existed, model.remove(&k).is_some(), "delete result wrong");
                 assert!(kv.get(&k).unwrap().is_none(), "deleted key still readable");
             }
-            // 10% range over this thread's own prefix: one consistent snapshot — the
-            // scan runs under the tree's shared latch and nobody else writes here.
+            // 10% range over this thread's own prefix: nobody else writes here and
+            // this thread is not writing while it scans, so the per-leaf-validated
+            // scan must equal the model exactly.
             _ => {
                 let lo = key(t, i);
                 let hi = key(t, i.saturating_add(16));
@@ -155,11 +156,6 @@ fn seeded_multithreaded_kv_model() {
                         );
                     }
                     rounds += 1;
-                    // Back-to-back scans would re-take the tree's read latch in a
-                    // tight loop; on a single core with a reader-preferring RwLock
-                    // that can starve the writers (and the flusher's exclusive
-                    // latch) indefinitely. Yield between snapshots.
-                    std::thread::yield_now();
                 }
                 assert!(rounds > 0);
             })
@@ -210,4 +206,205 @@ fn seeded_multithreaded_kv_model() {
     for (k, v) in union.iter().step_by(7) {
         assert_eq!(reopened.get(k).unwrap().unwrap().as_ref(), v.as_slice());
     }
+}
+
+/// Overlapping-keyspace mode: every writer races on the *same* keys, so the index
+/// tree sees concurrent inserts/deletes/splits on one leaf population — exactly the
+/// races optimistic lock-coupling must survive. Per-op linearizability against a
+/// local model is impossible here (another writer may win any race), so the checks
+/// are: every read is well-formed (the value embeds its key), and after the writers
+/// quiesce, every surviving key holds the *last* value some writer wrote to it —
+/// program order within a writer means the globally last insert of a key is that
+/// writer's last put of it. Honours `LSS_STRESS_SEED`.
+#[test]
+fn overlapping_keyspace_racing_writers() {
+    const SHARED_KEYS: u32 = 96;
+    let seed = stress_seed_or(0xBEEF_CAFE);
+    let kv = Arc::new(KvStore::open(LogStore::open_in_memory(config()).unwrap()).unwrap());
+
+    fn shared_key(i: u32) -> Vec<u8> {
+        format!("race:k{i:04}").into_bytes()
+    }
+
+    // Each writer returns, per key: Some(last value it put) or None (its last op on
+    // the key was a delete).
+    let mut finals: Vec<BTreeMap<Vec<u8>, Option<Vec<u8>>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let cleaner = {
+            let kv = kv.clone();
+            let stop = stop.clone();
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    kv.store().clean_now().unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let kv = kv.clone();
+                scope.spawn(move || {
+                    let mut rng = Rng(seed ^ ((t as u64) << 40) ^ 0x5EED);
+                    let mut last: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+                    for seq in 0..OPS_PER_WRITER {
+                        let i = (rng.next() % SHARED_KEYS as u64) as u32;
+                        let k = shared_key(i);
+                        match rng.next() % 10 {
+                            // 70% put: values of varying length force leaf splits at
+                            // racing positions. The value embeds the key.
+                            0..=6 => {
+                                let pad = "x".repeat((rng.next() % 48) as usize);
+                                let v = [k.as_slice(), format!("=w{t}s{seq}:{pad}").as_bytes()]
+                                    .concat();
+                                kv.put(&k, &v).unwrap();
+                                last.insert(k, Some(v));
+                            }
+                            // 20% get: whatever wins the race, the value must be
+                            // well-formed for this key (no torn/foreign reads).
+                            7 | 8 => {
+                                if let Some(v) = kv.get(&k).unwrap() {
+                                    assert!(
+                                        v.starts_with(k.as_slice()),
+                                        "value {:?} does not belong to key {:?}",
+                                        String::from_utf8_lossy(&v),
+                                        String::from_utf8_lossy(&k)
+                                    );
+                                }
+                            }
+                            // 10% delete.
+                            _ => {
+                                kv.delete(&k).unwrap();
+                                last.insert(k, None);
+                            }
+                        }
+                        if t == 0 && seq % 300 == 299 {
+                            kv.flush().unwrap();
+                        }
+                    }
+                    last
+                })
+            })
+            .collect();
+        for h in handles {
+            finals.push(h.join().unwrap());
+        }
+        stop.store(true, Ordering::Relaxed);
+        cleaner.join().unwrap();
+    });
+
+    // Quiesced verification: each surviving key's value must be some writer's final
+    // write to it (and an absent key means some writer's final op was a delete).
+    let scanned = kv.range(b"race:", b"race:~").unwrap();
+    for w in scanned.windows(2) {
+        assert!(w[0].0 < w[1].0, "final scan out of order");
+    }
+    let present: BTreeMap<Vec<u8>, Vec<u8>> =
+        scanned.into_iter().map(|(k, v)| (k, v.to_vec())).collect();
+    for i in 0..SHARED_KEYS {
+        let k = shared_key(i);
+        let candidates: Vec<&Option<Vec<u8>>> = finals.iter().filter_map(|m| m.get(&k)).collect();
+        match present.get(&k) {
+            Some(v) => assert!(
+                candidates
+                    .iter()
+                    .any(|c| c.as_deref() == Some(v.as_slice())),
+                "key {} holds a value no writer finished with (seed {seed:#x})",
+                String::from_utf8_lossy(&k)
+            ),
+            None => assert!(
+                candidates.is_empty() || candidates.iter().any(|c| c.is_none()),
+                "key {} vanished but no writer's last op deleted it (seed {seed:#x})",
+                String::from_utf8_lossy(&k)
+            ),
+        }
+    }
+
+    // Restart equivalence: commit, reopen, identical contents.
+    kv.flush().unwrap();
+    let kv = Arc::try_unwrap(kv).unwrap_or_else(|_| unreachable!("all clones joined"));
+    let store = kv.into_inner();
+    let cfg = store.config().clone();
+    let reopened =
+        KvStore::open(LogStore::recover_with_device(cfg, store.into_device()).unwrap()).unwrap();
+    let after: BTreeMap<Vec<u8>, Vec<u8>> = reopened
+        .range(b"race:", b"race:~")
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, v.to_vec()))
+        .collect();
+    assert_eq!(present, after, "restart changed the committed contents");
+}
+
+/// Regression test for the PR 4 reader-starvation hazard: back-to-back scanners used
+/// to monopolise the tree's reader-preferring `RwLock` on a single core, stalling
+/// writers (and the flusher's exclusive latch) indefinitely — the model test's
+/// scanner had to hand-yield between snapshots. Optimistic reads removed the latch,
+/// so scanners looping *without any yield* must not keep writers from finishing.
+#[test]
+fn unthrottled_scanners_do_not_stall_writers() {
+    const SCANNERS: u32 = 3;
+    const WRITER_OPS: u32 = 600;
+    let kv = Arc::new(KvStore::open(LogStore::open_in_memory(config()).unwrap()).unwrap());
+    for i in 0..KEYS_PER_WRITER {
+        let k = key(9, i);
+        kv.put(&k, &[k.as_slice(), b"=seed"].concat()).unwrap();
+    }
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let scanners: Vec<_> = (0..SCANNERS)
+            .map(|_| {
+                let kv = kv.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    // Deliberately no yield: this tight loop is the old starvation
+                    // trigger.
+                    while !stop.load(Ordering::Relaxed) {
+                        let scanned = kv.range(b"t", b"u").unwrap();
+                        for (k, v) in &scanned {
+                            assert!(v.starts_with(k.as_slice()));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..2u32)
+            .map(|t| {
+                let kv = kv.clone();
+                scope.spawn(move || {
+                    for seq in 0..WRITER_OPS {
+                        let i = (t * 7 + seq) % KEYS_PER_WRITER;
+                        let k = key(9, i);
+                        kv.put(
+                            &k,
+                            &[k.as_slice(), format!("=w{t}s{seq}").as_bytes()].concat(),
+                        )
+                        .unwrap();
+                        if t == 0 && seq % 200 == 199 {
+                            // The flusher's exclusive epoch latch was the other
+                            // starvation victim.
+                            kv.flush().unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Under the old latch this join never returned on a single core; with
+        // optimistic reads the writers finish regardless of scanner pressure.
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in scanners {
+            h.join().unwrap();
+        }
+    });
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(120),
+        "writers took {:?} against unthrottled scanners — reader starvation is back",
+        start.elapsed()
+    );
+    assert_eq!(kv.len() as u32, KEYS_PER_WRITER);
 }
