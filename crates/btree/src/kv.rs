@@ -63,8 +63,12 @@
 //! before its `flush` call, the generation closes before the flip begins, and the
 //! flip's checkpoint quiesces the tree — so the flipped epoch contains every batched
 //! mutation, and a crash lands on exactly the previous or the batched epoch, never a
-//! partial batch (it is one ordinary epoch). `group_commit_window_us = 0` (the
-//! default) short-circuits straight into the flip — byte-for-byte today's per-call
+//! partial batch (it is one ordinary epoch). A failed flip fails the *whole*
+//! generation with one shared source error — leader and riders all surface
+//! [`Error::GroupCommitFailed`] around the same source, and the outcome is
+//! published even if the leader unwinds mid-flip, so riders can never hang on a
+//! generation that will never report. `group_commit_window_us = 0` (the default)
+//! short-circuits straight into the flip — byte-for-byte today's per-call
 //! behaviour.
 
 use crate::buffer_pool::{BufferPool, BufferPoolStats};
@@ -289,10 +293,12 @@ struct UserAlloc {
 
 /// One group-commit generation: the leader publishes the flip's outcome here and
 /// wakes every rider. `None` = the flip has not finished; `Some(None)` = committed;
-/// `Some(Some(msg))` = the flip failed with `msg`.
+/// `Some(Some(e))` = the flip failed with the shared source error (leader and
+/// riders all surface it as [`Error::GroupCommitFailed`], so callers matching on
+/// the underlying variant behave identically in either role).
 #[derive(Debug, Default)]
 struct CommitGeneration {
-    outcome: std::sync::Mutex<Option<Option<String>>>,
+    outcome: std::sync::Mutex<Option<Option<Arc<Error>>>>,
     done: std::sync::Condvar,
 }
 
@@ -302,6 +308,41 @@ struct CommitGeneration {
 #[derive(Debug, Default)]
 struct GroupCommit {
     open: std::sync::Mutex<Option<Arc<CommitGeneration>>>,
+}
+
+/// RAII for a generation's leader: on drop it closes the generation (if still the
+/// open one) and publishes `outcome`, waking every rider. The ordinary path sets
+/// the real flip outcome before dropping; if the leader unwinds first — a panic
+/// inside the flip, say — the drop still runs with the pre-seeded failure, so
+/// riders are woken with an error instead of waiting on the condvar forever.
+struct GenerationPublish<'a> {
+    coordinator: &'a GroupCommit,
+    generation: &'a Arc<CommitGeneration>,
+    outcome: Option<Arc<Error>>,
+}
+
+impl Drop for GenerationPublish<'_> {
+    fn drop(&mut self) {
+        let mut open = self
+            .coordinator
+            .open
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if open
+            .as_ref()
+            .is_some_and(|g| Arc::ptr_eq(g, self.generation))
+        {
+            // An early unwind must not leave a dead generation accepting riders.
+            *open = None;
+        }
+        drop(open);
+        *self
+            .generation
+            .outcome
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(self.outcome.take());
+        self.generation.done.notify_all();
+    }
 }
 
 /// An ordered, concurrent, crash-consistent key-value store backed by a [`LogStore`]
@@ -688,11 +729,20 @@ impl KvStore {
             }
             return match outcome.as_ref().expect("loop exits only when published") {
                 None => Ok(()),
-                Some(msg) => Err(Error::Io(std::io::Error::other(msg.clone()))),
+                Some(shared) => Err(Error::GroupCommitFailed(Arc::clone(shared))),
             };
         }
         // Leader: wait out the window so concurrent callers can join, close the
-        // generation (later callers lead the next one), flip once, publish.
+        // generation (later callers lead the next one), flip once, publish. The
+        // guard publishes on every exit — including an unwind out of the flip — so
+        // a dying leader can never strand its riders in the condvar wait.
+        let mut publish = GenerationPublish {
+            coordinator: &self.group_commit,
+            generation: &generation,
+            outcome: Some(Arc::new(Error::Io(std::io::Error::other(
+                "group-commit leader terminated before publishing an outcome",
+            )))),
+        };
         std::thread::sleep(std::time::Duration::from_micros(
             self.group_commit_window_us,
         ));
@@ -701,11 +751,21 @@ impl KvStore {
             .open
             .lock()
             .unwrap_or_else(|e| e.into_inner()) = None;
-        let result = self.flip();
-        let msg = result.as_ref().err().map(|e| e.to_string());
-        *generation.outcome.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
-        generation.done.notify_all();
-        result
+        match self.flip() {
+            Ok(()) => {
+                publish.outcome = None;
+                drop(publish);
+                Ok(())
+            }
+            Err(e) => {
+                // One shared source for the whole generation: the leader returns
+                // the same variant its riders see.
+                let shared = Arc::new(e);
+                publish.outcome = Some(Arc::clone(&shared));
+                drop(publish);
+                Err(Error::GroupCommitFailed(shared))
+            }
+        }
     }
 
     /// One two-barrier superblock flip (the body of a commit; see [`KvStore::flush`]).
@@ -1060,5 +1120,52 @@ mod tests {
         assert_eq!(kv.len(), 800);
         kv.flush().unwrap();
         assert_eq!(kv.stats().keys, 800);
+    }
+
+    #[test]
+    fn a_dying_leader_publishes_failure_and_closes_its_generation() {
+        // Regression: a leader that unwinds mid-flip must not strand its riders
+        // on the condvar (they would otherwise wait for an outcome nobody will
+        // publish) nor leave the dead generation open to accept more riders.
+        let coordinator = GroupCommit::default();
+        let generation = Arc::new(CommitGeneration::default());
+        *coordinator.open.lock().unwrap() = Some(Arc::clone(&generation));
+        std::thread::scope(|scope| {
+            let rider = {
+                let generation = Arc::clone(&generation);
+                scope.spawn(move || {
+                    let mut outcome = generation.outcome.lock().unwrap_or_else(|e| e.into_inner());
+                    while outcome.is_none() {
+                        outcome = generation
+                            .done
+                            .wait(outcome)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    outcome.clone().expect("loop exits only when published")
+                })
+            };
+            let leader = scope.spawn(|| {
+                let _publish = GenerationPublish {
+                    coordinator: &coordinator,
+                    generation: &generation,
+                    outcome: Some(Arc::new(Error::Io(std::io::Error::other(
+                        "leader died mid-flip",
+                    )))),
+                };
+                panic!("simulated flip panic");
+            });
+            assert!(leader.join().is_err(), "the leader must have panicked");
+            let outcome = rider.join().expect("rider must be woken, not stranded");
+            let err = outcome.expect("a dying leader publishes an error, not success");
+            assert!(err.to_string().contains("leader died mid-flip"));
+        });
+        assert!(
+            coordinator
+                .open
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_none(),
+            "the dead generation must not keep accepting riders"
+        );
     }
 }

@@ -38,7 +38,11 @@
 //!   tree latch for exactly one job: freezing the epoch's page set while a
 //!   [`TreeCheckpoint`] runs. After `OPT_RETRIES` failed optimistic attempts an
 //!   operation falls back to the epoch latch's exclusive side, which quiesces all
-//!   writers — guaranteed progress, no starvation in either direction.
+//!   writers — guaranteed progress, no starvation in either direction. Optimistic
+//!   readers take **no** epoch latch, so quiesced mutations still follow the
+//!   lock-during-write discipline: every page they write stays version-locked
+//!   (odd) until the root is published. Fallback scans quiesce one leaf at a
+//!   time rather than pinning writers for the scan's whole tail.
 //!
 //! Lock order: epoch latch → version slot → allocator mutex → pool shard latch (each
 //! a leaf with respect to the ones after it; the pool never takes a tree lock).
@@ -183,6 +187,23 @@ enum Attempt<T> {
 struct SlotLocks<'a> {
     table: &'a VersionTable,
     slots: Vec<usize>,
+}
+
+impl SlotLocks<'_> {
+    /// Take `page`'s slot unconditionally (spinning) unless this set already holds
+    /// it. The quiesced paths use this: they are the sole mutator (epoch latch held
+    /// exclusively), but optimistic readers take no epoch latch, so every page they
+    /// write must still be covered by a locked (odd) version word until the whole
+    /// mutation — including the root publication — is done. Without it a reader
+    /// could validate post-write bytes against the pre-write version, or mix an
+    /// old parent snapshot with a new child mid-split.
+    fn lock_spin(&mut self, page: u64) {
+        let slot = self.table.slot_of(page);
+        if !self.slots.contains(&slot) {
+            self.table.lock_slot_spin(slot);
+            self.slots.push(slot);
+        }
+    }
 }
 
 impl Drop for SlotLocks<'_> {
@@ -452,27 +473,34 @@ impl<S: PageStore> BTree<S> {
         let mut attempts = 0u32;
         loop {
             if attempts > OPT_RETRIES {
-                // Quiesce writers and finish the remainder of the scan exclusively.
+                // Quiesce writers for exactly one leaf, then resume optimistically.
+                // Holding the epoch latch across the whole remainder — including
+                // every invocation of `f`, which for the KV layer reads value pages
+                // from the log store — would stall all writers and flushes for the
+                // scan's entire tail; per-leaf the stall is bounded while `f` still
+                // runs under the latch, so whatever the values reference cannot be
+                // released by a concurrent checkpoint mid-read.
                 self.counters.read_fallbacks.fetch_add(1, Ordering::Relaxed);
-                let _quiesced = self.epoch_latch.write();
-                loop {
-                    let (entries, upper) = self.find_leaf(&cursor)?;
-                    for (k, v) in &entries {
-                        if k.as_slice() >= end {
-                            return Ok(out);
-                        }
-                        if k.as_slice() >= cursor.as_slice() {
-                            if let Some(r) = f(k, v)? {
-                                out.push(r);
-                            }
-                        }
+                let quiesced = self.epoch_latch.write();
+                let (entries, upper) = self.find_leaf(&cursor)?;
+                for (k, v) in &entries {
+                    if k.as_slice() >= end {
+                        return Ok(out);
                     }
-                    match upper {
-                        None => return Ok(out),
-                        Some(u) if u.as_slice() >= end => return Ok(out),
-                        Some(u) => cursor = u,
+                    if k.as_slice() >= cursor.as_slice() {
+                        if let Some(r) = f(k, v)? {
+                            out.push(r);
+                        }
                     }
                 }
+                drop(quiesced);
+                match upper {
+                    None => return Ok(out),
+                    Some(u) if u.as_slice() >= end => return Ok(out),
+                    Some(u) => cursor = u,
+                }
+                attempts = 0; // guaranteed progress: the fallback finished a leaf
+                continue;
             }
             match self.try_scan_leaf(&mut cursor, end, &mut f, &mut out)? {
                 Attempt::Done(true) => return Ok(out),
@@ -709,7 +737,11 @@ impl<S: PageStore> BTree<S> {
             .fetch_add(lock_set.len() as u64, Ordering::Relaxed);
 
         // Phase 5: allocate ids per plan in one short allocator hold (skipped when
-        // the whole rewrite is in place — the common steady-state case).
+        // the whole rewrite is in place — the common steady-state case), recording
+        // what was queued on `freed` and what was freshly allocated so a failed
+        // apply can roll the bookkeeping back.
+        let mut relocated_old: Vec<u64> = Vec::new();
+        let mut allocated_new: Vec<u64> = Vec::new();
         let (targets, siblings, new_root_id) =
             if plans[anchor..].iter().all(|p| !p.relocate && !p.split) {
                 let targets: Vec<u64> = path[anchor..].iter().map(|p| p.page).collect();
@@ -721,21 +753,73 @@ impl<S: PageStore> BTree<S> {
                 let mut siblings = Vec::with_capacity(path.len() - anchor);
                 for i in anchor..path.len() {
                     if plans[i].relocate {
-                        targets.push(self.alloc_page_locked(&mut a));
+                        let id = self.alloc_page_locked(&mut a);
+                        allocated_new.push(id);
+                        targets.push(id);
                         a.freed.push(path[i].page);
+                        relocated_old.push(path[i].page);
                     } else {
                         targets.push(path[i].page);
                     }
-                    siblings.push(plans[i].split.then(|| self.alloc_page_locked(&mut a)));
+                    siblings.push(plans[i].split.then(|| {
+                        let id = self.alloc_page_locked(&mut a);
+                        allocated_new.push(id);
+                        id
+                    }));
                 }
-                let new_root_id =
-                    (anchor == 0 && plans[0].split).then(|| self.alloc_page_locked(&mut a));
+                let new_root_id = (anchor == 0 && plans[0].split).then(|| {
+                    let id = self.alloc_page_locked(&mut a);
+                    allocated_new.push(id);
+                    id
+                });
                 (targets, siblings, new_root_id)
             };
 
-        // Phase 6: build and write bottom-up (children before parents), following the
-        // plan verbatim. Every write bumps the page's version, so optimistic readers
-        // of any rewritten or stale page restart.
+        // Phase 6: apply the plan. On failure, undo phase 5 *while the version
+        // locks are still held* (so no concurrent mutation can touch these pages
+        // in between): the committed tree still references every page this attempt
+        // queued on `freed` — leaving them there would let the next checkpoint's
+        // commit delete storage the committed tree needs — and the fresh ids never
+        // became reachable, so they go straight back to the free list.
+        if let Err(e) = self.apply_plan(&path, anchor, entries, &targets, &siblings, new_root_id) {
+            if !relocated_old.is_empty() || !allocated_new.is_empty() {
+                let mut a = self.alloc.lock();
+                a.freed.retain(|id| !relocated_old.contains(id));
+                for &id in &allocated_new {
+                    a.fresh.remove(&id);
+                }
+                a.free.extend_from_slice(&allocated_new);
+            }
+            return Err(e);
+        }
+        match (&old, value) {
+            (None, Some(_)) => {
+                self.len.fetch_add(1, Ordering::AcqRel);
+            }
+            (Some(_), None) => {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+            }
+            _ => {}
+        }
+        drop(locks);
+        Ok(Attempt::Done(old))
+    }
+
+    /// Apply a mutation's plan: build and write the rewritten nodes bottom-up
+    /// (children before parents), then publish the new root if it moved. Every
+    /// write bumps the page's version, so optimistic readers of any rewritten or
+    /// stale page restart. The caller holds the version locks of `path[anchor..]`
+    /// and rolls back the allocator bookkeeping if this fails.
+    fn apply_plan(
+        &self,
+        path: &[PathEntry],
+        anchor: usize,
+        mut entries: Vec<(Vec<u8>, Vec<u8>)>,
+        targets: &[u64],
+        siblings: &[Option<u64>],
+        new_root_id: Option<u64>,
+    ) -> Result<()> {
+        let leaf_i = path.len() - 1;
         let mut child_id = 0u64;
         let mut carry: Option<(Vec<u8>, u64)> = None; // (separator, right sibling id)
         for i in (anchor..path.len()).rev() {
@@ -809,17 +893,7 @@ impl<S: PageStore> BTree<S> {
             debug_assert_eq!(child_id, path[anchor].page, "plan stopped mid-propagation");
             debug_assert!(carry.is_none(), "split escaped the planned lock scope");
         }
-        match (&old, value) {
-            (None, Some(_)) => {
-                self.len.fetch_add(1, Ordering::AcqRel);
-            }
-            (Some(_), None) => {
-                self.len.fetch_sub(1, Ordering::AcqRel);
-            }
-            _ => {}
-        }
-        drop(locks);
-        Ok(Attempt::Done(old))
+        Ok(())
     }
 
     /// Optimistic descent for a mutation, recording the full path. `None` = conflict.
@@ -927,31 +1001,56 @@ impl<S: PageStore> BTree<S> {
     }
 
     /// Exclusive-fallback insert (caller holds the epoch latch exclusively).
+    ///
+    /// Optimistic readers take no epoch latch, so the quiesced writer still follows
+    /// the lock-during-write discipline: every written page's version slot stays
+    /// locked (odd) from its first write until the root is published, and on a
+    /// failed write the allocator bookkeeping rolls back (the epoch latch excludes
+    /// every other mutation, so truncating `freed` is exact).
     fn insert_quiesced(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut locks = SlotLocks {
+            table: &self.versions,
+            slots: Vec::new(),
+        };
         let mut alloc = self.alloc.lock();
-        let root = self.root.load(Ordering::Acquire);
-        let (new_root, old, split) = self.insert_rec(&mut alloc, root, key, value)?;
-        let mut root = new_root;
-        if let Some((sep, right)) = split {
-            // The root split: create a new internal root.
-            let new_root_id = self.alloc_page_locked(&mut alloc);
-            self.write_node(
-                new_root_id,
-                &Node::Internal {
-                    keys: vec![sep],
-                    children: vec![root, right],
-                },
-            )?;
-            root = new_root_id;
+        let freed_base = alloc.freed.len();
+        let result: Result<(u64, Option<Vec<u8>>)> = (|| {
+            let root = self.root.load(Ordering::Acquire);
+            let (new_root, old, split) =
+                self.insert_rec(&mut locks, &mut alloc, root, key, value)?;
+            let mut root = new_root;
+            if let Some((sep, right)) = split {
+                // The root split: create a new internal root.
+                let new_root_id = self.alloc_page_locked(&mut alloc);
+                self.write_node_quiesced(
+                    &mut locks,
+                    new_root_id,
+                    &Node::Internal {
+                        keys: vec![sep],
+                        children: vec![root, right],
+                    },
+                )?;
+                root = new_root_id;
+            }
+            Ok((root, old))
+        })();
+        match result {
+            Ok((root, old)) => {
+                self.root.store(root, Ordering::Release);
+                if old.is_none() {
+                    self.len.fetch_add(1, Ordering::AcqRel);
+                }
+                Ok(old)
+            }
+            Err(e) => {
+                alloc.freed.truncate(freed_base);
+                Err(e)
+            }
         }
-        self.root.store(root, Ordering::Release);
-        if old.is_none() {
-            self.len.fetch_add(1, Ordering::AcqRel);
-        }
-        Ok(old)
     }
 
-    /// Exclusive-fallback delete (caller holds the epoch latch exclusively).
+    /// Exclusive-fallback delete (caller holds the epoch latch exclusively; same
+    /// locking and rollback discipline as [`BTree::insert_quiesced`]).
     fn delete_quiesced(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         // Read-only probe first: a miss must not churn shadow pages.
         let mut page = self.root.load(Ordering::Acquire);
@@ -966,12 +1065,24 @@ impl<S: PageStore> BTree<S> {
                 }
             }
         }
+        let mut locks = SlotLocks {
+            table: &self.versions,
+            slots: Vec::new(),
+        };
         let mut alloc = self.alloc.lock();
+        let freed_base = alloc.freed.len();
         let root = self.root.load(Ordering::Acquire);
-        let (new_root, old) = self.delete_rec(&mut alloc, root, key)?;
-        self.root.store(new_root, Ordering::Release);
-        self.len.fetch_sub(1, Ordering::AcqRel);
-        Ok(old)
+        match self.delete_rec(&mut locks, &mut alloc, root, key) {
+            Ok((new_root, old)) => {
+                self.root.store(new_root, Ordering::Release);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                Ok(old)
+            }
+            Err(e) => {
+                alloc.freed.truncate(freed_base);
+                Err(e)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1053,6 +1164,17 @@ impl<S: PageStore> BTree<S> {
         Ok(())
     }
 
+    /// [`BTree::write_node`] for the quiesced paths: the page's version slot joins
+    /// `locks` (odd word) *before* the pool write and stays locked until the caller
+    /// drops the set after publishing the root. The eventual unlock advances the
+    /// version past anything an optimistic reader could have observed, so no
+    /// separate bump is needed.
+    fn write_node_quiesced(&self, locks: &mut SlotLocks<'_>, page: u64, node: &Node) -> Result<()> {
+        let bytes = node.encode(self.page_size)?;
+        locks.lock_spin(page);
+        self.pool.write(page, bytes)
+    }
+
     /// Descend to the leaf that would hold `key`, returning its entries together with
     /// the leaf's exclusive upper bound: the innermost separator to the right of the
     /// descent path (`None` on the rightmost spine). The upper bound is the smallest
@@ -1094,6 +1216,7 @@ impl<S: PageStore> BTree<S> {
     #[allow(clippy::type_complexity)]
     fn insert_rec(
         &self,
+        locks: &mut SlotLocks<'_>,
         a: &mut AllocState,
         page: u64,
         key: &[u8],
@@ -1111,7 +1234,7 @@ impl<S: PageStore> BTree<S> {
                 let page = self.shadow_id(a, page);
                 let node = Node::Leaf { entries };
                 if node.encoded_size() <= self.page_size {
-                    self.write_node(page, &node)?;
+                    self.write_node_quiesced(locks, page, &node)?;
                     return Ok((page, old, None));
                 }
                 // Split the leaf: move the upper half to a new page.
@@ -1123,13 +1246,15 @@ impl<S: PageStore> BTree<S> {
                 let left_entries = entries[..split_at].to_vec();
                 let sep = right_entries[0].0.clone();
                 let right_page = self.alloc_page_locked(a);
-                self.write_node(
+                self.write_node_quiesced(
+                    locks,
                     right_page,
                     &Node::Leaf {
                         entries: right_entries,
                     },
                 )?;
-                self.write_node(
+                self.write_node_quiesced(
+                    locks,
                     page,
                     &Node::Leaf {
                         entries: left_entries,
@@ -1143,7 +1268,7 @@ impl<S: PageStore> BTree<S> {
             } => {
                 let idx = child_index(&keys, key);
                 let child = children[idx];
-                let (new_child, old, split) = self.insert_rec(a, child, key, value)?;
+                let (new_child, old, split) = self.insert_rec(locks, a, child, key, value)?;
                 if new_child == child && split.is_none() {
                     // Nothing about this node changed (the child was updated in
                     // place): leave it untouched so in-place trees write only what
@@ -1168,14 +1293,16 @@ impl<S: PageStore> BTree<S> {
                         let left_keys = keys[..mid].to_vec();
                         let left_children = children[..mid + 1].to_vec();
                         let right_page = self.alloc_page_locked(a);
-                        self.write_node(
+                        self.write_node_quiesced(
+                            locks,
                             right_page,
                             &Node::Internal {
                                 keys: right_keys,
                                 children: right_children,
                             },
                         )?;
-                        self.write_node(
+                        self.write_node_quiesced(
+                            locks,
                             page,
                             &Node::Internal {
                                 keys: left_keys,
@@ -1184,10 +1311,10 @@ impl<S: PageStore> BTree<S> {
                         )?;
                         return Ok((page, old, Some((up_key, right_page))));
                     }
-                    self.write_node(page, &node)?;
+                    self.write_node_quiesced(locks, page, &node)?;
                     return Ok((page, old, None));
                 }
-                self.write_node(page, &Node::Internal { keys, children })?;
+                self.write_node_quiesced(locks, page, &Node::Internal { keys, children })?;
                 Ok((page, old, None))
             }
         }
@@ -1197,6 +1324,7 @@ impl<S: PageStore> BTree<S> {
     /// (possibly relocated) page id and the removed value.
     fn delete_rec(
         &self,
+        locks: &mut SlotLocks<'_>,
         a: &mut AllocState,
         page: u64,
         key: &[u8],
@@ -1211,19 +1339,19 @@ impl<S: PageStore> BTree<S> {
                     return Ok((page, None));
                 }
                 let page = self.shadow_id(a, page);
-                self.write_node(page, &Node::Leaf { entries })?;
+                self.write_node_quiesced(locks, page, &Node::Leaf { entries })?;
                 Ok((page, old))
             }
             Node::Internal { keys, mut children } => {
                 let idx = child_index(&keys, key);
                 let child = children[idx];
-                let (new_child, old) = self.delete_rec(a, child, key)?;
+                let (new_child, old) = self.delete_rec(locks, a, child, key)?;
                 if new_child == child {
                     return Ok((page, old));
                 }
                 children[idx] = new_child;
                 let page = self.shadow_id(a, page);
-                self.write_node(page, &Node::Internal { keys, children })?;
+                self.write_node_quiesced(locks, page, &Node::Internal { keys, children })?;
                 Ok((page, old))
             }
         }
@@ -1646,6 +1774,198 @@ mod tests {
         // Uncontended single-threaded use never needs the quiesced fallback.
         assert_eq!(s.read_fallbacks, 0);
         assert_eq!(s.write_fallbacks, 0);
+    }
+
+    /// A store whose page writes fail while `fail` is set; reads always succeed.
+    struct FailingStore {
+        inner: MemPageStore,
+        fail: std::sync::atomic::AtomicBool,
+    }
+    impl PageStore for FailingStore {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn read_page(&self, id: u64) -> Result<Option<Vec<u8>>> {
+            self.inner.read_page(id)
+        }
+        fn write_page(&self, id: u64, data: &[u8]) -> Result<()> {
+            if self.fail.load(Ordering::Relaxed) {
+                return Err(Error::Io(std::io::Error::other("injected write failure")));
+            }
+            self.inner.write_page(id, data)
+        }
+    }
+
+    /// A committed shadow tree over a [`FailingStore`] with a 2-frame pool: once
+    /// `fail` is set, any mutation that relocates a root-to-leaf path (three
+    /// writes minimum at 200 keys / 256-byte pages) must dirty-evict mid-apply
+    /// and surface the injected error partway through its writes.
+    fn committed_failing_shadow_tree() -> BTree<FailingStore> {
+        let store = FailingStore {
+            inner: MemPageStore::new(PAGE),
+            fail: std::sync::atomic::AtomicBool::new(false),
+        };
+        let tree = BTree::open_shadow(BufferPool::new(store, 2), None).unwrap();
+        for i in 0..200u32 {
+            tree.insert(&key(i), b"seed").unwrap();
+        }
+        let mut ck = tree.begin_checkpoint();
+        ck.write_back().unwrap();
+        ck.commit();
+        assert!(
+            tree.alloc.lock().freed.is_empty(),
+            "committed baseline must start with an empty freed queue"
+        );
+        tree
+    }
+
+    #[test]
+    fn failed_apply_rolls_back_the_freed_queue() {
+        let tree = committed_failing_shadow_tree();
+        tree.store().fail.store(true, Ordering::Relaxed);
+        assert!(
+            tree.insert(&key(42), b"rewrite").is_err(),
+            "a 2-frame pool must dirty-evict (and so fail) mid-apply"
+        );
+        // The regression: the committed pages this attempt queued for release
+        // must not stay on `freed`, or the next checkpoint commit would delete
+        // storage the committed tree still references.
+        assert!(
+            tree.alloc.lock().freed.is_empty(),
+            "failed apply left committed pages on the freed queue"
+        );
+        tree.store().fail.store(false, Ordering::Relaxed);
+        // The old root was never superseded: the failed mutation is invisible.
+        assert_eq!(tree.get(&key(42)).unwrap().as_deref(), Some(&b"seed"[..]));
+        // The tree is fully usable and the next commit releases only pages the
+        // committed tree no longer references: scribbling over their storage —
+        // the moral equivalent of the store deleting them — must break nothing.
+        tree.insert(&key(42), b"after").unwrap();
+        let mut ck = tree.begin_checkpoint();
+        ck.write_back().unwrap();
+        for id in ck.commit() {
+            tree.store().inner.write_page(id, &[0xAA; PAGE]).unwrap();
+        }
+        assert_eq!(tree.get(&key(42)).unwrap().unwrap(), b"after");
+        for i in (0..200u32).step_by(7) {
+            if i != 42 {
+                assert_eq!(tree.get(&key(i)).unwrap().as_deref(), Some(&b"seed"[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_quiesced_mutations_roll_back_the_freed_queue() {
+        let tree = committed_failing_shadow_tree();
+
+        // Quiesced insert fails mid-recursion.
+        tree.store().fail.store(true, Ordering::Relaxed);
+        {
+            let _quiesced = tree.epoch_latch.write();
+            assert!(tree.insert_quiesced(&key(57), b"rewrite").is_err());
+        }
+        assert!(
+            tree.alloc.lock().freed.is_empty(),
+            "failed quiesced insert left committed pages on the freed queue"
+        );
+        tree.store().fail.store(false, Ordering::Relaxed);
+        assert_eq!(tree.get(&key(57)).unwrap().as_deref(), Some(&b"seed"[..]));
+
+        // Re-commit (clean pool, empty freed queue), then the delete path.
+        let mut ck = tree.begin_checkpoint();
+        ck.write_back().unwrap();
+        ck.commit();
+        tree.store().fail.store(true, Ordering::Relaxed);
+        {
+            let _quiesced = tree.epoch_latch.write();
+            assert!(tree.delete_quiesced(&key(100)).is_err());
+        }
+        assert!(
+            tree.alloc.lock().freed.is_empty(),
+            "failed quiesced delete left committed pages on the freed queue"
+        );
+        tree.store().fail.store(false, Ordering::Relaxed);
+        assert_eq!(tree.get(&key(100)).unwrap().as_deref(), Some(&b"seed"[..]));
+        assert!(tree.delete(&key(100)).unwrap());
+        assert_eq!(tree.len(), 199);
+    }
+
+    #[test]
+    fn quiesced_splits_are_invisible_to_optimistic_readers() {
+        // Regression for the write-then-bump race: a quiesced in-place split that
+        // wrote the truncated left leaf before invalidating its version let an
+        // optimistic reader validate post-write bytes against the pre-write
+        // version and miss the keys moved to the right sibling. Every insert here
+        // goes through the quiesced path directly while readers hammer the most
+        // recently published keys — exactly the ones a leaf split moves.
+        let t = std::sync::Arc::new(new_tree());
+        let published = std::sync::Arc::new(AtomicU64::new(0));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for r in 0..2u64 {
+                let t = t.clone();
+                let published = published.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut round = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = published.load(Ordering::Acquire);
+                        if n == 0 {
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        let i = n - 1 - ((round * 7 + r) % n.min(16));
+                        assert!(
+                            t.get(&key(i as u32)).unwrap().is_some(),
+                            "published key {i} vanished mid-quiesced-split"
+                        );
+                        round += 1;
+                    }
+                });
+            }
+            for i in 0..3_000u32 {
+                let _quiesced = t.epoch_latch.write();
+                t.insert_quiesced(&key(i), b"v").unwrap();
+                drop(_quiesced);
+                published.store(u64::from(i) + 1, Ordering::Release);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(t.len(), 3_000);
+    }
+
+    #[test]
+    fn scans_survive_perpetual_conflicts_via_the_per_leaf_fallback() {
+        let t = new_tree();
+        for i in 0..600u32 {
+            t.insert(&key(i), b"x").unwrap();
+        }
+        // A pathological closure that invalidates every page version on each
+        // call: all optimistic attempts conflict at leaf validation, so the scan
+        // can only progress through the quiesced fallback — which must take one
+        // leaf per exclusive hold (releasing the epoch latch in between) and
+        // still visit every key exactly once, in order.
+        let n_pages = t.alloc.lock().next_page_id;
+        let out = t
+            .scan_map(b"key-", b"key-99999999~", |k, _v| {
+                for p in 0..n_pages {
+                    t.versions.bump(p);
+                }
+                Ok(Some(k.to_vec()))
+            })
+            .unwrap();
+        assert_eq!(out.len(), 600);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "scan not sorted");
+        assert_eq!(out, (0..600u32).map(key).collect::<Vec<_>>());
+        let s = t.stats();
+        assert!(
+            s.read_restarts > 0,
+            "every optimistic attempt must conflict"
+        );
+        assert!(
+            s.read_fallbacks > 1,
+            "each leaf must go through its own fallback, not one latch hold for the tail"
+        );
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub enum Error {
         /// What the device reports.
         actual: String,
     },
+    /// A batched group-commit flip failed. Every caller of the generation — the
+    /// leader and all its riders — observes the *same* shared source error, so
+    /// matching on the underlying variant behaves identically regardless of which
+    /// role a caller happened to play.
+    GroupCommitFailed(std::sync::Arc<Error>),
 }
 
 impl fmt::Display for Error {
@@ -91,6 +96,7 @@ impl fmt::Display for Error {
                     "device geometry mismatch: expected {expected}, found {actual}"
                 )
             }
+            Error::GroupCommitFailed(e) => write!(f, "group commit failed: {e}"),
         }
     }
 }
@@ -99,6 +105,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::GroupCommitFailed(e) => Some(e.as_ref()),
             _ => None,
         }
     }

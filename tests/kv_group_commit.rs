@@ -14,7 +14,7 @@ mod common;
 use common::{apply_env_concurrency, CrashPointDevice};
 use lss::btree::kv::{KvOptions, KvStore};
 use lss::core::policy::PolicyKind;
-use lss::core::{LogStore, StoreConfig};
+use lss::core::{Error, LogStore, StoreConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -186,9 +186,15 @@ fn riders_observe_the_leaders_failure() {
             let kv = kv.clone();
             let failures = &failures;
             scope.spawn(move || {
-                if kv.flush().is_err() {
-                    failures.fetch_add(1, Ordering::Relaxed);
-                }
+                let Err(e) = kv.flush() else { return };
+                // Leader and riders surface the *same* wrapped source error, so
+                // callers matching on the underlying variant behave identically
+                // in either role (the device failure is an I/O error here).
+                assert!(
+                    matches!(&e, Error::GroupCommitFailed(src) if matches!(**src, Error::Io(_))),
+                    "expected the generation's shared source error, got {e:?}"
+                );
+                failures.fetch_add(1, Ordering::Relaxed);
             });
         }
     });
