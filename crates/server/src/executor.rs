@@ -1,0 +1,168 @@
+//! The server's pluggable request-execution seam.
+//!
+//! Decoded requests are handed to an [`Executor`] as opaque jobs; the executor owns
+//! *where and when* they run, the connection layer owns the sockets. The first (and
+//! default) implementation is [`SharedQueueExecutor`] — one global FIFO drained by a
+//! fixed pool of `server_threads` workers, the classic shared-queue thread pool. A
+//! sharded event loop is the planned follow-up behind this same trait (see
+//! docs/ARCHITECTURE.md, "The network front-end").
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work: execute one decoded request and write its reply.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Where decoded requests run. Implementations must be safe to call from any
+/// connection reader thread concurrently.
+pub trait Executor: Send + Sync {
+    /// Enqueue a job. Returns `false` (dropping the job) iff the executor is
+    /// shutting down — the caller replies `ERR_SHUTTING_DOWN` (PROTOCOL.md §6).
+    fn submit(&self, job: Job) -> bool;
+
+    /// Stop accepting work, abandon anything still queued (its connections are
+    /// being closed anyway — PROTOCOL.md §8 makes unacked fates unknown), finish
+    /// jobs already running, and join the workers. Idempotent.
+    fn shutdown(&self);
+
+    /// Pool width, for STATS reporting.
+    fn threads(&self) -> usize;
+}
+
+struct QueueInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+}
+
+/// The shared-queue thread pool: N workers blocked on one condvar'd FIFO. Simple,
+/// fair under skew (any worker takes the oldest request regardless of connection),
+/// and sufficient to saturate the store's write streams from many sockets; its
+/// known cost — every dispatch crosses one queue lock — is what the sharded event
+/// loop follow-up will remove.
+pub struct SharedQueueExecutor {
+    inner: Arc<QueueInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl SharedQueueExecutor {
+    /// Spawn a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(QueueInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lss-server-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+}
+
+fn worker_loop(inner: &QueueInner) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.available.wait(&mut q);
+            }
+        };
+        job();
+    }
+}
+
+impl Executor for SharedQueueExecutor {
+    fn submit(&self, job: Job) -> bool {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut q = self.inner.queue.lock();
+        // Re-check under the lock so a job can never land behind shutdown's sweep.
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.inner.available.notify_one();
+        true
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.queue.lock().clear();
+        self.inner.available.notify_all();
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for SharedQueueExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = SharedQueueExecutor::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..256 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        // shutdown may abandon queued jobs, but everything not abandoned ran to
+        // completion; submit-after-shutdown must be refused.
+        assert!(!pool.submit(Box::new(|| {})));
+        assert!(done.load(Ordering::SeqCst) <= 256);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let pool = SharedQueueExecutor::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        pool.shutdown();
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`btree`] — a B+-tree page storage engine substrate, plus the crash-consistent
 //!   paged key-value layer ([`btree::kv::KvStore`]) built on it.
 //! * [`tpcc`] — a TPC-C-style workload used to produce page-write traces.
+//! * [`server`] — the TCP front-end serving [`btree::kv::KvStore`] over the wire
+//!   protocol specified in `docs/PROTOCOL.md`.
+//! * [`client`] — the sync, pipelining-capable client for that protocol.
 //!
 //! ## Quickstart
 //!
@@ -27,7 +30,9 @@
 
 pub use lss_analysis as analysis;
 pub use lss_btree as btree;
+pub use lss_client as client;
 pub use lss_core as core;
+pub use lss_server as server;
 pub use lss_sim as sim;
 pub use lss_tpcc as tpcc;
 pub use lss_workload as workload;

@@ -1,0 +1,348 @@
+//! Wire-protocol conformance tests against a live in-process server, each pinned to
+//! the docs/PROTOCOL.md section it enforces: fatal framing errors close the
+//! connection with no reply (§8 — torn frames, oversized lengths §3.1, bad CRC §4,
+//! bad magic §3.2, bad version §3.3), recoverable errors reply and keep the
+//! connection (§3.4 unknown opcode, §5 malformed payloads), pipelined replies
+//! correlate by id (§7), and a seeded frame-mutation fuzz pass (honouring
+//! `LSS_STRESS_SEED`) checks the server survives arbitrary corruption.
+
+mod common;
+
+use common::stress_seed_or;
+use lss::btree::kv::{KvOptions, KvStore};
+use lss::client::{Client, ClientError, ClientOptions};
+use lss::core::{LogStore, StoreConfig};
+use lss::server::protocol::{
+    self, encode_frame, read_frame, write_frame, Request, Response, ERR_BAD_REQUEST,
+    ERR_UNSUPPORTED_OPCODE, MIN_FRAME_LEN, OP_PUT, RESPONSE_BIT, STATUS_OK, VERSION,
+};
+use lss::server::{Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An in-process server on an ephemeral port plus the shared store handle.
+fn start_server() -> (Server, Arc<KvStore>) {
+    let store = LogStore::open_in_memory(StoreConfig::small_for_tests()).unwrap();
+    let kv = Arc::new(
+        KvStore::open_with(
+            store,
+            KvOptions {
+                group_commit_window_us: 100,
+                ..KvOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let server = Server::start(Arc::clone(&kv), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    (server, kv)
+}
+
+/// A raw socket with a read timeout so a buggy server cannot hang the test.
+fn raw_conn(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// Drive one request/reply exchange over a raw socket, proving the connection works.
+fn roundtrip_put(stream: &mut TcpStream, corr_id: u64) {
+    let mut payload = Vec::new();
+    Request::Put {
+        key: b"alive".to_vec(),
+        value: b"yes".to_vec(),
+        durable: false,
+    }
+    .encode_payload(&mut payload);
+    write_frame(stream, OP_PUT, corr_id, &payload).unwrap();
+    stream.flush().unwrap();
+    let frame = read_frame(stream, protocol::MAX_FRAME_BYTES)
+        .unwrap()
+        .expect("reply expected");
+    assert_eq!(frame.opcode, OP_PUT | RESPONSE_BIT);
+    assert_eq!(frame.corr_id, corr_id);
+    assert_eq!(frame.payload, vec![STATUS_OK]);
+}
+
+/// Send raw bytes, half-close, and assert the server closes with **no reply**
+/// (PROTOCOL.md §8: fatal framing errors tear the connection down silently).
+fn expect_silent_close(server: &Server, bytes: &[u8]) {
+    let mut stream = raw_conn(server);
+    stream.write_all(bytes).unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "fatal frame must not be answered, got {} reply bytes",
+        rest.len()
+    );
+}
+
+/// A well-formed PUT frame to corrupt in the fatal-error tests.
+fn valid_put_frame(corr_id: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    Request::Put {
+        key: b"k".to_vec(),
+        value: b"v".to_vec(),
+        durable: false,
+    }
+    .encode_payload(&mut payload);
+    let mut frame = Vec::new();
+    encode_frame(&mut frame, OP_PUT, corr_id, &payload);
+    frame
+}
+
+#[test]
+fn torn_frame_closes_without_reply() {
+    let (server, _kv) = start_server();
+    let frame = valid_put_frame(1);
+    // Every cut point inside the frame is a torn frame (§8); cut 0 is a clean EOF.
+    for cut in [1, 4, 5, frame.len() - 1] {
+        expect_silent_close(&server, &frame[..cut]);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_and_undersized_lengths_close_without_reply() {
+    let (server, _kv) = start_server();
+    // §3.1: length above the 16 MiB bound is fatal before any allocation...
+    let huge = (protocol::MAX_FRAME_BYTES + 1).to_le_bytes();
+    expect_silent_close(&server, &huge);
+    // ...and a length below the 16-byte body minimum is equally fatal.
+    let tiny = (MIN_FRAME_LEN - 1).to_le_bytes();
+    expect_silent_close(&server, &tiny);
+    server.shutdown();
+}
+
+#[test]
+fn bad_crc_magic_and_version_close_without_reply() {
+    let (server, _kv) = start_server();
+    // §4: flip one payload bit, leave the CRC — mismatch is fatal.
+    let mut frame = valid_put_frame(2);
+    let mid = frame.len() / 2;
+    frame[mid] ^= 0x01;
+    expect_silent_close(&server, &frame);
+    // §3.2: wrong magic (CRC recomputed so only the magic is at fault).
+    let mut payload = Vec::new();
+    Request::Flush.encode_payload(&mut payload);
+    let mut frame = Vec::new();
+    encode_frame(&mut frame, Request::Flush.opcode(), 3, &payload);
+    frame[4] ^= 0xFF; // first magic byte, after the 4-byte length prefix
+    patch_crc(&mut frame);
+    expect_silent_close(&server, &frame);
+    // §3.3: unsupported version.
+    let mut frame = Vec::new();
+    encode_frame(&mut frame, Request::Flush.opcode(), 4, &payload);
+    frame[6] = VERSION + 1;
+    patch_crc(&mut frame);
+    expect_silent_close(&server, &frame);
+    server.shutdown();
+}
+
+/// Recompute the trailing CRC over magic..payload after a test mutated the body.
+fn patch_crc(frame: &mut [u8]) {
+    let body_end = frame.len() - 4;
+    let crc = lss::core::util::crc32c(&frame[4..body_end]);
+    frame[body_end..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn unknown_opcode_replies_and_connection_survives() {
+    let (server, _kv) = start_server();
+    let mut stream = raw_conn(&server);
+    // §3.4: opcode 0x7F is unknown but the frame is well-formed → error reply,
+    // connection stays open.
+    write_frame(&mut stream, 0x7F, 9, &[]).unwrap();
+    stream.flush().unwrap();
+    let frame = read_frame(&mut stream, protocol::MAX_FRAME_BYTES)
+        .unwrap()
+        .expect("recoverable errors are answered");
+    assert_eq!(frame.opcode, 0x7F | RESPONSE_BIT);
+    assert_eq!(frame.corr_id, 9);
+    assert_eq!(frame.payload, vec![ERR_UNSUPPORTED_OPCODE]);
+    roundtrip_put(&mut stream, 10);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_replies_and_connection_survives() {
+    let (server, _kv) = start_server();
+    let mut stream = raw_conn(&server);
+    // §5.2: a PUT payload cut short mid-string is ERR_BAD_REQUEST, not fatal.
+    write_frame(&mut stream, OP_PUT, 20, &[0x00, 0x05, 0x00, 0x00]).unwrap();
+    // §5.1: trailing bytes after a GET payload are equally rejected.
+    let mut payload = Vec::new();
+    Request::Get { key: b"k".to_vec() }.encode_payload(&mut payload);
+    payload.push(0xEE);
+    write_frame(&mut stream, protocol::OP_GET, 21, &payload).unwrap();
+    stream.flush().unwrap();
+    for corr in [20u64, 21] {
+        let frame = read_frame(&mut stream, protocol::MAX_FRAME_BYTES)
+            .unwrap()
+            .expect("recoverable errors are answered");
+        assert_eq!(frame.corr_id, corr);
+        assert_eq!(frame.payload, vec![ERR_BAD_REQUEST]);
+    }
+    roundtrip_put(&mut stream, 22);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_replies_correlate_by_id() {
+    let (server, kv) = start_server();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    // §7: replies come back in *completion* order (the executor runs requests on
+    // several workers), so the only valid way to pair them is the correlation id.
+    // Batch 1: a pipelined window of PUTs.
+    let mut put_corrs = std::collections::HashSet::new();
+    for i in 0..64u32 {
+        let corr = client
+            .send(&Request::Put {
+                key: format!("p:{i:03}").into_bytes(),
+                value: format!("v{i}").into_bytes(),
+                durable: i % 4 == 0,
+            })
+            .unwrap();
+        assert!(put_corrs.insert(corr), "correlation ids must be unique");
+    }
+    for (corr, reply) in client.drain().unwrap() {
+        assert!(put_corrs.remove(&corr), "reply with unknown corr id {corr}");
+        assert!(matches!(reply, Response::Put), "corr {corr}: {reply:?}");
+    }
+    assert!(put_corrs.is_empty(), "unanswered PUTs: {put_corrs:?}");
+    // Batch 2: pipelined GETs over the now-committed keys; each reply's corr id
+    // must map back to exactly the value its key holds.
+    let mut want_by_corr = std::collections::HashMap::new();
+    for i in 0..64u32 {
+        let corr = client
+            .send(&Request::Get {
+                key: format!("p:{i:03}").into_bytes(),
+            })
+            .unwrap();
+        want_by_corr.insert(corr, format!("v{i}").into_bytes());
+    }
+    for (corr, reply) in client.drain().unwrap() {
+        let want = want_by_corr.remove(&corr).expect("unknown corr id");
+        match reply {
+            Response::Get(got) => assert_eq!(got.as_deref(), Some(&want[..])),
+            other => panic!("corr {corr}: expected GET reply, got {other:?}"),
+        }
+    }
+    assert!(want_by_corr.is_empty(), "unanswered GETs");
+    assert_eq!(kv.len(), 64);
+    server.shutdown();
+}
+
+#[test]
+fn fuzzed_frames_never_kill_the_server() {
+    let (server, _kv) = start_server();
+    let seed = stress_seed_or(0x1552_F00D);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..200u64 {
+        // Start from a valid frame of a random opcode and payload...
+        let opcode = [
+            protocol::OP_GET,
+            OP_PUT,
+            protocol::OP_DELETE,
+            protocol::OP_SCAN,
+            protocol::OP_FLUSH,
+            protocol::OP_STATS,
+        ][rng.gen_range(0..6usize)];
+        let payload: Vec<u8> = (0..rng.gen_range(0..64usize))
+            .map(|_| rng.gen::<u32>() as u8)
+            .collect();
+        let mut frame = Vec::new();
+        encode_frame(&mut frame, opcode, round, &payload);
+        // ...then corrupt it: byte flips, truncation, or garbage append.
+        match rng.gen_range(0..4u32) {
+            0 => {
+                for _ in 0..rng.gen_range(1..4usize) {
+                    let at = rng.gen_range(0..frame.len());
+                    frame[at] ^= 1 << rng.gen_range(0..8u32);
+                }
+            }
+            1 => frame.truncate(rng.gen_range(0..frame.len())),
+            2 => frame.extend((0..rng.gen_range(1..32usize)).map(|_| rng.gen::<u32>() as u8)),
+            _ => {} // occasionally send it clean
+        }
+        let mut stream = raw_conn(&server);
+        // The peer may already have torn the connection down mid-write; that is a
+        // pass, not a failure — the property under test is server survival.
+        if stream.write_all(&frame).is_ok() {
+            let _ = stream.flush();
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+    // The server survived 200 corrupt connections: a fresh client still works.
+    let mut stream = raw_conn(&server);
+    roundtrip_put(&mut stream, 999);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_mid_request_unblocks_clients() {
+    let (server, kv) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect_with(
+        &addr,
+        ClientOptions {
+            retry_mutations: false,
+            connect_attempts: 1,
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+    // Establish a durable prefix whose survival shutdown must not threaten.
+    for i in 0..16u32 {
+        client.put(format!("pre:{i}").as_bytes(), b"acked").unwrap();
+    }
+    // Fill the pipe with in-flight requests, then shut the server down from another
+    // thread while replies are still streaming.
+    for i in 0..512u32 {
+        if client
+            .send(&Request::Put {
+                key: format!("mid:{i:04}").into_bytes(),
+                value: b"racing".to_vec(),
+                durable: true,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+    let stopper = std::thread::spawn(move || {
+        server.shutdown();
+        server
+    });
+    // Draining must terminate — with replies, an error, or a clean close — never hang.
+    let drained = client.drain();
+    let server = stopper.join().unwrap();
+    match drained {
+        Ok(replies) => assert!(replies
+            .iter()
+            .all(|(_, r)| matches!(r, Response::Put | Response::Err { .. }))),
+        Err(ClientError::Io(_))
+        | Err(ClientError::Disconnected)
+        | Err(ClientError::Server { .. }) => {}
+        Err(other) => panic!("unexpected drain failure: {other}"),
+    }
+    drop(server);
+    // Every write acked before the shutdown began is still in the store.
+    for i in 0..16u32 {
+        assert_eq!(
+            kv.get(format!("pre:{i}").as_bytes()).unwrap().as_deref(),
+            Some(&b"acked"[..]),
+            "acked write lost across shutdown"
+        );
+    }
+}
